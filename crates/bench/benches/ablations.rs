@@ -1,0 +1,154 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * FR-FCFS vs FCFS scheduling;
+//! * the on-package many-bank structure (128 banks vs an 8-bank device);
+//! * multi-queue MRU vs a naive single-level recency list;
+//! * copy-engine pacing.
+//!
+//! Each prints the simulated metric it ablates alongside the host-time
+//! measurement.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmm_core::{MultiQueueMru, SlotClock};
+use hmm_dram::{DeviceProfile, DramRegion, DramTiming, SchedPolicy, Transaction};
+use hmm_sim_base::SimRng;
+
+fn region_mean_latency(profile: DeviceProfile, policy: SchedPolicy) -> f64 {
+    let mut r = DramRegion::new(profile, &Default::default(), policy);
+    let mut rng = SimRng::new(11);
+    let n = 30_000u64;
+    for i in 0..n {
+        // Mixed pattern: 60% within a hot 2 MB region (row locality),
+        // 40% random.
+        let addr = if rng.chance(0.6) {
+            rng.below(2 << 20) & !63
+        } else {
+            rng.below(1 << 28) & !63
+        };
+        r.enqueue(Transaction::demand(i, i * 18, addr, rng.chance(0.3)));
+        r.advance(i * 18);
+    }
+    r.flush();
+    let done = r.drain_completions();
+    done.iter().map(|c| (c.breakdown.dram_core + c.breakdown.queuing) as f64).sum::<f64>()
+        / done.len() as f64
+}
+
+fn bench_sched_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scheduler");
+    g.sample_size(10);
+    for policy in [SchedPolicy::FrFcfs, SchedPolicy::Fcfs] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| black_box(region_mean_latency(DeviceProfile::off_package_ddr3(), p)))
+            },
+        );
+        eprintln!(
+            "[shape] {policy:?}: mean DRAM latency {:.1} cycles",
+            region_mean_latency(DeviceProfile::off_package_ddr3(), policy)
+        );
+    }
+    g.finish();
+}
+
+fn bench_bank_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_banks");
+    g.sample_size(10);
+    // The paper's Section II claim: many banks collapse the queuing delay.
+    let few = DeviceProfile {
+        channels: 8,
+        ranks_per_channel: 1,
+        banks_per_rank: 1,
+        ..DeviceProfile::on_package()
+    };
+    let many = DeviceProfile::on_package();
+    for (name, p) in [("8_banks", few), ("128_banks", many)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| black_box(region_mean_latency(*p, SchedPolicy::FrFcfs)))
+        });
+        eprintln!(
+            "[shape] {name}: mean DRAM latency {:.1} cycles",
+            region_mean_latency(p, SchedPolicy::FrFcfs)
+        );
+    }
+    g.finish();
+}
+
+fn bench_mru_policy(c: &mut Criterion) {
+    // Multi-queue vs naive: how often does each surface a genuinely hot
+    // page under a zipf stream with streaming pollution?
+    fn mq_quality(naive: bool) -> f64 {
+        let z = hmm_sim_base::rng::Zipf::new(4096, 1.1);
+        let mut rng = SimRng::new(5);
+        let mut mq = if naive {
+            MultiQueueMru::new(1, 30)
+        } else {
+            MultiQueueMru::paper_default()
+        };
+        let mut good = 0u32;
+        let rounds = 200;
+        for _ in 0..rounds {
+            for i in 0..500u64 {
+                // zipf demand + a streaming page per step.
+                mq.touch(z.sample(&mut rng) as u64, 0);
+                mq.touch(1_000_000 + i, 0);
+            }
+            if let Some((hot, _, _)) = mq.hottest(|_| false) {
+                if hot < 16 {
+                    good += 1;
+                }
+            }
+        }
+        good as f64 / rounds as f64
+    }
+    let mut g = c.benchmark_group("ablation_mru");
+    g.sample_size(10);
+    for naive in [false, true] {
+        let name = if naive { "naive_single_level" } else { "multi_queue" };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &naive, |b, &n| {
+            b.iter(|| black_box(mq_quality(n)))
+        });
+        eprintln!("[shape] {name}: hot-page identification rate {:.2}", mq_quality(naive));
+    }
+    g.finish();
+}
+
+fn bench_clock_monitor(c: &mut Criterion) {
+    c.bench_function("slot_clock_coldest_4096", |b| {
+        let mut clock = SlotClock::new(4096);
+        let mut rng = SimRng::new(9);
+        for _ in 0..2048 {
+            clock.touch(rng.below(4096) as u32);
+        }
+        b.iter(|| black_box(clock.coldest(|_| false)))
+    });
+}
+
+fn bench_on_package_timing(c: &mut Criterion) {
+    // Sanity ablation: the on-package part's faster I/O matters.
+    let slow_io = DeviceProfile {
+        timing: DramTiming::ddr3_1333(),
+        ..DeviceProfile::on_package()
+    };
+    let fast_io = DeviceProfile::on_package();
+    let mut g = c.benchmark_group("ablation_io_speed");
+    g.sample_size(10);
+    for (name, p) in [("commodity_io", slow_io), ("on_package_io", fast_io)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| black_box(region_mean_latency(*p, SchedPolicy::FrFcfs)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sched_policy,
+    bench_bank_count,
+    bench_mru_policy,
+    bench_clock_monitor,
+    bench_on_package_timing
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Cache-model throughput: accesses per second through one cache and
+//! through the full SRAM hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hmm_cache::{CacheConfig, DramCache, DramCacheConfig, Hierarchy, HierarchyConfig, SetAssocCache};
+use hmm_sim_base::addr::{LineAddr, PhysAddr};
+use hmm_sim_base::config::LatencyConfig;
+use hmm_sim_base::SimRng;
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("set_assoc_zipf", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(1 << 20, 16));
+        let z = hmm_sim_base::rng::Zipf::new(100_000, 0.9);
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            for _ in 0..n {
+                let line = z.sample(&mut rng) as u64;
+                black_box(cache.access(LineAddr(line), false));
+            }
+        })
+    });
+    g.bench_function("hierarchy_mixed", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_default());
+        let mut rng = SimRng::new(5);
+        b.iter(|| {
+            for i in 0..n {
+                let addr = if rng.chance(0.7) {
+                    rng.below(1 << 22) & !63
+                } else {
+                    rng.below(1 << 30) & !63
+                };
+                black_box(h.access((i % 4) as usize, PhysAddr(addr), rng.chance(0.3)));
+            }
+        })
+    });
+    g.bench_function("dram_cache_l4", |b| {
+        let mut l4 = DramCache::new(
+            DramCacheConfig { array_bytes: 64 << 20, line_bytes: 64 },
+            &LatencyConfig::default(),
+        );
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            for _ in 0..n {
+                black_box(l4.access(LineAddr(rng.below(1 << 22)), rng.chance(0.3)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_set_assoc);
+criterion_main!(benches);

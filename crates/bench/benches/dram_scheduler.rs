@@ -1,0 +1,41 @@
+//! Throughput of the DRAM timing model: transactions scheduled per second
+//! of host time, under streaming and random patterns.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_dram::{DeviceProfile, DramRegion, SchedPolicy, Transaction};
+use hmm_sim_base::SimRng;
+
+fn run_pattern(profile: DeviceProfile, policy: SchedPolicy, random: bool, n: u64) -> usize {
+    let mut r = DramRegion::new(profile, &Default::default(), policy);
+    let mut rng = SimRng::new(1);
+    for i in 0..n {
+        let addr = if random { rng.below(1 << 28) & !63 } else { i * 64 };
+        r.enqueue(Transaction::demand(i, i * 16, addr, i % 3 == 0));
+        if i % 8 == 0 {
+            r.advance(i * 16);
+        }
+    }
+    r.flush();
+    r.drain_completions().len()
+}
+
+fn bench_region(c: &mut Criterion) {
+    let n = 20_000u64;
+    let mut g = c.benchmark_group("dram_region");
+    g.throughput(Throughput::Elements(n));
+    for (name, profile) in [
+        ("off_package", DeviceProfile::off_package_ddr3()),
+        ("on_package", DeviceProfile::on_package()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("stream", name), &profile, |b, p| {
+            b.iter(|| black_box(run_pattern(*p, SchedPolicy::FrFcfs, false, n)))
+        });
+        g.bench_with_input(BenchmarkId::new("random", name), &profile, |b, p| {
+            b.iter(|| black_box(run_pattern(*p, SchedPolicy::FrFcfs, true, n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_region);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end simulation throughput per migration design. This is both a
+//! performance benchmark (host records/s) and a shape check: the printed
+//! simulated latencies show N >= N-1 >= Live at coarse granularity.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_core::{MigrationDesign, Mode};
+use hmm_sim_base::config::SimScale;
+use hmm_simulator::driver::{run, RunConfig};
+use hmm_workloads::WorkloadId;
+
+fn cfg(design: MigrationDesign) -> RunConfig {
+    RunConfig {
+        scale: SimScale { divisor: 64 },
+        accesses: 120_000,
+        warmup: 20_000,
+        page_shift: 16,
+        swap_interval: 1_000,
+        ..RunConfig::paper(WorkloadId::Pgbench, Mode::Dynamic(design))
+    }
+}
+
+fn bench_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration_designs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(120_000));
+    for design in [
+        MigrationDesign::N,
+        MigrationDesign::NMinusOne,
+        MigrationDesign::LiveMigration,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{design:?}")),
+            &design,
+            |b, &d| b.iter(|| black_box(run(&cfg(d)).mean_latency())),
+        );
+    }
+    g.finish();
+
+    // Print the simulated-latency comparison once, for the log.
+    for design in [
+        MigrationDesign::N,
+        MigrationDesign::NMinusOne,
+        MigrationDesign::LiveMigration,
+    ] {
+        let r = run(&cfg(design));
+        eprintln!(
+            "[shape] {design:?}: mean latency {:.1} cycles, on-package {:.2}, swaps {}",
+            r.mean_latency(),
+            r.on_fraction(),
+            r.swaps.map(|s| s.completed).unwrap_or(0)
+        );
+    }
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

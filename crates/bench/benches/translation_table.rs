@@ -1,0 +1,60 @@
+//! Microbenchmarks of the translation table: the RAM/CAM lookup is on the
+//! critical path of every memory access, so it must stay O(1)-ish even at
+//! the 4 KB granularity where the table has 128K rows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmm_core::table::TranslationTable;
+use hmm_sim_base::addr::{MacroPageId, SubBlockId};
+
+fn bench_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translate");
+    for slots in [128u64, 4096, 131_072] {
+        let total = slots * 8;
+        let mut t = TranslationTable::new(slots, total, true);
+        // Populate some swaps so the CAM is non-trivial.
+        for i in 0..slots / 4 {
+            t.set_swapped(i as u32, slots + i);
+        }
+        g.bench_with_input(BenchmarkId::new("ram_hit", slots), &t, |b, t| {
+            let mut p = 0u64;
+            b.iter(|| {
+                p = (p + 7) % (slots / 4);
+                black_box(t.translate(MacroPageId(slots / 4 + p), SubBlockId(0)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cam_hit", slots), &t, |b, t| {
+            let mut p = 0u64;
+            b.iter(|| {
+                p = (p + 7) % (slots / 4);
+                black_box(t.translate(MacroPageId(slots + p), SubBlockId(0)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("os_page", slots), &t, |b, t| {
+            let mut p = 0u64;
+            b.iter(|| {
+                p = (p + 7) % slots;
+                black_box(t.translate(MacroPageId(slots * 2 + p), SubBlockId(0)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_swap_ops(c: &mut Criterion) {
+    c.bench_function("swap_table_ops", |b| {
+        b.iter(|| {
+            let mut t = TranslationTable::new(256, 2048, true);
+            for i in 0..32u64 {
+                let slot = t.empty_slot().unwrap();
+                t.begin_fill_into_empty(slot, 300 + i, hmm_core::MachinePage(300 + i), 1);
+                t.mark_sub_block_filled(slot, SubBlockId(0));
+                t.clear_p(slot);
+                t.retire_to_empty(i as u32);
+            }
+            black_box(t)
+        })
+    });
+}
+
+criterion_group!(benches, bench_translate, bench_swap_ops);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Trace-generation throughput for every workload in the catalog.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_sim_base::config::SimScale;
+use hmm_workloads::{workload, WorkloadId};
+
+fn bench_generators(c: &mut Criterion) {
+    let n = 100_000usize;
+    let scale = SimScale { divisor: 16 };
+    let mut g = c.benchmark_group("workload_gen");
+    g.throughput(Throughput::Elements(n as u64));
+    for id in WorkloadId::trace_study() {
+        let w = workload(id, &scale);
+        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &w, |b, w| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for r in w.iter(1).take(n) {
+                    acc ^= r.addr.0;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,479 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures <experiment> [--quick|--bench|--full] [--json]
+//!
+//! experiments: table1 table2 table3 table4 fig4 fig5 fig10 fig11 fig12
+//!              fig13 fig14 fig15 fig16 all
+//! ```
+//!
+//! `--quick` (default) uses 1/64-scale footprints for a smoke run;
+//! `--bench` uses 1/8 scale (the setting used for EXPERIMENTS.md);
+//! `--full` uses the paper's exact sizes (hours of CPU time).
+//! `--json` additionally dumps the simulated rows as JSON lines on stdout
+//! (for the table/figure experiments that run simulations).
+
+use hmm_bench::{cells, f1, f2, human_bytes, pct, render_table};
+use hmm_core::{hardware_bits, MigrationDesign};
+use hmm_sim_base::config::{LatencyConfig, MemoryGeometry, SimScale};
+use hmm_simulator::experiments::{
+    effectiveness_table, fig11_grid, fig15_capacity, fig16_power, GridConfig,
+    INTERVALS, PAGE_SHIFTS,
+};
+use hmm_simulator::ipc::{ipc_for, Fig5Option};
+use hmm_simulator::missrate::{fig4_capacities, l3_miss_rates};
+use hmm_workloads::{npb_footprint_mb, WorkloadId};
+
+fn grid_for(size: &str) -> GridConfig {
+    match size {
+        "--full" => GridConfig {
+            scale: SimScale::full(),
+            accesses: 20_000_000,
+            warmup: 2_000_000,
+            seed: 42,
+        },
+        "--bench" => GridConfig::bench(),
+        _ => GridConfig::quick(),
+    }
+}
+
+fn table1() {
+    let rows: Vec<Vec<String>> = WorkloadId::npb_all()
+        .iter()
+        .map(|&id| cells([id.name().to_string(), format!("{}MB", npb_footprint_mb(id))]))
+        .collect();
+    print!(
+        "{}",
+        render_table("Table I: NPB 3.3 memory footprints", &["Workload", "Memory"], &rows)
+    );
+}
+
+fn table2() {
+    let l = LatencyConfig::default();
+    let rows = vec![
+        cells(["Memory controller processing".into(), format!("{}-cycle", l.mc_processing)]),
+        cells(["Controller-to-core delay".into(), format!("{}-cycle each way", l.ctl_to_core_each_way)]),
+        cells(["Package pin delay".into(), format!("{}-cycle each way", l.package_pin_each_way)]),
+        cells(["PCB wire delay".into(), format!("{}-cycle round-trip", l.pcb_wire_round_trip)]),
+        cells(["Interposer pin delay".into(), format!("{}-cycle each way", l.interposer_pin_each_way)]),
+        cells(["Intra-package delay".into(), format!("{}-cycle round-trip", l.intra_package_round_trip)]),
+        cells(["DRAM core delay (analytic)".into(), format!("{}-cycle", l.dram_core)]),
+        cells(["Queuing delay (analytic)".into(), format!("{}-cycle", l.queuing)]),
+        cells(["On-package memory access".into(), format!("{}-cycle", l.on_package_analytic())]),
+        cells(["Off-package memory access".into(), format!("{}-cycle", l.off_package_analytic())]),
+        cells(["L4 cache hit".into(), format!("{}-cycle", l.l4_hit_analytic())]),
+        cells(["L4 cache miss determination".into(), format!("{}-cycle", l.l4_miss_analytic())]),
+    ];
+    print!(
+        "{}",
+        render_table(
+            "Table II: baseline configuration (reconstructed latencies)",
+            &["Parameter", "Value"],
+            &rows
+        )
+    );
+}
+
+fn table3() {
+    let g = MemoryGeometry::paper_default();
+    let rows = vec![
+        cells(["Total memory capacity".into(), human_bytes(g.total_bytes)]),
+        cells(["On-package memory capacity".into(), human_bytes(g.on_package_bytes)]),
+        cells(["Macro page size".into(), "4KB to 4MB".to_string()]),
+        cells(["Sub-block size".into(), human_bytes(g.sub_block_bytes())]),
+        cells([
+            "Workloads".into(),
+            "FT.C, MG.C, SPEC2006 Mixture, pgbench, indexer, SPECjbb".to_string(),
+        ]),
+    ];
+    print!(
+        "{}",
+        render_table("Table III: trace-simulation parameters", &["Parameter", "Value"], &rows)
+    );
+}
+
+fn emit_json<T: serde::Serialize>(label: &str, rows: &[T]) {
+    if !std::env::args().any(|a| a == "--json") {
+        return;
+    }
+    for r in rows {
+        match serde_json::to_string(r) {
+            Ok(j) => println!("JSON {label} {j}"),
+            Err(e) => eprintln!("json encode failed: {e}"),
+        }
+    }
+}
+
+fn table4(grid: &GridConfig) {
+    let rows_data = effectiveness_table(
+        grid,
+        &WorkloadId::trace_study(),
+        &[14, 16, 18, 20],
+        &[1_000, 10_000],
+    );
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            cells([
+                r.workload.clone(),
+                f1(r.dram_core),
+                f1(r.latency_without),
+                f1(r.latency_with),
+                human_bytes(r.best_page_bytes),
+                r.best_interval.to_string(),
+                pct(r.effectiveness_pct),
+            ])
+        })
+        .collect();
+    emit_json("table4", &rows_data);
+    let avg =
+        rows_data.iter().map(|r| r.effectiveness_pct).sum::<f64>() / rows_data.len() as f64;
+    print!(
+        "{}",
+        render_table(
+            "Table IV: effectiveness of controller-based data migration",
+            &[
+                "Workload",
+                "DRAM core (cyc)",
+                "Lat w/o mig",
+                "Best lat w/ mig",
+                "Best page",
+                "Best interval",
+                "Effectiveness",
+            ],
+            &rows
+        )
+    );
+    println!("Average effectiveness: {avg:.1}%  (paper: 83%)");
+}
+
+fn fig4(grid: &GridConfig) {
+    let caps = fig4_capacities();
+    let mut rows = Vec::new();
+    for id in WorkloadId::npb_all() {
+        let rates = l3_miss_rates(id, &caps, grid.accesses.min(2_000_000), &grid.scale, grid.seed);
+        let mut row = vec![id.name().to_string()];
+        row.extend(rates.iter().map(|(_, r)| pct(r * 100.0)));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["Workload".into()];
+    headers.extend(caps.iter().map(|c| human_bytes(*c)));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print!(
+        "{}",
+        render_table("Fig. 4: LLC miss rate vs. capacity", &hdr_refs, &rows)
+    );
+}
+
+fn fig5(grid: &GridConfig) {
+    let gb = 1u64 << 30;
+    let n = grid.accesses.min(1_000_000);
+    let mut rows = Vec::new();
+    for id in WorkloadId::npb_all() {
+        let base = ipc_for(id, Fig5Option::Baseline, gb, n, &grid.scale, grid.seed);
+        let mut row = vec![id.name().to_string(), f2(base.ipc)];
+        for opt in [Fig5Option::L4Cache, Fig5Option::StaticMapping, Fig5Option::AllOnPackage] {
+            let r = ipc_for(id, opt, gb, n, &grid.scale, grid.seed);
+            row.push(format!("{:+.1}%", (r.ipc / base.ipc - 1.0) * 100.0));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Fig. 5: IPC improvement over baseline",
+            &["Workload", "Base IPC", "L4 Cache 1GB", "On-Chip Mem 1GB", "All On-Chip"],
+            &rows
+        )
+    );
+}
+
+fn fig10() {
+    let rows: Vec<Vec<String>> = [4u64 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20]
+        .iter()
+        .map(|&p| {
+            let o = hardware_bits(1 << 30, p, (4u64 << 10).min(p));
+            cells([
+                human_bytes(p),
+                o.translation_table.to_string(),
+                o.fill_bitmap.to_string(),
+                o.lru_bitmap.to_string(),
+                o.multi_queue.to_string(),
+                o.total().to_string(),
+            ])
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 10: hardware overhead (bits) to manage 1GB on-package memory",
+            &["Page", "Table", "Fill bitmap", "LRU bitmap", "Multi-queue", "Total"],
+            &rows
+        )
+    );
+    println!("(paper: 9,228 bits at 4MB granularity)");
+}
+
+fn fig11(grid: &GridConfig, interval: u64) {
+    let shifts: &[u32] = if grid.scale.divisor > 16 { &[14, 16, 18] } else { &PAGE_SHIFTS };
+    let rows_data = fig11_grid(
+        grid,
+        interval,
+        &WorkloadId::trace_study(),
+        shifts,
+        &[MigrationDesign::N, MigrationDesign::NMinusOne, MigrationDesign::LiveMigration],
+    );
+    emit_json("fig11", &rows_data);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            cells([
+                r.workload.clone(),
+                human_bytes(r.page_bytes),
+                r.design.clone(),
+                f1(r.mean_latency),
+                f2(r.on_fraction),
+            ])
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!("Fig. 11: average memory latency (swap interval = {interval} accesses)"),
+            &["Workload", "Page", "Design", "Avg latency (cyc)", "On-pkg frac"],
+            &rows
+        )
+    );
+}
+
+fn fig12_14(grid: &GridConfig, interval: u64, fig: u32) {
+    let shifts: &[u32] = if grid.scale.divisor > 16 { &[14, 16, 18] } else { &PAGE_SHIFTS };
+    let rows_data = fig11_grid(
+        grid,
+        interval,
+        &WorkloadId::trace_study(),
+        shifts,
+        &[MigrationDesign::LiveMigration],
+    );
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            cells([
+                r.workload.clone(),
+                human_bytes(r.page_bytes),
+                f1(r.mean_latency),
+                f2(r.on_fraction),
+            ])
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Fig. {fig}: live-migration average memory latency (interval = {interval})"
+            ),
+            &["Workload", "Page", "Avg latency (cyc)", "On-pkg frac"],
+            &rows
+        )
+    );
+}
+
+fn fig15(grid: &GridConfig) {
+    let rows_data = fig15_capacity(
+        grid,
+        &WorkloadId::trace_study(),
+        &[128 << 20, 256 << 20, 512 << 20],
+        16,
+        1_000,
+    );
+    emit_json("fig15", &rows_data);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            cells([
+                r.workload.clone(),
+                human_bytes(r.on_package_bytes),
+                f1(r.dram_core),
+                f1(r.with_migration),
+                f1(r.without_migration),
+            ])
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 15: sensitivity to on-package capacity",
+            &["Workload", "On-pkg", "DRAM core", "With migration", "Without migration"],
+            &rows
+        )
+    );
+}
+
+fn fig16(grid: &GridConfig) {
+    let rows_data = fig16_power(
+        grid,
+        &WorkloadId::trace_study(),
+        &[12, 14, 16],
+        &INTERVALS,
+    );
+    emit_json("fig16", &rows_data);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            cells([
+                r.workload.clone(),
+                human_bytes(r.page_bytes),
+                r.interval.to_string(),
+                f2(r.normalized_power),
+            ])
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig. 16: memory power relative to off-package-DRAM-only",
+            &["Workload", "Page", "Interval", "Normalized power"],
+            &rows
+        )
+    );
+}
+
+/// Extension demo: the adaptive-granularity controller vs. fixed
+/// granularities (not a paper figure; see DESIGN.md section 6b).
+fn adaptive_demo(grid: &GridConfig) {
+    use hmm_core::{AdaptiveConfig, AdaptiveController, ControllerConfig};
+    use hmm_sim_base::addr::PhysAddr;
+    use hmm_sim_base::config::MachineConfig;
+    use hmm_simulator::driver::RunConfig;
+    use hmm_simulator::experiments::run_cell;
+    use hmm_workloads::workload;
+
+    let mut rows = Vec::new();
+    for w in [WorkloadId::Pgbench, WorkloadId::SpecJbb, WorkloadId::Mg] {
+        // Fixed granularities via the normal driver.
+        let mut fixed = Vec::new();
+        for shift in [14u32, 16, 18] {
+            let r = run_cell(
+                grid,
+                w,
+                hmm_core::Mode::Dynamic(MigrationDesign::LiveMigration),
+                shift,
+                1_000,
+            );
+            fixed.push((shift, r.mean_latency()));
+        }
+        // The adaptive controller over the same stream.
+        let rc = RunConfig {
+            scale: grid.scale,
+            page_shift: 16,
+            ..RunConfig::paper(w, hmm_core::Mode::Dynamic(MigrationDesign::LiveMigration))
+        };
+        let base = ControllerConfig {
+            machine: MachineConfig { geometry: rc.geometry(), ..Default::default() },
+            swap_interval: 1_000,
+            os_assisted: Some(false),
+            ..ControllerConfig::paper_default(rc.mode)
+        };
+        let mut ctrl = AdaptiveController::new(
+            AdaptiveConfig {
+                candidate_shifts: vec![14, 16, 18],
+                trial_accesses: grid.accesses / 8,
+                reexplore_after: None,
+            },
+            base,
+        );
+        let wl = workload(w, &grid.scale);
+        let mut total = 0u128;
+        let mut n = 0u64;
+        for rec in wl.iter(grid.seed).take(grid.accesses as usize) {
+            ctrl.access(rec.tick, PhysAddr(rec.addr.0), rec.is_write);
+            ctrl.advance(rec.tick);
+            for c in ctrl.drain() {
+                total += c.breakdown.total() as u128;
+                n += 1;
+            }
+        }
+        ctrl.flush();
+        for c in ctrl.drain() {
+            total += c.breakdown.total() as u128;
+            n += 1;
+        }
+        let adaptive_mean = total as f64 / n.max(1) as f64;
+        let committed = ctrl
+            .committed_shift()
+            .map(|s| human_bytes(1 << s))
+            .unwrap_or_else(|| "exploring".into());
+        let mut row = vec![wl.name.clone()];
+        row.extend(fixed.iter().map(|(_, l)| f1(*l)));
+        row.push(f1(adaptive_mean));
+        row.push(committed);
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Extension: adaptive granularity vs. fixed (live migration, interval 1K)",
+            &["Workload", "16KB fixed", "64KB fixed", "256KB fixed", "Adaptive", "Committed"],
+            &rows
+        )
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let size = args
+        .iter()
+        .find(|a| matches!(a.as_str(), "--quick" | "--bench" | "--full"))
+        .map(String::as_str)
+        .unwrap_or("--quick");
+    let grid = grid_for(size);
+    eprintln!(
+        "[figures] {what} at scale 1/{} ({} accesses per run)",
+        grid.scale.divisor, grid.accesses
+    );
+
+    match what {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "table4" => table4(&grid),
+        "fig4" => fig4(&grid),
+        "fig5" => fig5(&grid),
+        "fig10" => fig10(),
+        "fig11" => {
+            for iv in INTERVALS {
+                fig11(&grid, iv);
+            }
+        }
+        "fig12" => fig12_14(&grid, 1_000, 12),
+        "fig13" => fig12_14(&grid, 10_000, 13),
+        "fig14" => fig12_14(&grid, 100_000, 14),
+        "fig15" => fig15(&grid),
+        "fig16" => fig16(&grid),
+        "adaptive" => adaptive_demo(&grid),
+        "all" => {
+            table1();
+            table2();
+            table3();
+            fig10();
+            fig4(&grid);
+            fig5(&grid);
+            fig11(&grid, 1_000);
+            fig12_14(&grid, 1_000, 12);
+            fig12_14(&grid, 10_000, 13);
+            fig12_14(&grid, 100_000, 14);
+            fig15(&grid);
+            fig16(&grid);
+            table4(&grid);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "experiments: table1 table2 table3 table4 fig4 fig5 fig10 fig11 \
+                 fig12 fig13 fig14 fig15 fig16 adaptive all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

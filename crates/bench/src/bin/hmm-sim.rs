@@ -1,0 +1,161 @@
+//! Command-line driver for one-off simulations.
+//!
+//! ```text
+//! hmm-sim --workload pgbench --mode live --page 64K --interval 1000 \
+//!         --accesses 400000 --scale 8 [--seed 42] [--on-package 512M]
+//!
+//! modes: off | on | static | n | n-1 | live | adaptive
+//! workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb
+//! ```
+//!
+//! Prints a latency/traffic report for the run; exit code 2 on bad usage.
+
+use hmm_bench::{f1, f2, human_bytes};
+use hmm_core::{MigrationDesign, Mode};
+use hmm_dram::SchedPolicy;
+use hmm_power::{normalized_power, EnergyParams};
+use hmm_sim_base::config::SimScale;
+use hmm_simulator::driver::{run, RunConfig};
+use hmm_workloads::WorkloadId;
+
+fn parse_workload(s: &str) -> Option<WorkloadId> {
+    use WorkloadId::*;
+    Some(match s.to_ascii_lowercase().as_str() {
+        "bt" | "bt.c" => Bt,
+        "cg" | "cg.c" => Cg,
+        "dc" | "dc.b" => Dc,
+        "ep" | "ep.c" => Ep,
+        "ft" | "ft.c" => Ft,
+        "is" | "is.c" => Is,
+        "lu" | "lu.c" => Lu,
+        "mg" | "mg.c" => Mg,
+        "sp" | "sp.c" => Sp,
+        "ua" | "ua.c" => Ua,
+        "spec2006" | "spec" => Spec2006Mix,
+        "pgbench" => Pgbench,
+        "indexer" => Indexer,
+        "specjbb" | "jbb" => SpecJbb,
+        _ => return None,
+    })
+}
+
+fn parse_mode(s: &str) -> Option<Mode> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "off" | "baseline" => Mode::AllOffPackage,
+        "on" | "ideal" => Mode::AllOnPackage,
+        "static" => Mode::Static,
+        "n" => Mode::Dynamic(MigrationDesign::N),
+        "n-1" | "n1" => Mode::Dynamic(MigrationDesign::NMinusOne),
+        "live" => Mode::Dynamic(MigrationDesign::LiveMigration),
+        _ => return None,
+    })
+}
+
+/// Parse sizes like `64K`, `4M`, `1G`, `512M`, plain bytes.
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|v| v * mult)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmm-sim --workload <name> --mode <mode> [--page <size>] \
+         [--interval <accesses>] [--accesses <n>] [--warmup <n>] \
+         [--scale <divisor>] [--seed <n>] [--on-package <size>] [--fcfs]\n\
+         modes: off on static n n-1 live\n\
+         workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = None;
+    let mut mode = None;
+    let mut page = 64u64 << 10;
+    let mut interval = 1_000u64;
+    let mut accesses = 400_000u64;
+    let mut warmup = None;
+    let mut scale = 8u64;
+    let mut seed = 42u64;
+    let mut on_package = 512u64 << 20;
+    let mut policy = SchedPolicy::FrFcfs;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--workload" | "-w" => workload = parse_workload(&val()),
+            "--mode" | "-m" => mode = parse_mode(&val()),
+            "--page" | "-p" => page = parse_size(&val()).unwrap_or_else(|| usage()),
+            "--interval" | "-i" => interval = val().parse().unwrap_or_else(|_| usage()),
+            "--accesses" | "-n" => accesses = val().parse().unwrap_or_else(|_| usage()),
+            "--warmup" => warmup = val().parse().ok(),
+            "--scale" | "-s" => scale = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--on-package" => on_package = parse_size(&val()).unwrap_or_else(|| usage()),
+            "--fcfs" => policy = SchedPolicy::Fcfs,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    let (Some(workload), Some(mode)) = (workload, mode) else { usage() };
+    if !page.is_power_of_two() {
+        eprintln!("--page must be a power of two");
+        usage()
+    }
+
+    let cfg = RunConfig {
+        workload,
+        mode,
+        page_shift: page.trailing_zeros(),
+        swap_interval: interval,
+        on_package_bytes: on_package,
+        scale: SimScale { divisor: scale.max(1) },
+        accesses,
+        warmup: warmup.unwrap_or(accesses / 5),
+        seed,
+        policy,
+        ..RunConfig::paper(workload, mode)
+    };
+
+    let r = run(&cfg);
+    println!("workload          : {}", r.workload);
+    println!("mode              : {mode:?}");
+    println!(
+        "geometry          : {} total, {} on-package, {} pages, {} sub-blocks",
+        human_bytes(r.geometry.total_bytes),
+        human_bytes(r.geometry.on_package_bytes),
+        human_bytes(r.geometry.page_bytes()),
+        human_bytes(r.geometry.sub_block_bytes()),
+    );
+    println!("accesses measured : {}", r.access.accesses());
+    println!("mean latency      : {} cycles", f1(r.mean_latency()));
+    println!(
+        "  breakdown       : core {} + queue {} + ctrl {} + wires {}",
+        f1(r.access.dram_core.mean()),
+        f1(r.access.queuing.mean()),
+        f1(r.access.controller.mean()),
+        f1(r.access.interconnect.mean()),
+    );
+    println!("p99 latency       : {} cycles", r.access.histogram.quantile(0.99));
+    println!("on-package share  : {}", f2(r.on_fraction()));
+    if let Some(s) = r.swaps {
+        println!(
+            "migration         : {} swaps ({} sub-blocks copied; cases a/b/c/d = {:?})",
+            s.completed, s.sub_blocks_copied, s.case_counts
+        );
+        if let Some(p) = normalized_power(&EnergyParams::default(), &r.traffic()) {
+            println!("normalized power  : {}x of off-package-only", f2(p));
+        }
+    }
+}

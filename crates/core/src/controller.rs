@@ -1,0 +1,850 @@
+//! The heterogeneity-aware on-chip memory controller (Fig. 3).
+//!
+//! Compared to a conventional controller (Fig. 2), the Address Translation
+//! stage moves *ahead* of transaction scheduling: every access is first
+//! routed to the on-package or off-package region through the translation
+//! table, then each region schedules its own transactions independently.
+//! The migration controller monitors recent behaviour, reconfigures the
+//! routing and emits background copy traffic.
+//!
+//! The controller also supports three comparison modes used by Section II:
+//! static mapping (the lowest addresses live on-package, no migration), an
+//! all-on-package ideal, and an all-off-package baseline.
+
+use crate::migrate::{MigrationDesign, MigrationEngine, SwapStats, Transfer};
+use crate::monitor::{MultiQueueMru, SlotClock};
+use crate::table::{RowState, TranslationTable};
+use hmm_dram::{DeviceProfile, DramRegion, RegionStats, SchedPolicy, Transaction};
+use hmm_sim_base::addr::{PhysAddr, LINE_BYTES};
+use hmm_sim_base::config::MachineConfig;
+use hmm_sim_base::cycles::Cycle;
+use hmm_sim_base::stats::LatencyBreakdown;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the controller manages the heterogeneous space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Dynamic migration with the given design (Section III).
+    Dynamic(MigrationDesign),
+    /// Static mapping: "always keeps the lowest memory address space
+    /// on-chip" (Section II / Fig. 5 option c).
+    Static,
+    /// The ideal: all DRAM resources on-package (Fig. 5 option d).
+    AllOnPackage,
+    /// The baseline: off-package DIMMs only (Fig. 5 option a).
+    AllOffPackage,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Clock, fixed latencies and memory geometry.
+    pub machine: MachineConfig,
+    /// Management mode.
+    pub mode: Mode,
+    /// Demand accesses per monitoring epoch (the paper sweeps 1K / 10K /
+    /// 100K).
+    pub swap_interval: u64,
+    /// Force OS-assisted (`Some(true)`) or pure-hardware (`Some(false)`)
+    /// table management; `None` picks by the paper's 1 MB threshold.
+    pub os_assisted: Option<bool>,
+    /// Maximum outstanding migration sub-block copies (copy-engine flow
+    /// control).
+    pub max_outstanding_copies: u32,
+    /// Copy-engine pacing: cycles between successive copied lines
+    /// (0 = unpaced). The default — the off-package burst time — devotes
+    /// at most one channel's worth (1/4) of off-package bandwidth to
+    /// migration, so demand keeps the lion's share even mid-swap.
+    pub copy_pace_cycles_per_line: u64,
+    /// DRAM scheduling policy for both regions.
+    pub policy: SchedPolicy,
+    /// Device profile for the on-package region.
+    pub on_profile: DeviceProfile,
+    /// Device profile for the off-package region.
+    pub off_profile: DeviceProfile,
+}
+
+impl ControllerConfig {
+    /// Paper defaults for a given mode.
+    pub fn paper_default(mode: Mode) -> Self {
+        Self {
+            machine: MachineConfig::default(),
+            mode,
+            swap_interval: 10_000,
+            os_assisted: None,
+            max_outstanding_copies: 16,
+            copy_pace_cycles_per_line: 20,
+            policy: SchedPolicy::FrFcfs,
+            on_profile: DeviceProfile::on_package(),
+            off_profile: DeviceProfile::off_package_ddr3(),
+        }
+    }
+
+    /// Is the table managed by the OS for this page size? ("OS-assisted
+    /// scheme is used for macro pages smaller than 1 MB".)
+    pub fn is_os_assisted(&self) -> bool {
+        self.os_assisted.unwrap_or(
+            self.machine.geometry.page_bytes() < crate::overhead::OS_ASSIST_THRESHOLD_BYTES,
+        )
+    }
+}
+
+/// A completed demand access returned by [`HeteroController::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandCompletion {
+    /// The token returned by [`HeteroController::access`].
+    pub id: u64,
+    /// Completion time.
+    pub finish: Cycle,
+    /// Full latency breakdown (DRAM + queuing + controller + interconnect).
+    pub breakdown: LatencyBreakdown,
+    /// Served by the on-package region?
+    pub on_package: bool,
+    /// Store (true) or load.
+    pub is_write: bool,
+}
+
+/// Aggregate controller counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Demand lines served on-package.
+    pub demand_on_lines: u64,
+    /// Demand lines served off-package.
+    pub demand_off_lines: u64,
+    /// Migration lines moved through the on-package region (reads+writes).
+    pub migration_on_lines: u64,
+    /// Migration lines moved through the off-package region.
+    pub migration_off_lines: u64,
+    /// Cycles demand accesses spent stalled behind N-design halts or
+    /// OS-assisted table updates.
+    pub stall_cycles: u64,
+    /// Monitoring epochs that considered (and possibly rejected) a swap.
+    pub epochs: u64,
+    /// Epochs where the trigger comparison rejected the swap (MRU not
+    /// hotter than LRU).
+    pub rejected_triggers: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DemandMeta {
+    issued_at: Cycle,
+    stall: Cycle,
+    controller: Cycle,
+    interconnect: Cycle,
+    on_package: bool,
+    is_write: bool,
+}
+
+
+
+/// The heterogeneity-aware memory controller.
+#[derive(Debug)]
+pub struct HeteroController {
+    cfg: ControllerConfig,
+    table: TranslationTable,
+    engine: Option<MigrationEngine>,
+    lru: SlotClock,
+    mru: MultiQueueMru,
+    on_region: DramRegion,
+    off_region: DramRegion,
+    next_id: u64,
+    demand_meta: HashMap<u64, DemandMeta>,
+    /// Copy-leg id -> engine token.
+    copy_meta: HashMap<u64, u64>,
+    /// Engine token -> outstanding leg count.
+    copy_legs: HashMap<u64, u32>,
+    completed: Vec<DemandCompletion>,
+    accesses_in_epoch: u64,
+    /// Demand traffic stalls until this cycle (N-design halts, OS updates).
+    stall_until: Cycle,
+    outstanding_copies: u32,
+    /// Earliest cycle the paced copy engine may inject its next sub-block.
+    copy_release: Cycle,
+    now: Cycle,
+    stats: ControllerStats,
+}
+
+impl HeteroController {
+    /// Build a controller. Panics on invalid configuration.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        cfg.machine.geometry.validate().expect("invalid geometry");
+        let g = &cfg.machine.geometry;
+        let slots = g.on_package_slots();
+        let sacrifice = match cfg.mode {
+            Mode::Dynamic(d) => d.sacrifices_slot(),
+            _ => false,
+        };
+        let engine = match cfg.mode {
+            Mode::Dynamic(d) => Some(MigrationEngine::new(d, g.sub_blocks_per_page())),
+            _ => None,
+        };
+        Self {
+            table: TranslationTable::new(slots, g.total_pages(), sacrifice),
+            engine,
+            lru: SlotClock::new(slots as usize),
+            mru: MultiQueueMru::paper_default(),
+            on_region: DramRegion::new(cfg.on_profile, &cfg.machine.clock, cfg.policy),
+            off_region: DramRegion::new(cfg.off_profile, &cfg.machine.clock, cfg.policy),
+            next_id: 0,
+            demand_meta: HashMap::new(),
+            copy_meta: HashMap::new(),
+            copy_legs: HashMap::new(),
+            completed: Vec::new(),
+            accesses_in_epoch: 0,
+            stall_until: 0,
+            outstanding_copies: 0,
+            copy_release: 0,
+            now: 0,
+            cfg,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The translation table (read-only, for inspection and tests).
+    pub fn table(&self) -> &TranslationTable {
+        &self.table
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Stall demand traffic for `cycles` from the current time (used by
+    /// the adaptive-granularity wrapper to charge reconfiguration costs,
+    /// and available for modelling other OS-level events).
+    pub fn inject_stall(&mut self, cycles: Cycle) {
+        self.stall_until = self.stall_until.max(self.now + cycles);
+        self.stats.stall_cycles += 0; // accounted per-access as usual
+    }
+
+    /// Swap statistics, if migration is enabled.
+    pub fn swap_stats(&self) -> Option<SwapStats> {
+        self.engine.as_ref().map(|e| e.stats())
+    }
+
+    /// Controller counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// DRAM region statistics: `(on_package, off_package)`.
+    pub fn region_stats(&self) -> (RegionStats, RegionStats) {
+        (self.on_region.stats(), self.off_region.stats())
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Submit one demand access. Returns a token matched by the
+    /// corresponding [`DemandCompletion`]. `now` must be non-decreasing.
+    pub fn access(&mut self, now: Cycle, addr: PhysAddr, is_write: bool) -> u64 {
+        debug_assert!(now >= self.now, "time went backwards");
+        self.now = now;
+        let g = self.cfg.machine.geometry;
+        let lat = self.cfg.machine.latency;
+        let page = addr.macro_page(g.page_shift);
+        let sub = addr.sub_block(g.page_shift, g.sub_block_shift);
+
+        // N-design halting / OS table-update stall.
+        let halted = self.engine.as_ref().is_some_and(|e| e.halting());
+        let stall_gate = if halted { Cycle::MAX } else { self.stall_until };
+        let (effective, stall) = if stall_gate > now && stall_gate != Cycle::MAX {
+            (stall_gate, stall_gate - now)
+        } else if halted {
+            // Halted with unknown completion time: accesses pile up behind
+            // the current stall_until estimate (set when the swap started).
+            let t = self.stall_until.max(now);
+            (t, t - now)
+        } else {
+            (now, 0)
+        };
+        self.stats.stall_cycles += stall;
+
+        // Translate (Fig. 3: translation ahead of scheduling).
+        let (machine_byte, on_pkg, translated) = match self.cfg.mode {
+            Mode::AllOnPackage => (addr.0, true, false),
+            Mode::AllOffPackage => (addr.0, false, false),
+            Mode::Static => {
+                let mp = page.0; // identity mapping
+                let on = mp < g.on_package_slots();
+                (addr.0, on, false)
+            }
+            Mode::Dynamic(_) => {
+                let mp = self.table.translate(page, sub);
+                let on = self.table.is_on_package(mp);
+                let byte = mp.0 * g.page_bytes() + addr.page_offset(g.page_shift);
+                (byte, on, true)
+            }
+        };
+
+        // Monitor touches and epoch bookkeeping (dynamic modes only).
+        if let Mode::Dynamic(_) = self.cfg.mode {
+            if on_pkg {
+                let slot = (machine_byte / g.page_bytes()) as u32;
+                self.lru.touch(slot);
+            } else {
+                self.mru.touch(page.0, sub.0);
+            }
+            self.accesses_in_epoch += 1;
+            if self.accesses_in_epoch >= self.cfg.swap_interval {
+                self.accesses_in_epoch = 0;
+                self.consider_swap(effective);
+            }
+        }
+
+        // Fixed-path components.
+        let controller = lat.mc_processing
+            + 2 * lat.ctl_to_core_each_way
+            + if translated { lat.translation_table } else { 0 };
+        let interconnect = if on_pkg {
+            2 * lat.interposer_pin_each_way + lat.intra_package_round_trip
+        } else {
+            2 * lat.package_pin_each_way + lat.pcb_wire_round_trip
+        };
+        // The request-side share of the fixed path leads the DRAM arrival.
+        let lead = lat.mc_processing
+            + lat.ctl_to_core_each_way
+            + if translated { lat.translation_table } else { 0 }
+            + if on_pkg { lat.interposer_pin_each_way } else { lat.package_pin_each_way };
+
+        let id = self.fresh_id();
+        self.demand_meta.insert(
+            id,
+            DemandMeta {
+                issued_at: now,
+                stall,
+                controller,
+                interconnect,
+                on_package: on_pkg,
+                is_write,
+            },
+        );
+        let local = self.region_local(machine_byte, on_pkg);
+        let txn = Transaction::demand(id, effective + lead, local, is_write);
+        if on_pkg {
+            self.stats.demand_on_lines += 1;
+            self.on_region.enqueue(txn);
+        } else {
+            self.stats.demand_off_lines += 1;
+            self.off_region.enqueue(txn);
+        }
+        id
+    }
+
+    /// Byte address local to the chosen region.
+    fn region_local(&self, machine_byte: u64, on_pkg: bool) -> u64 {
+        match self.cfg.mode {
+            // Comparison modes address one region with the whole space.
+            Mode::AllOnPackage | Mode::AllOffPackage => machine_byte,
+            _ => {
+                if on_pkg {
+                    machine_byte
+                } else {
+                    machine_byte - self.cfg.machine.geometry.on_package_bytes
+                }
+            }
+        }
+    }
+
+    /// Epoch-boundary trigger: compare the off-package MRU candidate with
+    /// the on-package LRU slot and start a swap if strictly hotter.
+    fn consider_swap(&mut self, now: Cycle) {
+        self.stats.epochs += 1;
+        let Some(engine) = &mut self.engine else { return };
+        if engine.busy() {
+            // "The existence of P bit and F bit prevents triggering
+            // another swap if the previous swap is not complete yet."
+            self.lru.new_epoch();
+            self.mru.new_epoch();
+            return;
+        }
+        let table = &self.table;
+        let n = table.slots();
+        // Skip pages that are already fast or not migratable.
+        let hot_candidate = self.mru.hottest(|p| {
+            if p >= n {
+                table.cam_lookup(p).is_some() || p == table.ghost().0
+            } else {
+                !matches!(table.row_state(p as u32), RowState::Swapped(_))
+            }
+        });
+        if let Some((hot, hot_count, hot_sub)) = hot_candidate {
+            let empty = table.empty_slot();
+            let cold = self.lru.coldest(|s| {
+                Some(s) == empty || (hot < n && s as u64 == hot)
+            });
+            if let Some(cold_slot) = cold {
+                let cold_count = self.lru.epoch_count(cold_slot);
+                if hot_count > cold_count {
+                    if engine.start_swap(&mut self.table, hot, cold_slot, hot_sub) {
+                        self.mru.remove(hot);
+                        if engine.halting() {
+                            // Halt window estimate: ~3 page moves (the
+                            // case-average) at the full off-package
+                            // bandwidth — while execution is halted, the
+                            // copy engine owns every channel. At 4 KB
+                            // pages this is under a thousand cycles
+                            // (matching the paper's observation that N and
+                            // N-1 converge at fine granularity); at 4 MB
+                            // it is ~1M cycles, the paper's 374 us.
+                            let g = self.cfg.machine.geometry;
+                            let est = g.lines_per_page()
+                                * self.cfg.machine.clock.dram_to_cpu(
+                                    self.cfg.off_profile.timing.t_burst,
+                                )
+                                * 3
+                                / self.cfg.off_profile.channels as u64;
+                            self.stall_until = self.stall_until.max(now + est);
+                        }
+                        if self.cfg.is_os_assisted() {
+                            // Kernel entry/exit for the table update.
+                            self.stall_until = self
+                                .stall_until
+                                .max(now + self.cfg.machine.latency.os_update);
+                        }
+                        self.pump_copies(now);
+                    }
+                } else {
+                    self.stats.rejected_triggers += 1;
+                }
+            }
+        }
+        self.lru.new_epoch();
+        self.mru.new_epoch();
+    }
+
+    /// Issue migration transfers up to the outstanding limit.
+    ///
+    /// Each sub-block copy is issued as per-line read and write legs: the
+    /// sub-block (4 KB) is the *bookkeeping* granularity of the fill
+    /// bitmap, but on the buses the lines stripe across channels exactly
+    /// like demand traffic, so a copy soaks up whatever per-channel idle
+    /// capacity exists without monopolising any one bus.
+    fn pump_copies(&mut self, now: Cycle) {
+        let Some(engine) = &mut self.engine else { return };
+        let g = self.cfg.machine.geometry;
+        let sub_lines = (g.sub_block_bytes() / LINE_BYTES).max(1) as u32;
+        let mut allowance = self
+            .cfg
+            .max_outstanding_copies
+            .saturating_sub(self.outstanding_copies);
+        // Pacing: one sub-block may be injected per
+        // `sub_lines x pace` cycles.
+        // While the halting N design stalls execution, the copy engine
+        // owns the buses: no pacing.
+        let pace = if engine.halting() {
+            0
+        } else {
+            self.cfg.copy_pace_cycles_per_line * sub_lines as u64
+        };
+        if pace > 0 {
+            // Idle time does not bank copy credit: at most one pace
+            // quantum may have accumulated, so a newly triggered swap
+            // starts as a trickle, not a burst.
+            self.copy_release = self.copy_release.max(now.saturating_sub(pace));
+            match now.checked_sub(self.copy_release) {
+                None => allowance = 0,
+                Some(elapsed) => {
+                    let window = 1 + elapsed / pace;
+                    allowance = allowance.min(window.min(u32::MAX as u64) as u32);
+                }
+            }
+        }
+        if allowance == 0 {
+            return;
+        }
+        let mut transfers: Vec<Transfer> = Vec::new();
+        engine.take_transfers(allowance, &mut transfers);
+        if pace > 0 && !transfers.is_empty() {
+            self.copy_release = self.copy_release.max(now) + pace * transfers.len() as u64;
+        }
+        for t in transfers {
+            let src_on = self.table.is_on_package(t.src);
+            let dst_on = self.table.is_on_package(t.dst);
+            let sub_off = t.sub as u64 * g.sub_block_bytes();
+            let src_base = self.region_local(t.src.0 * g.page_bytes() + sub_off, src_on);
+            let dst_base = self.region_local(t.dst.0 * g.page_bytes() + sub_off, dst_on);
+            // All legs of a sub-block share the engine token; the last leg
+            // to complete reports to the engine.
+            self.copy_legs.insert(t.token, 2 * sub_lines);
+            for k in 0..sub_lines as u64 {
+                let off = k * LINE_BYTES;
+                let read_id = self.fresh_id();
+                let write_id = self.fresh_id();
+                self.copy_meta.insert(read_id, t.token);
+                self.copy_meta.insert(write_id, t.token);
+                let read = Transaction::migration(read_id, now, src_base + off, false, 1);
+                let write = Transaction::migration(write_id, now, dst_base + off, true, 1);
+                if src_on {
+                    self.stats.migration_on_lines += 1;
+                    self.on_region.enqueue(read);
+                } else {
+                    self.stats.migration_off_lines += 1;
+                    self.off_region.enqueue(read);
+                }
+                if dst_on {
+                    self.stats.migration_on_lines += 1;
+                    self.on_region.enqueue(write);
+                } else {
+                    self.stats.migration_off_lines += 1;
+                    self.off_region.enqueue(write);
+                }
+            }
+            self.outstanding_copies += 1;
+        }
+    }
+
+    /// Advance simulated time; service queues and process completions.
+    pub fn advance(&mut self, now: Cycle) {
+        self.now = self.now.max(now);
+        // The paced copy engine releases work as time passes, not only on
+        // completions.
+        if self.engine.as_ref().is_some_and(|e| e.busy()) {
+            self.pump_copies(now);
+        }
+        self.on_region.advance(now);
+        self.off_region.advance(now);
+        self.process_completions(now);
+    }
+
+    /// Drain all queues at end of trace; completes in-flight migration.
+    pub fn flush(&mut self) {
+        let mut guard = 0;
+        loop {
+            self.on_region.flush();
+            self.off_region.flush();
+            let had = self.process_completions(self.now);
+            let busy = self.engine.as_ref().is_some_and(|e| e.busy());
+            if !had && !busy && self.copy_meta.is_empty() {
+                break;
+            }
+            if !had && busy {
+                // The engine wants to issue more transfers; pacing no
+                // longer applies once the trace has ended.
+                self.copy_release = 0;
+                let saved = self.cfg.copy_pace_cycles_per_line;
+                self.cfg.copy_pace_cycles_per_line = 0;
+                self.pump_copies(self.now);
+                self.cfg.copy_pace_cycles_per_line = saved;
+                if self.copy_meta.is_empty() {
+                    // Nothing issuable: abandon (trace ended mid-swap).
+                    break;
+                }
+            }
+            guard += 1;
+            assert!(guard < 1_000_000, "flush did not converge");
+        }
+    }
+
+    fn process_completions(&mut self, now: Cycle) -> bool {
+        let lat = self.cfg.machine.latency;
+        let mut any = false;
+        let completions: Vec<_> = self
+            .on_region
+            .drain_completions()
+            .into_iter()
+            .chain(self.off_region.drain_completions())
+            .collect();
+        for c in completions {
+            any = true;
+            if let Some(meta) = self.demand_meta.remove(&c.id) {
+                // Response-side share of the fixed path.
+                let tail = lat.ctl_to_core_each_way
+                    + if meta.on_package {
+                        lat.interposer_pin_each_way + lat.intra_package_round_trip
+                    } else {
+                        lat.package_pin_each_way + lat.pcb_wire_round_trip
+                    };
+                let finish = c.finish + tail;
+                let breakdown = LatencyBreakdown {
+                    dram_core: c.breakdown.dram_core,
+                    queuing: c.breakdown.queuing + meta.stall,
+                    controller: meta.controller,
+                    interconnect: meta.interconnect,
+                };
+                debug_assert_eq!(
+                    breakdown.total(),
+                    finish - meta.issued_at,
+                    "latency components must sum to end-to-end latency"
+                );
+                self.completed.push(DemandCompletion {
+                    id: c.id,
+                    finish,
+                    breakdown,
+                    on_package: meta.on_package,
+                    is_write: meta.is_write,
+                });
+            } else if let Some(token) = self.copy_meta.remove(&c.id) {
+                self.handle_copy_leg(token, now.max(c.finish));
+            }
+        }
+        any
+    }
+
+    fn handle_copy_leg(&mut self, token: u64, now: Cycle) {
+        // All line read/write legs of a sub-block share the engine token;
+        // the last one to complete reports to the engine.
+        let legs = self.copy_legs.get_mut(&token).expect("legs tracked per token");
+        *legs -= 1;
+        if *legs > 0 {
+            return;
+        }
+        self.copy_legs.remove(&token);
+        let Some(engine) = &mut self.engine else { return };
+        let progress = engine.transfer_done(token, &mut self.table);
+        self.outstanding_copies = self.outstanding_copies.saturating_sub(1);
+        use crate::migrate::SwapProgress;
+        match progress {
+            SwapProgress::SwapDone => {
+                // The halting N design's stall window is the estimate set
+                // at trigger time; it is deliberately not shortened here —
+                // the controller's effective clock must stay monotone so
+                // per-channel arrival order is preserved.
+                if self.cfg.is_os_assisted() {
+                    self.stall_until = self.stall_until.max(now + self.cfg.machine.latency.os_update);
+                }
+            }
+            SwapProgress::StepDone => {
+                if self.cfg.is_os_assisted() {
+                    self.stall_until = self.stall_until.max(now + self.cfg.machine.latency.os_update);
+                }
+            }
+            SwapProgress::InFlight => {}
+        }
+        self.pump_copies(now);
+    }
+
+    /// Take all demand completions accumulated so far.
+    pub fn drain(&mut self) -> Vec<DemandCompletion> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_sim_base::config::{LatencyConfig, MemoryGeometry};
+    use hmm_sim_base::cycles::CpuClock;
+    use hmm_sim_base::rng::SimRng;
+
+    /// Tiny geometry: 1 MB total, 128 KB on-package, 16 KB pages -> 8
+    /// slots, 64 pages, 4 KB sub-blocks.
+    fn tiny_geometry() -> MemoryGeometry {
+        MemoryGeometry {
+            total_bytes: 1 << 20,
+            on_package_bytes: 128 << 10,
+            page_shift: 14,
+            sub_block_shift: 12,
+        }
+    }
+
+    fn cfg(mode: Mode) -> ControllerConfig {
+        ControllerConfig {
+            machine: MachineConfig {
+                clock: CpuClock::default(),
+                latency: LatencyConfig::default(),
+                geometry: tiny_geometry(),
+            },
+            mode,
+            swap_interval: 200,
+            os_assisted: Some(false),
+            max_outstanding_copies: 8,
+            copy_pace_cycles_per_line: 20,
+            policy: SchedPolicy::FrFcfs,
+            on_profile: DeviceProfile::on_package(),
+            off_profile: DeviceProfile::off_package_ddr3(),
+        }
+    }
+
+    fn run(
+        mode: Mode,
+        accesses: usize,
+        hot_page: u64,
+    ) -> (HeteroController, Vec<DemandCompletion>) {
+        let mut c = HeteroController::new(cfg(mode));
+        let mut rng = SimRng::new(5);
+        let g = tiny_geometry();
+        let mut now = 0;
+        for _ in 0..accesses {
+            now += 40;
+            // 80% of accesses to the hot (off-package) page, the rest
+            // uniform.
+            let addr = if rng.chance(0.8) {
+                hot_page * g.page_bytes() + (rng.below(g.page_bytes()) & !63)
+            } else {
+                rng.below(g.total_bytes - g.page_bytes()) & !63
+            };
+            c.access(now, PhysAddr(addr), rng.chance(0.3));
+            c.advance(now);
+        }
+        c.flush();
+        let done = c.drain();
+        (c, done)
+    }
+
+    #[test]
+    fn baseline_modes_route_everything_one_way() {
+        let (c, done) = run(Mode::AllOffPackage, 500, 40);
+        assert_eq!(c.stats().demand_on_lines, 0);
+        assert_eq!(done.len(), 500);
+        assert!(done.iter().all(|d| !d.on_package));
+
+        let (c, done) = run(Mode::AllOnPackage, 500, 40);
+        assert_eq!(c.stats().demand_off_lines, 0);
+        assert!(done.iter().all(|d| d.on_package));
+    }
+
+    #[test]
+    fn static_mapping_splits_by_address() {
+        let (c, done) = run(Mode::Static, 500, 40);
+        assert!(c.stats().demand_on_lines > 0);
+        assert!(c.stats().demand_off_lines > 0);
+        // The hot page (page 40 of 64, beyond the 8 on-package slots) is
+        // off-package under static mapping.
+        let hot_accesses = done.iter().filter(|d| !d.on_package).count();
+        assert!(hot_accesses > done.len() / 2);
+    }
+
+    #[test]
+    fn fixed_path_latencies_match_table2() {
+        // A single idle access in each mode hits the analytic numbers.
+        let lat = LatencyConfig::default();
+        let (_, done) = run(Mode::AllOffPackage, 1, 40);
+        let d = &done[0];
+        assert_eq!(d.breakdown.controller, lat.mc_processing + 2 * lat.ctl_to_core_each_way);
+        assert_eq!(
+            d.breakdown.interconnect,
+            2 * lat.package_pin_each_way + lat.pcb_wire_round_trip
+        );
+        let (_, done) = run(Mode::AllOnPackage, 1, 40);
+        let d = &done[0];
+        assert_eq!(
+            d.breakdown.interconnect,
+            2 * lat.interposer_pin_each_way + lat.intra_package_round_trip
+        );
+    }
+
+    #[test]
+    fn dynamic_migration_moves_the_hot_page_on_package() {
+        let (c, done) = run(Mode::Dynamic(MigrationDesign::LiveMigration), 4_000, 40);
+        let swaps = c.swap_stats().unwrap();
+        assert!(swaps.completed >= 1, "at least one swap should complete");
+        // The hot page must be on-package at the end.
+        assert!(
+            c.table().cam_lookup(40).is_some(),
+            "hot page 40 should be CAM-mapped on-package"
+        );
+        // Late accesses to the hot page are served on-package.
+        let late_hot: Vec<_> = done
+            .iter()
+            .rev()
+            .take(200)
+            .filter(|d| d.on_package)
+            .collect();
+        assert!(!late_hot.is_empty());
+        c.table().check_invariants(true, true).unwrap();
+    }
+
+    #[test]
+    fn migration_reduces_average_latency_vs_static() {
+        let (_, stat) = run(Mode::Static, 6_000, 40);
+        let (_, dynv) = run(Mode::Dynamic(MigrationDesign::LiveMigration), 6_000, 40);
+        let mean = |v: &[DemandCompletion]| {
+            v.iter().map(|d| d.breakdown.total()).sum::<u64>() as f64 / v.len() as f64
+        };
+        let m_static = mean(&stat);
+        let m_dyn = mean(&dynv);
+        assert!(
+            m_dyn < m_static * 0.95,
+            "migration should cut latency: static {m_static:.0} vs dynamic {m_dyn:.0}"
+        );
+    }
+
+    #[test]
+    fn all_three_designs_complete_swaps() {
+        for design in [
+            MigrationDesign::N,
+            MigrationDesign::NMinusOne,
+            MigrationDesign::LiveMigration,
+        ] {
+            let (c, done) = run(Mode::Dynamic(design), 4_000, 40);
+            assert_eq!(done.len(), 4_000, "{design:?} lost completions");
+            let swaps = c.swap_stats().unwrap();
+            assert!(swaps.completed >= 1, "{design:?} completed no swaps");
+            c.table()
+                .check_invariants(true, design.sacrifices_slot())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn n_design_accumulates_stall_cycles() {
+        let (c, _) = run(Mode::Dynamic(MigrationDesign::N), 4_000, 40);
+        assert!(c.stats().stall_cycles > 0, "the halting design must stall demand");
+        let (c2, _) = run(Mode::Dynamic(MigrationDesign::LiveMigration), 4_000, 40);
+        assert!(c2.stats().stall_cycles < c.stats().stall_cycles);
+    }
+
+    #[test]
+    fn os_assisted_adds_update_stalls() {
+        let mut base = cfg(Mode::Dynamic(MigrationDesign::LiveMigration));
+        base.os_assisted = Some(true);
+        let mut hw = cfg(Mode::Dynamic(MigrationDesign::LiveMigration));
+        hw.os_assisted = Some(false);
+        let run_with = |cc: ControllerConfig| {
+            let mut c = HeteroController::new(cc);
+            let mut rng = SimRng::new(5);
+            let g = tiny_geometry();
+            let mut now = 0;
+            for _ in 0..4_000 {
+                now += 40;
+                let addr = if rng.chance(0.8) {
+                    40 * g.page_bytes() + (rng.below(g.page_bytes()) & !63)
+                } else {
+                    rng.below(g.total_bytes - g.page_bytes()) & !63
+                };
+                c.access(now, PhysAddr(addr), false);
+                c.advance(now);
+            }
+            c.flush();
+            c
+        };
+        let c_os = run_with(base);
+        let c_hw = run_with(hw);
+        assert!(
+            c_os.stats().stall_cycles > c_hw.stats().stall_cycles,
+            "OS-assisted updates must add kernel-switch stalls"
+        );
+    }
+
+    #[test]
+    fn completions_match_submissions() {
+        let (c, done) = run(Mode::Dynamic(MigrationDesign::NMinusOne), 2_000, 40);
+        assert_eq!(done.len(), 2_000);
+        let mut ids: Vec<u64> = done.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2_000, "duplicate or missing completions");
+        assert_eq!(c.stats().demand_on_lines + c.stats().demand_off_lines, 2_000);
+    }
+
+    #[test]
+    fn migration_traffic_is_accounted() {
+        let (c, _) = run(Mode::Dynamic(MigrationDesign::LiveMigration), 4_000, 40);
+        let s = c.stats();
+        let swaps = c.swap_stats().unwrap();
+        assert!(s.migration_on_lines > 0);
+        assert!(s.migration_off_lines > 0);
+        // Every sub-block copy moves sub_block/line lines twice (read +
+        // write legs).
+        let lines_per_sub = tiny_geometry().sub_block_bytes() / 64;
+        assert_eq!(
+            s.migration_on_lines + s.migration_off_lines,
+            swaps.sub_blocks_copied * lines_per_sub * 2
+        );
+    }
+}

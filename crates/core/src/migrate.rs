@@ -1,0 +1,826 @@
+//! The hottest-coldest swap algorithm (Section III-A).
+//!
+//! Three designs:
+//!
+//! * **N** — every slot is used; a swap copies whole pages through a
+//!   hardware buffer and *halts execution* until it completes (the paper's
+//!   strawman: "it will halt the execution and incur unacceptable
+//!   performance overhead" at large granularity).
+//! * **N-1** — one slot is sacrificed (the empty slot, its page parked at
+//!   the ghost location Ω). The four case-specific copy sequences of
+//!   Fig. 8(a)-(d) keep *every page addressable at all times*: "during the
+//!   data migration procedure, the data under movement has two physical
+//!   locations". The hot page is conservatively served from its old (slow)
+//!   location until its copy step completes.
+//! * **Live Migration** — N-1 plus the F bit and sub-block bitmap of
+//!   Fig. 9: each 4 KB sub-block becomes servable from the fast region the
+//!   moment it lands, and copying starts from the MRU sub-block
+//!   (critical-data-first) before wrapping around.
+//!
+//! The engine is a pure state machine: the controller feeds it candidates
+//! and completion events; it emits sub-block transfer requests and applies
+//! translation-table updates at exactly the step boundaries the paper
+//! prescribes.
+
+use crate::table::{MachinePage, RowState, TranslationTable};
+use hmm_sim_base::addr::SubBlockId;
+use serde::{Deserialize, Serialize};
+
+/// Which migration design is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationDesign {
+    /// Basic design: all N slots used, execution halts during a swap.
+    N,
+    /// One sacrificed slot + P bit; no partial-page access.
+    NMinusOne,
+    /// N-1 plus F bit + sub-block bitmap (critical-data-first).
+    LiveMigration,
+}
+
+impl MigrationDesign {
+    /// Does this design stall demand accesses while a swap is in flight?
+    pub fn halts(&self) -> bool {
+        matches!(self, MigrationDesign::N)
+    }
+
+    /// Does this design use the N-1 empty-slot machinery?
+    pub fn sacrifices_slot(&self) -> bool {
+        !matches!(self, MigrationDesign::N)
+    }
+}
+
+/// A sub-block copy request emitted by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Opaque token to return via [`MigrationEngine::transfer_done`].
+    pub token: u64,
+    /// Source macro-page-sized machine location.
+    pub src: MachinePage,
+    /// Destination machine location.
+    pub dst: MachinePage,
+    /// Sub-block index within the page.
+    pub sub: u32,
+}
+
+/// Progress report from [`MigrationEngine::transfer_done`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapProgress {
+    /// More transfers outstanding in the current step.
+    InFlight,
+    /// A step boundary was crossed (table updated).
+    StepDone,
+    /// The whole swap finished; the engine is idle again.
+    SwapDone,
+}
+
+/// Counters for reporting and the power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapStats {
+    /// Swaps started.
+    pub triggered: u64,
+    /// Swaps fully completed.
+    pub completed: u64,
+    /// Paper Fig. 8 case counts: (a), (b), (c), (d).
+    pub case_counts: [u64; 4],
+    /// Sub-block copies performed (each is one read + one write of a
+    /// sub-block).
+    pub sub_blocks_copied: u64,
+}
+
+#[derive(Debug, Clone)]
+enum TableOp {
+    SuppressCam(u32),
+    BeginFillEmpty { slot: u32, page: u64, source: MachinePage },
+    BeginRestoreOwn { slot: u32, source: MachinePage },
+    ClearP(u32),
+    SetP(u32),
+    RetireToEmpty(u32),
+    SetSwapped { slot: u32, page: u64 },
+    SetOwn(u32),
+}
+
+#[derive(Debug, Clone)]
+struct CopyStep {
+    src: MachinePage,
+    dst: MachinePage,
+    begin: Vec<TableOp>,
+    end: Vec<TableOp>,
+    /// Slot whose fill bitmap tracks this step's arrivals.
+    fill_slot: Option<u32>,
+}
+
+#[derive(Debug)]
+struct ActiveSwap {
+    steps: Vec<CopyStep>,
+    step: usize,
+    issued: u32,
+    done: u32,
+    /// Critical-data-first rotation offset.
+    start_sub: u32,
+}
+
+/// The migration state machine.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    design: MigrationDesign,
+    sub_blocks_per_page: u32,
+    active: Option<ActiveSwap>,
+    stats: SwapStats,
+}
+
+impl MigrationEngine {
+    /// Build an engine. `sub_blocks_per_page` is the transfer granularity
+    /// (page size / sub-block size; 1 if the page is one sub-block).
+    pub fn new(design: MigrationDesign, sub_blocks_per_page: u32) -> Self {
+        assert!(sub_blocks_per_page >= 1);
+        Self { design, sub_blocks_per_page, active: None, stats: SwapStats::default() }
+    }
+
+    /// The active design.
+    pub fn design(&self) -> MigrationDesign {
+        self.design
+    }
+
+    /// Is a swap in flight? ("The existence of P bit and F bit prevents
+    /// triggering another swap if the previous swap is not complete yet.")
+    pub fn busy(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Must demand traffic stall right now? (N design only.)
+    pub fn halting(&self) -> bool {
+        self.design.halts() && self.busy()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SwapStats {
+        self.stats
+    }
+
+    /// Bitmap granularity: per sub-block for live migration, a single
+    /// all-or-nothing bit otherwise (the conservative N-1 routing).
+    fn bitmap_bits(&self) -> u32 {
+        match self.design {
+            MigrationDesign::LiveMigration => self.sub_blocks_per_page,
+            _ => 1,
+        }
+    }
+
+    /// Try to start a hottest-coldest swap bringing `hot` on-package and
+    /// evicting the occupant of `cold_slot`. `hot_sub_hint` is the
+    /// sub-block of the access that made the page MRU (critical-data-first
+    /// start position). Returns false if the candidate pair is not
+    /// migratable (wrong states) or the engine is busy.
+    pub fn start_swap(
+        &mut self,
+        table: &mut TranslationTable,
+        hot: u64,
+        cold_slot: u32,
+        hot_sub_hint: u32,
+    ) -> bool {
+        if self.busy() {
+            return false;
+        }
+        let n = table.slots();
+        if hot == table.ghost().0 {
+            return false; // the reserved page is not a program page
+        }
+
+        // Classify the hot page.
+        let hot_kind = if hot >= n {
+            if table.cam_lookup(hot).is_some() {
+                return false; // already on-package
+            }
+            HotKind::Os
+        } else {
+            match table.row_state(hot as u32) {
+                RowState::Swapped(e) => HotKind::Ms { partner: e },
+                _ => return false, // OF (already fast) or Ghost
+            }
+        };
+
+        // Classify the cold slot.
+        if matches!(hot_kind, HotKind::Ms { .. }) && cold_slot as u64 == hot {
+            return false; // the hot page's own row cannot be the victim
+        }
+        let cold_kind = table.row_state(cold_slot);
+        if cold_kind == RowState::Empty {
+            return false;
+        }
+
+        let home = MachinePage;
+        let slot = |s: u32| MachinePage(s as u64);
+        let ghost = table.ghost();
+
+        let steps: Vec<CopyStep> = if self.design.sacrifices_slot() {
+            let s_e = table.empty_slot().expect("N-1 table always has an empty slot");
+            if s_e == cold_slot {
+                return false;
+            }
+            match (hot_kind, cold_kind) {
+                // Fig. 8(a): OS in, OF out.
+                (HotKind::Os, RowState::Own) => {
+                    self.stats.case_counts[0] += 1;
+                    vec![
+                        CopyStep {
+                            src: home(hot),
+                            dst: slot(s_e),
+                            begin: vec![TableOp::BeginFillEmpty {
+                                slot: s_e,
+                                page: hot,
+                                source: home(hot),
+                            }],
+                            end: vec![],
+                            fill_slot: Some(s_e),
+                        },
+                        CopyStep {
+                            src: ghost,
+                            dst: home(hot),
+                            begin: vec![],
+                            end: vec![TableOp::ClearP(s_e)],
+                            fill_slot: None,
+                        },
+                        CopyStep {
+                            src: slot(cold_slot),
+                            dst: ghost,
+                            begin: vec![],
+                            end: vec![TableOp::RetireToEmpty(cold_slot)],
+                            fill_slot: None,
+                        },
+                    ]
+                }
+                // Fig. 8(b): OS in, MF out.
+                (HotKind::Os, RowState::Swapped(d)) => {
+                    self.stats.case_counts[1] += 1;
+                    vec![
+                        CopyStep {
+                            src: home(hot),
+                            dst: slot(s_e),
+                            begin: vec![TableOp::BeginFillEmpty {
+                                slot: s_e,
+                                page: hot,
+                                source: home(hot),
+                            }],
+                            end: vec![],
+                            fill_slot: Some(s_e),
+                        },
+                        CopyStep {
+                            src: ghost,
+                            dst: home(hot),
+                            begin: vec![],
+                            end: vec![TableOp::ClearP(s_e)],
+                            fill_slot: None,
+                        },
+                        CopyStep {
+                            src: home(d),
+                            dst: ghost,
+                            begin: vec![],
+                            end: vec![TableOp::SetP(cold_slot)],
+                            fill_slot: None,
+                        },
+                        CopyStep {
+                            src: slot(cold_slot),
+                            dst: home(d),
+                            begin: vec![],
+                            end: vec![TableOp::RetireToEmpty(cold_slot)],
+                            fill_slot: None,
+                        },
+                    ]
+                }
+                // Fig. 8(c): MS in, OF out.
+                (HotKind::Ms { partner }, RowState::Own) => {
+                    self.stats.case_counts[2] += 1;
+                    Self::ms_in_steps(hot, partner, cold_slot, s_e, ghost, None)
+                }
+                // Fig. 8(d): MS in, MF out.
+                (HotKind::Ms { partner }, RowState::Swapped(d)) => {
+                    self.stats.case_counts[3] += 1;
+                    Self::ms_in_steps(hot, partner, cold_slot, s_e, ghost, Some(d))
+                }
+                (_, RowState::Empty) => unreachable!("checked above"),
+            }
+        } else {
+            // The halting N design: whole-page copies through a buffer,
+            // table updated only at the very end.
+            self.n_design_steps(hot, &hot_kind, cold_slot, cold_kind)
+        };
+
+        // Apply the first step's table updates.
+        let swap = ActiveSwap {
+            steps,
+            step: 0,
+            issued: 0,
+            done: 0,
+            start_sub: hot_sub_hint % self.sub_blocks_per_page,
+        };
+        let bits = self.bitmap_bits();
+        for op in swap.steps[0].begin.clone() {
+            Self::apply(table, op, bits);
+        }
+        self.active = Some(swap);
+        self.stats.triggered += 1;
+        true
+    }
+
+    /// Shared step list for Fig. 8(c)/(d): bring an MS page home, relocate
+    /// its partner into the empty slot, then evict the cold slot.
+    /// `cold_mf` is the cold slot's MF occupant for case (d), `None` for
+    /// the OF-victim case (c).
+    fn ms_in_steps(
+        hot: u64,
+        partner: u64,
+        cold_slot: u32,
+        s_e: u32,
+        ghost: MachinePage,
+        cold_mf: Option<u64>,
+    ) -> Vec<CopyStep> {
+        let home = MachinePage;
+        let slot = |s: u32| MachinePage(s as u64);
+        let hot_slot = hot as u32;
+        let mut steps = vec![
+            // 1: partner's data (in the hot page's row) moves to the empty
+            //    slot; its CAM entry migrates there too.
+            CopyStep {
+                src: slot(hot_slot),
+                dst: slot(s_e),
+                begin: vec![
+                    TableOp::SuppressCam(hot_slot),
+                    TableOp::BeginFillEmpty { slot: s_e, page: partner, source: slot(hot_slot) },
+                ],
+                end: vec![],
+                fill_slot: Some(s_e),
+            },
+            // 2: the hot page returns to its own slot from the partner's
+            //    home.
+            CopyStep {
+                src: home(partner),
+                dst: slot(hot_slot),
+                begin: vec![TableOp::BeginRestoreOwn { slot: hot_slot, source: home(partner) }],
+                end: vec![],
+                fill_slot: Some(hot_slot),
+            },
+            // 3: the ghost data parks at the partner's (now free) home.
+            CopyStep {
+                src: ghost,
+                dst: home(partner),
+                begin: vec![],
+                end: vec![TableOp::ClearP(s_e)],
+                fill_slot: None,
+            },
+        ];
+        if let Some(d) = cold_mf {
+            // (d): the cold slot's own page (parked at home(d)) moves to
+            // Ω, then the MF occupant d drains to its own home.
+            steps.push(CopyStep {
+                src: home(d),
+                dst: ghost,
+                begin: vec![],
+                end: vec![TableOp::SetP(cold_slot)],
+                fill_slot: None,
+            });
+            steps.push(CopyStep {
+                src: slot(cold_slot),
+                dst: home(d),
+                begin: vec![],
+                end: vec![TableOp::RetireToEmpty(cold_slot)],
+                fill_slot: None,
+            });
+        } else {
+            // (c): the cold OF page parks at Ω.
+            steps.push(CopyStep {
+                src: slot(cold_slot),
+                dst: ghost,
+                begin: vec![],
+                end: vec![TableOp::RetireToEmpty(cold_slot)],
+                fill_slot: None,
+            });
+        }
+        steps
+    }
+
+    /// Step list for the halting N design.
+    fn n_design_steps(
+        &mut self,
+        hot: u64,
+        hot_kind: &HotKind,
+        cold_slot: u32,
+        cold_kind: RowState,
+    ) -> Vec<CopyStep> {
+        let home = MachinePage;
+        let slot = |s: u32| MachinePage(s as u64);
+        let mut copies: Vec<(MachinePage, MachinePage)> = Vec::new();
+        let mut end: Vec<TableOp> = Vec::new();
+        match (hot_kind.partner(), cold_kind) {
+            (None, RowState::Own) => {
+                self.stats.case_counts[0] += 1;
+                copies.push((slot(cold_slot), home(hot)));
+                copies.push((home(hot), slot(cold_slot)));
+                end.push(TableOp::SetSwapped { slot: cold_slot, page: hot });
+            }
+            (None, RowState::Swapped(d)) => {
+                self.stats.case_counts[1] += 1;
+                copies.push((slot(cold_slot), home(d)));
+                copies.push((home(d), home(hot)));
+                copies.push((home(hot), slot(cold_slot)));
+                end.push(TableOp::SetSwapped { slot: cold_slot, page: hot });
+            }
+            (Some(e), RowState::Own) => {
+                self.stats.case_counts[2] += 1;
+                copies.push((slot(hot as u32), slot(cold_slot)));
+                copies.push((slot(cold_slot), home(e)));
+                copies.push((home(e), slot(hot as u32)));
+                end.push(TableOp::SetOwn(hot as u32));
+                end.push(TableOp::SetSwapped { slot: cold_slot, page: e });
+            }
+            (Some(e), RowState::Swapped(d)) => {
+                self.stats.case_counts[3] += 1;
+                copies.push((slot(cold_slot), home(d)));
+                copies.push((home(d), home(e)));
+                copies.push((slot(hot as u32), slot(cold_slot)));
+                copies.push((home(e), slot(hot as u32)));
+                end.push(TableOp::SetOwn(hot as u32));
+                end.push(TableOp::SetSwapped { slot: cold_slot, page: e });
+            }
+            (_, RowState::Empty) => unreachable!("N tables have no empty slot"),
+        }
+        let last = copies.len() - 1;
+        copies
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, dst))| CopyStep {
+                src,
+                dst,
+                begin: vec![],
+                end: if i == last { std::mem::take(&mut end) } else { vec![] },
+                fill_slot: None,
+            })
+            .collect()
+    }
+
+    fn apply(table: &mut TranslationTable, op: TableOp, bitmap_bits: u32) {
+        match op {
+            TableOp::SuppressCam(s) => table.suppress_cam(s),
+            TableOp::BeginFillEmpty { slot, page, source } => {
+                table.begin_fill_into_empty(slot, page, source, bitmap_bits)
+            }
+            TableOp::BeginRestoreOwn { slot, source } => {
+                table.begin_restore_own(slot, source, bitmap_bits)
+            }
+            TableOp::ClearP(s) => table.clear_p(s),
+            TableOp::SetP(s) => table.set_p(s),
+            TableOp::RetireToEmpty(s) => table.retire_to_empty(s),
+            TableOp::SetSwapped { slot, page } => table.set_swapped(slot, page),
+            TableOp::SetOwn(s) => table.set_own(s),
+        }
+    }
+
+    /// Emit up to `allowance` new sub-block transfers for the current step
+    /// (flow control: the controller limits outstanding copies so the
+    /// copy engine does not flood the DRAM queues).
+    pub fn take_transfers(&mut self, allowance: u32, out: &mut Vec<Transfer>) {
+        let Some(swap) = &mut self.active else { return };
+        let per_step = self.sub_blocks_per_page;
+        let step = &swap.steps[swap.step];
+        let mut issued = 0;
+        while swap.issued < per_step && issued < allowance {
+            let k = swap.issued;
+            // Critical-data-first: rotate so the MRU sub-block copies
+            // first ("starts to copy the macro page from the position of
+            // the MRU sub-block and then wraps the address").
+            let sub = (swap.start_sub + k) % per_step;
+            out.push(Transfer {
+                token: (swap.step as u64) << 32 | sub as u64,
+                src: step.src,
+                dst: step.dst,
+                sub,
+            });
+            swap.issued += 1;
+            issued += 1;
+        }
+    }
+
+    /// Record completion of a transfer (both its read and write legs).
+    pub fn transfer_done(&mut self, token: u64, table: &mut TranslationTable) -> SwapProgress {
+        let bits = self.bitmap_bits();
+        let live = matches!(self.design, MigrationDesign::LiveMigration);
+        let swap = self.active.as_mut().expect("no swap in flight");
+        let step_idx = (token >> 32) as usize;
+        let sub = (token & 0xFFFF_FFFF) as u32;
+        assert_eq!(step_idx, swap.step, "completion for a stale step");
+        swap.done += 1;
+        self.stats.sub_blocks_copied += 1;
+
+        let step = &swap.steps[swap.step];
+        if live {
+            if let Some(slot) = step.fill_slot {
+                table.mark_sub_block_filled(slot, SubBlockId(sub));
+            }
+        }
+        if swap.done < self.sub_blocks_per_page {
+            return SwapProgress::InFlight;
+        }
+
+        // Step complete.
+        if !live {
+            if let Some(slot) = step.fill_slot {
+                // Conservative switch-over: the whole page becomes fast at
+                // once.
+                table.mark_sub_block_filled(slot, SubBlockId(0));
+            }
+        }
+        for op in swap.steps[swap.step].end.clone() {
+            Self::apply(table, op, bits);
+        }
+        swap.step += 1;
+        swap.issued = 0;
+        swap.done = 0;
+        if swap.step == swap.steps.len() {
+            self.active = None;
+            self.stats.completed += 1;
+            SwapProgress::SwapDone
+        } else {
+            for op in swap.steps[swap.step].begin.clone() {
+                Self::apply(table, op, bits);
+            }
+            SwapProgress::StepDone
+        }
+    }
+}
+
+/// Classification of the hot (MRU) page at trigger time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HotKind {
+    /// Original Slow: a high page at its own off-package home.
+    Os,
+    /// Migrated Slow: a low page displaced to its partner's home.
+    Ms {
+        /// The high page occupying the hot page's slot.
+        partner: u64,
+    },
+}
+
+impl HotKind {
+    fn partner(&self) -> Option<u64> {
+        match self {
+            HotKind::Os => None,
+            HotKind::Ms { partner } => Some(*partner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TranslationTable;
+    use hmm_sim_base::addr::MacroPageId;
+
+    // see below: tests drive full swaps synchronously.
+    struct Harness {
+        table: TranslationTable,
+        engine: MigrationEngine,
+    }
+
+    impl Harness {
+        fn new(design: MigrationDesign, subs: u32) -> Self {
+            Self {
+                table: TranslationTable::new(8, 32, design.sacrifices_slot()),
+                engine: MigrationEngine::new(design, subs),
+            }
+        }
+
+        /// Run a whole swap synchronously, returning true if it started.
+        fn run_swap(&mut self, hot: u64, cold: u32) -> bool {
+            if !self.engine.start_swap(&mut self.table, hot, cold, 0) {
+                return false;
+            }
+            let mut guard = 0;
+            while self.engine.busy() {
+                let mut ts = Vec::new();
+                self.engine.take_transfers(8, &mut ts);
+                assert!(!ts.is_empty(), "engine busy but emitted no transfers");
+                for t in ts {
+                    self.engine.transfer_done(t.token, &mut self.table);
+                }
+                guard += 1;
+                assert!(guard < 10_000, "swap did not converge");
+            }
+            true
+        }
+
+        fn loc(&self, page: u64) -> u64 {
+            self.table.translate(MacroPageId(page), hmm_sim_base::addr::SubBlockId(0)).0
+        }
+    }
+
+    #[test]
+    fn case_a_os_in_of_out() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 4);
+        assert!(h.run_swap(20, 3));
+        // Hot page 20 is on-package (in the former empty slot 7).
+        assert_eq!(h.loc(20), 7);
+        // Cold page 3 became the ghost.
+        assert_eq!(h.loc(3), 31);
+        // The displaced page 7 parks at 20's old home.
+        assert_eq!(h.loc(7), 20);
+        h.table.check_invariants(true, true).unwrap();
+        assert_eq!(h.engine.stats().case_counts, [1, 0, 0, 0]);
+        // 3 steps x 4 sub-blocks.
+        assert_eq!(h.engine.stats().sub_blocks_copied, 12);
+    }
+
+    #[test]
+    fn case_b_os_in_mf_out() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+        assert!(h.run_swap(20, 3)); // slot 7 now holds 20; empty is slot 3
+        assert!(h.run_swap(21, 7)); // evict MF page 20 from slot 7
+        assert_eq!(h.loc(21), 3, "new hot page lands in the former empty slot");
+        assert_eq!(h.loc(20), 20, "evicted MF page drains to its own home");
+        assert_eq!(h.loc(7), 31, "slot 7's own page is the new ghost");
+        h.table.check_invariants(true, true).unwrap();
+        assert_eq!(h.engine.stats().case_counts, [1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn case_c_ms_in_of_out() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+        assert!(h.run_swap(20, 3)); // page 3 ghosted; page 7 MS at home(20)
+        // Page 7 is now MS (its row holds... nothing: retired). Build the
+        // MS state the natural way: hot page 7 is at the ghost... actually
+        // after case (a), page 7 parks at home(20): row 7 = Swapped(20).
+        assert_eq!(h.loc(7), 20);
+        // Bring MS page 7 back; evict OF page 2.
+        assert!(h.run_swap(7, 2));
+        assert_eq!(h.loc(7), 7, "MS page restored to its own slot");
+        assert_eq!(h.loc(20), 3, "partner moved into the old empty slot");
+        assert_eq!(h.loc(2), 31, "evicted OF page is the new ghost");
+        h.table.check_invariants(true, true).unwrap();
+        assert_eq!(h.engine.stats().case_counts, [1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn case_d_ms_in_mf_out() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+        assert!(h.run_swap(20, 3)); // case (a): 20 -> slot 7; page 3 ghosted
+        assert!(h.run_swap(21, 5)); // case (a): 21 -> slot 3; page 5 ghosted
+        // State now: slot 7 = 20 (MF), slot 3 = 21 (MF), page 5 ghosted,
+        // empty = slot 5. Page 3 is MS at home(21), page 7 MS at home(20).
+        assert_eq!(h.loc(3), 21);
+        // Case (d): bring MS page 3 home, evicting MF page 20 (slot 7).
+        assert!(h.run_swap(3, 7));
+        assert_eq!(h.loc(3), 3, "MS page restored");
+        assert_eq!(h.loc(21), 5, "partner 21 relocated to the empty slot");
+        assert_eq!(h.loc(20), 20, "evicted MF page drains home");
+        assert_eq!(h.loc(7), 31, "slot 7's page is the new ghost");
+        h.table.check_invariants(true, true).unwrap();
+        assert_eq!(h.engine.stats().case_counts, [2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn paper_example_ten_step_walkthrough() {
+        // Reproduce the exact scenario of the Fig. 8(d) example: A and B
+        // are MS (swapped with D and E), C is the Ghost. MRU = B, LRU = D.
+        // In our id space: slots 0..8; A=0, B=1, C=7 (ghost row), D=20,
+        // E=21.
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+        assert!(h.run_swap(20, 0)); // D into slot 7 -> then A... build state:
+        // After swap 1: slot 7 = D(20), ghost = page 0 (A at Ω)... The
+        // paper's exact slot assignments differ, but the reachable states
+        // are equivalent up to slot renaming. Drive to the (d) shape:
+        assert!(h.run_swap(21, 1)); // E in; evict OF page 1 (B) -> B ghost?
+        // Regardless of intermediate naming, the final swap must satisfy
+        // the paper's end-state properties:
+        let hot = (0..8u64).find(|&p| {
+            h.table.row_state(p as u32) == RowState::Swapped(20)
+                || h.table.row_state(p as u32) == RowState::Swapped(21)
+        });
+        let hot = hot.expect("an MS page exists");
+        // Find an MF victim slot different from the hot row.
+        let victim = (0..8u32)
+            .find(|&s| {
+                s as u64 != hot
+                    && matches!(h.table.row_state(s), RowState::Swapped(_))
+            })
+            .expect("an MF slot exists");
+        let partner = match h.table.row_state(hot as u32) {
+            RowState::Swapped(e) => e,
+            _ => unreachable!(),
+        };
+        let evicted = h.table.occupant(victim).unwrap();
+        assert!(h.run_swap(hot, victim));
+        // End-state: the MRU page is on-package in its own slot; its
+        // partner is on-package in the old empty slot; the LRU page is
+        // fully off-package at its own home; the victim slot's own page is
+        // the new Ghost.
+        assert_eq!(h.loc(hot), hot);
+        assert!(h.table.is_on_package(MachinePage(h.loc(partner))));
+        assert_eq!(h.loc(evicted), evicted);
+        assert_eq!(h.loc(victim as u64), 31);
+        h.table.check_invariants(true, true).unwrap();
+    }
+
+    #[test]
+    fn live_migration_serves_filled_sub_blocks_early() {
+        let mut h = Harness::new(MigrationDesign::LiveMigration, 4);
+        assert!(h.engine.start_swap(&mut h.table, 20, 3, 2));
+        let mut ts = Vec::new();
+        h.engine.take_transfers(1, &mut ts);
+        assert_eq!(ts.len(), 1);
+        // Critical-data-first: the first transfer is the hinted sub-block.
+        assert_eq!(ts[0].sub, 2);
+        // Before completion, every sub-block of page 20 is off-package.
+        assert_eq!(h.loc(20), 20);
+        h.engine.transfer_done(ts[0].token, &mut h.table);
+        // The hinted sub-block is now served on-package, others not yet.
+        let t = &h.table;
+        assert_eq!(t.translate(MacroPageId(20), SubBlockId(2)).0, 7);
+        assert_eq!(t.translate(MacroPageId(20), SubBlockId(0)).0, 20);
+    }
+
+    #[test]
+    fn n_minus_one_is_all_or_nothing() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 4);
+        assert!(h.engine.start_swap(&mut h.table, 20, 3, 2));
+        let mut ts = Vec::new();
+        h.engine.take_transfers(3, &mut ts);
+        for t in ts.drain(..) {
+            h.engine.transfer_done(t.token, &mut h.table);
+        }
+        // 3 of 4 sub-blocks copied: the page still routes off-package
+        // ("conservatively accessing the MRU macro page with off-package
+        // memory speed during the migration").
+        assert_eq!(h.loc(20), 20);
+        h.engine.take_transfers(8, &mut ts);
+        assert_eq!(ts.len(), 1);
+        h.engine.transfer_done(ts[0].token, &mut h.table);
+        assert_eq!(h.loc(20), 7, "switches over only when the step completes");
+    }
+
+    #[test]
+    fn n_design_halts_and_updates_table_once() {
+        let mut h = Harness::new(MigrationDesign::N, 2);
+        assert!(h.engine.start_swap(&mut h.table, 20, 3, 0));
+        assert!(h.engine.halting());
+        // Mid-swap the table is untouched.
+        assert_eq!(h.loc(20), 20);
+        assert_eq!(h.loc(3), 3);
+        let mut guard = 0;
+        while h.engine.busy() {
+            let mut ts = Vec::new();
+            h.engine.take_transfers(8, &mut ts);
+            for t in ts {
+                h.engine.transfer_done(t.token, &mut h.table);
+            }
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert!(!h.engine.halting());
+        assert_eq!(h.loc(20), 3, "hot page lands in the cold slot");
+        assert_eq!(h.loc(3), 20, "cold page parks at the hot page's home");
+        h.table.check_invariants(true, false).unwrap();
+    }
+
+    #[test]
+    fn n_design_case_d_four_copies() {
+        let mut h = Harness::new(MigrationDesign::N, 1);
+        assert!(h.run_swap(20, 3)); // 20 <-> 3
+        assert!(h.run_swap(21, 5)); // 21 <-> 5
+        // MS page 3 in, MF page 21 (slot 5) out.
+        assert!(h.run_swap(3, 5));
+        assert_eq!(h.loc(3), 3);
+        assert_eq!(h.loc(21), 21);
+        // 20 stays on-package in slot 5... no: case (d) moves partner 20
+        // into the victim slot 5.
+        assert_eq!(h.loc(20), 5);
+        assert_eq!(h.loc(5), 20, "victim slot's page parks at partner's home");
+        h.table.check_invariants(true, false).unwrap();
+    }
+
+    #[test]
+    fn busy_engine_rejects_new_swaps() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 4);
+        assert!(h.engine.start_swap(&mut h.table, 20, 3, 0));
+        assert!(!h.engine.start_swap(&mut h.table, 21, 4, 0));
+    }
+
+    #[test]
+    fn rejects_unmigratable_candidates() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 4);
+        // Hot page already on-package (OF).
+        assert!(!h.engine.start_swap(&mut h.table, 2, 3, 0));
+        // Cold slot is the empty slot.
+        assert!(!h.engine.start_swap(&mut h.table, 20, 7, 0));
+        // The reserved ghost page.
+        assert!(!h.engine.start_swap(&mut h.table, 31, 3, 0));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = Harness::new(MigrationDesign::LiveMigration, 8);
+        h.run_swap(20, 3);
+        h.run_swap(21, 4);
+        let s = h.engine.stats();
+        assert_eq!(s.triggered, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.sub_blocks_copied, 2 * 3 * 8);
+    }
+}

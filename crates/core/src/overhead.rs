@@ -1,0 +1,123 @@
+//! The pure-hardware cost model of Section III-B and Fig. 10.
+//!
+//! For a 1 GB on-package region managed at 4 MB granularity the paper
+//! counts 9,228 bits:
+//!
+//! * translation table: 256 entries x (26-bit page id + P bit + F bit)
+//!   = 7,168 bits;
+//! * fill bitmap: 4 MB / 4 KB = 1,024 bits;
+//! * clock pseudo-LRU bitmap: 256 bits (one per slot);
+//! * multi-queue: 3 levels x 10 entries x 26-bit page ids = 780 bits.
+//!
+//! (7,168 + 1,024 + 256 + 780 = 9,228 — the OCR of the paper prints the
+//! multi-queue size as "78", which the total shows to be 780.)
+//!
+//! "The pure-hardware solution is only feasible for the granularity larger
+//! than 1 MB" — below that the table explodes (Fig. 10) and the OS-assisted
+//! scheme keeps the table in software instead.
+
+use serde::{Deserialize, Serialize};
+
+/// Address-space width assumed by the paper (48-bit).
+pub const ADDRESS_BITS: u32 = 48;
+
+/// Macro pages smaller than this use the OS-assisted scheme (Section IV:
+/// "OS-assisted scheme is used for macro pages smaller than 1 MB and
+/// pure-hardware scheme is used for macro pages larger than 1 MB
+/// (including 1 MB)").
+pub const OS_ASSIST_THRESHOLD_BYTES: u64 = 1 << 20;
+
+/// Bit counts of the pure-hardware scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareOverhead {
+    /// Translation-table bits (entries x entry width).
+    pub translation_table: u64,
+    /// Live-migration fill bitmap bits (sub-blocks per page).
+    pub fill_bitmap: u64,
+    /// Clock pseudo-LRU reference bits (one per slot).
+    pub lru_bitmap: u64,
+    /// Multi-queue storage bits.
+    pub multi_queue: u64,
+}
+
+impl HardwareOverhead {
+    /// Total bits.
+    pub fn total(&self) -> u64 {
+        self.translation_table + self.fill_bitmap + self.lru_bitmap + self.multi_queue
+    }
+
+    /// Is pure hardware considered feasible at this size? (The paper draws
+    /// the line at 1 MB pages.)
+    pub fn feasible(page_bytes: u64) -> bool {
+        page_bytes >= OS_ASSIST_THRESHOLD_BYTES
+    }
+}
+
+/// Compute the Fig. 10 hardware overhead for managing `on_package_bytes`
+/// of on-package memory at `page_bytes` granularity with `sub_block_bytes`
+/// live-migration sub-blocks.
+pub fn hardware_bits(
+    on_package_bytes: u64,
+    page_bytes: u64,
+    sub_block_bytes: u64,
+) -> HardwareOverhead {
+    assert!(page_bytes.is_power_of_two() && page_bytes >= sub_block_bytes);
+    assert!(on_package_bytes >= page_bytes);
+    let slots = on_package_bytes / page_bytes;
+    let page_id_bits = (ADDRESS_BITS - page_bytes.trailing_zeros()) as u64;
+    // Entry = remapped page id + P bit + F bit.
+    let entry_bits = page_id_bits + 2;
+    HardwareOverhead {
+        translation_table: slots * entry_bits,
+        fill_bitmap: page_bytes / sub_block_bytes,
+        lru_bitmap: slots,
+        multi_queue: 3 * 10 * page_id_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_9228_bits() {
+        // 1 GB on-package, 4 MB pages, 4 KB sub-blocks.
+        let o = hardware_bits(1 << 30, 4 << 20, 4 << 10);
+        assert_eq!(o.translation_table, 7_168, "256 entries x 28 bits");
+        assert_eq!(o.fill_bitmap, 1_024);
+        assert_eq!(o.lru_bitmap, 256);
+        assert_eq!(o.multi_queue, 780);
+        assert_eq!(o.total(), 9_228);
+    }
+
+    #[test]
+    fn fig10_grows_rapidly_as_pages_shrink() {
+        let sizes = [4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+        let bits: Vec<u64> =
+            sizes.iter().map(|&p| hardware_bits(1 << 30, p, (4 << 10).min(p)).total()).collect();
+        // Monotonically decreasing with page size.
+        for w in bits.windows(2) {
+            assert!(w[0] > w[1], "bits must shrink as pages grow: {bits:?}");
+        }
+        // 4 KB granularity needs ~10 Mbit (the top of Fig. 10's y-axis).
+        assert!(bits[0] > 9_000_000, "4 KB pages: {} bits", bits[0]);
+        // 4 MB granularity is TLB-sized.
+        assert!(bits[5] < 10_000);
+    }
+
+    #[test]
+    fn feasibility_threshold_at_1mb() {
+        assert!(HardwareOverhead::feasible(1 << 20));
+        assert!(HardwareOverhead::feasible(4 << 20));
+        assert!(!HardwareOverhead::feasible(256 << 10));
+    }
+
+    #[test]
+    fn scales_with_on_package_capacity() {
+        let half = hardware_bits(512 << 20, 4 << 20, 4 << 10);
+        let full = hardware_bits(1 << 30, 4 << 20, 4 << 10);
+        assert_eq!(half.translation_table * 2, full.translation_table);
+        assert_eq!(half.lru_bitmap * 2, full.lru_bitmap);
+        assert_eq!(half.fill_bitmap, full.fill_bitmap, "bitmap depends on page size only");
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-bank row-buffer state machine with an open-page policy.
+//!
+//! Open-page (the paper's policy): after a column access the row stays open,
+//! so a subsequent access to the same row pays only CAS latency, while an
+//! access to a different row pays precharge + activate + CAS.
+
+use crate::timing::TimingCpu;
+use hmm_sim_base::cycles::Cycle;
+
+/// One DRAM bank.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Earliest cycle at which the bank can accept its next command.
+    ready_at: Cycle,
+    /// When the open row was activated (tRAS: it cannot be precharged
+    /// before `activated_at + tRAS`).
+    activated_at: Cycle,
+    /// Write recovery: the open row cannot be precharged before this
+    /// (tWR gates precharge only — same-row accesses after a write are
+    /// spaced by the bus, not by tWR).
+    write_recovery_until: Cycle,
+}
+
+/// Result of servicing one transaction at a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankService {
+    /// When the first command for this transaction was issued.
+    pub cmd_start: Cycle,
+    /// When the last data beat finished.
+    pub finish: Cycle,
+    /// Intrinsic device latency (prep + CAS + data), i.e. what the access
+    /// would cost on an idle bank/bus.
+    pub core_latency: Cycle,
+    /// True when the open row matched.
+    pub row_hit: bool,
+    /// True when an ACTIVATE was issued (row empty or conflict) — the
+    /// channel needs this for its tFAW window accounting.
+    pub activated: bool,
+}
+
+impl Bank {
+    /// A bank with no open row, ready immediately.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Currently open row (for FR-FCFS candidate matching).
+    #[inline]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Earliest next-command time (exposed for tests and the scheduler's
+    /// "first ready" check).
+    #[inline]
+    pub fn ready_at(&self) -> Cycle {
+        self.ready_at
+    }
+
+    /// Force-close the open row (refresh does this to a whole rank).
+    pub fn close_row(&mut self, at: Cycle) {
+        if self.open_row.take().is_some() {
+            // A precharge is folded into the refresh cycle; just make sure
+            // the bank is not marked ready before the close happens.
+            self.ready_at = self.ready_at.max(at);
+        }
+    }
+
+    /// Service one access of `lines` consecutive cache lines in `row`.
+    ///
+    /// `earliest` is the lower bound imposed by the caller (transaction
+    /// arrival, rank refresh, tFAW); `data_bus_free` is when the channel's
+    /// shared data bus becomes available. The bank's state is updated.
+    ///
+    /// With `auto_precharge` (closed-page policy) the row is closed after
+    /// the access: the next access always pays an activate but never a
+    /// conflict precharge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn service_with_policy(
+        &mut self,
+        earliest: Cycle,
+        data_bus_free: Cycle,
+        row: u64,
+        is_write: bool,
+        lines: u32,
+        t: &TimingCpu,
+        auto_precharge: bool,
+    ) -> BankService {
+        let svc = self.service(earliest, data_bus_free, row, is_write, lines, t);
+        if auto_precharge {
+            // The precharge overlaps the data burst; the bank is unusable
+            // until tRP after the access, and no row stays open.
+            self.open_row = None;
+            self.ready_at = self.ready_at.max(svc.finish + t.t_rp);
+        }
+        svc
+    }
+
+    /// Service one access under the open-page policy (see
+    /// [`Bank::service_with_policy`]).
+    pub fn service(
+        &mut self,
+        earliest: Cycle,
+        data_bus_free: Cycle,
+        row: u64,
+        is_write: bool,
+        lines: u32,
+        t: &TimingCpu,
+    ) -> BankService {
+        let cmd_start = earliest.max(self.ready_at);
+        let (prep, row_hit, activated) = match self.open_row {
+            Some(open) if open == row => (0, true, false),
+            Some(_) => {
+                // Conflict: precharge (respecting tRAS and write
+                // recovery), then activate.
+                let pre_at = cmd_start
+                    .max(self.activated_at + t.t_ras)
+                    .max(self.write_recovery_until);
+                let prep = (pre_at - cmd_start) + t.t_rp + t.t_rcd;
+                (prep, false, true)
+            }
+            None => (t.t_rcd, false, true),
+        };
+        if activated {
+            self.activated_at = cmd_start + prep - t.t_rcd;
+        }
+        self.open_row = Some(row);
+
+        let cas = if is_write { t.t_cwd } else { t.t_cl };
+        let burst = t.t_burst * lines as u64;
+        // First data beat cannot start before the shared data bus frees.
+        let data_start = (cmd_start + prep + cas).max(data_bus_free);
+        let finish = data_start + burst;
+
+        // Next command to this bank: the bank can accept another
+        // column command as soon as the data is out (same-row accesses
+        // are spaced by the shared bus). Writes additionally arm the
+        // write-recovery window that gates the next precharge.
+        self.ready_at = finish;
+        if is_write {
+            self.write_recovery_until = finish + t.t_wr;
+        }
+
+        BankService { cmd_start, finish, core_latency: prep + cas + burst, row_hit, activated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::DramTiming;
+    use hmm_sim_base::cycles::CpuClock;
+
+    fn t() -> TimingCpu {
+        DramTiming::ddr3_1333().to_cpu(&CpuClock::default())
+    }
+
+    #[test]
+    fn empty_bank_pays_activate() {
+        let t = t();
+        let mut b = Bank::new();
+        let s = b.service(100, 0, 7, false, 1, &t);
+        assert!(!s.row_hit);
+        assert!(s.activated);
+        assert_eq!(s.cmd_start, 100);
+        assert_eq!(s.core_latency, t.t_rcd + t.t_cl + t.t_burst);
+        assert_eq!(s.finish, 100 + s.core_latency);
+        assert_eq!(b.open_row(), Some(7));
+    }
+
+    #[test]
+    fn row_hit_pays_cas_only() {
+        let t = t();
+        let mut b = Bank::new();
+        let first = b.service(0, 0, 7, false, 1, &t);
+        let s = b.service(first.finish, 0, 7, false, 1, &t);
+        assert!(s.row_hit);
+        assert!(!s.activated);
+        assert_eq!(s.core_latency, t.t_cl + t.t_burst);
+    }
+
+    #[test]
+    fn conflict_pays_precharge_and_respects_tras() {
+        let t = t();
+        let mut b = Bank::new();
+        let first = b.service(0, 0, 7, false, 1, &t);
+        // Immediately hit a different row: tRAS may delay the precharge.
+        let s = b.service(first.finish, 0, 8, false, 1, &t);
+        assert!(!s.row_hit);
+        assert!(s.activated);
+        assert!(s.core_latency >= t.t_rp + t.t_rcd + t.t_cl + t.t_burst);
+        assert_eq!(b.open_row(), Some(8));
+    }
+
+    #[test]
+    fn conflict_long_after_activate_pays_exactly_rp_rcd() {
+        let t = t();
+        let mut b = Bank::new();
+        b.service(0, 0, 7, false, 1, &t);
+        // Far past tRAS: no extra wait.
+        let s = b.service(10_000, 0, 8, false, 1, &t);
+        assert_eq!(s.core_latency, t.t_rp + t.t_rcd + t.t_cl + t.t_burst);
+    }
+
+    #[test]
+    fn data_bus_contention_delays_finish_not_core() {
+        let t = t();
+        let mut b = Bank::new();
+        let busy_until = 1_000;
+        let s = b.service(0, busy_until, 7, false, 1, &t);
+        assert_eq!(s.finish, busy_until + t.t_burst);
+        // Core latency reflects the intrinsic cost, not the bus wait.
+        assert_eq!(s.core_latency, t.t_rcd + t.t_cl + t.t_burst);
+    }
+
+    #[test]
+    fn write_recovery_gates_precharge_not_same_row_traffic() {
+        let t = t();
+        let mut b = Bank::new();
+        let w = b.service(0, 0, 7, true, 1, &t);
+        // Same-row follow-up is bus-limited, not tWR-limited.
+        assert_eq!(b.ready_at(), w.finish);
+        let hit = b.service(w.finish, 0, 7, true, 1, &t);
+        assert!(hit.row_hit);
+        assert_eq!(hit.core_latency, t.t_cwd + t.t_burst);
+        // A conflicting row must wait out the write recovery before its
+        // precharge.
+        let last_write_finish = hit.finish;
+        let c = b.service(last_write_finish, 0, 9, false, 1, &t);
+        assert!(
+            c.cmd_start + (c.core_latency - t.t_rcd - t.t_cl - t.t_burst)
+                >= last_write_finish + t.t_wr - t.t_rp - t.t_rcd,
+            "precharge must respect tWR"
+        );
+        assert!(c.core_latency >= t.t_rp + t.t_rcd + t.t_cl + t.t_burst);
+    }
+
+    #[test]
+    fn multi_line_burst_scales_data_time() {
+        let t = t();
+        let mut b = Bank::new();
+        let s1 = {
+            let mut b2 = Bank::new();
+            b2.service(0, 0, 7, false, 1, &t)
+        };
+        let s64 = b.service(0, 0, 7, false, 64, &t);
+        assert_eq!(s64.finish - s1.finish, t.t_burst * 63);
+    }
+
+    #[test]
+    fn closed_page_policy_always_pays_activate() {
+        let t = t();
+        let mut b = Bank::new();
+        let first = b.service_with_policy(0, 0, 7, false, 1, &t, true);
+        assert!(!first.row_hit);
+        assert_eq!(b.open_row(), None, "auto-precharge closes the row");
+        // Re-access the same row: no conflict, but an activate again.
+        let second = b.service_with_policy(first.finish + t.t_rp, 0, 7, false, 1, &t, true);
+        assert!(!second.row_hit);
+        assert_eq!(second.core_latency, t.t_rcd + t.t_cl + t.t_burst);
+    }
+
+    #[test]
+    fn closed_page_beats_open_page_on_conflicts() {
+        let t = t();
+        // Alternating rows: open-page pays precharge-on-demand (plus tRAS
+        // gating), closed-page has the precharge already done.
+        let mut open = Bank::new();
+        let mut closed = Bank::new();
+        let mut open_finish = 0;
+        let mut closed_finish = 0;
+        for i in 0..10u64 {
+            let row = i % 2;
+            open_finish = open.service(open_finish, 0, row, false, 1, &t).finish;
+            closed_finish = closed
+                .service_with_policy(closed_finish, 0, row, false, 1, &t, true)
+                .finish;
+        }
+        assert!(
+            closed_finish <= open_finish,
+            "closed {closed_finish} vs open {open_finish}"
+        );
+    }
+
+    #[test]
+    fn close_row_resets_to_empty() {
+        let t = t();
+        let mut b = Bank::new();
+        b.service(0, 0, 7, false, 1, &t);
+        b.close_row(500);
+        assert_eq!(b.open_row(), None);
+        let s = b.service(1_000, 0, 7, false, 1, &t);
+        assert!(!s.row_hit);
+    }
+}

@@ -1,0 +1,226 @@
+//! Device geometry and address mapping.
+//!
+//! A region is `channels x ranks x banks x rows x columns`. The machine
+//! address is decomposed with the open-page-friendly ordering
+//!
+//! ```text
+//!   [ row | rank | bank | column | channel | line offset (6 bits) ]
+//! ```
+//!
+//! i.e. consecutive cache lines interleave across channels, the next bits
+//! walk through a row (so a streaming access pattern stays in the open row
+//! of every channel), and only then do bank/rank/row change. This is the
+//! standard mapping for open-page FR-FCFS controllers.
+
+use crate::timing::DramTiming;
+use hmm_sim_base::addr::LINE_SHIFT;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Independent channels (each with its own command/data buses).
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Row-buffer size in bytes (per rank; the unit an ACTIVATE opens).
+    pub row_bytes: u64,
+    /// Timing parameter set for this device.
+    pub timing: DramTiming,
+}
+
+impl DeviceProfile {
+    /// The paper's off-package memory: four DDR3-1333 channels of
+    /// conventional DIMMs, 8 banks per rank ("8-bank structure for the
+    /// off-package DRAM").
+    pub fn off_package_ddr3() -> Self {
+        Self {
+            channels: 4,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            row_bytes: 8 * 1024,
+            timing: DramTiming::ddr3_1333(),
+        }
+    }
+
+    /// The paper's on-package memory: 8 DRAM dies on the silicon interposer
+    /// (plus one for ECC), with a many-bank structure — "128-bank structure
+    /// for the on-package DRAM" — and fast on-package I/O. We model each die
+    /// as a channel with 16 banks: 8 x 16 = 128 banks total.
+    pub fn on_package() -> Self {
+        Self {
+            channels: 8,
+            ranks_per_channel: 1,
+            banks_per_rank: 16,
+            row_bytes: 8 * 1024,
+            timing: DramTiming::on_package(),
+        }
+    }
+
+    /// Total banks across the region (the paper quotes this number).
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Cache lines per row buffer.
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_bytes >> LINE_SHIFT
+    }
+
+    /// Validate the profile.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.ranks_per_channel == 0 || self.banks_per_rank == 0 {
+            return Err("geometry dimensions must be non-zero".into());
+        }
+        if !self.channels.is_power_of_two()
+            || !self.ranks_per_channel.is_power_of_two()
+            || !self.banks_per_rank.is_power_of_two()
+        {
+            return Err("geometry dimensions must be powers of two (address decode)".into());
+        }
+        if self.row_bytes < 64 || !self.row_bytes.is_power_of_two() {
+            return Err("row size must be a power of two >= one cache line".into());
+        }
+        self.timing.validate()
+    }
+
+    /// Decompose a machine address (byte address within this region) into
+    /// DRAM coordinates.
+    #[inline]
+    pub fn decode(&self, addr: u64) -> DramCoord {
+        let line = addr >> LINE_SHIFT;
+        let ch_bits = self.channels.trailing_zeros();
+        let col_bits = (self.lines_per_row()).trailing_zeros();
+        let bank_bits = self.banks_per_rank.trailing_zeros();
+        let rank_bits = self.ranks_per_channel.trailing_zeros();
+
+        let mut rest = line;
+        let channel = (rest & (self.channels as u64 - 1)) as u32;
+        rest >>= ch_bits;
+        let column = (rest & (self.lines_per_row() - 1)) as u32;
+        rest >>= col_bits;
+        let bank = (rest & (self.banks_per_rank as u64 - 1)) as u32;
+        rest >>= bank_bits;
+        let rank = (rest & (self.ranks_per_channel as u64 - 1)) as u32;
+        rest >>= rank_bits;
+        let row = rest;
+        // Permutation-based bank interleaving (row bits XORed into the
+        // bank index): consecutive rows of one region spread over all
+        // banks, so a hot block cannot concentrate on a single bank.
+        // Standard in real controllers (Zhang et al., MICRO'00).
+        let bank = bank ^ (row as u32 & (self.banks_per_rank - 1));
+        DramCoord { channel, rank, bank, row, column }
+    }
+}
+
+/// Coordinates of one cache line inside a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column (cache-line index within the row).
+    pub column: u32,
+}
+
+impl DramCoord {
+    /// Flat bank index within the channel (rank-major).
+    #[inline]
+    pub fn bank_in_channel(&self, profile: &DeviceProfile) -> usize {
+        (self.rank * profile.banks_per_rank + self.bank) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bank_counts() {
+        assert_eq!(DeviceProfile::off_package_ddr3().total_banks(), 4 * 2 * 8);
+        assert_eq!(DeviceProfile::on_package().total_banks(), 128);
+    }
+
+    #[test]
+    fn profiles_validate() {
+        DeviceProfile::off_package_ddr3().validate().unwrap();
+        DeviceProfile::on_package().validate().unwrap();
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_channels() {
+        let p = DeviceProfile::off_package_ddr3();
+        let a = p.decode(0);
+        let b = p.decode(64);
+        let c = p.decode(64 * 4);
+        assert_eq!(a.channel, 0);
+        assert_eq!(b.channel, 1);
+        assert_eq!(c.channel, 0); // wrapped around 4 channels
+        // Same row once the channel wraps.
+        assert_eq!(a.row, c.row);
+        assert_eq!(a.bank, c.bank);
+        assert_eq!(c.column, a.column + 1);
+    }
+
+    #[test]
+    fn rows_change_only_beyond_bank_spread() {
+        let p = DeviceProfile::off_package_ddr3();
+        // One row holds lines_per_row lines per channel; with 4 channels,
+        // 8 banks, 2 ranks the row bit starts at
+        // 6 + 2(ch) + 7(col) + 3(bank) + 1(rank) = bit 19.
+        let stride = 1u64 << 19;
+        let a = p.decode(0);
+        let b = p.decode(stride);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(b.row, a.row + 1);
+        // The XOR interleave moves consecutive rows to different banks.
+        assert_eq!(b.bank, a.bank ^ 1);
+    }
+
+    #[test]
+    fn xor_interleave_spreads_a_hot_block_over_banks() {
+        let p = DeviceProfile::off_package_ddr3();
+        // 16 consecutive rows on one channel land in many distinct banks.
+        let mut banks = std::collections::HashSet::new();
+        for r in 0..16u64 {
+            let c = p.decode(r << 19);
+            banks.insert((c.rank, c.bank));
+        }
+        assert!(banks.len() >= 8, "row-XOR must spread rows: {}", banks.len());
+    }
+
+    #[test]
+    fn decode_is_injective_over_a_window() {
+        let p = DeviceProfile::on_package();
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..4096u64 {
+            let c = p.decode(line << LINE_SHIFT);
+            assert!(seen.insert((c.channel, c.rank, c.bank, c.row, c.column)));
+        }
+    }
+
+    #[test]
+    fn bank_in_channel_flattening() {
+        let p = DeviceProfile::off_package_ddr3();
+        let c = DramCoord { channel: 0, rank: 1, bank: 3, row: 0, column: 0 };
+        assert_eq!(c.bank_in_channel(&p), 8 + 3);
+    }
+
+    #[test]
+    fn validation_rejects_non_power_of_two() {
+        let mut p = DeviceProfile::off_package_ddr3();
+        p.channels = 3;
+        assert!(p.validate().is_err());
+        let mut p = DeviceProfile::off_package_ddr3();
+        p.row_bytes = 100;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Cycle-approximate DRAM timing model for the heterogeneous-main-memory
+//! study.
+//!
+//! The paper evaluates its migration designs with a trace-based simulation
+//! that "models the detailed DRAM access latency by assuming FR-FCFS
+//! scheduling policy and open page access", with an 8-bank structure for the
+//! off-package DDR3 DIMMs and a 128-bank structure for the on-package DRAM
+//! (Section IV). This crate is that substrate:
+//!
+//! * [`timing`] — DDR3 timing parameters (tCL/tRCD/tRP/tRAS/tFAW/...) with
+//!   Micron DDR3-1333 defaults, converted once into CPU cycles.
+//! * [`device`] — device geometry (channels x ranks x banks x rows) and the
+//!   machine-address → DRAM-coordinate mapping, with the off-package DIMM
+//!   and on-package many-bank profiles used in the paper.
+//! * [`bank`] — the per-bank row-buffer state machine (open-page policy).
+//! * [`channel`] — one channel: banks, shared command/data buses, the tFAW
+//!   rolling window, periodic refresh, and the FR-FCFS transaction queue.
+//! * [`region`] — a whole memory region (on-package or off-package): routes
+//!   transactions to channels, advances time, collects completions and
+//!   region-level statistics.
+//! * [`txn`] — transaction and completion types. Demand traffic always wins
+//!   arbitration over background (migration) traffic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bank;
+pub mod channel;
+pub mod device;
+pub mod region;
+pub mod timing;
+pub mod txn;
+
+pub use device::{DeviceProfile, DramCoord};
+pub use region::{DramRegion, RegionStats};
+pub use timing::{DramTiming, TimingCpu};
+pub use txn::{Completion, PagePolicy, SchedPolicy, Transaction};

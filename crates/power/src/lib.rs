@@ -1,0 +1,201 @@
+//! Energy model for heterogeneous on-/off-package DRAM traffic
+//! (Section IV-D, Fig. 16).
+//!
+//! The paper assumes, for a 65 nm-class interface:
+//!
+//! * **5 pJ/bit** for the DRAM core access (both regions);
+//! * **1.66 pJ/bit** for the on-package interconnect;
+//! * **13 pJ/bit** for the off-package interconnect.
+//!
+//! "The memory power overhead caused by crossing-package migration depends
+//! on the migration interval" — migration moves every line twice (a read
+//! and a write leg), and each leg pays core + link energy of its region.
+//! The figure reports power *normalized to an off-package-DRAM-only
+//! solution* serving the same demand traffic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::{Deserialize, Serialize};
+
+/// Bits per cache line (64 B).
+pub const LINE_BITS: f64 = 512.0;
+
+/// Energy coefficients in pJ/bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// DRAM core access energy (either region).
+    pub core_pj_per_bit: f64,
+    /// On-package interconnect energy.
+    pub on_link_pj_per_bit: f64,
+    /// Off-package interconnect energy.
+    pub off_link_pj_per_bit: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self { core_pj_per_bit: 5.0, on_link_pj_per_bit: 1.66, off_link_pj_per_bit: 13.0 }
+    }
+}
+
+/// Line counts through each region (demand and migration separately).
+/// These map one-to-one onto the controller's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Traffic {
+    /// Demand lines served by the on-package region.
+    pub demand_on_lines: u64,
+    /// Demand lines served by the off-package region.
+    pub demand_off_lines: u64,
+    /// Migration lines through the on-package region (read + write legs).
+    pub migration_on_lines: u64,
+    /// Migration lines through the off-package region.
+    pub migration_off_lines: u64,
+}
+
+impl Traffic {
+    /// All lines through the on-package region.
+    pub fn on_lines(&self) -> u64 {
+        self.demand_on_lines + self.migration_on_lines
+    }
+
+    /// All lines through the off-package region.
+    pub fn off_lines(&self) -> u64 {
+        self.demand_off_lines + self.migration_off_lines
+    }
+
+    /// Total demand lines (the work the baseline must also do).
+    pub fn demand_lines(&self) -> u64 {
+        self.demand_on_lines + self.demand_off_lines
+    }
+}
+
+/// Energy breakdown in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// DRAM core energy.
+    pub core_pj: f64,
+    /// On-package link energy.
+    pub on_link_pj: f64,
+    /// Off-package link energy.
+    pub off_link_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_pj(&self) -> f64 {
+        self.core_pj + self.on_link_pj + self.off_link_pj
+    }
+}
+
+/// Energy of the given traffic under the hybrid memory system.
+pub fn hybrid_energy(params: &EnergyParams, t: &Traffic) -> EnergyBreakdown {
+    let on_bits = t.on_lines() as f64 * LINE_BITS;
+    let off_bits = t.off_lines() as f64 * LINE_BITS;
+    EnergyBreakdown {
+        core_pj: (on_bits + off_bits) * params.core_pj_per_bit,
+        on_link_pj: on_bits * params.on_link_pj_per_bit,
+        off_link_pj: off_bits * params.off_link_pj_per_bit,
+    }
+}
+
+/// Energy of the same *demand* traffic if every access went to off-package
+/// DRAM (the paper's normalization baseline: "only using off-package
+/// DRAM").
+pub fn baseline_energy(params: &EnergyParams, t: &Traffic) -> EnergyBreakdown {
+    let bits = t.demand_lines() as f64 * LINE_BITS;
+    EnergyBreakdown {
+        core_pj: bits * params.core_pj_per_bit,
+        on_link_pj: 0.0,
+        off_link_pj: bits * params.off_link_pj_per_bit,
+    }
+}
+
+/// The Fig. 16 metric: hybrid energy over off-package-only energy for the
+/// same demand stream (both run for the same interval, so the energy ratio
+/// equals the power ratio). Returns `None` when there is no demand.
+pub fn normalized_power(params: &EnergyParams, t: &Traffic) -> Option<f64> {
+    if t.demand_lines() == 0 {
+        return None;
+    }
+    Some(hybrid_energy(params, t).total_pj() / baseline_energy(params, t).total_pj())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> EnergyParams {
+        EnergyParams::default()
+    }
+
+    #[test]
+    fn paper_coefficients_are_default() {
+        let d = EnergyParams::default();
+        assert_eq!(d.core_pj_per_bit, 5.0);
+        assert_eq!(d.on_link_pj_per_bit, 1.66);
+        assert_eq!(d.off_link_pj_per_bit, 13.0);
+    }
+
+    #[test]
+    fn all_off_demand_matches_baseline_exactly() {
+        let t = Traffic { demand_off_lines: 1000, ..Default::default() };
+        assert_eq!(normalized_power(&p(), &t), Some(1.0));
+    }
+
+    #[test]
+    fn on_package_demand_saves_link_energy() {
+        let t = Traffic { demand_on_lines: 1000, ..Default::default() };
+        let r = normalized_power(&p(), &t).unwrap();
+        // (5 + 1.66) / (5 + 13)
+        assert!((r - 6.66 / 18.0).abs() < 1e-9, "ratio {r}");
+        assert!(r < 1.0, "serving demand on-package must be cheaper");
+    }
+
+    #[test]
+    fn migration_traffic_adds_overhead() {
+        let demand_only = Traffic { demand_off_lines: 1000, ..Default::default() };
+        let with_migration = Traffic {
+            demand_off_lines: 1000,
+            migration_on_lines: 2000,
+            migration_off_lines: 2000,
+            ..Default::default()
+        };
+        let a = normalized_power(&p(), &demand_only).unwrap();
+        let b = normalized_power(&p(), &with_migration).unwrap();
+        assert!(b > 2.0 * a, "heavy migration should at least double power: {b}");
+    }
+
+    #[test]
+    fn fig16_minimum_two_x_shape() {
+        // The paper's observation: at 4 KB granularity and a 1K-access
+        // interval, migration roughly doubles memory power. One swap per
+        // 1000 accesses at 4 KB = 64 lines x ~3 page moves x 2 legs per
+        // 1000 demand lines.
+        let t = Traffic {
+            demand_on_lines: 800,
+            demand_off_lines: 200,
+            migration_on_lines: 3 * 64,
+            migration_off_lines: 3 * 64,
+        };
+        let r = normalized_power(&p(), &t).unwrap();
+        assert!((0.5..4.0).contains(&r), "same order as the paper's ~2x: {r}");
+    }
+
+    #[test]
+    fn breakdown_components_sum() {
+        let t = Traffic {
+            demand_on_lines: 10,
+            demand_off_lines: 20,
+            migration_on_lines: 30,
+            migration_off_lines: 40,
+        };
+        let e = hybrid_energy(&p(), &t);
+        assert!(e.core_pj > 0.0 && e.on_link_pj > 0.0 && e.off_link_pj > 0.0);
+        assert!((e.total_pj() - (e.core_pj + e.on_link_pj + e.off_link_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traffic_has_no_ratio() {
+        assert_eq!(normalized_power(&p(), &Traffic::default()), None);
+    }
+}

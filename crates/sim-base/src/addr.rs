@@ -1,0 +1,179 @@
+//! Strongly-typed addresses for the two address spaces of the paper.
+//!
+//! The paper's central mechanism is an extra level of indirection maintained
+//! by the on-chip memory controller:
+//!
+//! ```text
+//!   virtual --(OS page tables)--> physical --(translation table)--> machine
+//! ```
+//!
+//! The OS keeps managing *physical* addresses exactly as before; the
+//! *machine* address names the actual DRAM location (on-package slot or
+//! off-package DIMM). We model the last two spaces. Mixing them up is the
+//! easiest bug to write in this system, so they are distinct newtypes: a
+//! [`PhysAddr`] can only become a [`MachineAddr`] by going through the
+//! translation table in `hmm-core`.
+
+use serde::{Deserialize, Serialize};
+
+/// The cache-line size used throughout the paper (and this workspace).
+pub const LINE_BYTES: u64 = 64;
+
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A physical address: what the caches and the OS see. 48-bit in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+/// A machine address: the actual DRAM location after the controller's
+/// physical-to-machine translation. Same 48-bit format; the MSBs select the
+/// on-package vs. off-package region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineAddr(pub u64);
+
+/// A macro-page number in the *physical* space: `PhysAddr >> page_shift`.
+///
+/// Macro pages are the migration granularity — 4 KB to 4 MB in the paper's
+/// sweep, so much larger than the OS's 4 KB pages at the top of the range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacroPageId(pub u64);
+
+/// An on-package slot index — a row of the translation table. The paper's
+/// 1 GB / 4 MB configuration has N = 256 slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SlotId(pub u32);
+
+/// A sub-block index within a macro page (4 KB sub-blocks in the paper's
+/// live-migration design; a 4 MB page has 1024 sub-blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubBlockId(pub u32);
+
+/// A 64-byte cache-line address (`addr >> 6`), used by the cache models and
+/// as the unit of DRAM data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LineAddr(pub u64);
+
+impl PhysAddr {
+    /// The macro page this address belongs to, for a given page shift.
+    #[inline]
+    pub fn macro_page(self, page_shift: u32) -> MacroPageId {
+        MacroPageId(self.0 >> page_shift)
+    }
+
+    /// Offset of this address within its macro page.
+    #[inline]
+    pub fn page_offset(self, page_shift: u32) -> u64 {
+        self.0 & ((1u64 << page_shift) - 1)
+    }
+
+    /// Sub-block index of this address within its macro page.
+    #[inline]
+    pub fn sub_block(self, page_shift: u32, sub_shift: u32) -> SubBlockId {
+        debug_assert!(sub_shift <= page_shift);
+        SubBlockId((self.page_offset(page_shift) >> sub_shift) as u32)
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+}
+
+impl MachineAddr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Offset within a macro page (machine space uses the same page grid).
+    #[inline]
+    pub fn page_offset(self, page_shift: u32) -> u64 {
+        self.0 & ((1u64 << page_shift) - 1)
+    }
+}
+
+impl MacroPageId {
+    /// First byte address of the page.
+    #[inline]
+    pub fn base(self, page_shift: u32) -> u64 {
+        self.0 << page_shift
+    }
+
+    /// Rebuild a physical address from page id + in-page offset.
+    #[inline]
+    pub fn with_offset(self, page_shift: u32, offset: u64) -> PhysAddr {
+        debug_assert!(offset < (1u64 << page_shift));
+        PhysAddr(self.base(page_shift) | offset)
+    }
+}
+
+impl LineAddr {
+    /// First byte address of the line.
+    #[inline]
+    pub fn base(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P:{:#x}", self.0)
+    }
+}
+
+impl std::fmt::Display for MachineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "M:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB4_SHIFT: u32 = 22; // 4 MB macro pages
+    const KB4_SHIFT: u32 = 12; // 4 KB sub-blocks
+
+    #[test]
+    fn macro_page_extraction_matches_paper_example() {
+        // Paper Fig. 6: 48-bit address, 4 MB pages -> low 22 bits are the
+        // offset, high 26 bits the page id.
+        let a = PhysAddr(0x0000_1234_5678_9abc & ((1 << 48) - 1));
+        let page = a.macro_page(MB4_SHIFT);
+        assert_eq!(page.0, a.0 >> 22);
+        assert_eq!(page.with_offset(MB4_SHIFT, a.page_offset(MB4_SHIFT)), a);
+    }
+
+    #[test]
+    fn sub_block_indices_cover_page() {
+        // 4 MB page / 4 KB sub-blocks = 1024 sub-blocks (paper Fig. 9).
+        let page = MacroPageId(7);
+        let first = page.with_offset(MB4_SHIFT, 0);
+        let last = page.with_offset(MB4_SHIFT, (1 << MB4_SHIFT) - 1);
+        assert_eq!(first.sub_block(MB4_SHIFT, KB4_SHIFT).0, 0);
+        assert_eq!(last.sub_block(MB4_SHIFT, KB4_SHIFT).0, 1023);
+    }
+
+    #[test]
+    fn line_math() {
+        let a = PhysAddr(0x1000 + 65);
+        assert_eq!(a.line().0, (0x1000 + 65) >> 6);
+        assert_eq!(LineAddr(3).base(), 192);
+    }
+
+    #[test]
+    fn page_offset_masks_low_bits_only() {
+        let a = PhysAddr((5 << MB4_SHIFT) | 0xabc);
+        assert_eq!(a.page_offset(MB4_SHIFT), 0xabc);
+        assert_eq!(a.macro_page(MB4_SHIFT).0, 5);
+    }
+
+    #[test]
+    fn display_forms_distinguish_spaces() {
+        assert_eq!(PhysAddr(0x10).to_string(), "P:0x10");
+        assert_eq!(MachineAddr(0x10).to_string(), "M:0x10");
+    }
+}

@@ -1,0 +1,122 @@
+//! The simulation time base.
+//!
+//! Everything in this workspace is measured in **CPU cycles** of the paper's
+//! 3.2 GHz quad-core target (Table II). DRAM devices run on their own clock
+//! (667 MHz for DDR3-1333), so DRAM timing parameters are converted to CPU
+//! cycles once, at configuration time, via [`CpuClock::dram_to_cpu`].
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time or a duration, in CPU cycles.
+///
+/// `Cycle` is a plain `u64` alias rather than a newtype: the simulator does
+/// heavy arithmetic on times in hot loops, and the paper's model never mixes
+/// time units after configuration (all DRAM parameters are pre-converted), so
+/// the newtype would cost ergonomics without catching real bugs.
+pub type Cycle = u64;
+
+/// CPU clock description used to convert between time domains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuClock {
+    /// Core frequency in MHz. The paper's target is 3200 MHz.
+    pub cpu_mhz: u64,
+    /// DRAM command-clock frequency in MHz. DDR3-1333 runs the command bus
+    /// at 666 MHz (the "1333" is the DDR data rate).
+    pub dram_mhz: u64,
+}
+
+impl Default for CpuClock {
+    fn default() -> Self {
+        Self { cpu_mhz: 3200, dram_mhz: 666 }
+    }
+}
+
+impl CpuClock {
+    /// Create a clock pair, validating that both frequencies are non-zero
+    /// and that the CPU is not slower than the DRAM command clock (the
+    /// simulator's conversions assume cpu >= dram, which holds for every
+    /// configuration in the paper).
+    pub fn new(cpu_mhz: u64, dram_mhz: u64) -> Result<Self, String> {
+        if cpu_mhz == 0 || dram_mhz == 0 {
+            return Err("clock frequencies must be non-zero".into());
+        }
+        if cpu_mhz < dram_mhz {
+            return Err(format!(
+                "cpu clock ({cpu_mhz} MHz) must be >= dram clock ({dram_mhz} MHz)"
+            ));
+        }
+        Ok(Self { cpu_mhz, dram_mhz })
+    }
+
+    /// Convert a duration expressed in DRAM command-clock cycles to CPU
+    /// cycles, rounding up (a command that takes *n* DRAM cycles occupies at
+    /// least `ceil(n * cpu/dram)` CPU cycles).
+    #[inline]
+    pub fn dram_to_cpu(&self, dram_cycles: u64) -> Cycle {
+        // ceil(dram_cycles * cpu_mhz / dram_mhz)
+        (dram_cycles * self.cpu_mhz).div_ceil(self.dram_mhz)
+    }
+
+    /// Convert a duration in nanoseconds to CPU cycles, rounding up.
+    #[inline]
+    pub fn ns_to_cpu(&self, ns: u64) -> Cycle {
+        (ns * self.cpu_mhz).div_ceil(1000)
+    }
+
+    /// Convert CPU cycles to nanoseconds (rounded down). Used only for
+    /// reporting, never inside the timing model.
+    #[inline]
+    pub fn cpu_to_ns(&self, cycles: Cycle) -> u64 {
+        cycles * 1000 / self.cpu_mhz
+    }
+
+    /// CPU cycles per DRAM command cycle, rounded up. DDR3-1333 under a
+    /// 3.2 GHz core gives 5 CPU cycles per DRAM cycle (4.8 exact).
+    #[inline]
+    pub fn cpu_per_dram(&self) -> u64 {
+        self.cpu_mhz.div_ceil(self.dram_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = CpuClock::default();
+        assert_eq!(c.cpu_mhz, 3200);
+        assert_eq!(c.dram_mhz, 666);
+    }
+
+    #[test]
+    fn dram_to_cpu_rounds_up() {
+        let c = CpuClock::default();
+        // 1 DRAM cycle = 4.80 CPU cycles -> 5.
+        assert_eq!(c.dram_to_cpu(1), 5);
+        // 9 DRAM cycles (tCL of DDR3-1333) = 43.2 -> 44 CPU cycles.
+        assert_eq!(c.dram_to_cpu(9), 44);
+        assert_eq!(c.dram_to_cpu(0), 0);
+    }
+
+    #[test]
+    fn ns_conversion_round_trips_within_rounding() {
+        let c = CpuClock::default();
+        let cycles = c.ns_to_cpu(100);
+        assert_eq!(cycles, 320);
+        assert_eq!(c.cpu_to_ns(cycles), 100);
+    }
+
+    #[test]
+    fn rejects_zero_and_inverted_clocks() {
+        assert!(CpuClock::new(0, 666).is_err());
+        assert!(CpuClock::new(3200, 0).is_err());
+        assert!(CpuClock::new(500, 666).is_err());
+        assert!(CpuClock::new(3200, 666).is_ok());
+    }
+
+    #[test]
+    fn cpu_per_dram_is_five_for_paper_config() {
+        assert_eq!(CpuClock::default().cpu_per_dram(), 5);
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic pseudo-random number generation for trace synthesis.
+//!
+//! Reproducibility of every figure matters more than statistical strength
+//! here, so we ship a self-contained xoshiro256** implementation seeded via
+//! SplitMix64. Its output is stable across platforms, Rust releases and
+//! `rand` version bumps. The `rand` crate is still used by property tests
+//! (through proptest), but never inside trace generation.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic xoshiro256** PRNG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Seed the generator. Any seed (including 0) produces a full-period
+    /// state thanks to the SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`. Uses the widening-multiply method
+    /// (Lemire); bias is negligible for the bounds used in trace synthesis.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Fork a child generator that is decorrelated from `self` but fully
+    /// determined by (parent seed, label). Used to give each workload stream
+    /// its own independent sequence.
+    pub fn fork(&self, label: u64) -> SimRng {
+        let mut sm = self.s[0] ^ self.s[3] ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+}
+
+/// A Zipf(θ) sampler over `[0, n)` using the standard inverse-CDF table
+/// construction. Zipfian popularity is how OLTP-style workloads (pgbench,
+/// SPECjbb warehouses) concentrate heat on a few macro pages.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with skew `theta` (theta = 0 is
+    /// uniform; ~0.99 is the classic YCSB-zipfian skew). `n` must be > 0.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of items in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the domain is a single item.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one item. Rank 0 is the most popular.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit_f64();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+        for _ in 0..10_000 {
+            let v = r.range(100, 200);
+            assert!((100..200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::new(11);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[r.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bucket expects 10_000; allow 5% deviation
+            assert!((9_500..10_500).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let parent = SimRng::new(99);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+        // Forks are themselves deterministic.
+        let mut c1b = parent.fork(1);
+        let mut c1a = parent.fork(1);
+        for _ in 0..100 {
+            assert_eq!(c1a.next_u64(), c1b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = SimRng::new(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn zipf_high_theta_concentrates_on_rank_zero() {
+        let z = Zipf::new(1000, 1.2);
+        let mut r = SimRng::new(5);
+        let mut rank0 = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut r) == 0 {
+                rank0 += 1;
+            }
+        }
+        // With theta=1.2 over 1000 items, rank 0 should take well over 10%.
+        assert!(rank0 > n / 10, "rank0 draws: {rank0}");
+    }
+
+    #[test]
+    fn zipf_samples_within_domain() {
+        let z = Zipf::new(17, 0.9);
+        let mut r = SimRng::new(8);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 17);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Statistics plumbing shared by the simulator and the figure harness.
+
+use crate::cycles::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Numerically robust running mean (Welford without the variance term plus a
+/// u128 total so means of billions of cycle samples stay exact).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunningMean {
+    count: u64,
+    total: u128,
+}
+
+impl RunningMean {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn push(&mut self, sample: u64) {
+        self.count += 1;
+        self.total += sample as u128;
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// Mean of the samples; 0.0 when empty.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another accumulator into this one (used when joining parallel
+    /// sweep shards).
+    pub fn merge(&mut self, other: &RunningMean) {
+        self.count += other.count;
+        self.total += other.total;
+    }
+}
+
+/// Power-of-two bucketed histogram for latency distributions. Bucket `i`
+/// covers `[2^i, 2^(i+1))`; bucket 0 covers `[0, 2)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// Histogram with 48 log2 buckets — enough for any cycle count the
+    /// simulator can produce.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; 48], count: 0, max_seen: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn push(&mut self, sample: u64) {
+        let idx = (64 - sample.leading_zeros()).saturating_sub(1) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max_seen = self.max_seen.max(sample);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Approximate quantile (upper edge of the bucket containing it).
+    /// `q` in `[0, 1]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_seen
+    }
+
+    /// Merge another histogram (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Where the cycles of one memory access went. The trace simulator fills
+/// this per access; Table IV and Figs. 11-15 aggregate them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// DRAM core (activate/CAS/precharge critical path).
+    pub dram_core: Cycle,
+    /// Time spent queued behind other transactions.
+    pub queuing: Cycle,
+    /// Memory-controller processing + translation-table lookup.
+    pub controller: Cycle,
+    /// Pin and wire delays (package pins + PCB, or interposer + intra-pkg).
+    pub interconnect: Cycle,
+}
+
+impl LatencyBreakdown {
+    /// Total access latency.
+    #[inline]
+    pub fn total(&self) -> Cycle {
+        self.dram_core + self.queuing + self.controller + self.interconnect
+    }
+}
+
+/// Aggregated statistics for one simulated region or run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Latency of every access (total cycles).
+    pub latency: RunningMean,
+    /// Distribution of total latency.
+    pub histogram: Histogram,
+    /// Component sums, for breakdown reporting.
+    pub dram_core: RunningMean,
+    /// Queuing component.
+    pub queuing: RunningMean,
+    /// Controller component.
+    pub controller: RunningMean,
+    /// Interconnect component.
+    pub interconnect: RunningMean,
+    /// Reads observed.
+    pub reads: u64,
+    /// Writes observed.
+    pub writes: u64,
+    /// Accesses served by the on-package region.
+    pub on_package_hits: u64,
+}
+
+impl AccessStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one access.
+    pub fn record(&mut self, b: &LatencyBreakdown, is_write: bool, on_package: bool) {
+        let total = b.total();
+        self.latency.push(total);
+        self.histogram.push(total);
+        self.dram_core.push(b.dram_core);
+        self.queuing.push(b.queuing);
+        self.controller.push(b.controller);
+        self.interconnect.push(b.interconnect);
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if on_package {
+            self.on_package_hits += 1;
+        }
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of accesses served on-package.
+    pub fn on_package_fraction(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.on_package_hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Mean total latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Merge a shard (parallel sweeps).
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.latency.merge(&other.latency);
+        self.histogram.merge(&other.histogram);
+        self.dram_core.merge(&other.dram_core);
+        self.queuing.merge(&other.queuing);
+        self.controller.merge(&other.controller);
+        self.interconnect.merge(&other.interconnect);
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.on_package_hits += other.on_package_hits;
+    }
+}
+
+/// The paper's effectiveness metric (Section IV-B):
+///
+/// ```text
+/// eta = (Lat_no_mig - Lat_mig) / (Lat_no_mig - Lat_dram_core) * 100%
+/// ```
+///
+/// It "approximately reflects how many memory accesses are routed to the
+/// on-package memory region". Returns `None` when the denominator is not
+/// positive (no headroom to improve).
+pub fn effectiveness(
+    latency_without_migration: f64,
+    latency_with_migration: f64,
+    dram_core_latency: f64,
+) -> Option<f64> {
+    let denom = latency_without_migration - dram_core_latency;
+    if denom <= 0.0 {
+        return None;
+    }
+    Some((latency_without_migration - latency_with_migration) / denom * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_basics() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.push(10);
+        m.push(20);
+        m.push(30);
+        assert_eq!(m.count(), 3);
+        assert!((m.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_merge_equals_combined() {
+        let mut a = RunningMean::new();
+        let mut b = RunningMean::new();
+        let mut whole = RunningMean::new();
+        for i in 0..100 {
+            if i % 2 == 0 {
+                a.push(i);
+            } else {
+                b.push(i);
+            }
+            whole.push(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.total(), whole.total());
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.push(100); // bucket [64,128)
+        }
+        for _ in 0..10 {
+            h.push(1000); // bucket [512,1024)
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile(0.5) <= 128);
+        assert!(h.quantile(0.99) >= 512);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge() {
+        let mut h = Histogram::new();
+        h.push(0);
+        h.push(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = LatencyBreakdown { dram_core: 50, queuing: 116, controller: 7, interconnect: 27 };
+        assert_eq!(b.total(), 200);
+    }
+
+    #[test]
+    fn access_stats_record_and_fraction() {
+        let mut s = AccessStats::new();
+        let fast = LatencyBreakdown { dram_core: 50, queuing: 0, controller: 7, interconnect: 13 };
+        let slow = LatencyBreakdown { dram_core: 50, queuing: 116, controller: 7, interconnect: 27 };
+        s.record(&fast, false, true);
+        s.record(&slow, true, false);
+        assert_eq!(s.accesses(), 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert!((s.on_package_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.mean_latency() - 135.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 1..200u64 {
+            let v = i * 13 % 1000;
+            if i % 2 == 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+            whole.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        h.push(100);
+        assert!(h.quantile(0.0) >= 1);
+        assert!(h.quantile(1.0) >= 100 || h.quantile(1.0) >= 64);
+        // Out-of-range q is clamped.
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn access_stats_merge_preserves_totals() {
+        let b1 = LatencyBreakdown { dram_core: 50, queuing: 10, controller: 7, interconnect: 13 };
+        let b2 = LatencyBreakdown { dram_core: 60, queuing: 0, controller: 7, interconnect: 27 };
+        let mut a = AccessStats::new();
+        let mut b = AccessStats::new();
+        a.record(&b1, false, true);
+        b.record(&b2, true, false);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.accesses(), 2);
+        assert_eq!(merged.reads, 1);
+        assert_eq!(merged.writes, 1);
+        assert_eq!(merged.on_package_hits, 1);
+        assert!((merged.mean_latency() - (b1.total() + b2.total()) as f64 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectiveness_matches_paper_formula() {
+        // If migration recovers the full gap, eta = 100%.
+        assert_eq!(effectiveness(200.0, 50.0, 50.0), Some(100.0));
+        // No improvement -> 0%.
+        assert_eq!(effectiveness(200.0, 200.0, 50.0), Some(0.0));
+        // Half the gap -> 50%.
+        assert_eq!(effectiveness(200.0, 125.0, 50.0), Some(50.0));
+        // Degenerate denominator.
+        assert_eq!(effectiveness(50.0, 40.0, 50.0), None);
+    }
+}

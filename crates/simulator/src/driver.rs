@@ -1,0 +1,292 @@
+//! One trace-driven simulation run (the Section IV methodology).
+//!
+//! The driver streams a synthetic workload trace into a
+//! [`HeteroController`], advancing simulated time with each record's
+//! timestamp, and aggregates post-warm-up latency statistics. Statistics
+//! exclude a configurable warm-up prefix, mirroring the paper's
+//! warm-up-then-measure protocol (Table II).
+
+use hmm_core::{ControllerConfig, ControllerStats, HeteroController, Mode, SwapStats};
+use hmm_dram::{DeviceProfile, SchedPolicy};
+use hmm_sim_base::config::{MachineConfig, MemoryGeometry, SimScale};
+use hmm_sim_base::stats::AccessStats;
+use hmm_workloads::{workload, WorkloadId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Which workload to drive.
+    pub workload: WorkloadId,
+    /// Controller management mode.
+    pub mode: Mode,
+    /// log2 of the macro-page (migration granularity), 12..=22 in the
+    /// paper's sweep.
+    pub page_shift: u32,
+    /// log2 of the live-migration sub-block (paper: 12 = 4 KB).
+    pub sub_block_shift: u32,
+    /// Monitoring-epoch length in demand accesses (paper: 1K/10K/100K).
+    pub swap_interval: u64,
+    /// On-package capacity before scaling (paper: 512 MB; Fig. 15 sweeps
+    /// 128/256/512 MB).
+    pub on_package_bytes: u64,
+    /// Total memory capacity before scaling (paper Table III: 4 GB; grown
+    /// automatically if the workload footprint exceeds it).
+    pub total_bytes: u64,
+    /// Footprint/capacity scaling for fast runs.
+    pub scale: SimScale,
+    /// Demand accesses to simulate.
+    pub accesses: u64,
+    /// Accesses excluded from statistics at the start.
+    pub warmup: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Table management override (None = paper's 1 MB threshold).
+    pub os_assisted: Option<bool>,
+    /// DRAM scheduling policy.
+    pub policy: SchedPolicy,
+}
+
+impl RunConfig {
+    /// Table III defaults for one workload and mode: 4 GB total, 512 MB
+    /// on-package, 4 KB sub-blocks, 10K-access swap interval.
+    pub fn paper(workload: WorkloadId, mode: Mode) -> Self {
+        Self {
+            workload,
+            mode,
+            page_shift: 22,
+            sub_block_shift: 12,
+            swap_interval: 10_000,
+            on_package_bytes: 512 << 20,
+            total_bytes: 4 << 30,
+            scale: SimScale::full(),
+            accesses: 2_000_000,
+            warmup: 200_000,
+            seed: 42,
+            os_assisted: None,
+            policy: SchedPolicy::FrFcfs,
+        }
+    }
+
+    /// A fast configuration for tests: 1/64 scale, short trace.
+    pub fn quick(workload: WorkloadId, mode: Mode) -> Self {
+        Self {
+            scale: SimScale::test_default(),
+            accesses: 60_000,
+            warmup: 10_000,
+            page_shift: 16,
+            swap_interval: 2_000,
+            ..Self::paper(workload, mode)
+        }
+    }
+
+    /// The scaled memory geometry for this run. The total capacity grows
+    /// to cover the workload footprint (DC.B and FT.C exceed 4 GB), and
+    /// everything is rounded to macro-page multiples.
+    pub fn geometry(&self) -> MemoryGeometry {
+        let page = 1u64 << self.page_shift;
+        let fp = workload(self.workload, &self.scale).footprint_bytes;
+        let round_up = |v: u64| v.div_ceil(page) * page;
+        let round_down = |v: u64| (v / page * page).max(page);
+        // One extra page beyond the footprint keeps the reserved ghost
+        // page Ω outside the program-visible space.
+        let total = round_up(self.scale.bytes(self.total_bytes).max(fp) + page);
+        let mut on = round_down(self.scale.bytes(self.on_package_bytes));
+        if on + 2 * page > total {
+            on = (total - 2 * page).max(page);
+        }
+        MemoryGeometry {
+            total_bytes: total,
+            on_package_bytes: on,
+            page_shift: self.page_shift,
+            sub_block_shift: self.sub_block_shift.min(self.page_shift),
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload display name.
+    pub workload: String,
+    /// Post-warm-up access statistics.
+    pub access: AccessStats,
+    /// Whole-run controller counters (traffic, stalls, epochs).
+    pub controller: ControllerStats,
+    /// Migration statistics, when the mode migrates.
+    pub swaps: Option<SwapStats>,
+    /// The geometry that was simulated.
+    pub geometry: MemoryGeometry,
+}
+
+impl RunResult {
+    /// Mean end-to-end memory latency (cycles).
+    pub fn mean_latency(&self) -> f64 {
+        self.access.mean_latency()
+    }
+
+    /// Mean DRAM-core component (the "DRAM core latency" row of
+    /// Table IV).
+    pub fn dram_core_mean(&self) -> f64 {
+        self.access.dram_core.mean()
+    }
+
+    /// Fraction of accesses served on-package.
+    pub fn on_fraction(&self) -> f64 {
+        self.access.on_package_fraction()
+    }
+
+    /// Traffic summary for the power model.
+    pub fn traffic(&self) -> hmm_power::Traffic {
+        hmm_power::Traffic {
+            demand_on_lines: self.controller.demand_on_lines,
+            demand_off_lines: self.controller.demand_off_lines,
+            migration_on_lines: self.controller.migration_on_lines,
+            migration_off_lines: self.controller.migration_off_lines,
+        }
+    }
+}
+
+/// Execute one simulation run.
+pub fn run(cfg: &RunConfig) -> RunResult {
+    let w = workload(cfg.workload, &cfg.scale);
+    let geometry = cfg.geometry();
+    let machine = MachineConfig { geometry, ..MachineConfig::default() };
+    let mut ctrl = HeteroController::new(ControllerConfig {
+        machine,
+        mode: cfg.mode,
+        swap_interval: cfg.swap_interval,
+        os_assisted: cfg.os_assisted,
+        max_outstanding_copies: 16,
+        copy_pace_cycles_per_line: 20,
+        policy: cfg.policy,
+        on_profile: DeviceProfile::on_package(),
+        off_profile: DeviceProfile::off_package_ddr3(),
+    });
+
+    let mut access = AccessStats::new();
+    // Completions drained before the warm-up boundary id is known are
+    // stashed and classified at the end (demand ids are monotone in
+    // submission order, so `id <= boundary` identifies warm-up accesses).
+    let mut warmup_boundary_id = if cfg.warmup == 0 { Some(0u64) } else { None };
+    let mut stash: Vec<hmm_core::controller::DemandCompletion> = Vec::new();
+    let mut submitted = 0u64;
+    for rec in w.iter(cfg.seed).take(cfg.accesses as usize) {
+        let id = ctrl.access(rec.tick, rec.addr, rec.is_write);
+        submitted += 1;
+        if submitted == cfg.warmup {
+            warmup_boundary_id = Some(id);
+        }
+        ctrl.advance(rec.tick);
+        if submitted.is_multiple_of(64) {
+            match warmup_boundary_id {
+                Some(b) => {
+                    for c in ctrl.drain() {
+                        if c.id > b {
+                            access.record(&c.breakdown, c.is_write, c.on_package);
+                        }
+                    }
+                }
+                None => stash.extend(ctrl.drain()),
+            }
+        }
+    }
+    ctrl.flush();
+    let boundary = warmup_boundary_id.unwrap_or(u64::MAX);
+    for c in stash.into_iter().chain(ctrl.drain()) {
+        if c.id > boundary {
+            access.record(&c.breakdown, c.is_write, c.on_package);
+        }
+    }
+
+    RunResult {
+        workload: w.name,
+        access,
+        controller: ctrl.stats(),
+        swaps: ctrl.swap_stats(),
+        geometry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_core::MigrationDesign;
+
+    #[test]
+    fn quick_run_completes_and_counts() {
+        let cfg = RunConfig::quick(WorkloadId::Pgbench, Mode::Static);
+        let r = run(&cfg);
+        assert_eq!(
+            r.access.accesses(),
+            cfg.accesses - cfg.warmup,
+            "every post-warm-up access must be recorded exactly once"
+        );
+        assert!(r.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn geometry_covers_footprint() {
+        for id in [WorkloadId::Ft, WorkloadId::Dc] {
+            let cfg = RunConfig::quick(id, Mode::Static);
+            let g = cfg.geometry();
+            let fp = workload(id, &cfg.scale).footprint_bytes;
+            assert!(g.total_bytes > fp, "{id:?}: ghost page must lie beyond the footprint");
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn geometry_shrinks_on_package_if_needed() {
+        // A workload whose scaled footprint is tiny: on-package must stay
+        // strictly smaller than total.
+        let mut cfg = RunConfig::quick(WorkloadId::Ep, Mode::Static);
+        cfg.scale = SimScale { divisor: 1 << 10 };
+        let g = cfg.geometry();
+        g.validate().unwrap();
+        assert!(g.on_package_bytes < g.total_bytes);
+    }
+
+    #[test]
+    fn ordering_baseline_static_ideal() {
+        // All-off >= static >= all-on in mean latency, for a workload with
+        // real off-package traffic.
+        let mk = |mode| {
+            run(&RunConfig::quick(WorkloadId::Pgbench, mode)).mean_latency()
+        };
+        let off = mk(Mode::AllOffPackage);
+        let stat = mk(Mode::Static);
+        let on = mk(Mode::AllOnPackage);
+        assert!(off > stat, "off {off:.0} vs static {stat:.0}");
+        assert!(stat > on, "static {stat:.0} vs ideal {on:.0}");
+    }
+
+    #[test]
+    fn migration_beats_static_for_hot_workload() {
+        let stat = run(&RunConfig::quick(WorkloadId::Pgbench, Mode::Static));
+        let live = run(&RunConfig::quick(
+            WorkloadId::Pgbench,
+            Mode::Dynamic(MigrationDesign::LiveMigration),
+        ));
+        assert!(live.swaps.unwrap().completed > 0, "no swaps happened");
+        assert!(
+            live.mean_latency() < stat.mean_latency(),
+            "live {:.0} vs static {:.0}",
+            live.mean_latency(),
+            stat.mean_latency()
+        );
+        assert!(live.on_fraction() > stat.on_fraction());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = RunConfig::quick(
+            WorkloadId::SpecJbb,
+            Mode::Dynamic(MigrationDesign::NMinusOne),
+        );
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+        assert_eq!(a.controller.migration_on_lines, b.controller.migration_on_lines);
+    }
+}

@@ -1,0 +1,409 @@
+//! Parameter grids for the evaluation's tables and figures (Section IV).
+//!
+//! Every grid point is an independent trace simulation, so the grids are
+//! parallelised with rayon. The figure harness (`hmm-bench`) prints these
+//! rows in the paper's layout; the functions here return plain data.
+
+use crate::driver::{run, RunConfig, RunResult};
+use hmm_core::{MigrationDesign, Mode};
+use hmm_power::{normalized_power, EnergyParams};
+use hmm_sim_base::config::SimScale;
+use hmm_sim_base::stats::effectiveness;
+use hmm_workloads::WorkloadId;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The paper's macro-page sweep: 4 KB .. 4 MB.
+pub const PAGE_SHIFTS: [u32; 6] = [12, 14, 16, 18, 20, 22];
+
+/// The paper's swap-interval sweep (demand accesses per epoch).
+pub const INTERVALS: [u64; 3] = [1_000, 10_000, 100_000];
+
+/// Shared knobs for a whole grid.
+#[derive(Debug, Clone, Copy)]
+pub struct GridConfig {
+    /// Footprint/capacity scaling.
+    pub scale: SimScale,
+    /// Accesses per run.
+    pub accesses: u64,
+    /// Warm-up accesses per run.
+    pub warmup: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl GridConfig {
+    /// Small grids for tests.
+    pub fn quick() -> Self {
+        Self { scale: SimScale { divisor: 64 }, accesses: 60_000, warmup: 10_000, seed: 42 }
+    }
+
+    /// Bench-sized grids: 1/8 scale keeps full-footprint page dynamics
+    /// while finishing in minutes on one core.
+    pub fn bench() -> Self {
+        Self { scale: SimScale { divisor: 8 }, accesses: 400_000, warmup: 80_000, seed: 42 }
+    }
+
+    fn base_run(&self, w: WorkloadId, mode: Mode) -> RunConfig {
+        RunConfig {
+            scale: self.scale,
+            accesses: self.accesses,
+            warmup: self.warmup,
+            seed: self.seed,
+            ..RunConfig::paper(w, mode)
+        }
+    }
+}
+
+/// One cell of Figs. 11-14: a (workload, design, page size, interval)
+/// combination and its measured mean latency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Row {
+    /// Workload display name.
+    pub workload: String,
+    /// Migration design ("N", "N-1", "Live").
+    pub design: String,
+    /// Macro-page size in bytes.
+    pub page_bytes: u64,
+    /// Swap interval in accesses.
+    pub interval: u64,
+    /// Mean memory latency in cycles.
+    pub mean_latency: f64,
+    /// Fraction of accesses served on-package.
+    pub on_fraction: f64,
+}
+
+/// Human name of a design as used in the figures.
+pub fn design_label(d: MigrationDesign) -> &'static str {
+    match d {
+        MigrationDesign::N => "N",
+        MigrationDesign::NMinusOne => "N-1",
+        MigrationDesign::LiveMigration => "Live",
+    }
+}
+
+/// Compute the Fig. 11 grid for one swap interval: every trace workload x
+/// page size x design.
+pub fn fig11_grid(
+    grid: &GridConfig,
+    interval: u64,
+    workloads: &[WorkloadId],
+    page_shifts: &[u32],
+    designs: &[MigrationDesign],
+) -> Vec<Fig11Row> {
+    let cells: Vec<(WorkloadId, u32, MigrationDesign)> = workloads
+        .iter()
+        .flat_map(|&w| {
+            page_shifts.iter().flat_map(move |&p| {
+                designs.iter().map(move |&d| (w, p, d))
+            })
+        })
+        .collect();
+    cells
+        .into_par_iter()
+        .map(|(w, page_shift, design)| {
+            let cfg = RunConfig {
+                page_shift,
+                swap_interval: interval,
+                ..grid.base_run(w, Mode::Dynamic(design))
+            };
+            let r = run(&cfg);
+            Fig11Row {
+                workload: r.workload.clone(),
+                design: design_label(design).to_string(),
+                page_bytes: 1 << page_shift,
+                interval,
+                mean_latency: r.mean_latency(),
+                on_fraction: r.on_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table IV.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EffectivenessRow {
+    /// Workload display name.
+    pub workload: String,
+    /// Mean DRAM-core latency (cycles).
+    pub dram_core: f64,
+    /// Mean latency without migration (static mapping).
+    pub latency_without: f64,
+    /// Best mean latency with migration over the searched grid.
+    pub latency_with: f64,
+    /// The page size (bytes) achieving the best latency.
+    pub best_page_bytes: u64,
+    /// The interval achieving the best latency.
+    pub best_interval: u64,
+    /// The paper's effectiveness metric, percent.
+    pub effectiveness_pct: f64,
+}
+
+/// Compute Table IV: for each workload, static-mapping latency vs. the
+/// best live-migration latency over `page_shifts x intervals`.
+pub fn effectiveness_table(
+    grid: &GridConfig,
+    workloads: &[WorkloadId],
+    page_shifts: &[u32],
+    intervals: &[u64],
+) -> Vec<EffectivenessRow> {
+    workloads
+        .par_iter()
+        .map(|&w| {
+            let stat = run(&grid.base_run(w, Mode::Static));
+            let candidates: Vec<(u32, u64)> = page_shifts
+                .iter()
+                .flat_map(|&p| intervals.iter().map(move |&i| (p, i)))
+                .collect();
+            let best = candidates
+                .into_par_iter()
+                .map(|(page_shift, interval)| {
+                    let cfg = RunConfig {
+                        page_shift,
+                        swap_interval: interval,
+                        ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
+                    };
+                    let r = run(&cfg);
+                    (r.mean_latency(), page_shift, interval, r)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("non-empty candidate grid");
+            let (latency_with, best_shift, best_interval, best_run) = best;
+            let dram_core = best_run.dram_core_mean();
+            let eta = effectiveness(stat.mean_latency(), latency_with, dram_core)
+                .unwrap_or(0.0)
+                .clamp(0.0, 100.0);
+            EffectivenessRow {
+                workload: stat.workload.clone(),
+                dram_core,
+                latency_without: stat.mean_latency(),
+                latency_with,
+                best_page_bytes: 1 << best_shift,
+                best_interval,
+                effectiveness_pct: eta,
+            }
+        })
+        .collect()
+}
+
+/// One bar group of Fig. 15: a workload at one on-package capacity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig15Row {
+    /// Workload display name.
+    pub workload: String,
+    /// On-package capacity in bytes (unscaled label).
+    pub on_package_bytes: u64,
+    /// Mean DRAM-core latency.
+    pub dram_core: f64,
+    /// Mean latency with live migration.
+    pub with_migration: f64,
+    /// Mean latency without migration (static mapping).
+    pub without_migration: f64,
+}
+
+/// Fig. 15: sensitivity to on-package capacity (128/256/512 MB).
+pub fn fig15_capacity(
+    grid: &GridConfig,
+    workloads: &[WorkloadId],
+    capacities: &[u64],
+    page_shift: u32,
+    interval: u64,
+) -> Vec<Fig15Row> {
+    let cells: Vec<(WorkloadId, u64)> = workloads
+        .iter()
+        .flat_map(|&w| capacities.iter().map(move |&c| (w, c)))
+        .collect();
+    cells
+        .into_par_iter()
+        .map(|(w, cap)| {
+            let mig = run(&RunConfig {
+                page_shift,
+                swap_interval: interval,
+                on_package_bytes: cap,
+                ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
+            });
+            let stat = run(&RunConfig {
+                page_shift,
+                on_package_bytes: cap,
+                ..grid.base_run(w, Mode::Static)
+            });
+            Fig15Row {
+                workload: mig.workload.clone(),
+                on_package_bytes: cap,
+                dram_core: mig.dram_core_mean(),
+                with_migration: mig.mean_latency(),
+                without_migration: stat.mean_latency(),
+            }
+        })
+        .collect()
+}
+
+/// One bar of Fig. 16: normalized memory power for a (workload, page size,
+/// interval) combination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16Row {
+    /// Workload display name.
+    pub workload: String,
+    /// Macro-page size in bytes.
+    pub page_bytes: u64,
+    /// Swap interval in accesses.
+    pub interval: u64,
+    /// Power relative to the off-package-only solution.
+    pub normalized_power: f64,
+}
+
+/// Fig. 16: relative memory power of the hybrid system with migration vs.
+/// off-package-only, for small pages (4/16/64 KB) across intervals.
+pub fn fig16_power(
+    grid: &GridConfig,
+    workloads: &[WorkloadId],
+    page_shifts: &[u32],
+    intervals: &[u64],
+) -> Vec<Fig16Row> {
+    let cells: Vec<(WorkloadId, u32, u64)> = workloads
+        .iter()
+        .flat_map(|&w| {
+            page_shifts.iter().flat_map(move |&p| {
+                intervals.iter().map(move |&i| (w, p, i))
+            })
+        })
+        .collect();
+    let params = EnergyParams::default();
+    cells
+        .into_par_iter()
+        .map(|(w, page_shift, interval)| {
+            let r = run(&RunConfig {
+                page_shift,
+                swap_interval: interval,
+                ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
+            });
+            Fig16Row {
+                workload: r.workload.clone(),
+                page_bytes: 1 << page_shift,
+                interval,
+                normalized_power: normalized_power(&params, &r.traffic()).unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: rerun one cell and report its full [`RunResult`]
+/// (used by the ablation benches).
+pub fn run_cell(
+    grid: &GridConfig,
+    w: WorkloadId,
+    mode: Mode,
+    page_shift: u32,
+    interval: u64,
+) -> RunResult {
+    run(&RunConfig { page_shift, swap_interval: interval, ..grid.base_run(w, mode) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_labels_match_figures() {
+        assert_eq!(design_label(MigrationDesign::N), "N");
+        assert_eq!(design_label(MigrationDesign::NMinusOne), "N-1");
+        assert_eq!(design_label(MigrationDesign::LiveMigration), "Live");
+    }
+
+    #[test]
+    fn paper_constants_cover_the_sweeps() {
+        assert_eq!(PAGE_SHIFTS.first(), Some(&12), "4 KB");
+        assert_eq!(PAGE_SHIFTS.last(), Some(&22), "4 MB");
+        assert_eq!(INTERVALS, [1_000, 10_000, 100_000]);
+    }
+
+    #[test]
+    fn grid_presets_are_ordered_by_fidelity() {
+        let q = GridConfig::quick();
+        let b = GridConfig::bench();
+        assert!(q.scale.divisor > b.scale.divisor);
+        assert!(q.accesses < b.accesses);
+        assert!(q.warmup < q.accesses && b.warmup < b.accesses);
+    }
+
+    #[test]
+    fn run_cell_round_trips_parameters() {
+        let r = run_cell(&GridConfig::quick(), WorkloadId::SpecJbb, Mode::Static, 14, 5_000);
+        assert_eq!(r.geometry.page_shift, 14);
+        assert!(r.access.accesses() > 0);
+    }
+
+    #[test]
+    fn fig11_grid_shape() {
+        let rows = fig11_grid(
+            &GridConfig::quick(),
+            2_000,
+            &[WorkloadId::Pgbench],
+            &[14, 16],
+            &[MigrationDesign::NMinusOne, MigrationDesign::LiveMigration],
+        );
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.mean_latency > 0.0));
+        assert!(rows.iter().all(|r| r.interval == 2_000));
+    }
+
+    #[test]
+    fn effectiveness_row_is_consistent() {
+        let rows = effectiveness_table(
+            &GridConfig::quick(),
+            &[WorkloadId::Pgbench],
+            &[16],
+            &[2_000],
+        );
+        let r = &rows[0];
+        assert!(r.latency_with < r.latency_without, "{r:?}");
+        assert!(r.effectiveness_pct > 0.0 && r.effectiveness_pct <= 100.0, "{r:?}");
+        assert!(r.dram_core < r.latency_with);
+    }
+
+    #[test]
+    fn fig15_migration_tracks_capacity() {
+        let g = GridConfig::quick();
+        let rows = fig15_capacity(
+            &g,
+            &[WorkloadId::SpecJbb],
+            &[128 << 20, 512 << 20],
+            16,
+            2_000,
+        );
+        assert_eq!(rows.len(), 2);
+        let small = rows.iter().find(|r| r.on_package_bytes == 128 << 20).unwrap();
+        let large = rows.iter().find(|r| r.on_package_bytes == 512 << 20).unwrap();
+        // Larger on-package memory can only help (allow small noise).
+        assert!(
+            large.with_migration <= small.with_migration * 1.05,
+            "large {} vs small {}",
+            large.with_migration,
+            small.with_migration
+        );
+        // Migration stays below no-migration at every capacity (the
+        // paper's Fig. 15 observation).
+        for r in &rows {
+            assert!(r.with_migration < r.without_migration, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig16_power_rises_with_migration_frequency() {
+        let g = GridConfig::quick();
+        let rows = fig16_power(
+            &g,
+            &[WorkloadId::Pgbench],
+            &[14],
+            &[1_000, 20_000],
+        );
+        let fast = rows.iter().find(|r| r.interval == 1_000).unwrap();
+        let slow = rows.iter().find(|r| r.interval == 20_000).unwrap();
+        assert!(
+            fast.normalized_power >= slow.normalized_power,
+            "more frequent swapping must not cost less power: fast {} slow {}",
+            fast.normalized_power,
+            slow.normalized_power
+        );
+    }
+}

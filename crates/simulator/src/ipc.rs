@@ -1,0 +1,261 @@
+//! The Fig. 5 experiment: IPC under four uses of the on-package DRAM.
+//!
+//! The paper's Section II comparison runs NPB on a Simics quad-core model.
+//! We use a blocking in-order core model instead: each core executes
+//! `mean_gap` single-cycle instructions between memory references, and a
+//! reference that misses the SRAM hierarchy stalls the core for the
+//! analytic memory latency of the option under test (Table II constants).
+//! This captures exactly what Fig. 5 measures — the sensitivity of IPC to
+//! the average memory latency of each option — without pretending to model
+//! an out-of-order pipeline.
+//!
+//! Options (Fig. 5):
+//! (a) baseline — all memory off-package;
+//! (b) a 1 GB on-package DRAM **L4 cache** (tags in DRAM: hit 2x, miss 1x
+//!     on-package access, then off-package);
+//! (c) **static mapping** of the first 1 GB of physical memory on-package;
+//! (d) the **ideal**: all memory on-package.
+
+use hmm_cache::{DramCache, DramCacheConfig, Hierarchy, HierarchyConfig, HitLevel};
+use hmm_sim_base::config::{LatencyConfig, SimScale};
+use hmm_sim_base::cycles::Cycle;
+use hmm_workloads::{workload, WorkloadId};
+use serde::{Deserialize, Serialize};
+
+/// The four Fig. 5 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig5Option {
+    /// All memory off-package.
+    Baseline,
+    /// 1 GB on-package DRAM used as an L4 cache.
+    L4Cache,
+    /// First 1 GB of the physical space statically on-package.
+    StaticMapping,
+    /// Everything on-package (the ideal).
+    AllOnPackage,
+}
+
+impl Fig5Option {
+    /// All options in the paper's bar order.
+    pub fn all() -> [Fig5Option; 4] {
+        [
+            Fig5Option::Baseline,
+            Fig5Option::L4Cache,
+            Fig5Option::StaticMapping,
+            Fig5Option::AllOnPackage,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig5Option::Baseline => "Baseline",
+            Fig5Option::L4Cache => "L4 Cache 1GB",
+            Fig5Option::StaticMapping => "On-Chip Memory 1GB",
+            Fig5Option::AllOnPackage => "All Memory On-Chip",
+        }
+    }
+}
+
+/// Result of one IPC simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IpcResult {
+    /// Total IPC across the four cores.
+    pub ipc: f64,
+    /// Instructions retired (all cores).
+    pub instructions: u64,
+    /// Cycles of the slowest core.
+    pub cycles: Cycle,
+    /// L3 miss rate observed.
+    pub l3_miss_rate: f64,
+}
+
+/// Simulate one workload under one option. `on_package_bytes` is the
+/// unscaled on-package capacity (1 GB in Fig. 5); `accesses` is the number
+/// of memory references to drive.
+pub fn ipc_for(
+    id: WorkloadId,
+    option: Fig5Option,
+    on_package_bytes: u64,
+    accesses: u64,
+    scale: &SimScale,
+    seed: u64,
+) -> IpcResult {
+    let w = workload(id, scale);
+    let lat = LatencyConfig::default();
+    let cores = 4usize;
+    let mut hierarchy = Hierarchy::new(HierarchyConfig {
+        l3: hmm_cache::CacheConfig::new(scale.bytes(8 << 20).max(64 * 16 * 16), 16),
+        ..HierarchyConfig::paper_default()
+    });
+    let mut l4 = match option {
+        Fig5Option::L4Cache => Some(DramCache::new(
+            DramCacheConfig {
+                array_bytes: scale.bytes(on_package_bytes).max(64 * 16 * 16),
+                line_bytes: 64,
+            },
+            &lat,
+        )),
+        _ => None,
+    };
+    let on_boundary = scale.bytes(on_package_bytes);
+
+    let mut cycles = vec![0u64; cores];
+    let mut insts = vec![0u64; cores];
+    let off_latency = lat.off_package_analytic();
+    let on_latency = lat.on_package_analytic();
+
+    // Warm the caches before measuring, as the paper does ("Warm-up:
+    // 1 billion instructions", comparable to the measured window): the
+    // first half of the trace fills the hierarchy and the L4 without
+    // counting cycles.
+    let warmup = accesses;
+    for (i, rec) in w.iter(seed).take((accesses + warmup) as usize).enumerate() {
+        if i as u64 == warmup {
+            hierarchy.reset_stats();
+            if let Some(l4) = &mut l4 {
+                l4.reset_stats();
+            }
+            cycles.fill(0);
+            insts.fill(0);
+        }
+        let core = rec.cpu as usize % cores;
+        // Instructions between memory references execute at 1 IPC.
+        cycles[core] += w.mean_gap;
+        insts[core] += w.mean_gap + 1;
+        let r = hierarchy.access(core, rec.addr, rec.is_write);
+        cycles[core] += r.latency;
+        if r.level == HitLevel::Memory {
+            let mem = match option {
+                Fig5Option::Baseline => off_latency,
+                Fig5Option::AllOnPackage => on_latency,
+                Fig5Option::StaticMapping => {
+                    if rec.addr.0 < on_boundary {
+                        on_latency
+                    } else {
+                        off_latency
+                    }
+                }
+                Fig5Option::L4Cache => {
+                    let l4 = l4.as_mut().expect("L4 option has a DRAM cache");
+                    let out = l4.access(rec.addr.line(), rec.is_write);
+                    if out.hit {
+                        out.latency
+                    } else {
+                        out.latency + off_latency
+                    }
+                }
+            };
+            cycles[core] += mem;
+        }
+    }
+
+    let total_insts: u64 = insts.iter().sum();
+    let slowest = cycles.iter().copied().max().unwrap_or(1).max(1);
+    IpcResult {
+        ipc: total_insts as f64 / slowest as f64,
+        instructions: total_insts,
+        cycles: slowest,
+        l3_miss_rate: hierarchy.l3_stats().miss_rate(),
+    }
+}
+
+/// IPC improvement of `option` over the baseline, in percent (the Fig. 5
+/// y-axis).
+pub fn improvement_over_baseline(
+    id: WorkloadId,
+    option: Fig5Option,
+    on_package_bytes: u64,
+    accesses: u64,
+    scale: &SimScale,
+    seed: u64,
+) -> f64 {
+    let base = ipc_for(id, Fig5Option::Baseline, on_package_bytes, accesses, scale, seed);
+    let opt = ipc_for(id, option, on_package_bytes, accesses, scale, seed);
+    (opt.ipc / base.ipc - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    fn quick(id: WorkloadId, opt: Fig5Option) -> IpcResult {
+        ipc_for(id, opt, GB, 60_000, &SimScale { divisor: 64 }, 3)
+    }
+
+    #[test]
+    fn ideal_beats_baseline() {
+        let base = quick(WorkloadId::Mg, Fig5Option::Baseline);
+        let ideal = quick(WorkloadId::Mg, Fig5Option::AllOnPackage);
+        assert!(ideal.ipc > base.ipc, "ideal {} vs base {}", ideal.ipc, base.ipc);
+    }
+
+    #[test]
+    fn small_footprint_static_equals_ideal() {
+        // 7 of 10 NPB workloads fit in 1 GB: for them static mapping is
+        // "equivalent to having all the memory on-package".
+        let s = quick(WorkloadId::Lu, Fig5Option::StaticMapping);
+        let i = quick(WorkloadId::Lu, Fig5Option::AllOnPackage);
+        assert!(
+            (s.ipc - i.ipc).abs() / i.ipc < 1e-9,
+            "static {} vs ideal {}",
+            s.ipc,
+            i.ipc
+        );
+    }
+
+    #[test]
+    fn big_footprint_static_trails_ideal() {
+        let s = quick(WorkloadId::Ft, Fig5Option::StaticMapping);
+        let i = quick(WorkloadId::Ft, Fig5Option::AllOnPackage);
+        assert!(s.ipc < i.ipc, "static {} vs ideal {}", s.ipc, i.ipc);
+    }
+
+    #[test]
+    fn l4_cache_improves_over_baseline_when_it_captures_reuse() {
+        // UA's working set exceeds the (scaled) L3 but fits the 1 GB L4.
+        let base = quick(WorkloadId::Ua, Fig5Option::Baseline);
+        let l4 = quick(WorkloadId::Ua, Fig5Option::L4Cache);
+        assert!(l4.ipc > base.ipc, "L4 {} vs base {}", l4.ipc, base.ipc);
+    }
+
+    #[test]
+    fn l4_beats_static_for_giant_footprints() {
+        // The paper's Fig. 5: "DC.B and FT.C cannot compete against the
+        // L4 cache" under static mapping — their footprints dwarf the
+        // on-package gigabyte, but their pass-structured reuse is
+        // cacheable.
+        for id in [WorkloadId::Dc, WorkloadId::Ft] {
+            let l4 = quick(id, Fig5Option::L4Cache);
+            let st = quick(id, Fig5Option::StaticMapping);
+            assert!(
+                l4.ipc > st.ipc,
+                "{id:?}: L4 {} must beat static {}",
+                l4.ipc,
+                st.ipc
+            );
+        }
+    }
+
+    #[test]
+    fn ipc_bounded_by_core_count() {
+        let r = quick(WorkloadId::Ep, Fig5Option::AllOnPackage);
+        assert!(r.ipc <= 4.0 + 1e-9);
+        assert!(r.ipc > 0.0);
+    }
+
+    #[test]
+    fn improvement_metric_signs() {
+        let imp = improvement_over_baseline(
+            WorkloadId::Mg,
+            Fig5Option::AllOnPackage,
+            GB,
+            60_000,
+            &SimScale { divisor: 64 },
+            3,
+        );
+        assert!(imp > 0.0, "ideal must improve over baseline: {imp}%");
+    }
+}

@@ -1,0 +1,26 @@
+//! Trace-driven system simulation tying the workloads, the cache models,
+//! the heterogeneity-aware controller and the DRAM timing model together.
+//!
+//! * [`driver`] — run one workload trace through a configured
+//!   [`hmm_core::HeteroController`] and collect latency/traffic statistics
+//!   (the Section IV trace methodology).
+//! * [`missrate`] — the Fig. 4 experiment: LLC miss rate as a function of
+//!   L3 capacity.
+//! * [`ipc`] — the Fig. 5 experiment: a blocking in-order core model
+//!   comparing baseline / L4 cache / static mapping / all-on-package.
+//! * [`experiments`] — parameter grids for every table and figure of the
+//!   evaluation, parallelised with rayon (each grid point is an
+//!   independent simulation).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod experiments;
+pub mod ipc;
+pub mod missrate;
+
+pub use driver::{run, RunConfig, RunResult};
+pub use experiments::{effectiveness_table, fig11_grid, fig15_capacity, fig16_power, Fig11Row};
+pub use ipc::{ipc_for, Fig5Option, IpcResult};
+pub use missrate::l3_miss_rates;

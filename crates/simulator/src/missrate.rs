@@ -1,0 +1,100 @@
+//! The Fig. 4 experiment: last-level-cache miss rate vs. capacity.
+//!
+//! The paper's argument for heterogeneous main memory begins here: "there
+//! is almost no benefit to enlarge the LLC capacity in terms of the cache
+//! miss rate" beyond a knee, so spending the on-package gigabyte on a
+//! cache buys little. We reproduce the curve by streaming each NPB
+//! workload through the Table II hierarchy with the L3 capacity swept.
+
+use hmm_cache::{Hierarchy, HierarchyConfig};
+use hmm_sim_base::config::SimScale;
+use hmm_workloads::{workload, WorkloadId};
+
+/// Run one workload against a set of L3 capacities (in bytes, unscaled —
+/// the same `scale` is applied to capacity and footprint so the knee stays
+/// put). Returns `(capacity_bytes, miss_rate)` pairs.
+pub fn l3_miss_rates(
+    id: WorkloadId,
+    capacities: &[u64],
+    accesses: u64,
+    scale: &SimScale,
+    seed: u64,
+) -> Vec<(u64, f64)> {
+    let w = workload(id, scale);
+    capacities
+        .iter()
+        .map(|&cap| {
+            let scaled = scale.bytes(cap).max(64 * 16 * 16); // >= one set per way
+            let cfg = HierarchyConfig::paper_default().with_l3_capacity(scaled);
+            let mut h = Hierarchy::new(cfg);
+            let warmup = accesses / 5;
+            for (i, rec) in w.iter(seed).take(accesses as usize).enumerate() {
+                if i as u64 == warmup {
+                    h.reset_stats();
+                }
+                h.access(rec.cpu as usize % 4, rec.addr, rec.is_write);
+            }
+            (cap, h.l3_stats().miss_rate())
+        })
+        .collect()
+}
+
+/// The capacity sweep of Fig. 4 (1 MB to 1 GB).
+pub fn fig4_capacities() -> Vec<u64> {
+    (0..=10).map(|i| (1u64 << i) << 20).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_span_1mb_to_1gb() {
+        let c = fig4_capacities();
+        assert_eq!(c.first(), Some(&(1 << 20)));
+        assert_eq!(c.last(), Some(&(1 << 30)));
+        assert_eq!(c.len(), 11);
+    }
+
+    #[test]
+    fn miss_rate_is_monotone_nonincreasing_in_capacity() {
+        let scale = SimScale { divisor: 256 };
+        let rates = l3_miss_rates(
+            WorkloadId::Ua,
+            &[1 << 20, 8 << 20, 64 << 20],
+            120_000,
+            &scale,
+            7,
+        );
+        assert!(rates[0].1 >= rates[1].1 - 0.02);
+        assert!(rates[1].1 >= rates[2].1 - 0.02);
+    }
+
+    #[test]
+    fn curve_flattens_beyond_the_knee() {
+        // The paper's central observation: growing the LLC past the knee
+        // buys almost nothing.
+        let scale = SimScale { divisor: 256 };
+        let rates = l3_miss_rates(
+            WorkloadId::Bt,
+            &[1 << 20, 4 << 20, 256 << 20, 1 << 30],
+            150_000,
+            &scale,
+            7,
+        );
+        let drop_early = rates[0].1 - rates[1].1;
+        let drop_late = rates[2].1 - rates[3].1;
+        assert!(
+            drop_late < drop_early.max(0.02),
+            "late capacity doublings must be near-useless: early {drop_early:.3}, late {drop_late:.3}"
+        );
+    }
+
+    #[test]
+    fn streaming_workload_keeps_missing() {
+        // FT streams: even a big L3 misses heavily.
+        let scale = SimScale { divisor: 256 };
+        let rates = l3_miss_rates(WorkloadId::Ft, &[64 << 20], 100_000, &scale, 7);
+        assert!(rates[0].1 > 0.2, "FT miss rate {}", rates[0].1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace records and the workload generator.
+//!
+//! A trace record carries exactly the fields the paper's trace files do:
+//! "the trace file records the physical address, CPU ID, time stamp, and
+//! read/write status of all main memory accesses" (Section IV).
+
+use crate::pattern::Pattern;
+use hmm_sim_base::addr::PhysAddr;
+use hmm_sim_base::cycles::Cycle;
+use hmm_sim_base::rng::SimRng;
+
+/// One main-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Arrival timestamp in CPU cycles.
+    pub tick: Cycle,
+    /// Originating core.
+    pub cpu: u8,
+    /// Physical address (the address space the OS manages; the controller
+    /// translates it to a machine address).
+    pub addr: PhysAddr,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+}
+
+/// One per-CPU access stream: a weighted mixture of patterns.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Core this stream runs on.
+    pub cpu: u8,
+    /// `(weight, pattern)` pairs; each access draws a pattern with
+    /// probability proportional to its weight.
+    pub mix: Vec<(f64, Pattern)>,
+}
+
+impl Stream {
+    /// A stream with a single pattern.
+    pub fn single(cpu: u8, pattern: Pattern) -> Self {
+        Self { cpu, mix: vec![(1.0, pattern)] }
+    }
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable name ("FT.C", "pgbench", ...).
+    pub name: String,
+    /// Declared memory footprint in bytes (Table I / Table III).
+    pub footprint_bytes: u64,
+    /// Mean gap between consecutive main-memory accesses, in CPU cycles
+    /// (the workload's memory intensity).
+    pub mean_gap: Cycle,
+    /// Per-CPU streams.
+    pub streams: Vec<Stream>,
+}
+
+impl Workload {
+    /// Validate that every pattern stays inside the declared footprint and
+    /// the mixture weights are usable.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.streams.is_empty() {
+            return Err(format!("workload {} has no streams", self.name));
+        }
+        if self.mean_gap == 0 {
+            return Err("mean_gap must be non-zero".into());
+        }
+        for s in &self.streams {
+            if s.mix.is_empty() {
+                return Err(format!("stream on cpu {} has an empty mixture", s.cpu));
+            }
+            let total: f64 = s.mix.iter().map(|(w, _)| *w).sum();
+            if total <= 0.0 {
+                return Err("mixture weights must sum to a positive value".into());
+            }
+            for (_, p) in &s.mix {
+                if p.region_end() > self.footprint_bytes {
+                    return Err(format!(
+                        "pattern in {} reaches {:#x}, beyond footprint {:#x}",
+                        self.name,
+                        p.region_end(),
+                        self.footprint_bytes
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Create an infinite, deterministic record iterator.
+    pub fn iter(&self, seed: u64) -> TraceIter {
+        self.validate().expect("invalid workload");
+        let parent = SimRng::new(seed);
+        TraceIter {
+            streams: self.streams.clone(),
+            cdf: build_stream_cdf(&self.streams),
+            rng: parent.fork(0xACCE55),
+            tick: 0,
+            mean_gap: self.mean_gap,
+        }
+    }
+
+    /// Materialise the first `n` records (convenience for tests/benches).
+    pub fn records(&self, seed: u64, n: usize) -> Vec<TraceRecord> {
+        self.iter(seed).take(n).collect()
+    }
+}
+
+fn build_stream_cdf(streams: &[Stream]) -> Vec<f64> {
+    // Streams are drawn uniformly (each core issues at the same rate);
+    // a weighted variant would go here if a workload needed asymmetric
+    // cores.
+    let n = streams.len() as f64;
+    (1..=streams.len()).map(|i| i as f64 / n).collect()
+}
+
+/// Infinite iterator over a workload's records.
+#[derive(Debug, Clone)]
+pub struct TraceIter {
+    streams: Vec<Stream>,
+    cdf: Vec<f64>,
+    rng: SimRng,
+    tick: Cycle,
+    mean_gap: Cycle,
+}
+
+impl Iterator for TraceIter {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        // Uniform jitter around the mean keeps arrivals aperiodic without
+        // the cost of exponential sampling.
+        let lo = (self.mean_gap / 2).max(1);
+        let hi = self.mean_gap * 3 / 2 + 1;
+        self.tick += self.rng.range(lo, hi.max(lo + 1));
+
+        let u = self.rng.unit_f64();
+        let si = self.cdf.partition_point(|&c| c <= u).min(self.streams.len() - 1);
+        let stream = &mut self.streams[si];
+
+        let pi = if stream.mix.len() == 1 {
+            0
+        } else {
+            let total: f64 = stream.mix.iter().map(|(w, _)| *w).sum();
+            let mut draw = self.rng.unit_f64() * total;
+            let mut idx = 0;
+            for (i, (w, _)) in stream.mix.iter().enumerate() {
+                if draw < *w {
+                    idx = i;
+                    break;
+                }
+                draw -= *w;
+                idx = i;
+            }
+            idx
+        };
+        let cpu = stream.cpu;
+        let (offset, is_write) = stream.mix[pi].1.next(&mut self.rng);
+        Some(TraceRecord { tick: self.tick, cpu, addr: PhysAddr(offset), is_write })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Workload {
+        Workload {
+            name: "toy".into(),
+            footprint_bytes: 1 << 24,
+            mean_gap: 20,
+            streams: vec![
+                Stream::single(0, Pattern::sweep(0, 1 << 20, 64, 0.2)),
+                Stream::single(1, Pattern::zipf_pages(1 << 20, 1 << 23, 0.9, 0.4)),
+            ],
+        }
+    }
+
+    #[test]
+    fn validation_passes_for_toy() {
+        toy().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_escaping_pattern() {
+        let mut w = toy();
+        w.footprint_bytes = 1 << 20; // second stream escapes
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_gap() {
+        let mut w = toy();
+        w.mean_gap = 0;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn ticks_are_strictly_increasing() {
+        let recs = toy().records(1, 10_000);
+        for w in recs.windows(2) {
+            assert!(w[1].tick > w[0].tick);
+        }
+    }
+
+    #[test]
+    fn mean_gap_approximately_respected() {
+        let recs = toy().records(1, 10_000);
+        let span = recs.last().unwrap().tick - recs[0].tick;
+        let mean = span as f64 / (recs.len() - 1) as f64;
+        assert!((18.0..22.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(toy().records(9, 1000), toy().records(9, 1000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(toy().records(1, 1000), toy().records(2, 1000));
+    }
+
+    #[test]
+    fn both_cpus_appear() {
+        let recs = toy().records(3, 1000);
+        let c0 = recs.iter().filter(|r| r.cpu == 0).count();
+        let c1 = recs.iter().filter(|r| r.cpu == 1).count();
+        assert!(c0 > 300 && c1 > 300, "cpu split {c0}/{c1}");
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let w = toy();
+        for r in w.records(5, 20_000) {
+            assert!(r.addr.0 < w.footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn mixture_draws_all_patterns() {
+        let w = Workload {
+            name: "mix".into(),
+            footprint_bytes: 1 << 24,
+            mean_gap: 10,
+            streams: vec![Stream {
+                cpu: 0,
+                mix: vec![
+                    (0.5, Pattern::sweep(0, 4096, 64, 0.0)),
+                    (0.5, Pattern::uniform(1 << 23, 1 << 23, 0.0)),
+                ],
+            }],
+        };
+        let recs = w.records(4, 4_000);
+        let low = recs.iter().filter(|r| r.addr.0 < 4096).count();
+        let high = recs.iter().filter(|r| r.addr.0 >= (1 << 23)).count();
+        assert!(low > 1_000 && high > 1_000, "mixture split {low}/{high}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Scenario: the extension the paper calls for in Section IV-B — a memory
+//! controller that *adaptively* chooses its migration granularity. The
+//! AdaptiveController explores candidate macro-page sizes online, commits
+//! to the best-measured one, and charges itself the drain cost of every
+//! granularity switch.
+//!
+//! Run with: `cargo run --release --example adaptive_granularity`
+
+use hetero_mem::base::addr::PhysAddr;
+use hetero_mem::base::config::SimScale;
+use hetero_mem::core::{
+    AdaptiveConfig, AdaptiveController, ControllerConfig, MigrationDesign, Mode,
+};
+use hetero_mem::simulator::driver::RunConfig;
+use hetero_mem::workloads::{workload, WorkloadId};
+
+fn main() {
+    let scale = SimScale { divisor: 64 };
+    let w = workload(WorkloadId::SpecJbb, &scale);
+
+    // Reuse the simulator's geometry derivation, then hand the controller
+    // to the adaptive wrapper.
+    let rc = RunConfig {
+        scale,
+        ..RunConfig::paper(WorkloadId::SpecJbb, Mode::Dynamic(MigrationDesign::LiveMigration))
+    };
+    let base = ControllerConfig {
+        machine: hetero_mem::base::config::MachineConfig {
+            geometry: rc.geometry(),
+            ..Default::default()
+        },
+        ..ControllerConfig::paper_default(Mode::Dynamic(MigrationDesign::LiveMigration))
+    };
+
+    let mut ctrl = AdaptiveController::new(
+        AdaptiveConfig {
+            candidate_shifts: vec![14, 16, 18, 20],
+            trial_accesses: 40_000,
+            reexplore_after: None,
+        },
+        base,
+    );
+
+    println!("adaptive granularity search on SPECjbb (1/64 scale)");
+    let mut total = 0u128;
+    let mut n = 0u64;
+    for rec in w.iter(42).take(300_000) {
+        ctrl.access(rec.tick, PhysAddr(rec.addr.0), rec.is_write);
+        ctrl.advance(rec.tick);
+        for c in ctrl.drain() {
+            total += c.breakdown.total() as u128;
+            n += 1;
+        }
+    }
+    ctrl.flush();
+    for c in ctrl.drain() {
+        total += c.breakdown.total() as u128;
+        n += 1;
+    }
+
+    println!("\ntrials:");
+    for t in ctrl.trials() {
+        println!(
+            "  page {:>6}B -> {:>7.1} cycles avg ({} samples)",
+            1u64 << t.page_shift,
+            t.mean_latency,
+            t.samples
+        );
+    }
+    match ctrl.committed_shift() {
+        Some(s) => println!("\ncommitted to {}B macro pages", 1u64 << s),
+        None => println!("\nstill exploring"),
+    }
+    println!(
+        "overall: {:.1} cycles avg over {} accesses, {} granularity switches",
+        total as f64 / n as f64,
+        n,
+        ctrl.switches()
+    );
+}

@@ -1,0 +1,51 @@
+//! Scenario: an HPC multigrid solver (NPB MG-like). Sweeps the macro-page
+//! granularity to show the paper's point that the best migration
+//! granularity is workload-dependent (Section IV-B): MG's contiguous
+//! coarse grids favour large pages, which aggregate its streaming fronts
+//! and capture whole grids in a few swaps.
+//!
+//! Run with: `cargo run --release --example hpc_multigrid`
+
+use hetero_mem::core::{MigrationDesign, Mode};
+use hetero_mem::base::config::SimScale;
+use hetero_mem::simulator::driver::{run, RunConfig};
+use hetero_mem::workloads::WorkloadId;
+
+fn main() {
+    let scale = SimScale { divisor: 16 };
+    println!("MG.C granularity sweep (live migration, 1/16 scale)");
+    println!("{:>10} {:>10} {:>14} {:>8} {:>7}", "page", "interval", "avg lat (cyc)", "on-pkg", "swaps");
+    println!("{}", "-".repeat(55));
+
+    let static_run = run(&RunConfig {
+        scale,
+        accesses: 500_000,
+        warmup: 100_000,
+        page_shift: 16,
+        ..RunConfig::paper(WorkloadId::Mg, Mode::Static)
+    });
+
+    for (shift, interval) in [(14u32, 1_000u64), (16, 1_000), (18, 10_000), (20, 10_000)] {
+        let r = run(&RunConfig {
+            scale,
+            accesses: 500_000,
+            warmup: 100_000,
+            page_shift: shift,
+            swap_interval: interval,
+            ..RunConfig::paper(WorkloadId::Mg, Mode::Dynamic(MigrationDesign::LiveMigration))
+        });
+        println!(
+            "{:>9}B {:>10} {:>14.1} {:>7.1}% {:>7}",
+            1u64 << shift,
+            interval,
+            r.mean_latency(),
+            r.on_fraction() * 100.0,
+            r.swaps.map(|s| s.completed).unwrap_or(0)
+        );
+    }
+    println!(
+        "\n(no migration: {:.1} cycles at {:.1}% on-package)",
+        static_run.mean_latency(),
+        static_run.on_fraction() * 100.0
+    );
+}

@@ -1,0 +1,77 @@
+//! Five-minute tour of the heterogeneous-main-memory library.
+//!
+//! Builds the paper's machine (4 GB total, 512 MB on-package, scaled down
+//! 64x so this runs in seconds), drives a TPC-B-like workload through the
+//! heterogeneity-aware memory controller, and prints what the migration
+//! engine achieved.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hetero_mem::core::{MigrationDesign, Mode};
+use hetero_mem::base::config::SimScale;
+use hetero_mem::simulator::driver::{run, RunConfig};
+use hetero_mem::workloads::WorkloadId;
+
+fn main() {
+    let scale = SimScale { divisor: 64 };
+
+    // A run is described by a RunConfig: workload, controller mode, macro
+    // page size, monitoring interval, capacities.
+    let base = RunConfig {
+        scale,
+        accesses: 300_000,
+        warmup: 60_000,
+        page_shift: 16,      // 64 KB macro pages
+        swap_interval: 1_000, // consider a swap every 1000 accesses
+        ..RunConfig::paper(WorkloadId::Pgbench, Mode::Static)
+    };
+
+    println!("heterogeneous main memory quickstart (pgbench, 1/64 scale)");
+    println!("----------------------------------------------------------");
+
+    // 1. Static mapping: the lowest addresses live on-package, nothing moves.
+    let static_run = run(&base);
+    println!(
+        "static mapping      : {:>6.1} cycles avg, {:>4.1}% of accesses on-package",
+        static_run.mean_latency(),
+        static_run.on_fraction() * 100.0
+    );
+
+    // 2. The paper's contribution: hottest-coldest migration with live
+    //    (sub-block) migration hiding the copy latency.
+    let live = run(&RunConfig {
+        mode: Mode::Dynamic(MigrationDesign::LiveMigration),
+        ..base
+    });
+    let swaps = live.swaps.expect("dynamic mode tracks swaps");
+    println!(
+        "live migration      : {:>6.1} cycles avg, {:>4.1}% of accesses on-package",
+        live.mean_latency(),
+        live.on_fraction() * 100.0
+    );
+    println!(
+        "                      {} swaps completed ({} sub-block copies, cases a/b/c/d = {:?})",
+        swaps.completed, swaps.sub_blocks_copied, swaps.case_counts
+    );
+
+    // 3. The bounds.
+    let ideal = run(&RunConfig { mode: Mode::AllOnPackage, ..base });
+    let worst = run(&RunConfig { mode: Mode::AllOffPackage, ..base });
+    println!(
+        "all on-package ideal: {:>6.1} cycles avg",
+        ideal.mean_latency()
+    );
+    println!(
+        "all off-package     : {:>6.1} cycles avg",
+        worst.mean_latency()
+    );
+
+    // The paper's effectiveness metric.
+    let eta = hetero_mem::base::stats::effectiveness(
+        static_run.mean_latency(),
+        live.mean_latency(),
+        live.dram_core_mean(),
+    )
+    .unwrap_or(0.0);
+    println!("\nmigration effectiveness (paper's eta): {eta:.1}%");
+}

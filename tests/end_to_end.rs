@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: every workload through every controller
+//! mode, checking conservation laws and table invariants the unit tests
+//! cannot see.
+
+use hetero_mem::base::config::SimScale;
+use hetero_mem::core::{MigrationDesign, Mode};
+use hetero_mem::simulator::driver::{run, RunConfig};
+use hetero_mem::workloads::WorkloadId;
+
+fn quick(w: WorkloadId, mode: Mode) -> RunConfig {
+    RunConfig {
+        scale: SimScale { divisor: 256 },
+        accesses: 40_000,
+        warmup: 8_000,
+        page_shift: 14,
+        swap_interval: 1_000,
+        ..RunConfig::paper(w, mode)
+    }
+}
+
+#[test]
+fn every_workload_completes_under_every_mode() {
+    for w in WorkloadId::trace_study() {
+        for mode in [
+            Mode::AllOffPackage,
+            Mode::AllOnPackage,
+            Mode::Static,
+            Mode::Dynamic(MigrationDesign::N),
+            Mode::Dynamic(MigrationDesign::NMinusOne),
+            Mode::Dynamic(MigrationDesign::LiveMigration),
+        ] {
+            let cfg = quick(w, mode);
+            let r = run(&cfg);
+            assert_eq!(
+                r.access.accesses(),
+                cfg.accesses - cfg.warmup,
+                "{w:?}/{mode:?}: lost or duplicated completions"
+            );
+            assert!(r.mean_latency() > 0.0, "{w:?}/{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn latency_bounds_are_ordered() {
+    // For every workload: ideal <= dynamic <= all-off (the baseline can
+    // only be worse than the ideal; dynamic sits between).
+    for w in [WorkloadId::Pgbench, WorkloadId::SpecJbb] {
+        let ideal = run(&quick(w, Mode::AllOnPackage)).mean_latency();
+        let dynamic =
+            run(&quick(w, Mode::Dynamic(MigrationDesign::LiveMigration))).mean_latency();
+        let worst = run(&quick(w, Mode::AllOffPackage)).mean_latency();
+        assert!(ideal < worst, "{w:?}: ideal {ideal:.1} vs worst {worst:.1}");
+        assert!(
+            dynamic < worst * 1.02,
+            "{w:?}: dynamic {dynamic:.1} must not exceed the all-off baseline {worst:.1}"
+        );
+        assert!(
+            dynamic > ideal * 0.98,
+            "{w:?}: dynamic {dynamic:.1} cannot beat the ideal {ideal:.1}"
+        );
+    }
+}
+
+#[test]
+fn demand_traffic_is_conserved() {
+    let cfg = quick(WorkloadId::Indexer, Mode::Dynamic(MigrationDesign::NMinusOne));
+    let r = run(&cfg);
+    assert_eq!(
+        r.controller.demand_on_lines + r.controller.demand_off_lines,
+        cfg.accesses,
+        "every demand access is exactly one line through exactly one region"
+    );
+}
+
+#[test]
+fn migration_traffic_matches_engine_accounting() {
+    let cfg = quick(WorkloadId::Pgbench, Mode::Dynamic(MigrationDesign::LiveMigration));
+    let r = run(&cfg);
+    let swaps = r.swaps.expect("dynamic run");
+    let lines_per_sub = (r.geometry.sub_block_bytes() / 64).max(1);
+    assert_eq!(
+        r.controller.migration_on_lines + r.controller.migration_off_lines,
+        swaps.sub_blocks_copied * lines_per_sub * 2,
+        "each sub-block copy is one read leg + one write leg of lines"
+    );
+}
+
+#[test]
+fn static_and_dynamic_agree_with_zero_swaps() {
+    // With an absurdly long interval no swap ever triggers, so dynamic
+    // mode must behave exactly like static plus the translation cycles.
+    // (The N design is used because N-1 sacrifices one slot, whose page
+    // legitimately routes off-package even before any swap.)
+    let mut dcfg = quick(WorkloadId::SpecJbb, Mode::Dynamic(MigrationDesign::N));
+    dcfg.swap_interval = u64::MAX;
+    let d = run(&dcfg);
+    let s = run(&quick(WorkloadId::SpecJbb, Mode::Static));
+    assert_eq!(d.swaps.unwrap().completed, 0);
+    assert_eq!(
+        d.access.on_package_hits, s.access.on_package_hits,
+        "identity mapping must route identically"
+    );
+    let delta = d.mean_latency() - s.mean_latency();
+    assert!(
+        (delta - 2.0).abs() < 0.5,
+        "dynamic-without-swaps should cost ~2 extra cycles (translation table), got {delta:.2}"
+    );
+}
+
+#[test]
+fn seeds_change_traces_but_not_structure() {
+    let a = run(&RunConfig { seed: 1, ..quick(WorkloadId::Pgbench, Mode::Static) });
+    let b = run(&RunConfig { seed: 2, ..quick(WorkloadId::Pgbench, Mode::Static) });
+    assert_ne!(a.mean_latency(), b.mean_latency());
+    // But the structural profile is similar.
+    assert!((a.on_fraction() - b.on_fraction()).abs() < 0.1);
+}

@@ -1,0 +1,132 @@
+//! The paper's headline claims, checked end-to-end at reduced scale.
+
+use hetero_mem::base::config::{LatencyConfig, SimScale};
+use hetero_mem::core::{hardware_bits, MigrationDesign, Mode};
+use hetero_mem::simulator::driver::{run, RunConfig};
+use hetero_mem::simulator::ipc::{ipc_for, Fig5Option};
+use hetero_mem::simulator::missrate::l3_miss_rates;
+use hetero_mem::workloads::WorkloadId;
+
+/// Section I: the reconstructed Table II latencies.
+#[test]
+fn table2_analytic_latencies() {
+    let l = LatencyConfig::default();
+    assert_eq!(l.on_package_analytic(), 70);
+    assert_eq!(l.off_package_analytic(), 200);
+    assert_eq!(l.l4_hit_analytic(), 140);
+    assert_eq!(l.l4_miss_analytic(), 70);
+}
+
+/// Section III-B: 9,228 bits manage 1 GB at 4 MB granularity.
+#[test]
+fn hardware_overhead_9228_bits() {
+    assert_eq!(hardware_bits(1 << 30, 4 << 20, 4 << 10).total(), 9_228);
+}
+
+/// Fig. 4's message: LLC capacity beyond the knee buys almost nothing.
+#[test]
+fn llc_capacity_flattens() {
+    let scale = SimScale { divisor: 256 };
+    // Capacities stay below SP.C's 758 MB footprint: within that range the
+    // curve must flatten (the drop at capacity ~ footprint is a different,
+    // trivial effect).
+    let rates = l3_miss_rates(
+        WorkloadId::Sp,
+        &[1 << 20, 8 << 20, 64 << 20, 256 << 20],
+        150_000,
+        &scale,
+        3,
+    );
+    let early_gain = rates[0].1 - rates[1].1;
+    let late_gain = rates[2].1 - rates[3].1;
+    assert!(late_gain <= early_gain.max(0.05) + 1e-9, "{rates:?}");
+}
+
+/// Fig. 5's message: for workloads that fit on-package, static mapping
+/// equals the ideal and beats the tags-in-DRAM L4.
+#[test]
+fn static_mapping_equals_ideal_for_small_footprints() {
+    let scale = SimScale { divisor: 64 };
+    for w in [WorkloadId::Bt, WorkloadId::Ua] {
+        let st = ipc_for(w, Fig5Option::StaticMapping, 1 << 30, 50_000, &scale, 3);
+        let ideal = ipc_for(w, Fig5Option::AllOnPackage, 1 << 30, 50_000, &scale, 3);
+        let l4 = ipc_for(w, Fig5Option::L4Cache, 1 << 30, 50_000, &scale, 3);
+        assert!((st.ipc - ideal.ipc).abs() < 1e-9, "{w:?}");
+        assert!(st.ipc > l4.ipc, "{w:?}: static must beat the double-access L4");
+    }
+}
+
+/// Section IV: dynamic migration recovers a large part of the
+/// static-vs-ideal gap for an OLTP workload.
+#[test]
+fn migration_effectiveness_is_substantial() {
+    let cfg = RunConfig {
+        scale: SimScale { divisor: 64 },
+        accesses: 250_000,
+        warmup: 50_000,
+        page_shift: 16,
+        swap_interval: 1_000,
+        ..RunConfig::paper(WorkloadId::Pgbench, Mode::Static)
+    };
+    let st = run(&cfg);
+    let dy = run(&RunConfig {
+        mode: Mode::Dynamic(MigrationDesign::LiveMigration),
+        ..cfg
+    });
+    let eta = hetero_mem::base::stats::effectiveness(
+        st.mean_latency(),
+        dy.mean_latency(),
+        dy.dram_core_mean(),
+    )
+    .unwrap();
+    assert!(
+        eta > 40.0,
+        "pgbench effectiveness should be substantial (paper: 92.2%), got {eta:.1}%"
+    );
+}
+
+/// Section IV-A: at coarse granularity and fast swapping, the halting N
+/// design must not beat live migration.
+#[test]
+fn live_migration_dominates_n_design_at_coarse_grain() {
+    let mk = |design| {
+        run(&RunConfig {
+            scale: SimScale { divisor: 64 },
+            accesses: 200_000,
+            warmup: 40_000,
+            page_shift: 18, // 256 KB pages: big enough for halting to hurt
+            swap_interval: 1_000,
+            ..RunConfig::paper(WorkloadId::Pgbench, Mode::Dynamic(design))
+        })
+    };
+    let n = mk(MigrationDesign::N);
+    let live = mk(MigrationDesign::LiveMigration);
+    assert!(
+        live.mean_latency() <= n.mean_latency() * 1.02,
+        "live {:.1} must not lose to N {:.1}",
+        live.mean_latency(),
+        n.mean_latency()
+    );
+    // And the halting design must show stall time.
+    assert!(n.controller.stall_cycles > live.controller.stall_cycles);
+}
+
+/// Section IV-D: frequent fine-grain migration costs noticeably more
+/// memory power than infrequent migration.
+#[test]
+fn migration_power_scales_with_frequency() {
+    let mk = |interval| {
+        let r = run(&RunConfig {
+            scale: SimScale { divisor: 64 },
+            accesses: 200_000,
+            warmup: 0,
+            page_shift: 14,
+            swap_interval: interval,
+            ..RunConfig::paper(WorkloadId::Pgbench, Mode::Dynamic(MigrationDesign::LiveMigration))
+        });
+        hetero_mem::power::normalized_power(&Default::default(), &r.traffic()).unwrap()
+    };
+    let fast = mk(1_000);
+    let slow = mk(50_000);
+    assert!(fast >= slow, "fast {fast:.2} vs slow {slow:.2}");
+}
