@@ -8,7 +8,8 @@
 //! Each prints the simulated metric it ablates alongside the host-time
 //! measurement.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmm_bench::harness::{black_box, BenchmarkId, Criterion};
+use hmm_bench::{criterion_group, criterion_main};
 use hmm_core::{MultiQueueMru, SlotClock};
 use hmm_dram::{DeviceProfile, DramRegion, DramTiming, SchedPolicy, Transaction};
 use hmm_sim_base::SimRng;
@@ -20,11 +21,8 @@ fn region_mean_latency(profile: DeviceProfile, policy: SchedPolicy) -> f64 {
     for i in 0..n {
         // Mixed pattern: 60% within a hot 2 MB region (row locality),
         // 40% random.
-        let addr = if rng.chance(0.6) {
-            rng.below(2 << 20) & !63
-        } else {
-            rng.below(1 << 28) & !63
-        };
+        let addr =
+            if rng.chance(0.6) { rng.below(2 << 20) & !63 } else { rng.below(1 << 28) & !63 };
         r.enqueue(Transaction::demand(i, i * 18, addr, rng.chance(0.3)));
         r.advance(i * 18);
     }
@@ -38,13 +36,9 @@ fn bench_sched_policy(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_scheduler");
     g.sample_size(10);
     for policy in [SchedPolicy::FrFcfs, SchedPolicy::Fcfs] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &policy,
-            |b, &p| {
-                b.iter(|| black_box(region_mean_latency(DeviceProfile::off_package_ddr3(), p)))
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{policy:?}")), &policy, |b, &p| {
+            b.iter(|| black_box(region_mean_latency(DeviceProfile::off_package_ddr3(), p)))
+        });
         eprintln!(
             "[shape] {policy:?}: mean DRAM latency {:.1} cycles",
             region_mean_latency(DeviceProfile::off_package_ddr3(), policy)
@@ -82,11 +76,7 @@ fn bench_mru_policy(c: &mut Criterion) {
     fn mq_quality(naive: bool) -> f64 {
         let z = hmm_sim_base::rng::Zipf::new(4096, 1.1);
         let mut rng = SimRng::new(5);
-        let mut mq = if naive {
-            MultiQueueMru::new(1, 30)
-        } else {
-            MultiQueueMru::paper_default()
-        };
+        let mut mq = if naive { MultiQueueMru::new(1, 30) } else { MultiQueueMru::paper_default() };
         let mut good = 0u32;
         let rounds = 200;
         for _ in 0..rounds {
@@ -128,10 +118,7 @@ fn bench_clock_monitor(c: &mut Criterion) {
 
 fn bench_on_package_timing(c: &mut Criterion) {
     // Sanity ablation: the on-package part's faster I/O matters.
-    let slow_io = DeviceProfile {
-        timing: DramTiming::ddr3_1333(),
-        ..DeviceProfile::on_package()
-    };
+    let slow_io = DeviceProfile { timing: DramTiming::ddr3_1333(), ..DeviceProfile::on_package() };
     let fast_io = DeviceProfile::on_package();
     let mut g = c.benchmark_group("ablation_io_speed");
     g.sample_size(10);

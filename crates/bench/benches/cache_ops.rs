@@ -1,8 +1,11 @@
 //! Cache-model throughput: accesses per second through one cache and
 //! through the full SRAM hierarchy.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use hmm_cache::{CacheConfig, DramCache, DramCacheConfig, Hierarchy, HierarchyConfig, SetAssocCache};
+use hmm_bench::harness::{black_box, Criterion, Throughput};
+use hmm_bench::{criterion_group, criterion_main};
+use hmm_cache::{
+    CacheConfig, DramCache, DramCacheConfig, Hierarchy, HierarchyConfig, SetAssocCache,
+};
 use hmm_sim_base::addr::{LineAddr, PhysAddr};
 use hmm_sim_base::config::LatencyConfig;
 use hmm_sim_base::SimRng;

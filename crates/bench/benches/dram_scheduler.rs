@@ -1,7 +1,8 @@
 //! Throughput of the DRAM timing model: transactions scheduled per second
 //! of host time, under streaming and random patterns.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_bench::harness::{black_box, BenchmarkId, Criterion, Throughput};
+use hmm_bench::{criterion_group, criterion_main};
 use hmm_dram::{DeviceProfile, DramRegion, SchedPolicy, Transaction};
 use hmm_sim_base::SimRng;
 

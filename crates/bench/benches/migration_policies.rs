@@ -2,7 +2,8 @@
 //! performance benchmark (host records/s) and a shape check: the printed
 //! simulated latencies show N >= N-1 >= Live at coarse granularity.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_bench::harness::{black_box, BenchmarkId, Criterion, Throughput};
+use hmm_bench::{criterion_group, criterion_main};
 use hmm_core::{MigrationDesign, Mode};
 use hmm_sim_base::config::SimScale;
 use hmm_simulator::driver::{run, RunConfig};
@@ -23,25 +24,15 @@ fn bench_designs(c: &mut Criterion) {
     let mut g = c.benchmark_group("migration_designs");
     g.sample_size(10);
     g.throughput(Throughput::Elements(120_000));
-    for design in [
-        MigrationDesign::N,
-        MigrationDesign::NMinusOne,
-        MigrationDesign::LiveMigration,
-    ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{design:?}")),
-            &design,
-            |b, &d| b.iter(|| black_box(run(&cfg(d)).mean_latency())),
-        );
+    for design in [MigrationDesign::N, MigrationDesign::NMinusOne, MigrationDesign::LiveMigration] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{design:?}")), &design, |b, &d| {
+            b.iter(|| black_box(run(&cfg(d)).mean_latency()))
+        });
     }
     g.finish();
 
     // Print the simulated-latency comparison once, for the log.
-    for design in [
-        MigrationDesign::N,
-        MigrationDesign::NMinusOne,
-        MigrationDesign::LiveMigration,
-    ] {
+    for design in [MigrationDesign::N, MigrationDesign::NMinusOne, MigrationDesign::LiveMigration] {
         let r = run(&cfg(design));
         eprintln!(
             "[shape] {design:?}: mean latency {:.1} cycles, on-package {:.2}, swaps {}",

@@ -1,0 +1,85 @@
+//! Cost of the telemetry hooks on the controller demand path.
+//!
+//! The zero-cost claim: a controller built with the default [`NullSink`]
+//! must run as fast as one would without any instrumentation, because
+//! `NullSink::enabled` is an `#[inline(always)] false` that folds every
+//! event-construction branch away. A disabled [`Recorder`] costs one
+//! predictable branch per hook; `counters`/`full` pay for real recording.
+
+use hmm_bench::harness::{black_box, BenchmarkId, Criterion, Throughput};
+use hmm_bench::{criterion_group, criterion_main};
+use hmm_core::{ControllerConfig, HeteroController, MigrationDesign, Mode};
+use hmm_sim_base::addr::PhysAddr;
+use hmm_sim_base::config::{MachineConfig, MemoryGeometry};
+use hmm_sim_base::SimRng;
+use hmm_telemetry::{Recorder, RecorderConfig, TelemetryLevel, TelemetrySink};
+
+fn config() -> ControllerConfig {
+    let geometry = MemoryGeometry {
+        total_bytes: 64 << 20,
+        on_package_bytes: 8 << 20,
+        page_shift: 16,
+        sub_block_shift: 12,
+    };
+    ControllerConfig {
+        machine: MachineConfig { geometry, ..MachineConfig::default() },
+        swap_interval: 1_000,
+        os_assisted: Some(false),
+        ..ControllerConfig::paper_default(Mode::Dynamic(MigrationDesign::LiveMigration))
+    }
+}
+
+/// Push `n` demand accesses through a controller wired to `sink` and
+/// return the latency sum (so the work cannot be optimised out).
+fn demand_path<S: TelemetrySink + Clone>(sink: S, n: u64) -> u64 {
+    let mut ctrl = HeteroController::with_sink(config(), sink);
+    let mut rng = SimRng::new(17);
+    let mut total = 0u64;
+    for i in 0..n {
+        let now = i * 10;
+        let addr = if rng.chance(0.7) {
+            (40 << 20) + (rng.below(2 << 20) & !63)
+        } else {
+            rng.below(63 << 20) & !63
+        };
+        ctrl.access(now, PhysAddr(addr), rng.chance(0.3));
+        ctrl.advance(now);
+        for c in ctrl.drain() {
+            total += c.breakdown.total();
+        }
+    }
+    ctrl.flush();
+    for c in ctrl.drain() {
+        total += c.breakdown.total();
+    }
+    total
+}
+
+fn bench_sink_levels(c: &mut Criterion) {
+    let n = 30_000u64;
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("null_sink", |b| {
+        b.iter(|| black_box(demand_path(hmm_telemetry::NullSink, n)))
+    });
+    for level in [TelemetryLevel::Off, TelemetryLevel::Counters, TelemetryLevel::Full] {
+        g.bench_with_input(BenchmarkId::new("recorder", level.label()), &level, |b, &level| {
+            b.iter(|| {
+                let rec = Recorder::new(RecorderConfig::with_level(level));
+                black_box(demand_path(rec, n))
+            })
+        });
+    }
+    g.finish();
+
+    // One checked run, for the log: both paths must simulate identically.
+    let baseline = demand_path(hmm_telemetry::NullSink, n);
+    let recorded = demand_path(Recorder::with_level(TelemetryLevel::Full), n);
+    assert_eq!(baseline, recorded, "telemetry must not perturb the simulation");
+    eprintln!("[shape] latency sum identical across sinks: {baseline}");
+}
+
+criterion_group!(benches, bench_sink_levels);
+criterion_main!(benches);

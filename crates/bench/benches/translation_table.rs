@@ -2,7 +2,8 @@
 //! critical path of every memory access, so it must stay O(1)-ish even at
 //! the 4 KB granularity where the table has 128K rows.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmm_bench::harness::{black_box, BenchmarkId, Criterion};
+use hmm_bench::{criterion_group, criterion_main};
 use hmm_core::table::TranslationTable;
 use hmm_sim_base::addr::{MacroPageId, SubBlockId};
 

@@ -1,6 +1,7 @@
 //! Trace-generation throughput for every workload in the catalog.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_bench::harness::{black_box, BenchmarkId, Criterion, Throughput};
+use hmm_bench::{criterion_group, criterion_main};
 use hmm_sim_base::config::SimScale;
 use hmm_workloads::{workload, WorkloadId};
 

@@ -17,8 +17,8 @@ use hmm_bench::{cells, f1, f2, human_bytes, pct, render_table};
 use hmm_core::{hardware_bits, MigrationDesign};
 use hmm_sim_base::config::{LatencyConfig, MemoryGeometry, SimScale};
 use hmm_simulator::experiments::{
-    effectiveness_table, fig11_grid, fig15_capacity, fig16_power, GridConfig,
-    INTERVALS, PAGE_SHIFTS,
+    effectiveness_table, fig11_grid, fig15_capacity, fig16_power, GridConfig, INTERVALS,
+    PAGE_SHIFTS,
 };
 use hmm_simulator::ipc::{ipc_for, Fig5Option};
 use hmm_simulator::missrate::{fig4_capacities, l3_miss_rates};
@@ -52,11 +52,20 @@ fn table2() {
     let l = LatencyConfig::default();
     let rows = vec![
         cells(["Memory controller processing".into(), format!("{}-cycle", l.mc_processing)]),
-        cells(["Controller-to-core delay".into(), format!("{}-cycle each way", l.ctl_to_core_each_way)]),
+        cells([
+            "Controller-to-core delay".into(),
+            format!("{}-cycle each way", l.ctl_to_core_each_way),
+        ]),
         cells(["Package pin delay".into(), format!("{}-cycle each way", l.package_pin_each_way)]),
         cells(["PCB wire delay".into(), format!("{}-cycle round-trip", l.pcb_wire_round_trip)]),
-        cells(["Interposer pin delay".into(), format!("{}-cycle each way", l.interposer_pin_each_way)]),
-        cells(["Intra-package delay".into(), format!("{}-cycle round-trip", l.intra_package_round_trip)]),
+        cells([
+            "Interposer pin delay".into(),
+            format!("{}-cycle each way", l.interposer_pin_each_way),
+        ]),
+        cells([
+            "Intra-package delay".into(),
+            format!("{}-cycle round-trip", l.intra_package_round_trip),
+        ]),
         cells(["DRAM core delay (analytic)".into(), format!("{}-cycle", l.dram_core)]),
         cells(["Queuing delay (analytic)".into(), format!("{}-cycle", l.queuing)]),
         cells(["On-package memory access".into(), format!("{}-cycle", l.on_package_analytic())]),
@@ -92,25 +101,18 @@ fn table3() {
     );
 }
 
-fn emit_json<T: serde::Serialize>(label: &str, rows: &[T]) {
+fn emit_json<T: hmm_telemetry::ToJson>(label: &str, rows: &[T]) {
     if !std::env::args().any(|a| a == "--json") {
         return;
     }
     for r in rows {
-        match serde_json::to_string(r) {
-            Ok(j) => println!("JSON {label} {j}"),
-            Err(e) => eprintln!("json encode failed: {e}"),
-        }
+        println!("JSON {label} {}", r.to_json());
     }
 }
 
 fn table4(grid: &GridConfig) {
-    let rows_data = effectiveness_table(
-        grid,
-        &WorkloadId::trace_study(),
-        &[14, 16, 18, 20],
-        &[1_000, 10_000],
-    );
+    let rows_data =
+        effectiveness_table(grid, &WorkloadId::trace_study(), &[14, 16, 18, 20], &[1_000, 10_000]);
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|r| {
@@ -126,8 +128,7 @@ fn table4(grid: &GridConfig) {
         })
         .collect();
     emit_json("table4", &rows_data);
-    let avg =
-        rows_data.iter().map(|r| r.effectiveness_pct).sum::<f64>() / rows_data.len() as f64;
+    let avg = rows_data.iter().map(|r| r.effectiveness_pct).sum::<f64>() / rows_data.len() as f64;
     print!(
         "{}",
         render_table(
@@ -159,10 +160,7 @@ fn fig4(grid: &GridConfig) {
     let mut headers: Vec<String> = vec!["Workload".into()];
     headers.extend(caps.iter().map(|c| human_bytes(*c)));
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print!(
-        "{}",
-        render_table("Fig. 4: LLC miss rate vs. capacity", &hdr_refs, &rows)
-    );
+    print!("{}", render_table("Fig. 4: LLC miss rate vs. capacity", &hdr_refs, &rows));
 }
 
 fn fig5(grid: &GridConfig) {
@@ -269,9 +267,7 @@ fn fig12_14(grid: &GridConfig, interval: u64, fig: u32) {
     print!(
         "{}",
         render_table(
-            &format!(
-                "Fig. {fig}: live-migration average memory latency (interval = {interval})"
-            ),
+            &format!("Fig. {fig}: live-migration average memory latency (interval = {interval})"),
             &["Workload", "Page", "Avg latency (cyc)", "On-pkg frac"],
             &rows
         )
@@ -310,12 +306,7 @@ fn fig15(grid: &GridConfig) {
 }
 
 fn fig16(grid: &GridConfig) {
-    let rows_data = fig16_power(
-        grid,
-        &WorkloadId::trace_study(),
-        &[12, 14, 16],
-        &INTERVALS,
-    );
+    let rows_data = fig16_power(grid, &WorkloadId::trace_study(), &[12, 14, 16], &INTERVALS);
     emit_json("fig16", &rows_data);
     let rows: Vec<Vec<String>> = rows_data
         .iter()

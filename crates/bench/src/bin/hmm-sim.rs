@@ -2,20 +2,35 @@
 //!
 //! ```text
 //! hmm-sim --workload pgbench --mode live --page 64K --interval 1000 \
-//!         --accesses 400000 --scale 8 [--seed 42] [--on-package 512M]
+//!         --accesses 400000 --scale 8 [--seed 42] [--on-package 512M] \
+//!         [--telemetry off|counters|full] [--trace-out t.json] \
+//!         [--metrics-out m.csv] [--events-out e.jsonl]
 //!
 //! modes: off | on | static | n | n-1 | live | adaptive
 //! workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb
 //! ```
 //!
 //! Prints a latency/traffic report for the run; exit code 2 on bad usage.
+//! With `--telemetry full` the run streams cross-layer events into a
+//! recorder: `--trace-out` writes a Chrome `trace_event` file for
+//! `ui.perfetto.dev`, `--metrics-out` a per-epoch CSV, `--events-out` a
+//! raw JSONL dump, and the report gains a counter summary that is
+//! reconciled against the controller's own statistics.
+
+use std::fs::File;
+use std::io::BufWriter;
 
 use hmm_bench::{f1, f2, human_bytes};
 use hmm_core::{MigrationDesign, Mode};
 use hmm_dram::SchedPolicy;
 use hmm_power::{normalized_power, EnergyParams};
 use hmm_sim_base::config::SimScale;
-use hmm_simulator::driver::{run, RunConfig};
+use hmm_sim_base::cycles::CpuClock;
+use hmm_simulator::driver::{run_with_sink, RunConfig};
+use hmm_telemetry::{
+    count_kind, epoch_rows, write_chrome_trace, write_epoch_csv, write_jsonl, EventKind, Recorder,
+    RecorderConfig, TelemetryLevel,
+};
 use hmm_workloads::WorkloadId;
 
 fn parse_workload(s: &str) -> Option<WorkloadId> {
@@ -67,7 +82,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: hmm-sim --workload <name> --mode <mode> [--page <size>] \
          [--interval <accesses>] [--accesses <n>] [--warmup <n>] \
-         [--scale <divisor>] [--seed <n>] [--on-package <size>] [--fcfs]\n\
+         [--scale <divisor>] [--seed <n>] [--on-package <size>] [--fcfs] \
+         [--telemetry off|counters|full] [--trace-out <file>] \
+         [--metrics-out <file>] [--events-out <file>]\n\
          modes: off on static n n-1 live\n\
          workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb"
     );
@@ -86,6 +103,10 @@ fn main() {
     let mut seed = 42u64;
     let mut on_package = 512u64 << 20;
     let mut policy = SchedPolicy::FrFcfs;
+    let mut telemetry: Option<TelemetryLevel> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -101,13 +122,44 @@ fn main() {
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
             "--on-package" => on_package = parse_size(&val()).unwrap_or_else(|| usage()),
             "--fcfs" => policy = SchedPolicy::Fcfs,
+            "--telemetry" => {
+                telemetry = Some(val().parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }))
+            }
+            "--trace-out" => trace_out = Some(val()),
+            "--metrics-out" => metrics_out = Some(val()),
+            "--events-out" => events_out = Some(val()),
             "--help" | "-h" => usage(),
             other => {
+                if let Some(level) = other.strip_prefix("--telemetry=") {
+                    telemetry = Some(level.parse().unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    }));
+                    continue;
+                }
                 eprintln!("unknown argument {other}");
                 usage()
             }
         }
     }
+    // Any export flag implies full capture: the exporters need the event
+    // stream, not just counters.
+    let exports_requested = trace_out.is_some() || metrics_out.is_some() || events_out.is_some();
+    let telemetry = match telemetry {
+        Some(level) => {
+            if exports_requested && level != TelemetryLevel::Full {
+                eprintln!("note: export flags require --telemetry full; upgrading");
+                TelemetryLevel::Full
+            } else {
+                level
+            }
+        }
+        None if exports_requested => TelemetryLevel::Full,
+        None => TelemetryLevel::Off,
+    };
     let (Some(workload), Some(mode)) = (workload, mode) else { usage() };
     if !page.is_power_of_two() {
         eprintln!("--page must be a power of two");
@@ -128,7 +180,21 @@ fn main() {
         ..RunConfig::paper(workload, mode)
     };
 
-    let r = run(&cfg);
+    let recorder = (telemetry != TelemetryLevel::Off).then(|| {
+        Recorder::new(RecorderConfig {
+            level: telemetry,
+            // Sized to hold a whole run (demand + DRAM + migration events);
+            // the recorder degrades to overwrite-oldest if this is exceeded.
+            // One shard: this run is single-threaded, and a lone thread only
+            // ever fills its own shard of the capacity.
+            capacity: (accesses as usize).saturating_mul(8).clamp(1 << 20, 8 << 20),
+            shards: 1,
+        })
+    });
+    let r = match &recorder {
+        Some(rec) => run_with_sink(&cfg, rec.clone()),
+        None => run_with_sink(&cfg, hmm_telemetry::NullSink),
+    };
     println!("workload          : {}", r.workload);
     println!("mode              : {mode:?}");
     println!(
@@ -156,6 +222,83 @@ fn main() {
         );
         if let Some(p) = normalized_power(&EnergyParams::default(), &r.traffic()) {
             println!("normalized power  : {}x of off-package-only", f2(p));
+        }
+    }
+
+    let Some(recorder) = recorder else { return };
+    let counters = recorder.counters();
+    println!(
+        "telemetry         : level {}, {} events counted",
+        telemetry.label(),
+        counters.total()
+    );
+    println!(
+        "  demand events   : {} (mean latency {} cyc, p99 bucket {} cyc)",
+        counters.get(EventKind::Demand),
+        f1(counters.demand_latency.mean()),
+        counters.latency_hist.quantile(0.99),
+    );
+    println!(
+        "  dram outcomes   : {} row hits, {} row misses, {} bank conflicts",
+        counters.get(EventKind::RowHit),
+        counters.get(EventKind::RowMiss),
+        counters.get(EventKind::BankConflict),
+    );
+    // Counters are exact (never dropped), so they must agree with the
+    // controller's own statistics — a cheap cross-layer sanity check.
+    let (start, done) = (counters.get(EventKind::SwapStart), counters.get(EventKind::SwapComplete));
+    let (s_trig, s_done) = r.swaps.map_or((0, 0), |s| (s.triggered, s.completed));
+    let swaps_ok = start == s_trig && done == s_done;
+    println!(
+        "  swap events     : {start} started / {done} completed vs stats {s_trig}/{s_done} -> {}",
+        if swaps_ok { "ok" } else { "MISMATCH" },
+    );
+
+    if telemetry == TelemetryLevel::Full {
+        let events = recorder.events();
+        if recorder.dropped() > 0 {
+            eprintln!(
+                "warning: event ring overflowed ({} events dropped); exports are truncated",
+                recorder.dropped()
+            );
+        }
+        let rows = epoch_rows(&events);
+        let (ep_on, ep_off): (u64, u64) =
+            rows.iter().fold((0, 0), |(a, b), r| (a + r.demand_on, b + r.demand_off));
+        let epochs_ok =
+            ep_on == r.controller.demand_on_lines && ep_off == r.controller.demand_off_lines;
+        println!(
+            "  epoch rows      : {} rows; demand lines on/off {ep_on}/{ep_off} vs stats {}/{} -> {}",
+            rows.len(),
+            r.controller.demand_on_lines,
+            r.controller.demand_off_lines,
+            if epochs_ok { "ok" } else { "MISMATCH" },
+        );
+        let demand_events = count_kind(&events, EventKind::Demand);
+        println!("  ring            : {} events retained ({demand_events} demand)", events.len());
+
+        let write = |path: &str, what: &str, f: &dyn Fn(BufWriter<File>) -> std::io::Result<()>| {
+            match File::create(path).and_then(|file| f(BufWriter::new(file))) {
+                Ok(()) => println!("  wrote {what}    : {path}"),
+                Err(e) => {
+                    eprintln!("error: writing {what} to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        if let Some(path) = &trace_out {
+            let mhz = CpuClock::default().cpu_mhz;
+            write(path, "trace ", &|w| write_chrome_trace(w, &events, mhz));
+        }
+        if let Some(path) = &metrics_out {
+            write(path, "csv   ", &|w| write_epoch_csv(w, &rows));
+        }
+        if let Some(path) = &events_out {
+            write(path, "jsonl ", &|w| write_jsonl(w, &events));
+        }
+        if !(swaps_ok && epochs_ok) && recorder.dropped() == 0 {
+            eprintln!("error: telemetry counters disagree with controller statistics");
+            std::process::exit(1);
         }
     }
 }

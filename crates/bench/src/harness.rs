@@ -1,0 +1,204 @@
+//! A minimal Criterion-compatible micro-benchmark harness.
+//!
+//! The workspace builds in offline containers where the real `criterion`
+//! crate (and its dependency tree) cannot be fetched, so this module
+//! reimplements the small slice of its API the benches use: groups,
+//! parameterised benchmark ids, element throughput, `b.iter(..)` sampling
+//! and the `criterion_group!`/`criterion_main!` macros. Measurements are
+//! wall-clock samples around whole `iter` closures; results print as
+//! `name  median ± spread  (throughput)` lines, one per benchmark.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier: stops the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared work per iteration, used to report a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function/parameter`.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        Self { name: format!("{function}/{parameter}") }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once as warm-up, then time `sample_size` further calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let spread = samples[samples.len() - 1].saturating_sub(samples[0]);
+    let rate = throughput.map(|Throughput::Elements(n)| {
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            n as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    });
+    match rate {
+        Some(r) => println!("{name:<40} {median:>12.2?} ± {spread:.2?}  ({r:.0} elem/s)"),
+        None => println!("{name:<40} {median:>12.2?} ± {spread:.2?}"),
+    }
+}
+
+/// Top-level harness state; one per process, shared by all groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: default_sample_size(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { sample_size: default_sample_size(), samples: Vec::new() };
+        f(&mut b);
+        report(name, &mut b.samples, None);
+    }
+}
+
+/// Honour the standard quick-run switch so `cargo bench` smoke tests stay
+/// fast in CI (`cargo bench -- --quick` style filtering is not supported;
+/// set `BENCH_SAMPLES` instead).
+fn default_sample_size() -> usize {
+    std::env::var("BENCH_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+}
+
+/// A set of benchmarks reported under a shared name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    prefix: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Samples per benchmark (Criterion's knob; here the exact count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` against one prepared `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.prefix, id.name), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Benchmark a closure with no prepared input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{name}", self.prefix), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Close the group (printing is incremental, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions into one runner, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher { sample_size: 4, samples: Vec::new() };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(b.samples.len(), 4);
+        assert_eq!(runs, 5, "one warm-up plus four samples");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("stream", "on_package").name, "stream/on_package");
+        assert_eq!(BenchmarkId::from_parameter(128).name, "128");
+    }
+}

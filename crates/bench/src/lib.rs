@@ -1,8 +1,11 @@
-//! Shared plumbing for the figure-regeneration harness and the Criterion
-//! microbenches: text-table formatting and experiment presets.
+//! Shared plumbing for the figure-regeneration harness and the
+//! microbenches: text-table formatting, experiment presets, and a small
+//! Criterion-compatible benchmark harness ([`harness`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod harness;
 
 use std::fmt::Display;
 

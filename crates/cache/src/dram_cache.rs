@@ -19,10 +19,9 @@ use crate::set_assoc::{AccessOutcome, CacheConfig, CacheStats, ReplPolicy, SetAs
 use hmm_sim_base::addr::LineAddr;
 use hmm_sim_base::config::LatencyConfig;
 use hmm_sim_base::cycles::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Shape of the DRAM cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramCacheConfig {
     /// Usable *data* capacity in bytes. The paper's 1 GB on-package array
     /// yields 15/16 of that as data: pass the full array size here and the
@@ -182,9 +181,8 @@ mod tests {
             c.access(LineAddr(7 + k * sets), false);
         }
         // Line 7 was LRU; its eviction must surface as a write-back.
-        let evicted: Vec<_> = (1..=15u64)
-            .map(|k| c.access(LineAddr(7 + k * sets), false))
-            .collect();
+        let evicted: Vec<_> =
+            (1..=15u64).map(|k| c.access(LineAddr(7 + k * sets), false)).collect();
         let _ = evicted;
         // Re-fill to make sure the dirty line is gone and was reported.
         // (It was evicted during the loop above.)

@@ -11,10 +11,9 @@ use crate::prefetch::{PrefetchConfig, StreamPrefetcher};
 use crate::set_assoc::{AccessOutcome, CacheConfig, SetAssocCache};
 use hmm_sim_base::addr::{LineAddr, PhysAddr};
 use hmm_sim_base::cycles::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Latency and shape of the three SRAM levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Number of cores (private L1/L2 pairs).
     pub cores: usize,
@@ -64,7 +63,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Which level serviced an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HitLevel {
     /// Hit in the private L1.
     L1,
@@ -309,10 +308,7 @@ mod tests {
         h.access(0, addr(17), false);
         let in_l3_1 = h.l3.contains(hmm_sim_base::addr::LineAddr(1));
         let in_l1_1 = h.l1[0].contains(hmm_sim_base::addr::LineAddr(1));
-        assert!(
-            !in_l1_1 || in_l3_1,
-            "inclusion violated: line 1 in L1 but not in L3"
-        );
+        assert!(!in_l1_1 || in_l3_1, "inclusion violated: line 1 in L1 but not in L3");
     }
 
     #[test]
@@ -340,9 +336,7 @@ mod tests {
 
     #[test]
     fn l3_miss_rate_tracks_working_set() {
-        let mut h = Hierarchy::new(
-            HierarchyConfig::paper_default().with_l3_capacity(1 << 20),
-        );
+        let mut h = Hierarchy::new(HierarchyConfig::paper_default().with_l3_capacity(1 << 20));
         // Working set of 4 MB streamed four times: should miss heavily in a
         // 1 MB L3.
         let lines = (4 << 20) / 64;
@@ -373,19 +367,18 @@ mod tests {
 
     #[test]
     fn prefetcher_cuts_streaming_l3_misses() {
-        let stream =
-            |prefetch: Option<crate::prefetch::PrefetchConfig>| -> f64 {
-                let mut h = Hierarchy::new(HierarchyConfig {
-                    l3: CacheConfig::new(1 << 20, 16),
-                    prefetch,
-                    ..HierarchyConfig::paper_default()
-                });
-                // A long unit-stride stream (every line distinct).
-                for l in 0..40_000u64 {
-                    h.access(0, addr(l), false);
-                }
-                h.l3_stats().miss_rate()
-            };
+        let stream = |prefetch: Option<crate::prefetch::PrefetchConfig>| -> f64 {
+            let mut h = Hierarchy::new(HierarchyConfig {
+                l3: CacheConfig::new(1 << 20, 16),
+                prefetch,
+                ..HierarchyConfig::paper_default()
+            });
+            // A long unit-stride stream (every line distinct).
+            for l in 0..40_000u64 {
+                h.access(0, addr(l), false);
+            }
+            h.l3_stats().miss_rate()
+        };
         let without = stream(None);
         let with = stream(Some(crate::prefetch::PrefetchConfig::default()));
         assert!(without > 0.9, "a pure stream misses everywhere: {without}");

@@ -9,10 +9,9 @@
 //! ahead of the demand front.
 
 use hmm_sim_base::addr::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// Prefetcher configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchConfig {
     /// Stream table entries per core.
     pub streams: usize,
@@ -28,7 +27,7 @@ impl Default for PrefetchConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct StreamEntry {
     last_line: i64,
     stride: i64,
@@ -36,12 +35,6 @@ struct StreamEntry {
     /// Next line the prefetcher would fetch for this stream.
     next_fetch: i64,
     valid: bool,
-}
-
-impl Default for StreamEntry {
-    fn default() -> Self {
-        Self { last_line: 0, stride: 0, confidence: 0, next_fetch: 0, valid: false }
-    }
 }
 
 /// Per-core stream prefetcher. Feed it the demand line stream; it returns

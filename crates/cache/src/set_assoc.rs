@@ -6,10 +6,9 @@
 //! used in real microprocessor implementation", Section III-B).
 
 use hmm_sim_base::addr::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// Replacement policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReplPolicy {
     /// True least-recently-used.
     #[default]
@@ -20,7 +19,7 @@ pub enum ReplPolicy {
 }
 
 /// Static shape of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -63,7 +62,7 @@ impl CacheConfig {
 }
 
 /// Counters maintained by every cache instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups performed.
     pub accesses: u64,
@@ -273,15 +272,10 @@ impl SetAssocCache {
     pub fn contains(&self, line: LineAddr) -> bool {
         let (set, tag) = {
             let block = line.base() / self.cfg.line_bytes as u64;
-            (
-                (block & self.set_mask) as usize,
-                block >> self.set_mask.trailing_ones(),
-            )
+            ((block & self.set_mask) as usize, block >> self.set_mask.trailing_ones())
         };
         let a = self.cfg.associativity as usize;
-        self.ways[set * a..(set + 1) * a]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.ways[set * a..(set + 1) * a].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Remove a line if present (inclusive back-invalidation). Returns
@@ -464,8 +458,8 @@ mod tests {
         let mut c = small(ReplPolicy::Clock);
         c.access(line(0), false); // way 0
         c.access(line(2), false); // way 1
-        // Both ref bits set: the next miss sweeps them clear and evicts the
-        // first frame under the hand (line 0).
+                                  // Both ref bits set: the next miss sweeps them clear and evicts the
+                                  // first frame under the hand (line 0).
         match c.access(line(4), false) {
             AccessOutcome::Miss(Some(v)) => assert_eq!(v.line, line(0)),
             other => panic!("unexpected {other:?}"),

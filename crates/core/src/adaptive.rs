@@ -21,10 +21,10 @@
 use crate::controller::{ControllerConfig, DemandCompletion, HeteroController};
 use hmm_sim_base::addr::PhysAddr;
 use hmm_sim_base::cycles::Cycle;
-use serde::{Deserialize, Serialize};
+use hmm_telemetry::{Event, EventKind, NullSink, TelemetrySink};
 
 /// Adaptive-search configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveConfig {
     /// Candidate `page_shift` values, tried in order (paper sweep:
     /// 12..=22).
@@ -47,7 +47,7 @@ impl Default for AdaptiveConfig {
 }
 
 /// One completed measurement.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrialResult {
     /// The granularity tried.
     pub page_shift: u32,
@@ -65,10 +65,11 @@ enum Phase {
 
 /// A heterogeneity-aware controller that picks its own macro-page size.
 #[derive(Debug)]
-pub struct AdaptiveController {
+pub struct AdaptiveController<S: TelemetrySink = NullSink> {
     cfg: AdaptiveConfig,
     base: ControllerConfig,
-    inner: HeteroController,
+    sink: S,
+    inner: HeteroController<S>,
     phase: Phase,
     trials: Vec<TrialResult>,
     /// Accesses issued in the current phase segment.
@@ -89,13 +90,23 @@ impl AdaptiveController {
     /// Build the wrapper; the `base` configuration's `page_shift` field in
     /// its geometry is overridden by the candidates.
     pub fn new(cfg: AdaptiveConfig, base: ControllerConfig) -> Self {
+        Self::with_sink(cfg, base, NullSink)
+    }
+}
+
+impl<S: TelemetrySink + Clone> AdaptiveController<S> {
+    /// Build the wrapper with a telemetry sink; granularity switches are
+    /// reported as [`Event::GranularitySwitch`], and the sink is threaded
+    /// into every rebuilt inner controller.
+    pub fn with_sink(cfg: AdaptiveConfig, base: ControllerConfig, sink: S) -> Self {
         assert!(!cfg.candidate_shifts.is_empty(), "need at least one candidate");
         assert!(cfg.trial_accesses > 0);
         let first = cfg.candidate_shifts[0];
-        let inner = HeteroController::new(Self::with_shift(&base, first));
+        let inner = HeteroController::with_sink(Self::with_shift(&base, first), sink.clone());
         Self {
             cfg,
             base,
+            sink,
             inner,
             phase: Phase::Exploring { idx: 0 },
             trials: Vec::new(),
@@ -152,7 +163,7 @@ impl AdaptiveController {
     }
 
     /// The wrapped controller (for statistics inspection).
-    pub fn inner(&self) -> &HeteroController {
+    pub fn inner(&self) -> &HeteroController<S> {
         &self.inner
     }
 
@@ -274,9 +285,17 @@ impl AdaptiveController {
         let displaced = self.inner.table().swapped_count() as u64;
         let drain_cost = displaced * self.inner.config().machine.latency.os_update;
 
+        if self.sink.enabled(EventKind::GranularitySwitch) {
+            self.sink.emit(Event::GranularitySwitch {
+                cycle: self.now,
+                from_shift: self.current_page_shift(),
+                to_shift: shift,
+            });
+        }
         self.id_offset += self.last_issued_raw + 1;
         self.last_issued_raw = 0;
-        self.inner = HeteroController::new(Self::with_shift(&self.base, shift));
+        self.inner =
+            HeteroController::with_sink(Self::with_shift(&self.base, shift), self.sink.clone());
         self.inner.advance(self.now);
         if drain_cost > 0 {
             self.inner.inject_stall(drain_cost);

@@ -19,11 +19,11 @@ use hmm_sim_base::addr::{PhysAddr, LINE_BYTES};
 use hmm_sim_base::config::MachineConfig;
 use hmm_sim_base::cycles::Cycle;
 use hmm_sim_base::stats::LatencyBreakdown;
-use serde::{Deserialize, Serialize};
+use hmm_telemetry::{Event, EventKind, NullSink, RegionKind, TelemetrySink};
 use std::collections::HashMap;
 
 /// How the controller manages the heterogeneous space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Dynamic migration with the given design (Section III).
     Dynamic(MigrationDesign),
@@ -106,7 +106,7 @@ pub struct DemandCompletion {
 }
 
 /// Aggregate controller counters.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     /// Demand lines served on-package.
     pub demand_on_lines: u64,
@@ -126,6 +126,21 @@ pub struct ControllerStats {
     pub rejected_triggers: u64,
 }
 
+impl ControllerStats {
+    /// Fold another counter set into this one (the workspace-wide merge
+    /// convention, mirroring `RunningMean::merge`). Used when joining
+    /// parallel sweep shards.
+    pub fn merge(&mut self, other: &ControllerStats) {
+        self.demand_on_lines += other.demand_on_lines;
+        self.demand_off_lines += other.demand_off_lines;
+        self.migration_on_lines += other.migration_on_lines;
+        self.migration_off_lines += other.migration_off_lines;
+        self.stall_cycles += other.stall_cycles;
+        self.epochs += other.epochs;
+        self.rejected_triggers += other.rejected_triggers;
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct DemandMeta {
     issued_at: Cycle,
@@ -134,20 +149,38 @@ struct DemandMeta {
     interconnect: Cycle,
     on_package: bool,
     is_write: bool,
+    /// Physical macro page (telemetry labelling).
+    page: u64,
 }
 
-
+/// Snapshot of the cumulative counters at the last epoch rollover, so
+/// [`Event::EpochRollover`] can carry per-epoch deltas that sum exactly to
+/// the flat totals.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochMark {
+    demand_on: u64,
+    demand_off: u64,
+    migration: u64,
+    stall: u64,
+    swaps_completed: u64,
+}
 
 /// The heterogeneity-aware memory controller.
+///
+/// Generic over the telemetry sink: the default [`NullSink`] folds every
+/// instrumentation branch away, so `HeteroController::new` builds exactly
+/// the pre-telemetry controller. Pass a `Recorder` via
+/// [`HeteroController::with_sink`] to capture events.
 #[derive(Debug)]
-pub struct HeteroController {
+pub struct HeteroController<S: TelemetrySink = NullSink> {
     cfg: ControllerConfig,
+    sink: S,
     table: TranslationTable,
     engine: Option<MigrationEngine>,
     lru: SlotClock,
     mru: MultiQueueMru,
-    on_region: DramRegion,
-    off_region: DramRegion,
+    on_region: DramRegion<S>,
+    off_region: DramRegion<S>,
     next_id: u64,
     demand_meta: HashMap<u64, DemandMeta>,
     /// Copy-leg id -> engine token.
@@ -163,11 +196,26 @@ pub struct HeteroController {
     copy_release: Cycle,
     now: Cycle,
     stats: ControllerStats,
+    /// Counter snapshot at the last epoch rollover (telemetry deltas).
+    epoch_mark: EpochMark,
+    /// Step index within the in-flight swap (telemetry labelling).
+    swap_steps_seen: u32,
+    /// `sub_blocks_copied` at the start of the in-flight swap.
+    swap_subs_mark: u64,
 }
 
 impl HeteroController {
-    /// Build a controller. Panics on invalid configuration.
+    /// Build a controller with telemetry disabled. Panics on invalid
+    /// configuration.
     pub fn new(cfg: ControllerConfig) -> Self {
+        Self::with_sink(cfg, NullSink)
+    }
+}
+
+impl<S: TelemetrySink + Clone> HeteroController<S> {
+    /// Build a controller reporting events into `sink`. Panics on invalid
+    /// configuration.
+    pub fn with_sink(cfg: ControllerConfig, sink: S) -> Self {
         cfg.machine.geometry.validate().expect("invalid geometry");
         let g = &cfg.machine.geometry;
         let slots = g.on_package_slots();
@@ -176,7 +224,11 @@ impl HeteroController {
             _ => false,
         };
         let engine = match cfg.mode {
-            Mode::Dynamic(d) => Some(MigrationEngine::new(d, g.sub_blocks_per_page())),
+            Mode::Dynamic(d) => {
+                let mut e = MigrationEngine::new(d, g.sub_blocks_per_page());
+                e.set_pf_logging(sink.enabled(EventKind::PfTransition));
+                Some(e)
+            }
             _ => None,
         };
         Self {
@@ -184,8 +236,23 @@ impl HeteroController {
             engine,
             lru: SlotClock::new(slots as usize),
             mru: MultiQueueMru::paper_default(),
-            on_region: DramRegion::new(cfg.on_profile, &cfg.machine.clock, cfg.policy),
-            off_region: DramRegion::new(cfg.off_profile, &cfg.machine.clock, cfg.policy),
+            on_region: DramRegion::with_sink(
+                cfg.on_profile,
+                &cfg.machine.clock,
+                cfg.policy,
+                hmm_dram::PagePolicy::Open,
+                sink.clone(),
+                RegionKind::OnPackage,
+            ),
+            off_region: DramRegion::with_sink(
+                cfg.off_profile,
+                &cfg.machine.clock,
+                cfg.policy,
+                hmm_dram::PagePolicy::Open,
+                sink.clone(),
+                RegionKind::OffPackage,
+            ),
+            sink,
             next_id: 0,
             demand_meta: HashMap::new(),
             copy_meta: HashMap::new(),
@@ -198,6 +265,9 @@ impl HeteroController {
             now: 0,
             cfg,
             stats: ControllerStats::default(),
+            epoch_mark: EpochMark::default(),
+            swap_steps_seen: 0,
+            swap_subs_mark: 0,
         }
     }
 
@@ -321,6 +391,7 @@ impl HeteroController {
                 interconnect,
                 on_package: on_pkg,
                 is_write,
+                page: page.0,
             },
         );
         let local = self.region_local(machine_byte, on_pkg);
@@ -354,12 +425,49 @@ impl HeteroController {
     /// the on-package LRU slot and start a swap if strictly hotter.
     fn consider_swap(&mut self, now: Cycle) {
         self.stats.epochs += 1;
+        let rejected_before = self.stats.rejected_triggers;
+        self.swap_decision(now);
+        self.lru.new_epoch();
+        self.mru.new_epoch();
+        if self.sink.enabled(EventKind::EpochRollover) {
+            let rejected = self.stats.rejected_triggers > rejected_before;
+            self.emit_epoch_rollover(now, self.stats.epochs - 1, rejected);
+        }
+    }
+
+    /// Emit an [`Event::EpochRollover`] carrying the deltas since the last
+    /// rollover, and advance the mark.
+    fn emit_epoch_rollover(&mut self, now: Cycle, epoch: u64, rejected: bool) {
+        let s = self.stats;
+        let completed = self.engine.as_ref().map_or(0, |e| e.stats().completed);
+        let migration = s.migration_on_lines + s.migration_off_lines;
+        let m = self.epoch_mark;
+        self.sink.emit(Event::EpochRollover {
+            cycle: now,
+            epoch,
+            demand_on: s.demand_on_lines - m.demand_on,
+            demand_off: s.demand_off_lines - m.demand_off,
+            migration_lines: migration - m.migration,
+            stall_cycles: s.stall_cycles - m.stall,
+            swaps_completed: completed - m.swaps_completed,
+            rejected,
+        });
+        self.epoch_mark = EpochMark {
+            demand_on: s.demand_on_lines,
+            demand_off: s.demand_off_lines,
+            migration,
+            stall: s.stall_cycles,
+            swaps_completed: completed,
+        };
+    }
+
+    /// The swap-trigger comparison of `consider_swap`, separated so the
+    /// epoch bookkeeping wraps every exit path uniformly.
+    fn swap_decision(&mut self, now: Cycle) {
         let Some(engine) = &mut self.engine else { return };
         if engine.busy() {
             // "The existence of P bit and F bit prevents triggering
             // another swap if the previous swap is not complete yet."
-            self.lru.new_epoch();
-            self.mru.new_epoch();
             return;
         }
         let table = &self.table;
@@ -374,14 +482,36 @@ impl HeteroController {
         });
         if let Some((hot, hot_count, hot_sub)) = hot_candidate {
             let empty = table.empty_slot();
-            let cold = self.lru.coldest(|s| {
-                Some(s) == empty || (hot < n && s as u64 == hot)
-            });
+            let cold = self.lru.coldest(|s| Some(s) == empty || (hot < n && s as u64 == hot));
             if let Some(cold_slot) = cold {
                 let cold_count = self.lru.epoch_count(cold_slot);
                 if hot_count > cold_count {
+                    let cases_before = engine.stats().case_counts;
                     if engine.start_swap(&mut self.table, hot, cold_slot, hot_sub) {
                         self.mru.remove(hot);
+                        if self.sink.enabled(EventKind::SwapStart) {
+                            let after = engine.stats().case_counts;
+                            let case =
+                                (0..4).find(|&i| after[i] > cases_before[i]).unwrap_or(0) as u8;
+                            self.swap_steps_seen = 0;
+                            self.swap_subs_mark = engine.stats().sub_blocks_copied;
+                            self.sink.emit(Event::SwapStart {
+                                cycle: now,
+                                hot_page: hot,
+                                cold_slot,
+                                case,
+                            });
+                        }
+                        if self.sink.enabled(EventKind::PfTransition) {
+                            for t in engine.drain_pf_log() {
+                                self.sink.emit(Event::PfTransition {
+                                    cycle: now,
+                                    slot: t.slot,
+                                    bit: t.bit,
+                                    set: t.set,
+                                });
+                            }
+                        }
                         if engine.halting() {
                             // Halt window estimate: ~3 page moves (the
                             // case-average) at the full off-package
@@ -393,18 +523,19 @@ impl HeteroController {
                             // it is ~1M cycles, the paper's 374 us.
                             let g = self.cfg.machine.geometry;
                             let est = g.lines_per_page()
-                                * self.cfg.machine.clock.dram_to_cpu(
-                                    self.cfg.off_profile.timing.t_burst,
-                                )
+                                * self
+                                    .cfg
+                                    .machine
+                                    .clock
+                                    .dram_to_cpu(self.cfg.off_profile.timing.t_burst)
                                 * 3
                                 / self.cfg.off_profile.channels as u64;
                             self.stall_until = self.stall_until.max(now + est);
                         }
                         if self.cfg.is_os_assisted() {
                             // Kernel entry/exit for the table update.
-                            self.stall_until = self
-                                .stall_until
-                                .max(now + self.cfg.machine.latency.os_update);
+                            self.stall_until =
+                                self.stall_until.max(now + self.cfg.machine.latency.os_update);
                         }
                         self.pump_copies(now);
                     }
@@ -413,8 +544,6 @@ impl HeteroController {
                 }
             }
         }
-        self.lru.new_epoch();
-        self.mru.new_epoch();
     }
 
     /// Issue migration transfers up to the outstanding limit.
@@ -428,10 +557,7 @@ impl HeteroController {
         let Some(engine) = &mut self.engine else { return };
         let g = self.cfg.machine.geometry;
         let sub_lines = (g.sub_block_bytes() / LINE_BYTES).max(1) as u32;
-        let mut allowance = self
-            .cfg
-            .max_outstanding_copies
-            .saturating_sub(self.outstanding_copies);
+        let mut allowance = self.cfg.max_outstanding_copies.saturating_sub(self.outstanding_copies);
         // Pacing: one sub-block may be injected per
         // `sub_lines x pace` cycles.
         // While the halting N design stalls execution, the copy engine
@@ -538,6 +664,11 @@ impl HeteroController {
             guard += 1;
             assert!(guard < 1_000_000, "flush did not converge");
         }
+        if self.sink.enabled(EventKind::EpochRollover) {
+            // Tail row covering the partial epoch since the last rollover,
+            // so the per-epoch CSV sums exactly to the flat counters.
+            self.emit_epoch_rollover(self.now, self.stats.epochs, false);
+        }
     }
 
     fn process_completions(&mut self, now: Cycle) -> bool {
@@ -571,6 +702,16 @@ impl HeteroController {
                     finish - meta.issued_at,
                     "latency components must sum to end-to-end latency"
                 );
+                if self.sink.enabled(EventKind::Demand) {
+                    self.sink.emit(Event::Demand {
+                        cycle: finish,
+                        page: meta.page,
+                        on_package: meta.on_package,
+                        is_write: meta.is_write,
+                        latency: breakdown.total(),
+                        queuing: breakdown.queuing,
+                    });
+                }
                 self.completed.push(DemandCompletion {
                     id: c.id,
                     finish,
@@ -597,7 +738,35 @@ impl HeteroController {
         let Some(engine) = &mut self.engine else { return };
         let progress = engine.transfer_done(token, &mut self.table);
         self.outstanding_copies = self.outstanding_copies.saturating_sub(1);
+        let subs_copied = engine.stats().sub_blocks_copied;
+        if self.sink.enabled(EventKind::PfTransition) {
+            for t in engine.drain_pf_log() {
+                self.sink.emit(Event::PfTransition {
+                    cycle: now,
+                    slot: t.slot,
+                    bit: t.bit,
+                    set: t.set,
+                });
+            }
+        }
         use crate::migrate::SwapProgress;
+        match progress {
+            SwapProgress::StepDone => {
+                if self.sink.enabled(EventKind::SwapStep) {
+                    self.sink.emit(Event::SwapStep { cycle: now, step: self.swap_steps_seen });
+                    self.swap_steps_seen += 1;
+                }
+            }
+            SwapProgress::SwapDone => {
+                if self.sink.enabled(EventKind::SwapComplete) {
+                    self.sink.emit(Event::SwapComplete {
+                        cycle: now,
+                        sub_blocks: subs_copied - self.swap_subs_mark,
+                    });
+                }
+            }
+            SwapProgress::InFlight => {}
+        }
         match progress {
             SwapProgress::SwapDone => {
                 // The halting N design's stall window is the estimate set
@@ -605,12 +774,14 @@ impl HeteroController {
                 // the controller's effective clock must stay monotone so
                 // per-channel arrival order is preserved.
                 if self.cfg.is_os_assisted() {
-                    self.stall_until = self.stall_until.max(now + self.cfg.machine.latency.os_update);
+                    self.stall_until =
+                        self.stall_until.max(now + self.cfg.machine.latency.os_update);
                 }
             }
             SwapProgress::StepDone => {
                 if self.cfg.is_os_assisted() {
-                    self.stall_until = self.stall_until.max(now + self.cfg.machine.latency.os_update);
+                    self.stall_until =
+                        self.stall_until.max(now + self.cfg.machine.latency.os_update);
                 }
             }
             SwapProgress::InFlight => {}
@@ -734,17 +905,9 @@ mod tests {
         let swaps = c.swap_stats().unwrap();
         assert!(swaps.completed >= 1, "at least one swap should complete");
         // The hot page must be on-package at the end.
-        assert!(
-            c.table().cam_lookup(40).is_some(),
-            "hot page 40 should be CAM-mapped on-package"
-        );
+        assert!(c.table().cam_lookup(40).is_some(), "hot page 40 should be CAM-mapped on-package");
         // Late accesses to the hot page are served on-package.
-        let late_hot: Vec<_> = done
-            .iter()
-            .rev()
-            .take(200)
-            .filter(|d| d.on_package)
-            .collect();
+        let late_hot: Vec<_> = done.iter().rev().take(200).filter(|d| d.on_package).collect();
         assert!(!late_hot.is_empty());
         c.table().check_invariants(true, true).unwrap();
     }
@@ -766,18 +929,14 @@ mod tests {
 
     #[test]
     fn all_three_designs_complete_swaps() {
-        for design in [
-            MigrationDesign::N,
-            MigrationDesign::NMinusOne,
-            MigrationDesign::LiveMigration,
-        ] {
+        for design in
+            [MigrationDesign::N, MigrationDesign::NMinusOne, MigrationDesign::LiveMigration]
+        {
             let (c, done) = run(Mode::Dynamic(design), 4_000, 40);
             assert_eq!(done.len(), 4_000, "{design:?} lost completions");
             let swaps = c.swap_stats().unwrap();
             assert!(swaps.completed >= 1, "{design:?} completed no swaps");
-            c.table()
-                .check_invariants(true, design.sacrifices_slot())
-                .unwrap();
+            c.table().check_invariants(true, design.sacrifices_slot()).unwrap();
         }
     }
 

@@ -24,10 +24,10 @@
 
 use crate::table::{MachinePage, RowState, TranslationTable};
 use hmm_sim_base::addr::SubBlockId;
-use serde::{Deserialize, Serialize};
+use hmm_telemetry::{PfBit, PfChange};
 
 /// Which migration design is active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigrationDesign {
     /// Basic design: all N slots used, execution halts during a swap.
     N,
@@ -74,7 +74,7 @@ pub enum SwapProgress {
 }
 
 /// Counters for reporting and the power model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwapStats {
     /// Swaps started.
     pub triggered: u64,
@@ -85,6 +85,20 @@ pub struct SwapStats {
     /// Sub-block copies performed (each is one read + one write of a
     /// sub-block).
     pub sub_blocks_copied: u64,
+}
+
+impl SwapStats {
+    /// Fold another counter set into this one (the workspace-wide merge
+    /// convention, mirroring `RunningMean::merge`). Used when joining
+    /// parallel sweep shards.
+    pub fn merge(&mut self, other: &SwapStats) {
+        self.triggered += other.triggered;
+        self.completed += other.completed;
+        for (a, b) in self.case_counts.iter_mut().zip(other.case_counts.iter()) {
+            *a += b;
+        }
+        self.sub_blocks_copied += other.sub_blocks_copied;
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -126,6 +140,10 @@ pub struct MigrationEngine {
     sub_blocks_per_page: u32,
     active: Option<ActiveSwap>,
     stats: SwapStats,
+    /// When set, P/F-bit transitions are appended to `pf_log`. The engine
+    /// is clock-free, so the controller drains the log and stamps cycles.
+    log_pf: bool,
+    pf_log: Vec<PfChange>,
 }
 
 impl MigrationEngine {
@@ -133,7 +151,25 @@ impl MigrationEngine {
     /// (page size / sub-block size; 1 if the page is one sub-block).
     pub fn new(design: MigrationDesign, sub_blocks_per_page: u32) -> Self {
         assert!(sub_blocks_per_page >= 1);
-        Self { design, sub_blocks_per_page, active: None, stats: SwapStats::default() }
+        Self {
+            design,
+            sub_blocks_per_page,
+            active: None,
+            stats: SwapStats::default(),
+            log_pf: false,
+            pf_log: Vec::new(),
+        }
+    }
+
+    /// Enable or disable P/F-transition logging (off by default; the
+    /// controller turns it on when its telemetry sink wants the events).
+    pub fn set_pf_logging(&mut self, on: bool) {
+        self.log_pf = on;
+    }
+
+    /// Take the accumulated P/F transitions, in application order.
+    pub fn drain_pf_log(&mut self) -> Vec<PfChange> {
+        std::mem::take(&mut self.pf_log)
     }
 
     /// The active design.
@@ -314,8 +350,9 @@ impl MigrationEngine {
             start_sub: hot_sub_hint % self.sub_blocks_per_page,
         };
         let bits = self.bitmap_bits();
+        let log = self.log_pf;
         for op in swap.steps[0].begin.clone() {
-            Self::apply(table, op, bits);
+            Self::apply(table, op, bits, log.then_some(&mut self.pf_log));
         }
         self.active = Some(swap);
         self.stats.triggered += 1;
@@ -457,18 +494,45 @@ impl MigrationEngine {
             .collect()
     }
 
-    fn apply(table: &mut TranslationTable, op: TableOp, bitmap_bits: u32) {
+    fn apply(
+        table: &mut TranslationTable,
+        op: TableOp,
+        bitmap_bits: u32,
+        log: Option<&mut Vec<PfChange>>,
+    ) {
+        let note = |log: Option<&mut Vec<PfChange>>, slot: u32, bit: PfBit, set: bool| {
+            if let Some(log) = log {
+                log.push(PfChange { slot, bit, set });
+            }
+        };
         match op {
             TableOp::SuppressCam(s) => table.suppress_cam(s),
             TableOp::BeginFillEmpty { slot, page, source } => {
-                table.begin_fill_into_empty(slot, page, source, bitmap_bits)
+                table.begin_fill_into_empty(slot, page, source, bitmap_bits);
+                if let Some(log) = log {
+                    log.push(PfChange { slot, bit: PfBit::P, set: true });
+                    log.push(PfChange { slot, bit: PfBit::F, set: true });
+                }
             }
             TableOp::BeginRestoreOwn { slot, source } => {
-                table.begin_restore_own(slot, source, bitmap_bits)
+                table.begin_restore_own(slot, source, bitmap_bits);
+                note(log, slot, PfBit::F, true);
             }
-            TableOp::ClearP(s) => table.clear_p(s),
-            TableOp::SetP(s) => table.set_p(s),
-            TableOp::RetireToEmpty(s) => table.retire_to_empty(s),
+            TableOp::ClearP(s) => {
+                table.clear_p(s);
+                note(log, s, PfBit::P, false);
+            }
+            TableOp::SetP(s) => {
+                table.set_p(s);
+                note(log, s, PfBit::P, true);
+            }
+            TableOp::RetireToEmpty(s) => {
+                let was_pending = table.p_bit(s);
+                table.retire_to_empty(s);
+                if was_pending {
+                    note(log, s, PfBit::P, false);
+                }
+            }
             TableOp::SetSwapped { slot, page } => table.set_swapped(slot, page),
             TableOp::SetOwn(s) => table.set_own(s),
         }
@@ -502,6 +566,7 @@ impl MigrationEngine {
     /// Record completion of a transfer (both its read and write legs).
     pub fn transfer_done(&mut self, token: u64, table: &mut TranslationTable) -> SwapProgress {
         let bits = self.bitmap_bits();
+        let log = self.log_pf;
         let live = matches!(self.design, MigrationDesign::LiveMigration);
         let swap = self.active.as_mut().expect("no swap in flight");
         let step_idx = (token >> 32) as usize;
@@ -528,8 +593,14 @@ impl MigrationEngine {
                 table.mark_sub_block_filled(slot, SubBlockId(0));
             }
         }
+        if log {
+            if let Some(slot) = step.fill_slot {
+                // The fill finished: the F bit stops gating this slot.
+                self.pf_log.push(PfChange { slot, bit: PfBit::F, set: false });
+            }
+        }
         for op in swap.steps[swap.step].end.clone() {
-            Self::apply(table, op, bits);
+            Self::apply(table, op, bits, log.then_some(&mut self.pf_log));
         }
         swap.step += 1;
         swap.issued = 0;
@@ -540,7 +611,7 @@ impl MigrationEngine {
             SwapProgress::SwapDone
         } else {
             for op in swap.steps[swap.step].begin.clone() {
-                Self::apply(table, op, bits);
+                Self::apply(table, op, bits, log.then_some(&mut self.pf_log));
             }
             SwapProgress::StepDone
         }
@@ -644,9 +715,9 @@ mod tests {
     fn case_c_ms_in_of_out() {
         let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
         assert!(h.run_swap(20, 3)); // page 3 ghosted; page 7 MS at home(20)
-        // Page 7 is now MS (its row holds... nothing: retired). Build the
-        // MS state the natural way: hot page 7 is at the ghost... actually
-        // after case (a), page 7 parks at home(20): row 7 = Swapped(20).
+                                    // Page 7 is now MS (its row holds... nothing: retired). Build the
+                                    // MS state the natural way: hot page 7 is at the ghost... actually
+                                    // after case (a), page 7 parks at home(20): row 7 = Swapped(20).
         assert_eq!(h.loc(7), 20);
         // Bring MS page 7 back; evict OF page 2.
         assert!(h.run_swap(7, 2));
@@ -662,8 +733,8 @@ mod tests {
         let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
         assert!(h.run_swap(20, 3)); // case (a): 20 -> slot 7; page 3 ghosted
         assert!(h.run_swap(21, 5)); // case (a): 21 -> slot 3; page 5 ghosted
-        // State now: slot 7 = 20 (MF), slot 3 = 21 (MF), page 5 ghosted,
-        // empty = slot 5. Page 3 is MS at home(21), page 7 MS at home(20).
+                                    // State now: slot 7 = 20 (MF), slot 3 = 21 (MF), page 5 ghosted,
+                                    // empty = slot 5. Page 3 is MS at home(21), page 7 MS at home(20).
         assert_eq!(h.loc(3), 21);
         // Case (d): bring MS page 3 home, evicting MF page 20 (slot 7).
         assert!(h.run_swap(3, 7));
@@ -683,12 +754,12 @@ mod tests {
         // E=21.
         let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
         assert!(h.run_swap(20, 0)); // D into slot 7 -> then A... build state:
-        // After swap 1: slot 7 = D(20), ghost = page 0 (A at Ω)... The
-        // paper's exact slot assignments differ, but the reachable states
-        // are equivalent up to slot renaming. Drive to the (d) shape:
+                                    // After swap 1: slot 7 = D(20), ghost = page 0 (A at Ω)... The
+                                    // paper's exact slot assignments differ, but the reachable states
+                                    // are equivalent up to slot renaming. Drive to the (d) shape:
         assert!(h.run_swap(21, 1)); // E in; evict OF page 1 (B) -> B ghost?
-        // Regardless of intermediate naming, the final swap must satisfy
-        // the paper's end-state properties:
+                                    // Regardless of intermediate naming, the final swap must satisfy
+                                    // the paper's end-state properties:
         let hot = (0..8u64).find(|&p| {
             h.table.row_state(p as u32) == RowState::Swapped(20)
                 || h.table.row_state(p as u32) == RowState::Swapped(21)
@@ -696,10 +767,7 @@ mod tests {
         let hot = hot.expect("an MS page exists");
         // Find an MF victim slot different from the hot row.
         let victim = (0..8u32)
-            .find(|&s| {
-                s as u64 != hot
-                    && matches!(h.table.row_state(s), RowState::Swapped(_))
-            })
+            .find(|&s| s as u64 != hot && matches!(h.table.row_state(s), RowState::Swapped(_)))
             .expect("an MF slot exists");
         let partner = match h.table.row_state(hot as u32) {
             RowState::Swapped(e) => e,
@@ -784,7 +852,7 @@ mod tests {
         let mut h = Harness::new(MigrationDesign::N, 1);
         assert!(h.run_swap(20, 3)); // 20 <-> 3
         assert!(h.run_swap(21, 5)); // 21 <-> 5
-        // MS page 3 in, MF page 21 (slot 5) out.
+                                    // MS page 3 in, MF page 21 (slot 5) out.
         assert!(h.run_swap(3, 5));
         assert_eq!(h.loc(3), 3);
         assert_eq!(h.loc(21), 21);

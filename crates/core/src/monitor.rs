@@ -16,10 +16,8 @@
 //! off-package MRU page is accessed more frequently than the on-package
 //! LRU page after each monitoring epoch".
 
-use serde::{Deserialize, Serialize};
-
 /// Clock (second-chance) pseudo-LRU over the on-package slots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlotClock {
     ref_bits: Vec<bool>,
     epoch_counts: Vec<u32>,
@@ -75,7 +73,7 @@ impl SlotClock {
 }
 
 /// One multi-queue entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct MqEntry {
     page: u64,
     /// Accesses since the entry was created (drives promotion).
@@ -87,7 +85,7 @@ struct MqEntry {
 }
 
 /// Multi-queue MRU filter over off-package macro pages.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiQueueMru {
     /// `levels[k]` is ordered least- to most-recently-touched.
     levels: Vec<Vec<MqEntry>>,

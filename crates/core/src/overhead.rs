@@ -16,8 +16,6 @@
 //! than 1 MB" — below that the table explodes (Fig. 10) and the OS-assisted
 //! scheme keeps the table in software instead.
 
-use serde::{Deserialize, Serialize};
-
 /// Address-space width assumed by the paper (48-bit).
 pub const ADDRESS_BITS: u32 = 48;
 
@@ -28,7 +26,7 @@ pub const ADDRESS_BITS: u32 = 48;
 pub const OS_ASSIST_THRESHOLD_BYTES: u64 = 1 << 20;
 
 /// Bit counts of the pure-hardware scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HardwareOverhead {
     /// Translation-table bits (entries x entry width).
     pub translation_table: u64,

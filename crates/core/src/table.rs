@@ -36,12 +36,11 @@
 //!   served on-package, the rest route to the recorded source location.
 
 use hmm_sim_base::addr::{MacroPageId, SubBlockId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A macro-page-sized machine location: `< N` → on-package slot,
 /// `>= N` → off-package DIMM page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MachinePage(pub u64);
 
 /// State of one translation-table row (one on-package slot).
@@ -150,10 +149,11 @@ impl TranslationTable {
     pub fn new(slots: u64, total_pages: u64, sacrifice_slot: bool) -> Self {
         assert!(slots >= 2, "need at least two on-package slots");
         assert!(total_pages > slots + 1, "need off-package pages plus the ghost page");
-        let mut rows = vec![
-            Row { state: RowState::Own, p_bit: false, fill: None, cam_suppressed: false };
-            slots as usize
-        ];
+        let mut rows =
+            vec![
+                Row { state: RowState::Own, p_bit: false, fill: None, cam_suppressed: false };
+                slots as usize
+            ];
         if sacrifice_slot {
             rows[slots as usize - 1].state = RowState::Empty;
         }
@@ -214,10 +214,7 @@ impl TranslationTable {
 
     /// The slot in `Empty` state, if any (idle N-1 table has exactly one).
     pub fn empty_slot(&self) -> Option<u32> {
-        self.rows
-            .iter()
-            .position(|r| r.state == RowState::Empty)
-            .map(|i| i as u32)
+        self.rows.iter().position(|r| r.state == RowState::Empty).map(|i| i as u32)
     }
 
     /// Translate one access (the paper's two additional clock cycles are
@@ -247,11 +244,7 @@ impl TranslationTable {
                 let row = &self.rows[slot as usize];
                 if let Some(f) = &row.fill {
                     if f.page == p {
-                        return if f.is_filled(sub) {
-                            MachinePage(slot as u64)
-                        } else {
-                            f.source
-                        };
+                        return if f.is_filled(sub) { MachinePage(slot as u64) } else { f.source };
                     }
                 }
                 MachinePage(slot as u64)
@@ -271,7 +264,13 @@ impl TranslationTable {
     /// arriving from `source`. Sets the row to `Swapped(page)` with the
     /// P bit (paper: "a new link B-to-C is updated ... the P bit of this
     /// row is set to 1") and an F-bitmap of `sub_blocks` entries.
-    pub fn begin_fill_into_empty(&mut self, slot: u32, page: u64, source: MachinePage, sub_blocks: u32) {
+    pub fn begin_fill_into_empty(
+        &mut self,
+        slot: u32,
+        page: u64,
+        source: MachinePage,
+        sub_blocks: u32,
+    ) {
         let row = &mut self.rows[slot as usize];
         assert_eq!(row.state, RowState::Empty, "fill target must be the empty slot");
         assert!(page >= self.slots, "only high pages enter via the empty slot");
@@ -427,7 +426,9 @@ impl TranslationTable {
             return Err("CAM contains stale entries".into());
         }
         if idle && n_minus_one && empties != 1 {
-            return Err(format!("idle N-1 table must have exactly one empty slot, found {empties}"));
+            return Err(format!(
+                "idle N-1 table must have exactly one empty slot, found {empties}"
+            ));
         }
         if !n_minus_one && empties != 0 {
             return Err(format!("N table must have no empty slots, found {empties}"));

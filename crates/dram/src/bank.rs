@@ -38,6 +38,9 @@ pub struct BankService {
     /// True when an ACTIVATE was issued (row empty or conflict) — the
     /// channel needs this for its tFAW window accounting.
     pub activated: bool,
+    /// True when a *different* row was open and had to be precharged
+    /// first (a bank conflict, as opposed to an empty-bank activate).
+    pub conflict: bool,
 }
 
 impl Bank {
@@ -110,18 +113,17 @@ impl Bank {
         t: &TimingCpu,
     ) -> BankService {
         let cmd_start = earliest.max(self.ready_at);
-        let (prep, row_hit, activated) = match self.open_row {
-            Some(open) if open == row => (0, true, false),
+        let (prep, row_hit, activated, conflict) = match self.open_row {
+            Some(open) if open == row => (0, true, false, false),
             Some(_) => {
                 // Conflict: precharge (respecting tRAS and write
                 // recovery), then activate.
-                let pre_at = cmd_start
-                    .max(self.activated_at + t.t_ras)
-                    .max(self.write_recovery_until);
+                let pre_at =
+                    cmd_start.max(self.activated_at + t.t_ras).max(self.write_recovery_until);
                 let prep = (pre_at - cmd_start) + t.t_rp + t.t_rcd;
-                (prep, false, true)
+                (prep, false, true, true)
             }
-            None => (t.t_rcd, false, true),
+            None => (t.t_rcd, false, true, false),
         };
         if activated {
             self.activated_at = cmd_start + prep - t.t_rcd;
@@ -143,7 +145,14 @@ impl Bank {
             self.write_recovery_until = finish + t.t_wr;
         }
 
-        BankService { cmd_start, finish, core_latency: prep + cas + burst, row_hit, activated }
+        BankService {
+            cmd_start,
+            finish,
+            core_latency: prep + cas + burst,
+            row_hit,
+            activated,
+            conflict,
+        }
     }
 }
 
@@ -274,14 +283,10 @@ mod tests {
         for i in 0..10u64 {
             let row = i % 2;
             open_finish = open.service(open_finish, 0, row, false, 1, &t).finish;
-            closed_finish = closed
-                .service_with_policy(closed_finish, 0, row, false, 1, &t, true)
-                .finish;
+            closed_finish =
+                closed.service_with_policy(closed_finish, 0, row, false, 1, &t, true).finish;
         }
-        assert!(
-            closed_finish <= open_finish,
-            "closed {closed_finish} vs open {open_finish}"
-        );
+        assert!(closed_finish <= open_finish, "closed {closed_finish} vs open {open_finish}");
     }
 
     #[test]

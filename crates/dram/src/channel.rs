@@ -7,6 +7,7 @@ use crate::timing::TimingCpu;
 use crate::txn::{Completion, PagePolicy, SchedPolicy, Transaction};
 use hmm_sim_base::cycles::Cycle;
 use hmm_sim_base::stats::LatencyBreakdown;
+use hmm_telemetry::{DramOutcome, Event, NullSink, RegionKind, TelemetrySink};
 use std::collections::VecDeque;
 
 /// Per-channel counters.
@@ -52,9 +53,16 @@ const SCHED_WINDOW: usize = 64;
 
 /// A single DRAM channel.
 #[derive(Debug)]
-pub struct Channel {
+pub struct Channel<S: TelemetrySink = NullSink> {
     profile: DeviceProfile,
     timing: TimingCpu,
+    /// Telemetry sink; [`NullSink`] by default, which folds every
+    /// instrumentation branch away.
+    sink: S,
+    /// Which region this channel belongs to (telemetry labelling only).
+    region: RegionKind,
+    /// Channel index within the region (telemetry labelling only).
+    index: u32,
     banks: Vec<Bank>,
     ranks: Vec<RankState>,
     data_bus_free: Cycle,
@@ -84,8 +92,23 @@ pub struct Channel {
 
 impl Channel {
     /// Build an idle channel for `profile` with the given row-buffer
-    /// policy.
+    /// policy and no telemetry.
     pub fn new(profile: DeviceProfile, timing: TimingCpu, page_policy: PagePolicy) -> Self {
+        Self::with_sink(profile, timing, page_policy, NullSink, RegionKind::OffPackage, 0)
+    }
+}
+
+impl<S: TelemetrySink> Channel<S> {
+    /// Build an idle channel reporting DRAM events into `sink`, labelled
+    /// with the region and channel index it serves.
+    pub fn with_sink(
+        profile: DeviceProfile,
+        timing: TimingCpu,
+        page_policy: PagePolicy,
+        sink: S,
+        region: RegionKind,
+        index: u32,
+    ) -> Self {
         let total_banks = (profile.ranks_per_channel * profile.banks_per_rank) as usize;
         let mut ranks = Vec::with_capacity(profile.ranks_per_channel as usize);
         for i in 0..profile.ranks_per_channel {
@@ -102,6 +125,9 @@ impl Channel {
         Self {
             profile,
             timing,
+            sink,
+            region,
+            index,
             banks: (0..total_banks).map(|_| Bank::new()).collect(),
             ranks,
             data_bus_free: 0,
@@ -298,6 +324,29 @@ impl Channel {
             self.stats.row_hits += 1;
         } else {
             self.stats.row_misses += 1;
+        }
+
+        let outcome = if svc.row_hit {
+            DramOutcome::RowHit
+        } else if svc.conflict {
+            DramOutcome::BankConflict
+        } else {
+            DramOutcome::RowMiss
+        };
+        let kind = match outcome {
+            DramOutcome::RowHit => hmm_telemetry::EventKind::RowHit,
+            DramOutcome::RowMiss => hmm_telemetry::EventKind::RowMiss,
+            DramOutcome::BankConflict => hmm_telemetry::EventKind::BankConflict,
+        };
+        if self.sink.enabled(kind) {
+            self.sink.emit(Event::DramAccess {
+                cycle: svc.cmd_start,
+                region: self.region,
+                channel: self.index,
+                bank: bank_idx as u32,
+                outcome,
+                background: q.txn.background,
+            });
         }
 
         let total = svc.finish - q.txn.arrival;

@@ -14,10 +14,9 @@
 
 use crate::timing::DramTiming;
 use hmm_sim_base::addr::LINE_SHIFT;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one memory region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceProfile {
     /// Independent channels (each with its own command/data buses).
     pub channels: u32,
@@ -116,7 +115,7 @@ impl DeviceProfile {
 }
 
 /// Coordinates of one cache line inside a region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramCoord {
     /// Channel index.
     pub channel: u32,
@@ -163,7 +162,7 @@ mod tests {
         assert_eq!(a.channel, 0);
         assert_eq!(b.channel, 1);
         assert_eq!(c.channel, 0); // wrapped around 4 channels
-        // Same row once the channel wraps.
+                                  // Same row once the channel wraps.
         assert_eq!(a.row, c.row);
         assert_eq!(a.bank, c.bank);
         assert_eq!(c.column, a.column + 1);

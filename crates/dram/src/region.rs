@@ -12,10 +12,10 @@ use crate::channel::{Channel, ChannelStats};
 use crate::device::DeviceProfile;
 use crate::txn::{Completion, PagePolicy, SchedPolicy, Transaction};
 use hmm_sim_base::cycles::{CpuClock, Cycle};
-use serde::{Deserialize, Serialize};
+use hmm_telemetry::{NullSink, RegionKind, TelemetrySink};
 
 /// Aggregated region statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegionStats {
     /// Transactions serviced.
     pub serviced: u64,
@@ -40,9 +40,9 @@ impl RegionStats {
 
 /// One memory region with its channels and scheduler.
 #[derive(Debug)]
-pub struct DramRegion {
+pub struct DramRegion<S: TelemetrySink = NullSink> {
     profile: DeviceProfile,
-    channels: Vec<Channel>,
+    channels: Vec<Channel<S>>,
     policy: SchedPolicy,
     completions: Vec<Completion>,
 }
@@ -62,14 +62,31 @@ impl DramRegion {
         policy: SchedPolicy,
         page_policy: PagePolicy,
     ) -> Self {
+        Self::with_sink(profile, clock, policy, page_policy, NullSink, RegionKind::OffPackage)
+    }
+}
+
+impl<S: TelemetrySink + Clone> DramRegion<S> {
+    /// Build a region whose channels report DRAM events into `sink`,
+    /// labelled with `kind` so exporters can tell the regions apart.
+    pub fn with_sink(
+        profile: DeviceProfile,
+        clock: &CpuClock,
+        policy: SchedPolicy,
+        page_policy: PagePolicy,
+        sink: S,
+        kind: RegionKind,
+    ) -> Self {
         profile.validate().expect("invalid device profile");
         let timing = profile.timing.to_cpu(clock);
         let channels = (0..profile.channels)
-            .map(|_| Channel::new(profile, timing, page_policy))
+            .map(|i| Channel::with_sink(profile, timing, page_policy, sink.clone(), kind, i))
             .collect();
         Self { profile, channels, policy, completions: Vec::new() }
     }
+}
 
+impl<S: TelemetrySink> DramRegion<S> {
     /// The device profile this region models.
     pub fn profile(&self) -> &DeviceProfile {
         &self.profile
@@ -181,8 +198,7 @@ mod tests {
     #[test]
     fn many_banks_collapse_queuing_delay() {
         let mut rng = hmm_sim_base::SimRng::new(7);
-        let addrs: Vec<u64> =
-            (0..2_000).map(|_| rng.below(256 << 20) & !63).collect();
+        let addrs: Vec<u64> = (0..2_000).map(|_| rng.below(256 << 20) & !63).collect();
 
         let run = |profile: DeviceProfile| -> f64 {
             let mut r = mk(profile);

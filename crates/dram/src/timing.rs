@@ -6,10 +6,9 @@
 //! DDR3-1333 9-9-9 (666 MHz command clock, 1.5 ns cycle).
 
 use hmm_sim_base::cycles::{CpuClock, Cycle};
-use serde::{Deserialize, Serialize};
 
 /// DRAM timing parameters in DRAM command-clock cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTiming {
     /// CAS latency: READ command to first data beat.
     pub t_cl: u64,
@@ -110,7 +109,7 @@ impl DramTiming {
 }
 
 /// [`DramTiming`] pre-converted to CPU cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)] // field meanings mirror DramTiming
 pub struct TimingCpu {
     pub t_cl: Cycle,

@@ -2,7 +2,6 @@
 
 use hmm_sim_base::cycles::Cycle;
 use hmm_sim_base::stats::LatencyBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// One memory transaction presented to a region.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// single background transaction; modelling the copy at sub-block rather than
 /// line granularity keeps event counts tractable while charging the buses the
 /// same number of data cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transaction {
     /// Caller-assigned token, echoed back in the [`Completion`].
     pub id: u64,
@@ -41,7 +40,7 @@ impl Transaction {
 }
 
 /// The serviced result of a transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The token from the originating [`Transaction`].
     pub id: u64,
@@ -55,7 +54,7 @@ pub struct Completion {
 }
 
 /// Transaction-scheduling policy of a region's channel queues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
     /// First-Ready FCFS (Rixner et al.): oldest row-hit first, then oldest.
     /// The paper's policy.
@@ -66,7 +65,7 @@ pub enum SchedPolicy {
 }
 
 /// Row-buffer management policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PagePolicy {
     /// Rows stay open after an access (the paper's assumption: "open page
     /// access"). Best for streams with row locality.

@@ -16,13 +16,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use serde::{Deserialize, Serialize};
-
 /// Bits per cache line (64 B).
 pub const LINE_BITS: f64 = 512.0;
 
 /// Energy coefficients in pJ/bit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// DRAM core access energy (either region).
     pub core_pj_per_bit: f64,
@@ -40,7 +38,7 @@ impl Default for EnergyParams {
 
 /// Line counts through each region (demand and migration separately).
 /// These map one-to-one onto the controller's traffic counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Traffic {
     /// Demand lines served by the on-package region.
     pub demand_on_lines: u64,
@@ -70,7 +68,7 @@ impl Traffic {
 }
 
 /// Energy breakdown in picojoules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// DRAM core energy.
     pub core_pj: f64,

@@ -14,8 +14,6 @@
 //! [`PhysAddr`] can only become a [`MachineAddr`] by going through the
 //! translation table in `hmm-core`.
 
-use serde::{Deserialize, Serialize};
-
 /// The cache-line size used throughout the paper (and this workspace).
 pub const LINE_BYTES: u64 = 64;
 
@@ -23,35 +21,35 @@ pub const LINE_BYTES: u64 = 64;
 pub const LINE_SHIFT: u32 = 6;
 
 /// A physical address: what the caches and the OS see. 48-bit in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PhysAddr(pub u64);
 
 /// A machine address: the actual DRAM location after the controller's
 /// physical-to-machine translation. Same 48-bit format; the MSBs select the
 /// on-package vs. off-package region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MachineAddr(pub u64);
 
 /// A macro-page number in the *physical* space: `PhysAddr >> page_shift`.
 ///
 /// Macro pages are the migration granularity — 4 KB to 4 MB in the paper's
 /// sweep, so much larger than the OS's 4 KB pages at the top of the range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MacroPageId(pub u64);
 
 /// An on-package slot index — a row of the translation table. The paper's
 /// 1 GB / 4 MB configuration has N = 256 slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SlotId(pub u32);
 
 /// A sub-block index within a macro page (4 KB sub-blocks in the paper's
 /// live-migration design; a 4 MB page has 1024 sub-blocks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubBlockId(pub u32);
 
 /// A 64-byte cache-line address (`addr >> 6`), used by the cache models and
 /// as the unit of DRAM data transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LineAddr(pub u64);
 
 impl PhysAddr {

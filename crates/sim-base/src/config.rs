@@ -19,11 +19,10 @@
 
 use crate::addr::LINE_BYTES;
 use crate::cycles::{CpuClock, Cycle};
-use serde::{Deserialize, Serialize};
 
 /// Fixed latency components of the memory path (paper Table II),
 /// in CPU cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// Memory-controller transaction processing time.
     pub mc_processing: Cycle,
@@ -118,7 +117,7 @@ impl LatencyConfig {
 
 /// Memory-space geometry: capacities and migration granularity
 /// (paper Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryGeometry {
     /// Total main-memory capacity in bytes (paper: 4 GB).
     pub total_bytes: u64,
@@ -165,9 +164,7 @@ impl MemoryGeometry {
             return Err("sub-block cannot be smaller than a cache line".into());
         }
         if !self.total_bytes.is_multiple_of(page) || !self.on_package_bytes.is_multiple_of(page) {
-            return Err(format!(
-                "capacities must be multiples of the macro-page size ({page} B)"
-            ));
+            return Err(format!("capacities must be multiples of the macro-page size ({page} B)"));
         }
         // The N-1 design reserves one *off-package* ghost page, so at least
         // one page must live off-package beyond the on-package slots.
@@ -252,7 +249,7 @@ impl Default for MemoryGeometry {
 
 /// A divisor applied to footprints and capacities so that CI-sized runs
 /// complete quickly. `SimScale::full()` reproduces the paper's sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimScale {
     /// Every capacity and footprint is divided by this.
     pub divisor: u64,
@@ -284,7 +281,7 @@ impl Default for SimScale {
 
 /// Bundle of clock + latency + geometry: everything a simulator needs to
 /// know about the machine that is not workload-specific.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MachineConfig {
     /// Clock domains.
     pub clock: CpuClock,

@@ -5,8 +5,6 @@
 //! (667 MHz for DDR3-1333), so DRAM timing parameters are converted to CPU
 //! cycles once, at configuration time, via [`CpuClock::dram_to_cpu`].
 
-use serde::{Deserialize, Serialize};
-
 /// A point in time or a duration, in CPU cycles.
 ///
 /// `Cycle` is a plain `u64` alias rather than a newtype: the simulator does
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 pub type Cycle = u64;
 
 /// CPU clock description used to convert between time domains.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuClock {
     /// Core frequency in MHz. The paper's target is 3200 MHz.
     pub cpu_mhz: u64,

@@ -14,7 +14,9 @@
 //! * [`config`] — the Table II/Table III machine description (latencies,
 //!   capacities, macro-page geometry) with validation.
 //! * [`rng`] — a small, deterministic xoshiro256** PRNG so traces are
-//!   reproducible across platforms and `rand` version bumps.
+//!   reproducible across platforms and toolchain bumps.
+//! * [`par`] — a scoped-thread `par_map` for the embarrassingly parallel
+//!   experiment grids.
 //! * [`stats`] — running means, log-scaled histograms and latency-breakdown
 //!   accumulators used by the simulator and the figure harness.
 
@@ -24,11 +26,13 @@
 pub mod addr;
 pub mod config;
 pub mod cycles;
+pub mod par;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{LineAddr, MachineAddr, MacroPageId, PhysAddr, SlotId, SubBlockId};
 pub use config::{LatencyConfig, MemoryGeometry, SimScale};
 pub use cycles::Cycle;
+pub use par::par_map;
 pub use rng::SimRng;
 pub use stats::{Histogram, LatencyBreakdown, RunningMean};

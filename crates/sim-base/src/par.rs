@@ -1,0 +1,73 @@
+//! Minimal data parallelism for the experiment grids.
+//!
+//! The sweeps in `hmm-simulator` are embarrassingly parallel over
+//! independent cells, so a scoped thread pool pulling indices off an
+//! atomic counter covers everything the workspace needs without an
+//! external runtime. Results come back in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to `available_parallelism` threads,
+/// returning results in input order.
+///
+/// Work is distributed dynamically (one atomic fetch per item), so uneven
+/// cell costs — a paper-scale cell next to a quick one — still balance.
+/// Panics in `f` propagate after all threads join.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot taken twice");
+                let result = f(item);
+                *out[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    out.into_iter().map(|m| m.into_inner().unwrap().expect("worker skipped a slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn runs_non_copy_items() {
+        let items: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
+        let out = par_map(items, |s| s.len());
+        assert!(out.iter().all(|&l| l >= 6));
+    }
+}

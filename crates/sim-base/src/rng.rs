@@ -2,14 +2,12 @@
 //!
 //! Reproducibility of every figure matters more than statistical strength
 //! here, so we ship a self-contained xoshiro256** implementation seeded via
-//! SplitMix64. Its output is stable across platforms, Rust releases and
-//! `rand` version bumps. The `rand` crate is still used by property tests
-//! (through proptest), but never inside trace generation.
-
-use serde::{Deserialize, Serialize};
+//! SplitMix64. Its output is stable across platforms and Rust releases, and
+//! it is the only randomness source in the workspace — property-style tests
+//! fork it per case instead of pulling in an external RNG.
 
 /// A deterministic xoshiro256** PRNG.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
 }
@@ -28,12 +26,8 @@ impl SimRng {
     /// state thanks to the SplitMix64 expansion.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { s }
     }
 
@@ -84,12 +78,8 @@ impl SimRng {
     /// its own independent sequence.
     pub fn fork(&self, label: u64) -> SimRng {
         let mut sm = self.s[0] ^ self.s[3] ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         SimRng { s }
     }
 }

@@ -1,11 +1,10 @@
 //! Statistics plumbing shared by the simulator and the figure harness.
 
 use crate::cycles::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Numerically robust running mean (Welford without the variance term plus a
 /// u128 total so means of billions of cycle samples stay exact).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunningMean {
     count: u64,
     total: u128,
@@ -56,7 +55,7 @@ impl RunningMean {
 
 /// Power-of-two bucketed histogram for latency distributions. Bucket `i`
 /// covers `[2^i, 2^(i+1))`; bucket 0 covers `[0, 2)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -125,7 +124,7 @@ impl Default for Histogram {
 
 /// Where the cycles of one memory access went. The trace simulator fills
 /// this per access; Table IV and Figs. 11-15 aggregate them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
     /// DRAM core (activate/CAS/precharge critical path).
     pub dram_core: Cycle,
@@ -146,7 +145,7 @@ impl LatencyBreakdown {
 }
 
 /// Aggregated statistics for one simulated region or run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AccessStats {
     /// Latency of every access (total cycles).
     pub latency: RunningMean,
@@ -314,7 +313,8 @@ mod tests {
     fn access_stats_record_and_fraction() {
         let mut s = AccessStats::new();
         let fast = LatencyBreakdown { dram_core: 50, queuing: 0, controller: 7, interconnect: 13 };
-        let slow = LatencyBreakdown { dram_core: 50, queuing: 116, controller: 7, interconnect: 27 };
+        let slow =
+            LatencyBreakdown { dram_core: 50, queuing: 116, controller: 7, interconnect: 27 };
         s.record(&fast, false, true);
         s.record(&slow, true, false);
         assert_eq!(s.accesses(), 2);

@@ -10,8 +10,8 @@ use hmm_core::{ControllerConfig, ControllerStats, HeteroController, Mode, SwapSt
 use hmm_dram::{DeviceProfile, SchedPolicy};
 use hmm_sim_base::config::{MachineConfig, MemoryGeometry, SimScale};
 use hmm_sim_base::stats::AccessStats;
+use hmm_telemetry::{NullSink, TelemetrySink};
 use hmm_workloads::{workload, WorkloadId};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -105,7 +105,7 @@ impl RunConfig {
 }
 
 /// Results of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Workload display name.
     pub workload: String,
@@ -149,20 +149,32 @@ impl RunResult {
 
 /// Execute one simulation run.
 pub fn run(cfg: &RunConfig) -> RunResult {
+    run_with_sink(cfg, NullSink)
+}
+
+/// Execute one simulation run, reporting telemetry events into `sink`.
+///
+/// The sink is threaded through the controller into both DRAM regions, so
+/// a [`hmm_telemetry::Recorder`] handed in here observes the demand path,
+/// the migration engine, and every bank's row-buffer behaviour of the run.
+pub fn run_with_sink<S: TelemetrySink + Clone>(cfg: &RunConfig, sink: S) -> RunResult {
     let w = workload(cfg.workload, &cfg.scale);
     let geometry = cfg.geometry();
     let machine = MachineConfig { geometry, ..MachineConfig::default() };
-    let mut ctrl = HeteroController::new(ControllerConfig {
-        machine,
-        mode: cfg.mode,
-        swap_interval: cfg.swap_interval,
-        os_assisted: cfg.os_assisted,
-        max_outstanding_copies: 16,
-        copy_pace_cycles_per_line: 20,
-        policy: cfg.policy,
-        on_profile: DeviceProfile::on_package(),
-        off_profile: DeviceProfile::off_package_ddr3(),
-    });
+    let mut ctrl = HeteroController::with_sink(
+        ControllerConfig {
+            machine,
+            mode: cfg.mode,
+            swap_interval: cfg.swap_interval,
+            os_assisted: cfg.os_assisted,
+            max_outstanding_copies: 16,
+            copy_pace_cycles_per_line: 20,
+            policy: cfg.policy,
+            on_profile: DeviceProfile::on_package(),
+            off_profile: DeviceProfile::off_package_ddr3(),
+        },
+        sink,
+    );
 
     let mut access = AccessStats::new();
     // Completions drained before the warm-up boundary id is known are
@@ -251,9 +263,7 @@ mod tests {
     fn ordering_baseline_static_ideal() {
         // All-off >= static >= all-on in mean latency, for a workload with
         // real off-package traffic.
-        let mk = |mode| {
-            run(&RunConfig::quick(WorkloadId::Pgbench, mode)).mean_latency()
-        };
+        let mk = |mode| run(&RunConfig::quick(WorkloadId::Pgbench, mode)).mean_latency();
         let off = mk(Mode::AllOffPackage);
         let stat = mk(Mode::Static);
         let on = mk(Mode::AllOnPackage);
@@ -280,10 +290,7 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        let cfg = RunConfig::quick(
-            WorkloadId::SpecJbb,
-            Mode::Dynamic(MigrationDesign::NMinusOne),
-        );
+        let cfg = RunConfig::quick(WorkloadId::SpecJbb, Mode::Dynamic(MigrationDesign::NMinusOne));
         let a = run(&cfg);
         let b = run(&cfg);
         assert_eq!(a.mean_latency(), b.mean_latency());

@@ -1,17 +1,20 @@
 //! Parameter grids for the evaluation's tables and figures (Section IV).
 //!
-//! Every grid point is an independent trace simulation, so the grids are
-//! parallelised with rayon. The figure harness (`hmm-bench`) prints these
-//! rows in the paper's layout; the functions here return plain data.
+//! Every grid point is an independent trace simulation, so the grids fan
+//! out over scoped worker threads ([`hmm_sim_base::par_map`]); each shard
+//! carries its own counters and the shards are joined with the
+//! [`ControllerStats::merge`]/[`SwapStats::merge`] convention. The figure
+//! harness (`hmm-bench`) prints these rows in the paper's layout; the
+//! functions here return plain data.
 
 use crate::driver::{run, RunConfig, RunResult};
-use hmm_core::{MigrationDesign, Mode};
+use hmm_core::{ControllerStats, MigrationDesign, Mode, SwapStats};
 use hmm_power::{normalized_power, EnergyParams};
 use hmm_sim_base::config::SimScale;
+use hmm_sim_base::par_map;
 use hmm_sim_base::stats::effectiveness;
+use hmm_telemetry::{JsonObject, ToJson};
 use hmm_workloads::WorkloadId;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// The paper's macro-page sweep: 4 KB .. 4 MB.
 pub const PAGE_SHIFTS: [u32; 6] = [12, 14, 16, 18, 20, 22];
@@ -55,9 +58,51 @@ impl GridConfig {
     }
 }
 
+/// Counters accumulated across every cell of a sweep.
+///
+/// Each parallel shard of a grid produces its own totals; the shards are
+/// joined at the fan-in point with [`SweepTotals::merge`], which in turn
+/// relies on the [`ControllerStats::merge`]/[`SwapStats::merge`]
+/// convention, so the whole-sweep traffic and stall numbers are exact
+/// sums regardless of how the work was split across threads.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTotals {
+    /// Grid cells (simulation runs) folded in.
+    pub cells: u64,
+    /// Summed controller counters over all runs.
+    pub controller: ControllerStats,
+    /// Summed migration counters over all migrating runs.
+    pub swaps: SwapStats,
+}
+
+impl SweepTotals {
+    /// Totals of a single run.
+    pub fn of(r: &RunResult) -> Self {
+        let mut t = Self::default();
+        t.absorb(r);
+        t
+    }
+
+    /// Fold one run's counters into the totals.
+    pub fn absorb(&mut self, r: &RunResult) {
+        self.cells += 1;
+        self.controller.merge(&r.controller);
+        if let Some(s) = &r.swaps {
+            self.swaps.merge(s);
+        }
+    }
+
+    /// Join another shard's totals into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.cells += other.cells;
+        self.controller.merge(&other.controller);
+        self.swaps.merge(&other.swaps);
+    }
+}
+
 /// One cell of Figs. 11-14: a (workload, design, page size, interval)
 /// combination and its measured mean latency.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     /// Workload display name.
     pub workload: String,
@@ -91,37 +136,54 @@ pub fn fig11_grid(
     page_shifts: &[u32],
     designs: &[MigrationDesign],
 ) -> Vec<Fig11Row> {
+    fig11_grid_with_totals(grid, interval, workloads, page_shifts, designs).0
+}
+
+/// [`fig11_grid`] plus the sweep-wide counters, shard-merged with
+/// [`SweepTotals::merge`].
+pub fn fig11_grid_with_totals(
+    grid: &GridConfig,
+    interval: u64,
+    workloads: &[WorkloadId],
+    page_shifts: &[u32],
+    designs: &[MigrationDesign],
+) -> (Vec<Fig11Row>, SweepTotals) {
     let cells: Vec<(WorkloadId, u32, MigrationDesign)> = workloads
         .iter()
         .flat_map(|&w| {
-            page_shifts.iter().flat_map(move |&p| {
-                designs.iter().map(move |&d| (w, p, d))
-            })
+            page_shifts.iter().flat_map(move |&p| designs.iter().map(move |&d| (w, p, d)))
         })
         .collect();
-    cells
-        .into_par_iter()
-        .map(|(w, page_shift, design)| {
-            let cfg = RunConfig {
-                page_shift,
-                swap_interval: interval,
-                ..grid.base_run(w, Mode::Dynamic(design))
-            };
-            let r = run(&cfg);
-            Fig11Row {
-                workload: r.workload.clone(),
-                design: design_label(design).to_string(),
-                page_bytes: 1 << page_shift,
-                interval,
-                mean_latency: r.mean_latency(),
-                on_fraction: r.on_fraction(),
-            }
+    let shards = par_map(cells, |(w, page_shift, design)| {
+        let cfg = RunConfig {
+            page_shift,
+            swap_interval: interval,
+            ..grid.base_run(w, Mode::Dynamic(design))
+        };
+        let r = run(&cfg);
+        let row = Fig11Row {
+            workload: r.workload.clone(),
+            design: design_label(design).to_string(),
+            page_bytes: 1 << page_shift,
+            interval,
+            mean_latency: r.mean_latency(),
+            on_fraction: r.on_fraction(),
+        };
+        (row, SweepTotals::of(&r))
+    });
+    let mut totals = SweepTotals::default();
+    let rows = shards
+        .into_iter()
+        .map(|(row, shard)| {
+            totals.merge(&shard);
+            row
         })
-        .collect()
+        .collect();
+    (rows, totals)
 }
 
 /// One row of Table IV.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EffectivenessRow {
     /// Workload display name.
     pub workload: String,
@@ -147,47 +209,44 @@ pub fn effectiveness_table(
     page_shifts: &[u32],
     intervals: &[u64],
 ) -> Vec<EffectivenessRow> {
-    workloads
-        .par_iter()
-        .map(|&w| {
-            let stat = run(&grid.base_run(w, Mode::Static));
-            let candidates: Vec<(u32, u64)> = page_shifts
-                .iter()
-                .flat_map(|&p| intervals.iter().map(move |&i| (p, i)))
-                .collect();
-            let best = candidates
-                .into_par_iter()
-                .map(|(page_shift, interval)| {
-                    let cfg = RunConfig {
-                        page_shift,
-                        swap_interval: interval,
-                        ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
-                    };
-                    let r = run(&cfg);
-                    (r.mean_latency(), page_shift, interval, r)
-                })
-                .min_by(|a, b| a.0.total_cmp(&b.0))
-                .expect("non-empty candidate grid");
-            let (latency_with, best_shift, best_interval, best_run) = best;
-            let dram_core = best_run.dram_core_mean();
-            let eta = effectiveness(stat.mean_latency(), latency_with, dram_core)
-                .unwrap_or(0.0)
-                .clamp(0.0, 100.0);
-            EffectivenessRow {
-                workload: stat.workload.clone(),
-                dram_core,
-                latency_without: stat.mean_latency(),
-                latency_with,
-                best_page_bytes: 1 << best_shift,
-                best_interval,
-                effectiveness_pct: eta,
-            }
-        })
-        .collect()
+    par_map(workloads.to_vec(), |w| {
+        let stat = run(&grid.base_run(w, Mode::Static));
+        let candidates: Vec<(u32, u64)> =
+            page_shifts.iter().flat_map(|&p| intervals.iter().map(move |&i| (p, i))).collect();
+        // Candidates run sequentially inside this worker: the outer
+        // per-workload fan-out already saturates the cores.
+        let best = candidates
+            .into_iter()
+            .map(|(page_shift, interval)| {
+                let cfg = RunConfig {
+                    page_shift,
+                    swap_interval: interval,
+                    ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
+                };
+                let r = run(&cfg);
+                (r.mean_latency(), page_shift, interval, r)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty candidate grid");
+        let (latency_with, best_shift, best_interval, best_run) = best;
+        let dram_core = best_run.dram_core_mean();
+        let eta = effectiveness(stat.mean_latency(), latency_with, dram_core)
+            .unwrap_or(0.0)
+            .clamp(0.0, 100.0);
+        EffectivenessRow {
+            workload: stat.workload.clone(),
+            dram_core,
+            latency_without: stat.mean_latency(),
+            latency_with,
+            best_page_bytes: 1 << best_shift,
+            best_interval,
+            effectiveness_pct: eta,
+        }
+    })
 }
 
 /// One bar group of Fig. 15: a workload at one on-package capacity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Row {
     /// Workload display name.
     pub workload: String,
@@ -209,38 +268,30 @@ pub fn fig15_capacity(
     page_shift: u32,
     interval: u64,
 ) -> Vec<Fig15Row> {
-    let cells: Vec<(WorkloadId, u64)> = workloads
-        .iter()
-        .flat_map(|&w| capacities.iter().map(move |&c| (w, c)))
-        .collect();
-    cells
-        .into_par_iter()
-        .map(|(w, cap)| {
-            let mig = run(&RunConfig {
-                page_shift,
-                swap_interval: interval,
-                on_package_bytes: cap,
-                ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
-            });
-            let stat = run(&RunConfig {
-                page_shift,
-                on_package_bytes: cap,
-                ..grid.base_run(w, Mode::Static)
-            });
-            Fig15Row {
-                workload: mig.workload.clone(),
-                on_package_bytes: cap,
-                dram_core: mig.dram_core_mean(),
-                with_migration: mig.mean_latency(),
-                without_migration: stat.mean_latency(),
-            }
-        })
-        .collect()
+    let cells: Vec<(WorkloadId, u64)> =
+        workloads.iter().flat_map(|&w| capacities.iter().map(move |&c| (w, c))).collect();
+    par_map(cells, |(w, cap)| {
+        let mig = run(&RunConfig {
+            page_shift,
+            swap_interval: interval,
+            on_package_bytes: cap,
+            ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
+        });
+        let stat =
+            run(&RunConfig { page_shift, on_package_bytes: cap, ..grid.base_run(w, Mode::Static) });
+        Fig15Row {
+            workload: mig.workload.clone(),
+            on_package_bytes: cap,
+            dram_core: mig.dram_core_mean(),
+            with_migration: mig.mean_latency(),
+            without_migration: stat.mean_latency(),
+        }
+    })
 }
 
 /// One bar of Fig. 16: normalized memory power for a (workload, page size,
 /// interval) combination.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig16Row {
     /// Workload display name.
     pub workload: String,
@@ -263,28 +314,73 @@ pub fn fig16_power(
     let cells: Vec<(WorkloadId, u32, u64)> = workloads
         .iter()
         .flat_map(|&w| {
-            page_shifts.iter().flat_map(move |&p| {
-                intervals.iter().map(move |&i| (w, p, i))
-            })
+            page_shifts.iter().flat_map(move |&p| intervals.iter().map(move |&i| (w, p, i)))
         })
         .collect();
     let params = EnergyParams::default();
-    cells
-        .into_par_iter()
-        .map(|(w, page_shift, interval)| {
-            let r = run(&RunConfig {
-                page_shift,
-                swap_interval: interval,
-                ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
-            });
-            Fig16Row {
-                workload: r.workload.clone(),
-                page_bytes: 1 << page_shift,
-                interval,
-                normalized_power: normalized_power(&params, &r.traffic()).unwrap_or(0.0),
-            }
-        })
-        .collect()
+    par_map(cells, |(w, page_shift, interval)| {
+        let r = run(&RunConfig {
+            page_shift,
+            swap_interval: interval,
+            ..grid.base_run(w, Mode::Dynamic(MigrationDesign::LiveMigration))
+        });
+        Fig16Row {
+            workload: r.workload.clone(),
+            page_bytes: 1 << page_shift,
+            interval,
+            normalized_power: normalized_power(&params, &r.traffic()).unwrap_or(0.0),
+        }
+    })
+}
+
+impl ToJson for Fig11Row {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("workload", &self.workload)
+            .str("design", &self.design)
+            .u64("page_bytes", self.page_bytes)
+            .u64("interval", self.interval)
+            .f64("mean_latency", self.mean_latency)
+            .f64("on_fraction", self.on_fraction)
+            .finish()
+    }
+}
+
+impl ToJson for EffectivenessRow {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("workload", &self.workload)
+            .f64("dram_core", self.dram_core)
+            .f64("latency_without", self.latency_without)
+            .f64("latency_with", self.latency_with)
+            .u64("best_page_bytes", self.best_page_bytes)
+            .u64("best_interval", self.best_interval)
+            .f64("effectiveness_pct", self.effectiveness_pct)
+            .finish()
+    }
+}
+
+impl ToJson for Fig15Row {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("workload", &self.workload)
+            .u64("on_package_bytes", self.on_package_bytes)
+            .f64("dram_core", self.dram_core)
+            .f64("with_migration", self.with_migration)
+            .f64("without_migration", self.without_migration)
+            .finish()
+    }
+}
+
+impl ToJson for Fig16Row {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("workload", &self.workload)
+            .u64("page_bytes", self.page_bytes)
+            .u64("interval", self.interval)
+            .f64("normalized_power", self.normalized_power)
+            .finish()
+    }
 }
 
 /// Convenience: rerun one cell and report its full [`RunResult`]
@@ -348,13 +444,38 @@ mod tests {
     }
 
     #[test]
-    fn effectiveness_row_is_consistent() {
-        let rows = effectiveness_table(
-            &GridConfig::quick(),
+    fn sweep_totals_merge_matches_sequential_absorb() {
+        let g = GridConfig::quick();
+        let (rows, totals) = fig11_grid_with_totals(
+            &g,
+            2_000,
             &[WorkloadId::Pgbench],
-            &[16],
-            &[2_000],
+            &[14, 16],
+            &[MigrationDesign::LiveMigration],
         );
+        assert_eq!(totals.cells as usize, rows.len());
+        // Re-run the same cells sequentially; the shard-merged totals
+        // must be the exact sum regardless of the parallel split.
+        let mut seq = SweepTotals::default();
+        for p in [14u32, 16] {
+            let r = run_cell(
+                &g,
+                WorkloadId::Pgbench,
+                Mode::Dynamic(MigrationDesign::LiveMigration),
+                p,
+                2_000,
+            );
+            seq.absorb(&r);
+        }
+        assert_eq!(totals.controller, seq.controller);
+        assert_eq!(totals.swaps, seq.swaps);
+        assert!(totals.controller.demand_on_lines + totals.controller.demand_off_lines > 0);
+    }
+
+    #[test]
+    fn effectiveness_row_is_consistent() {
+        let rows =
+            effectiveness_table(&GridConfig::quick(), &[WorkloadId::Pgbench], &[16], &[2_000]);
         let r = &rows[0];
         assert!(r.latency_with < r.latency_without, "{r:?}");
         assert!(r.effectiveness_pct > 0.0 && r.effectiveness_pct <= 100.0, "{r:?}");
@@ -364,13 +485,7 @@ mod tests {
     #[test]
     fn fig15_migration_tracks_capacity() {
         let g = GridConfig::quick();
-        let rows = fig15_capacity(
-            &g,
-            &[WorkloadId::SpecJbb],
-            &[128 << 20, 512 << 20],
-            16,
-            2_000,
-        );
+        let rows = fig15_capacity(&g, &[WorkloadId::SpecJbb], &[128 << 20, 512 << 20], 16, 2_000);
         assert_eq!(rows.len(), 2);
         let small = rows.iter().find(|r| r.on_package_bytes == 128 << 20).unwrap();
         let large = rows.iter().find(|r| r.on_package_bytes == 512 << 20).unwrap();
@@ -391,12 +506,7 @@ mod tests {
     #[test]
     fn fig16_power_rises_with_migration_frequency() {
         let g = GridConfig::quick();
-        let rows = fig16_power(
-            &g,
-            &[WorkloadId::Pgbench],
-            &[14],
-            &[1_000, 20_000],
-        );
+        let rows = fig16_power(&g, &[WorkloadId::Pgbench], &[14], &[1_000, 20_000]);
         let fast = rows.iter().find(|r| r.interval == 1_000).unwrap();
         let slow = rows.iter().find(|r| r.interval == 20_000).unwrap();
         assert!(

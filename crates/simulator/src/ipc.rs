@@ -20,10 +20,9 @@ use hmm_cache::{DramCache, DramCacheConfig, Hierarchy, HierarchyConfig, HitLevel
 use hmm_sim_base::config::{LatencyConfig, SimScale};
 use hmm_sim_base::cycles::Cycle;
 use hmm_workloads::{workload, WorkloadId};
-use serde::{Deserialize, Serialize};
 
 /// The four Fig. 5 configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fig5Option {
     /// All memory off-package.
     Baseline,
@@ -58,7 +57,7 @@ impl Fig5Option {
 }
 
 /// Result of one IPC simulation.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IpcResult {
     /// Total IPC across the four cores.
     pub ipc: f64,
@@ -198,12 +197,7 @@ mod tests {
         // "equivalent to having all the memory on-package".
         let s = quick(WorkloadId::Lu, Fig5Option::StaticMapping);
         let i = quick(WorkloadId::Lu, Fig5Option::AllOnPackage);
-        assert!(
-            (s.ipc - i.ipc).abs() / i.ipc < 1e-9,
-            "static {} vs ideal {}",
-            s.ipc,
-            i.ipc
-        );
+        assert!((s.ipc - i.ipc).abs() / i.ipc < 1e-9, "static {} vs ideal {}", s.ipc, i.ipc);
     }
 
     #[test]
@@ -230,12 +224,7 @@ mod tests {
         for id in [WorkloadId::Dc, WorkloadId::Ft] {
             let l4 = quick(id, Fig5Option::L4Cache);
             let st = quick(id, Fig5Option::StaticMapping);
-            assert!(
-                l4.ipc > st.ipc,
-                "{id:?}: L4 {} must beat static {}",
-                l4.ipc,
-                st.ipc
-            );
+            assert!(l4.ipc > st.ipc, "{id:?}: L4 {} must beat static {}", l4.ipc, st.ipc);
         }
     }
 

@@ -59,13 +59,8 @@ mod tests {
     #[test]
     fn miss_rate_is_monotone_nonincreasing_in_capacity() {
         let scale = SimScale { divisor: 256 };
-        let rates = l3_miss_rates(
-            WorkloadId::Ua,
-            &[1 << 20, 8 << 20, 64 << 20],
-            120_000,
-            &scale,
-            7,
-        );
+        let rates =
+            l3_miss_rates(WorkloadId::Ua, &[1 << 20, 8 << 20, 64 << 20], 120_000, &scale, 7);
         assert!(rates[0].1 >= rates[1].1 - 0.02);
         assert!(rates[1].1 >= rates[2].1 - 0.02);
     }

@@ -1,0 +1,144 @@
+//! A minimal JSON writer.
+//!
+//! The exporters need to *produce* well-formed JSON (Chrome traces, JSONL
+//! dumps); nothing in the workspace ever parses it back. A small push-style
+//! builder covers that without an external serialisation framework, which
+//! also keeps the build self-contained for offline toolchains.
+
+/// Escape a string per RFC 8259 and append it, quoted, to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format an `f64` as a JSON number (finite values only; non-finite values
+/// are emitted as `null`, which is what most tooling expects).
+pub fn f64_to_json(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on an integral f64 prints without a dot; that is still a
+        // valid JSON number, so leave it.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental builder for one JSON object. Fields are appended in call
+/// order; `finish()` closes the brace.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Start a new object (`{`).
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        push_str_escaped(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        push_str_escaped(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&f64_to_json(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already serialised JSON (nested object,
+    /// array, ...). The caller guarantees `raw` is well-formed.
+    pub fn raw(mut self, k: &str, raw: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Types that can render themselves as one JSON object. Implemented by the
+/// experiment row structs so the figure harness can dump machine-readable
+/// results next to the pretty tables.
+pub trait ToJson {
+    /// Render as a self-contained JSON value.
+    fn to_json(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let inner = JsonObject::new().u64("n", 3).finish();
+        let s = JsonObject::new()
+            .str("name", "a\"b\\c\n")
+            .bool("ok", true)
+            .f64("x", 1.5)
+            .i64("neg", -2)
+            .raw("inner", &inner)
+            .finish();
+        assert_eq!(s, r#"{"name":"a\"b\\c\n","ok":true,"x":1.5,"neg":-2,"inner":{"n":3}}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64_to_json(f64::NAN), "null");
+        assert_eq!(f64_to_json(f64::INFINITY), "null");
+        assert_eq!(f64_to_json(2.0), "2");
+    }
+}

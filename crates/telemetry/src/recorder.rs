@@ -1,0 +1,317 @@
+//! The concrete recording sink: sharded counters + bounded event rings.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hmm_sim_base::{Histogram, RunningMean};
+
+use crate::event::{Event, EventKind};
+use crate::ring::EventRing;
+use crate::sink::TelemetrySink;
+
+/// How much the recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryLevel {
+    /// Record nothing; `enabled()` is false for every kind, so instrumented
+    /// code pays only a branch on a cached boolean.
+    #[default]
+    Off,
+    /// Count events and feed the latency histogram, but store no event
+    /// records — constant memory, suitable for full-length runs.
+    Counters,
+    /// Counters plus the event timeline in bounded ring buffers.
+    Full,
+}
+
+impl TelemetryLevel {
+    /// Stable CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Counters => "counters",
+            TelemetryLevel::Full => "full",
+        }
+    }
+}
+
+impl FromStr for TelemetryLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TelemetryLevel::Off),
+            "counters" => Ok(TelemetryLevel::Counters),
+            "full" => Ok(TelemetryLevel::Full),
+            other => Err(format!("unknown telemetry level '{other}' (off|counters|full)")),
+        }
+    }
+}
+
+/// Aggregated per-kind counts plus the demand-latency distribution.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    counts: [u64; EventKind::COUNT],
+    /// Mean end-to-end demand latency.
+    pub demand_latency: RunningMean,
+    /// Log2-bucketed end-to-end demand latency distribution.
+    pub latency_hist: Histogram,
+    /// Log2-bucketed demand queuing-delay distribution.
+    pub queuing_hist: Histogram,
+}
+
+impl Counters {
+    /// Count of events of `kind` seen so far.
+    pub fn get(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total events of any kind.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    fn record(&mut self, event: &Event) {
+        self.counts[event.kind() as usize] += 1;
+        if let Event::Demand { latency, queuing, .. } = *event {
+            self.demand_latency.push(latency);
+            self.latency_hist.push(latency);
+            self.queuing_hist.push(queuing);
+        }
+    }
+
+    /// Fold another counter set into this one (same convention as
+    /// `RunningMean::merge`).
+    pub fn merge(&mut self, other: &Counters) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.demand_latency.merge(&other.demand_latency);
+        self.latency_hist.merge(&other.latency_hist);
+        self.queuing_hist.merge(&other.queuing_hist);
+    }
+}
+
+/// Recorder construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Capture level.
+    pub level: TelemetryLevel,
+    /// Total event capacity across all shards (only used at `Full`).
+    pub capacity: usize,
+    /// Number of independent shards. Threads are assigned round-robin on
+    /// first emit, so a rayon-style worker pool spreads across shards and
+    /// never serialises on one lock.
+    pub shards: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self { level: TelemetryLevel::Counters, capacity: 1 << 20, shards: 8 }
+    }
+}
+
+impl RecorderConfig {
+    /// Convenience constructor for a level with default sizing.
+    pub fn with_level(level: TelemetryLevel) -> Self {
+        Self { level, ..Self::default() }
+    }
+}
+
+struct Shard {
+    ring: EventRing,
+    counters: Counters,
+}
+
+struct Inner {
+    level: TelemetryLevel,
+    shards: Box<[Mutex<Shard>]>,
+    next_shard: AtomicUsize,
+}
+
+thread_local! {
+    /// Cached shard index for this thread, keyed by recorder identity so
+    /// two recorders in one process don't alias each other's assignment.
+    static SHARD_CACHE: std::cell::Cell<(usize, usize)> =
+        const { std::cell::Cell::new((0, usize::MAX)) };
+}
+
+/// The concrete [`TelemetrySink`]: cheap-to-clone handle over sharded,
+/// mutex-protected counter/ring state.
+///
+/// Each emitting thread is pinned to one shard (round-robin at first emit),
+/// so under a parallel experiment grid every worker takes an uncontended
+/// lock. Clones share the same underlying state; pass clones to the
+/// controller and both DRAM regions.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("level", &self.inner.level)
+            .field("shards", &self.inner.shards.len())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Build a recorder from a config.
+    pub fn new(cfg: RecorderConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let per_shard = cfg.capacity.div_ceil(shards).max(1);
+        let shards: Box<[Mutex<Shard>]> = (0..shards)
+            .map(|_| {
+                Mutex::new(Shard { ring: EventRing::new(per_shard), counters: Counters::default() })
+            })
+            .collect();
+        Self {
+            inner: Arc::new(Inner { level: cfg.level, shards, next_shard: AtomicUsize::new(0) }),
+        }
+    }
+
+    /// Recorder at a level with default capacity/sharding.
+    pub fn with_level(level: TelemetryLevel) -> Self {
+        Self::new(RecorderConfig::with_level(level))
+    }
+
+    /// The capture level this recorder was built with.
+    pub fn level(&self) -> TelemetryLevel {
+        self.inner.level
+    }
+
+    fn shard_index(&self) -> usize {
+        let key = Arc::as_ptr(&self.inner) as usize;
+        SHARD_CACHE.with(|c| {
+            let (cached_key, cached_idx) = c.get();
+            if cached_key == key && cached_idx != usize::MAX {
+                cached_idx
+            } else {
+                let idx =
+                    self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % self.inner.shards.len();
+                c.set((key, idx));
+                idx
+            }
+        })
+    }
+
+    /// Merged per-kind counters across all shards.
+    pub fn counters(&self) -> Counters {
+        let mut out = Counters::default();
+        for shard in self.inner.shards.iter() {
+            out.merge(&shard.lock().unwrap().counters);
+        }
+        out
+    }
+
+    /// All recorded events, merged across shards and sorted by cycle
+    /// (stable, so same-cycle events keep shard-local order).
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in self.inner.shards.iter() {
+            let guard = shard.lock().unwrap();
+            out.extend(guard.ring.iter().copied());
+        }
+        out.sort_by_key(|e| e.cycle());
+        out
+    }
+
+    /// Events evicted from rings because capacity was exceeded.
+    pub fn dropped(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.lock().unwrap().ring.dropped()).sum()
+    }
+}
+
+impl TelemetrySink for Recorder {
+    #[inline]
+    fn enabled(&self, _kind: EventKind) -> bool {
+        self.inner.level != TelemetryLevel::Off
+    }
+
+    fn emit(&self, event: Event) {
+        let store = self.inner.level == TelemetryLevel::Full;
+        let idx = self.shard_index();
+        let mut shard = self.inner.shards[idx].lock().unwrap();
+        shard.counters.record(&event);
+        if store {
+            shard.ring.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(cycle: u64, latency: u64) -> Event {
+        Event::Demand { cycle, page: 0, on_package: true, is_write: false, latency, queuing: 1 }
+    }
+
+    #[test]
+    fn counters_level_counts_without_storing() {
+        let rec = Recorder::with_level(TelemetryLevel::Counters);
+        assert!(rec.enabled(EventKind::Demand));
+        for c in 0..10 {
+            rec.emit(demand(c, 100 + c));
+        }
+        let counters = rec.counters();
+        assert_eq!(counters.get(EventKind::Demand), 10);
+        assert_eq!(counters.demand_latency.count(), 10);
+        assert!(rec.events().is_empty(), "Counters level stores no events");
+    }
+
+    #[test]
+    fn full_level_stores_events_sorted_by_cycle() {
+        let rec = Recorder::with_level(TelemetryLevel::Full);
+        rec.emit(demand(50, 10));
+        rec.emit(demand(20, 10));
+        rec.emit(demand(90, 10));
+        let cycles: Vec<u64> = rec.events().iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![20, 50, 90]);
+    }
+
+    #[test]
+    fn off_level_disables_everything() {
+        let rec = Recorder::with_level(TelemetryLevel::Off);
+        for kind in EventKind::ALL {
+            assert!(!rec.enabled(kind));
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_storage_and_counts_drops() {
+        let rec =
+            Recorder::new(RecorderConfig { level: TelemetryLevel::Full, capacity: 8, shards: 1 });
+        for c in 0..20 {
+            rec.emit(demand(c, 5));
+        }
+        assert_eq!(rec.events().len(), 8);
+        assert_eq!(rec.dropped(), 12);
+        // Counters are not subject to ring capacity.
+        assert_eq!(rec.counters().get(EventKind::Demand), 20);
+    }
+
+    #[test]
+    fn parallel_emitters_do_not_lose_counts() {
+        let rec = Recorder::new(RecorderConfig {
+            level: TelemetryLevel::Full,
+            capacity: 1 << 16,
+            shards: 4,
+        });
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        rec.emit(demand(t * 1000 + i, 7));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counters().get(EventKind::Demand), 8000);
+        assert_eq!(rec.events().len(), 8000);
+        assert_eq!(rec.dropped(), 0);
+    }
+}

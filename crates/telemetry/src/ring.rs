@@ -1,0 +1,124 @@
+//! A bounded overwrite-oldest ring buffer for events.
+
+use crate::event::Event;
+
+/// Fixed-capacity event buffer that overwrites the oldest entry when full
+/// and counts what it dropped. Recording must never grow without bound (a
+/// paper-scale run emits tens of millions of DRAM events), and for tracing
+/// the *most recent* window is the useful one.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the logically first (oldest) element.
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Create a ring holding at most `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self { buf: Vec::with_capacity(cap.min(1024)), cap, head: 0, len: 0, dropped: 0 }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (tail, head) = self.buf.split_at(self.head.min(self.buf.len()));
+        head.iter().chain(tail.iter())
+    }
+
+    /// Drain into a vector, oldest first, leaving the ring empty (drop
+    /// count is preserved).
+    pub fn take(&mut self) -> Vec<Event> {
+        let out: Vec<Event> = self.iter().copied().collect();
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> Event {
+        Event::SwapStep { cycle, step: 0 }
+    }
+
+    #[test]
+    fn fills_up_to_capacity_without_dropping() {
+        let mut r = EventRing::new(4);
+        for c in 0..4 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for c in 0..7 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 4);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![4, 5, 6], "keeps the newest window in order");
+    }
+
+    #[test]
+    fn take_empties_but_keeps_drop_count() {
+        let mut r = EventRing::new(2);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        let taken = r.take();
+        assert_eq!(taken.len(), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 3);
+        r.push(ev(9));
+        assert_eq!(r.iter().map(|e| e.cycle()).collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

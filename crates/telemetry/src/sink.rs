@@ -1,0 +1,67 @@
+//! The sink trait instrumented code emits into, and the no-op sink.
+
+use crate::event::{Event, EventKind};
+
+/// Where instrumented code sends events.
+///
+/// The contract is deliberately tiny so the whole subsystem monomorphises
+/// away when disabled: instrumentation sites are written as
+///
+/// ```ignore
+/// if self.sink.enabled(EventKind::Demand) {
+///     self.sink.emit(Event::Demand { .. });
+/// }
+/// ```
+///
+/// With [`NullSink`] both calls are `#[inline(always)]` constants, so the
+/// branch folds to nothing and the event payload is never constructed.
+/// `emit` takes `&self` because sinks are shared across the controller and
+/// both DRAM regions; implementations handle their own interior mutability.
+pub trait TelemetrySink {
+    /// Whether events of this kind should be constructed and emitted.
+    /// Instrumentation must check this before building an [`Event`].
+    fn enabled(&self, kind: EventKind) -> bool;
+
+    /// Record one event. Only called when `enabled(event.kind())` is true.
+    fn emit(&self, event: Event);
+}
+
+/// The disabled sink: every query is a compile-time `false`, so
+/// instrumented code compiles to exactly what it was before telemetry
+/// existed. This is the default sink everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline(always)]
+    fn enabled(&self, _kind: EventKind) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn emit(&self, _event: Event) {}
+}
+
+impl<T: TelemetrySink + ?Sized> TelemetrySink for &T {
+    #[inline]
+    fn enabled(&self, kind: EventKind) -> bool {
+        (**self).enabled(kind)
+    }
+
+    #[inline]
+    fn emit(&self, event: Event) {
+        (**self).emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_for_every_kind() {
+        for kind in EventKind::ALL {
+            assert!(!NullSink.enabled(kind));
+        }
+    }
+}

@@ -274,7 +274,15 @@ pub fn workload(id: WorkloadId, scale: &SimScale) -> Workload {
                         // coarse-grid region.
                         (0.25, Pattern::sweep(l0.0, l0.1, 64, 0.35)),
                         (0.20, Pattern::v_cycle(vec![l1, l2, l3], 64, 0.35)),
-                        (0.40, Pattern::zipf_pages(l1.0, (l1.1 + l2.1 + l3.1).min(fp - l1.0), 0.45, 0.35)),
+                        (
+                            0.40,
+                            Pattern::zipf_pages(
+                                l1.0,
+                                (l1.1 + l2.1 + l3.1).min(fp - l1.0),
+                                0.45,
+                                0.35,
+                            ),
+                        ),
                         (0.15, Pattern::zipf_pages(hs, hl, 1.0, 0.3)),
                     ],
                 })
@@ -319,10 +327,7 @@ pub fn workload(id: WorkloadId, scale: &SimScale) -> Workload {
                         (0.05, Pattern::uniform(mcf.0, mcf.1, 0.2)),
                     ],
                 },
-                Stream {
-                    cpu: 2,
-                    mix: vec![(1.0, Pattern::zipf_pages(perl.0, perl.1, 1.2, 0.35))],
-                },
+                Stream { cpu: 2, mix: vec![(1.0, Pattern::zipf_pages(perl.0, perl.1, 1.2, 0.35))] },
                 Stream {
                     cpu: 3,
                     mix: vec![
@@ -428,29 +433,20 @@ mod tests {
 
     #[test]
     fn seven_of_ten_npb_fit_in_1gb() {
-        let fits = WorkloadId::npb_all()
-            .iter()
-            .filter(|&&id| npb_footprint_mb(id) < 1024)
-            .count();
+        let fits = WorkloadId::npb_all().iter().filter(|&&id| npb_footprint_mb(id) < 1024).count();
         assert_eq!(fits, 7, "the paper states 7 of 10 fit in 1 GB");
     }
 
     #[test]
     fn trace_study_footprints_exceed_2gb() {
         for id in WorkloadId::trace_study() {
-            assert!(
-                npb_footprint_mb(id) > 2048,
-                "{id:?} must exceed 2 GB per Section IV"
-            );
+            assert!(npb_footprint_mb(id) > 2048, "{id:?} must exceed 2 GB per Section IV");
         }
     }
 
     #[test]
     fn all_workloads_validate_at_all_scales() {
-        for id in WorkloadId::npb_all()
-            .into_iter()
-            .chain(WorkloadId::trace_study())
-        {
+        for id in WorkloadId::npb_all().into_iter().chain(WorkloadId::trace_study()) {
             for div in [1u64, 16, 64, 256] {
                 let w = workload(id, &SimScale { divisor: div });
                 w.validate().unwrap_or_else(|e| panic!("{id:?} at /{div}: {e}"));

@@ -137,10 +137,8 @@ fn scatter(rank: u64, domain: u64) -> u64 {
     // Affine permutation on the power-of-two group space (odd multiplier,
     // odd offset) so no group — in particular not the hottest, group 0 —
     // keeps its identity position.
-    let scattered = group
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(0x5851_F42D_4C95_7F2D)
-        % groups;
+    let scattered =
+        group.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5851_F42D_4C95_7F2D) % groups;
     scattered * g + within
 }
 
@@ -332,9 +330,7 @@ impl Pattern {
             | Pattern::Uniform { start, len, .. }
             | Pattern::Chase { start, len, .. }
             | Pattern::WindowedSweep { start, len, .. } => start + len,
-            Pattern::VCycle { levels, .. } => {
-                levels.iter().map(|&(s, l)| s + l).max().unwrap_or(0)
-            }
+            Pattern::VCycle { levels, .. } => levels.iter().map(|&(s, l)| s + l).max().unwrap_or(0),
         }
     }
 }
@@ -388,18 +384,12 @@ mod tests {
         // Hot pages cluster into 256 KB blocks (allocator locality), but
         // the blocks themselves must be spread over the region — a static
         // low-address mapping must not capture the hot set for free.
-        let top_blocks: std::collections::HashSet<u64> = hot
-            .iter()
-            .take(256)
-            .map(|&(p, _)| p / SCATTER_GROUP_PAGES)
-            .collect();
+        let top_blocks: std::collections::HashSet<u64> =
+            hot.iter().take(256).map(|&(p, _)| p / SCATTER_GROUP_PAGES).collect();
         assert!(top_blocks.len() >= 3, "expected several hot blocks");
         let low_eighth = region / APP_PAGE_BYTES / SCATTER_GROUP_PAGES / 8;
         let in_low = top_blocks.iter().filter(|&&b| b < low_eighth).count();
-        assert!(
-            in_low < top_blocks.len(),
-            "hot blocks must not all sit in the lowest addresses"
-        );
+        assert!(in_low < top_blocks.len(), "hot blocks must not all sit in the lowest addresses");
         let span = top_blocks.iter().max().unwrap() - top_blocks.iter().min().unwrap();
         assert!(span > 4, "blocks should be spread, span {span}");
     }

@@ -208,9 +208,8 @@ mod tests {
         let mut buf = Vec::new();
         let written = write_binary(&mut buf, recs.iter().copied()).unwrap();
         assert_eq!(written, 5_000);
-        let back: Vec<TraceRecord> = BinaryTraceReader::new(&buf[..])
-            .collect::<io::Result<_>>()
-            .unwrap();
+        let back: Vec<TraceRecord> =
+            BinaryTraceReader::new(&buf[..]).collect::<io::Result<_>>().unwrap();
         // Addresses are stored at line granularity; everything else exact.
         assert_eq!(back.len(), recs.len());
         for (a, b) in recs.iter().zip(&back) {

@@ -5,18 +5,15 @@
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
-use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::base::config::SimScale;
+use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::simulator::driver::{run, RunConfig};
 use hetero_mem::workloads::WorkloadId;
 
 fn main() {
     let scale = SimScale { divisor: 16 };
     println!("SPECjbb on-package capacity sweep (1/16 scale, 64KB pages)");
-    println!(
-        "{:>10} {:>18} {:>20}",
-        "capacity", "with migration", "without migration"
-    );
+    println!("{:>10} {:>18} {:>20}", "capacity", "with migration", "without migration");
     println!("{}", "-".repeat(52));
 
     for cap in [128u64 << 20, 256 << 20, 512 << 20] {

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example database_server`
 
-use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::base::config::SimScale;
+use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::simulator::driver::{run, RunConfig};
 use hetero_mem::workloads::WorkloadId;
 
@@ -20,7 +20,10 @@ fn main() {
     let intervals = [1_000u64, 10_000];
 
     println!("pgbench under the three migration designs (1/64 scale, 64KB pages)");
-    println!("{:<22} {:>10} {:>14} {:>8} {:>7}", "design", "interval", "avg lat (cyc)", "on-pkg", "swaps");
+    println!(
+        "{:<22} {:>10} {:>14} {:>8} {:>7}",
+        "design", "interval", "avg lat (cyc)", "on-pkg", "swaps"
+    );
     println!("{}", "-".repeat(66));
 
     for (name, design) in designs {

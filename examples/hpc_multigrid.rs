@@ -6,15 +6,18 @@
 //!
 //! Run with: `cargo run --release --example hpc_multigrid`
 
-use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::base::config::SimScale;
+use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::simulator::driver::{run, RunConfig};
 use hetero_mem::workloads::WorkloadId;
 
 fn main() {
     let scale = SimScale { divisor: 16 };
     println!("MG.C granularity sweep (live migration, 1/16 scale)");
-    println!("{:>10} {:>10} {:>14} {:>8} {:>7}", "page", "interval", "avg lat (cyc)", "on-pkg", "swaps");
+    println!(
+        "{:>10} {:>10} {:>14} {:>8} {:>7}",
+        "page", "interval", "avg lat (cyc)", "on-pkg", "swaps"
+    );
     println!("{}", "-".repeat(55));
 
     let static_run = run(&RunConfig {

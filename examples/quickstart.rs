@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::base::config::SimScale;
+use hetero_mem::core::{MigrationDesign, Mode};
 use hetero_mem::simulator::driver::{run, RunConfig};
 use hetero_mem::workloads::WorkloadId;
 
@@ -21,7 +21,7 @@ fn main() {
         scale,
         accesses: 300_000,
         warmup: 60_000,
-        page_shift: 16,      // 64 KB macro pages
+        page_shift: 16,       // 64 KB macro pages
         swap_interval: 1_000, // consider a swap every 1000 accesses
         ..RunConfig::paper(WorkloadId::Pgbench, Mode::Static)
     };
@@ -39,10 +39,7 @@ fn main() {
 
     // 2. The paper's contribution: hottest-coldest migration with live
     //    (sub-block) migration hiding the copy latency.
-    let live = run(&RunConfig {
-        mode: Mode::Dynamic(MigrationDesign::LiveMigration),
-        ..base
-    });
+    let live = run(&RunConfig { mode: Mode::Dynamic(MigrationDesign::LiveMigration), ..base });
     let swaps = live.swaps.expect("dynamic mode tracks swaps");
     println!(
         "live migration      : {:>6.1} cycles avg, {:>4.1}% of accesses on-package",
@@ -57,14 +54,8 @@ fn main() {
     // 3. The bounds.
     let ideal = run(&RunConfig { mode: Mode::AllOnPackage, ..base });
     let worst = run(&RunConfig { mode: Mode::AllOffPackage, ..base });
-    println!(
-        "all on-package ideal: {:>6.1} cycles avg",
-        ideal.mean_latency()
-    );
-    println!(
-        "all off-package     : {:>6.1} cycles avg",
-        worst.mean_latency()
-    );
+    println!("all on-package ideal: {:>6.1} cycles avg", ideal.mean_latency());
+    println!("all off-package     : {:>6.1} cycles avg", worst.mean_latency());
 
     // The paper's effectiveness metric.
     let eta = hetero_mem::base::stats::effectiveness(

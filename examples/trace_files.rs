@@ -28,11 +28,7 @@ fn main() -> std::io::Result<()> {
         println!("recorded {written} accesses to {}", path.display());
     }
     let bytes = std::fs::metadata(&path)?.len();
-    println!(
-        "file size: {} bytes ({:.1} B/record vs 18 B naive)",
-        bytes,
-        bytes as f64 / n as f64
-    );
+    println!("file size: {} bytes ({:.1} B/record vs 18 B naive)", bytes, bytes as f64 / n as f64);
 
     // 2. Replay the trace through the heterogeneity-aware controller.
     let rc = RunConfig {

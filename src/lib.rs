@@ -13,6 +13,8 @@
 //!   controller with its translation table and migration engine.
 //! * [`simulator`] — trace-driven system simulation and experiment sweeps.
 //! * [`power`] — the pJ/bit energy model.
+//! * [`telemetry`] — cross-layer event tracing, counters and exporters
+//!   (JSONL, Chrome `trace_event`, per-epoch CSV).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -22,4 +24,5 @@ pub use hmm_dram as dram;
 pub use hmm_power as power;
 pub use hmm_sim_base as base;
 pub use hmm_simulator as simulator;
+pub use hmm_telemetry as telemetry;
 pub use hmm_workloads as workloads;

@@ -47,8 +47,7 @@ fn latency_bounds_are_ordered() {
     // only be worse than the ideal; dynamic sits between).
     for w in [WorkloadId::Pgbench, WorkloadId::SpecJbb] {
         let ideal = run(&quick(w, Mode::AllOnPackage)).mean_latency();
-        let dynamic =
-            run(&quick(w, Mode::Dynamic(MigrationDesign::LiveMigration))).mean_latency();
+        let dynamic = run(&quick(w, Mode::Dynamic(MigrationDesign::LiveMigration))).mean_latency();
         let worst = run(&quick(w, Mode::AllOffPackage)).mean_latency();
         assert!(ideal < worst, "{w:?}: ideal {ideal:.1} vs worst {worst:.1}");
         assert!(

@@ -91,9 +91,8 @@ fn trace_replay_matches_live_generation() {
 
     let mut buf = Vec::new();
     write_binary(&mut buf, live.iter().copied()).unwrap();
-    let replayed: Vec<_> = BinaryTraceReader::new(&buf[..])
-        .collect::<std::io::Result<_>>()
-        .unwrap();
+    let replayed: Vec<_> =
+        BinaryTraceReader::new(&buf[..]).collect::<std::io::Result<_>>().unwrap();
     assert_eq!(live, replayed, "round trip must be lossless at line grain");
 
     let a = drive(live);

@@ -30,13 +30,8 @@ fn llc_capacity_flattens() {
     // Capacities stay below SP.C's 758 MB footprint: within that range the
     // curve must flatten (the drop at capacity ~ footprint is a different,
     // trivial effect).
-    let rates = l3_miss_rates(
-        WorkloadId::Sp,
-        &[1 << 20, 8 << 20, 64 << 20, 256 << 20],
-        150_000,
-        &scale,
-        3,
-    );
+    let rates =
+        l3_miss_rates(WorkloadId::Sp, &[1 << 20, 8 << 20, 64 << 20, 256 << 20], 150_000, &scale, 3);
     let early_gain = rates[0].1 - rates[1].1;
     let late_gain = rates[2].1 - rates[3].1;
     assert!(late_gain <= early_gain.max(0.05) + 1e-9, "{rates:?}");
@@ -69,10 +64,7 @@ fn migration_effectiveness_is_substantial() {
         ..RunConfig::paper(WorkloadId::Pgbench, Mode::Static)
     };
     let st = run(&cfg);
-    let dy = run(&RunConfig {
-        mode: Mode::Dynamic(MigrationDesign::LiveMigration),
-        ..cfg
-    });
+    let dy = run(&RunConfig { mode: Mode::Dynamic(MigrationDesign::LiveMigration), ..cfg });
     let eta = hetero_mem::base::stats::effectiveness(
         st.mean_latency(),
         dy.mean_latency(),

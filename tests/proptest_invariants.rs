@@ -1,4 +1,6 @@
-//! Property-based tests of the core data structures' invariants.
+//! Property-style tests of the core data structures' invariants, driven by
+//! the workspace's own deterministic [`SimRng`] over many seeded cases
+//! (the offline-friendly stand-in for a property-testing framework).
 //!
 //! * The translation table preserves the paper's structural invariants
 //!   under arbitrary valid swap sequences, and translation stays a
@@ -9,7 +11,6 @@
 //!   hit/miss decisions.
 //! * Workload generators never escape their declared footprints.
 
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 use hetero_mem::base::addr::{LineAddr, MacroPageId, SubBlockId};
@@ -21,9 +22,18 @@ use hetero_mem::dram::{DeviceProfile, DramRegion, SchedPolicy, Transaction};
 
 const SLOTS: u64 = 8;
 const PAGES: u64 = 32;
+const CASES: u64 = 64;
+
+const DESIGNS: [MigrationDesign; 3] =
+    [MigrationDesign::N, MigrationDesign::NMinusOne, MigrationDesign::LiveMigration];
 
 /// Drive one full swap synchronously; returns false if rejected.
-fn run_swap(engine: &mut MigrationEngine, table: &mut TranslationTable, hot: u64, cold: u32) -> bool {
+fn run_swap(
+    engine: &mut MigrationEngine,
+    table: &mut TranslationTable,
+    hot: u64,
+    cold: u32,
+) -> bool {
     if !engine.start_swap(table, hot, cold, 0) {
         return false;
     }
@@ -41,27 +51,24 @@ fn run_swap(engine: &mut MigrationEngine, table: &mut TranslationTable, hot: u64
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any sequence of hottest-coldest swaps leaves the table consistent
-    /// and translation a bijection: every macro page maps to a unique
-    /// machine page.
-    #[test]
-    fn translation_stays_bijective_under_swaps(
-        ops in prop::collection::vec((0u64..PAGES, 0u32..SLOTS as u32), 1..40),
-        design in prop::sample::select(vec![
-            MigrationDesign::N,
-            MigrationDesign::NMinusOne,
-            MigrationDesign::LiveMigration,
-        ]),
-    ) {
+/// Any sequence of hottest-coldest swaps leaves the table consistent and
+/// translation a bijection: every macro page maps to a unique machine
+/// page.
+#[test]
+fn translation_stays_bijective_under_swaps() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(1000 + case);
+        let design = DESIGNS[rng.below(3) as usize];
         let mut table = TranslationTable::new(SLOTS, PAGES, design.sacrifices_slot());
         let mut engine = MigrationEngine::new(design, 4);
-        for (hot, cold) in ops {
+        let ops = 1 + rng.below(39);
+        for _ in 0..ops {
+            let hot = rng.below(PAGES);
+            let cold = rng.below(SLOTS) as u32;
             let _ = run_swap(&mut engine, &mut table, hot, cold);
-            table.check_invariants(true, design.sacrifices_slot())
-                .map_err(TestCaseError::fail)?;
+            table
+                .check_invariants(true, design.sacrifices_slot())
+                .unwrap_or_else(|e| panic!("case {case} ({design:?}): {e}"));
         }
         // Bijectivity over all program-visible pages (the reserved ghost
         // page is not program-visible).
@@ -69,53 +76,53 @@ proptest! {
         for p in 0..PAGES - 1 {
             let mp = table.translate(MacroPageId(p), SubBlockId(0));
             if let Some(prev) = seen.insert(mp, p) {
-                return Err(TestCaseError::fail(format!(
-                    "pages {prev} and {p} both translate to machine page {}", mp.0
-                )));
+                panic!("case {case}: pages {prev} and {p} both translate to machine page {}", mp.0);
             }
         }
     }
+}
 
-    /// Mid-swap, every page must still translate somewhere valid (the
-    /// paper: "the program execution will not be halted since all the
-    /// memory accesses are routed to an available physical location").
-    #[test]
-    fn translation_total_mid_swap(
-        hot in SLOTS..PAGES - 1,
-        cold in 0u32..SLOTS as u32,
-        completed_transfers in 0usize..8,
-    ) {
+/// Mid-swap, every page must still translate somewhere valid (the paper:
+/// "the program execution will not be halted since all the memory
+/// accesses are routed to an available physical location").
+#[test]
+fn translation_total_mid_swap() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(2000 + case);
+        let hot = SLOTS + rng.below(PAGES - 1 - SLOTS);
+        let cold = rng.below(SLOTS) as u32;
+        let completed_transfers = rng.below(8) as u32;
         let mut table = TranslationTable::new(SLOTS, PAGES, true);
         let mut engine = MigrationEngine::new(MigrationDesign::LiveMigration, 4);
         if engine.start_swap(&mut table, hot, cold, 1) {
             let mut ts = Vec::new();
-            engine.take_transfers(completed_transfers as u32, &mut ts);
+            engine.take_transfers(completed_transfers, &mut ts);
             for t in ts {
                 engine.transfer_done(t.token, &mut table);
             }
             for p in 0..PAGES - 1 {
                 for sub in 0..4u32 {
                     let mp = table.translate(MacroPageId(p), SubBlockId(sub));
-                    prop_assert!(mp.0 < PAGES, "page {p} translated out of range");
+                    assert!(mp.0 < PAGES, "case {case}: page {p} translated out of range");
                 }
             }
         }
     }
+}
 
-    /// The DRAM region services every transaction exactly once, and no
-    /// completion finishes before its arrival.
-    #[test]
-    fn dram_region_conserves_transactions(
-        seed in 0u64..1000,
-        n in 1usize..400,
-        spacing in 1u64..200,
-    ) {
+/// The DRAM region services every transaction exactly once, and no
+/// completion finishes before its arrival.
+#[test]
+fn dram_region_conserves_transactions() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(3000 + case);
+        let n = 1 + rng.below(399) as usize;
+        let spacing = 1 + rng.below(199);
         let mut region = DramRegion::new(
             DeviceProfile::off_package_ddr3(),
             &Default::default(),
             SchedPolicy::FrFcfs,
         );
-        let mut rng = SimRng::new(seed);
         let mut arrivals = HashMap::new();
         for i in 0..n as u64 {
             let arrival = i * spacing;
@@ -132,33 +139,36 @@ proptest! {
         }
         region.flush();
         let done = region.drain_completions();
-        prop_assert_eq!(done.len(), n, "every transaction completes exactly once");
+        assert_eq!(done.len(), n, "case {case}: every transaction completes exactly once");
         let mut ids = HashSet::new();
         for c in &done {
-            prop_assert!(ids.insert(c.id), "duplicate completion {}", c.id);
-            prop_assert!(
+            assert!(ids.insert(c.id), "case {case}: duplicate completion {}", c.id);
+            assert!(
                 c.finish > arrivals[&c.id],
-                "completion at {} precedes arrival {}",
+                "case {case}: completion at {} precedes arrival {}",
                 c.finish,
                 arrivals[&c.id]
             );
-            prop_assert_eq!(
+            assert_eq!(
                 c.breakdown.total(),
                 c.finish - arrivals[&c.id],
-                "breakdown must sum to end-to-end time"
+                "case {case}: breakdown must sum to end-to-end time"
             );
         }
     }
+}
 
-    /// The set-associative cache (LRU) agrees with a naive reference model.
-    #[test]
-    fn cache_matches_reference_lru(
-        lines in prop::collection::vec(0u64..64, 1..300),
-    ) {
+/// The set-associative cache (LRU) agrees with a naive reference model.
+#[test]
+fn cache_matches_reference_lru() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(4000 + case);
+        let len = 1 + rng.below(299);
         // 2 sets x 4 ways.
         let mut cache = SetAssocCache::new(CacheConfig::new(512, 4));
         let mut reference: Vec<Vec<u64>> = vec![Vec::new(); 2]; // MRU at back
-        for line in lines {
+        for _ in 0..len {
+            let line = rng.below(64);
             let set = (line % 2) as usize;
             let model_hit = reference[set].contains(&line);
             if model_hit {
@@ -168,46 +178,53 @@ proptest! {
             }
             reference[set].push(line);
             let got = cache.access(LineAddr(line), false);
-            prop_assert_eq!(
+            assert_eq!(
                 got.is_hit(),
                 model_hit,
-                "line {} disagreed with the reference model", line
+                "case {case}: line {line} disagreed with the reference model"
             );
             if let AccessOutcome::Miss(Some(victim)) = got {
-                prop_assert!(
+                assert!(
                     !reference[set].contains(&victim.line.0),
-                    "evicted a line the reference still holds"
+                    "case {case}: evicted a line the reference still holds"
                 );
             }
         }
     }
+}
 
-    /// Workload records stay within the declared footprint at every scale.
-    #[test]
-    fn workloads_respect_footprints(
-        seed in 0u64..100,
-        divisor_pow in 0u32..9,
-    ) {
-        use hetero_mem::workloads::{workload, WorkloadId};
-        let scale = hetero_mem::base::config::SimScale { divisor: 1 << divisor_pow };
-        for id in [WorkloadId::Ft, WorkloadId::Pgbench, WorkloadId::SpecJbb] {
-            let w = workload(id, &scale);
-            for rec in w.iter(seed).take(500) {
-                prop_assert!(
-                    rec.addr.0 < w.footprint_bytes,
-                    "{:?} escaped: {:#x} >= {:#x}", id, rec.addr.0, w.footprint_bytes
-                );
+/// Workload records stay within the declared footprint at every scale.
+#[test]
+fn workloads_respect_footprints() {
+    use hetero_mem::workloads::{workload, WorkloadId};
+    for seed in 0..8u64 {
+        for divisor_pow in 0..9u32 {
+            let scale = hetero_mem::base::config::SimScale { divisor: 1 << divisor_pow };
+            for id in [WorkloadId::Ft, WorkloadId::Pgbench, WorkloadId::SpecJbb] {
+                let w = workload(id, &scale);
+                for rec in w.iter(seed).take(500) {
+                    assert!(
+                        rec.addr.0 < w.footprint_bytes,
+                        "{id:?} escaped: {:#x} >= {:#x}",
+                        rec.addr.0,
+                        w.footprint_bytes
+                    );
+                }
             }
         }
     }
+}
 
-    /// Zipf sampling is deterministic and in-range for arbitrary domains.
-    #[test]
-    fn zipf_domain_safety(n in 1usize..5000, theta in 0.0f64..2.0, seed in 0u64..50) {
+/// Zipf sampling is deterministic and in-range for arbitrary domains.
+#[test]
+fn zipf_domain_safety() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(5000 + case);
+        let n = 1 + rng.below(4999) as usize;
+        let theta = rng.below(2000) as f64 / 1000.0;
         let z = hetero_mem::base::rng::Zipf::new(n, theta);
-        let mut rng = SimRng::new(seed);
         for _ in 0..100 {
-            prop_assert!(z.sample(&mut rng) < n);
+            assert!(z.sample(&mut rng) < n);
         }
     }
 }

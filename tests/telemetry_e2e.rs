@@ -1,0 +1,128 @@
+//! End-to-end telemetry checks: a full-capture run's event stream must
+//! reconcile exactly with the controller's own statistics, and the
+//! exporters must emit well-formed documents.
+
+use hetero_mem::core::{MigrationDesign, Mode};
+use hetero_mem::simulator::driver::{run, run_with_sink, RunConfig};
+use hetero_mem::telemetry::{
+    count_kind, epoch_rows, write_chrome_trace, write_epoch_csv, EventKind, Recorder,
+    RecorderConfig, TelemetryLevel,
+};
+use hetero_mem::workloads::WorkloadId;
+
+fn quick_cfg() -> RunConfig {
+    RunConfig::quick(WorkloadId::Pgbench, Mode::Dynamic(MigrationDesign::LiveMigration))
+}
+
+fn full_recorder() -> Recorder {
+    // Generous ring so nothing is dropped: reconciliation below must be
+    // exact, not approximate.
+    Recorder::new(RecorderConfig { level: TelemetryLevel::Full, capacity: 4 << 20, shards: 4 })
+}
+
+#[test]
+fn full_capture_reconciles_with_controller_stats() {
+    let cfg = quick_cfg();
+    let rec = full_recorder();
+    let r = run_with_sink(&cfg, rec.clone());
+    assert_eq!(rec.dropped(), 0, "ring sized to hold the whole run");
+
+    let counters = rec.counters();
+    let swaps = r.swaps.expect("live migration collects swap stats");
+
+    // Swap lifecycle events match the migration engine's counters.
+    assert!(swaps.completed > 0, "quick pgbench run must migrate");
+    assert_eq!(counters.get(EventKind::SwapStart), swaps.triggered);
+    assert_eq!(counters.get(EventKind::SwapComplete), swaps.completed);
+
+    // Every demand access produced exactly one Demand event.
+    assert_eq!(counters.get(EventKind::Demand), cfg.accesses);
+
+    // The ring agrees with the counters (nothing dropped).
+    let events = rec.events();
+    assert_eq!(count_kind(&events, EventKind::SwapStart), swaps.triggered);
+    assert_eq!(count_kind(&events, EventKind::SwapComplete), swaps.completed);
+
+    // SwapComplete sub-block totals equal the engine's copy counter.
+    let copied: u64 = events
+        .iter()
+        .filter_map(|e| match *e {
+            hetero_mem::telemetry::Event::SwapComplete { sub_blocks, .. } => Some(sub_blocks),
+            _ => None,
+        })
+        .sum();
+    assert!(copied <= swaps.sub_blocks_copied);
+    assert!(copied > 0);
+
+    // Per-epoch rows sum exactly to the run's flat counters.
+    let rows = epoch_rows(&events);
+    assert_eq!(rows.len() as u64, r.controller.epochs + 1, "one row per epoch plus the tail");
+    let sum = |f: fn(&hetero_mem::telemetry::EpochRow) -> u64| rows.iter().map(f).sum::<u64>();
+    assert_eq!(sum(|e| e.demand_on), r.controller.demand_on_lines);
+    assert_eq!(sum(|e| e.demand_off), r.controller.demand_off_lines);
+    assert_eq!(sum(|e| e.stall_cycles), r.controller.stall_cycles);
+    assert_eq!(
+        sum(|e| e.migration_lines),
+        r.controller.migration_on_lines + r.controller.migration_off_lines
+    );
+    assert_eq!(sum(|e| e.swaps_completed), swaps.completed);
+
+    // Counter-level latency statistics match the driver's access stats
+    // over the full run only in count terms (the driver excludes warm-up),
+    // so just check the telemetry mean is sane.
+    assert!(counters.demand_latency.mean() > 0.0);
+}
+
+#[test]
+fn exports_are_well_formed() {
+    let cfg = quick_cfg();
+    let rec = full_recorder();
+    run_with_sink(&cfg, rec.clone());
+    let events = rec.events();
+
+    let mut trace = Vec::new();
+    write_chrome_trace(&mut trace, &events, 3200).unwrap();
+    let text = String::from_utf8(trace).unwrap();
+    assert!(text.starts_with('{') && text.ends_with('}'));
+    assert_eq!(text.matches('{').count(), text.matches('}').count(), "unbalanced JSON");
+    assert_eq!(text.matches('[').count(), text.matches(']').count());
+    // Async swap spans pair begin/end.
+    assert_eq!(
+        text.matches("\"ph\":\"b\"").count(),
+        count_kind(&events, EventKind::SwapStart) as usize
+    );
+    assert_eq!(
+        text.matches("\"ph\":\"e\"").count(),
+        count_kind(&events, EventKind::SwapComplete) as usize
+    );
+
+    let rows = epoch_rows(&events);
+    let mut csv = Vec::new();
+    write_epoch_csv(&mut csv, &rows).unwrap();
+    let text = String::from_utf8(csv).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "epoch,cycle,demand_on,demand_off,migration_lines,stall_cycles,swaps_completed,rejected"
+    );
+    assert_eq!(lines.count(), rows.len());
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let cfg = quick_cfg();
+    let plain = run(&cfg);
+    let recorded = run_with_sink(&cfg, full_recorder());
+    assert_eq!(plain.mean_latency(), recorded.mean_latency());
+    assert_eq!(plain.controller, recorded.controller);
+    assert_eq!(plain.swaps, recorded.swaps);
+}
+
+#[test]
+fn counters_level_counts_without_storing() {
+    let cfg = quick_cfg();
+    let rec = Recorder::with_level(TelemetryLevel::Counters);
+    run_with_sink(&cfg, rec.clone());
+    assert!(rec.counters().total() > 0);
+    assert!(rec.events().is_empty(), "counters level must not buffer events");
+}
