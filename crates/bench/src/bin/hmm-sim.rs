@@ -3,6 +3,7 @@
 //! ```text
 //! hmm-sim --workload pgbench --mode live --page 64K --interval 1000 \
 //!         --accesses 400000 --scale 8 [--seed 42] [--on-package 512M] \
+//!         [--faults stress] [--fault-seed 7] \
 //!         [--telemetry off|counters|full] [--trace-out t.json] \
 //!         [--metrics-out m.csv] [--events-out e.jsonl]
 //!
@@ -10,7 +11,13 @@
 //! workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb
 //! ```
 //!
-//! Prints a latency/traffic report for the run; exit code 2 on bad usage.
+//! Prints a latency/traffic report for the run; exit code 2 on bad usage
+//! (invalid flags and invalid values get a one-line error, never a panic).
+//! `--faults` arms the deterministic fault injector; the spec is a
+//! comma-separated list (`stress`, `flip=2e-4`, `drop=1e-3`,
+//! `stuck=on:0:5`, `throttle=off:300000:3000`, ... — see
+//! `hmm_fault::FaultPlan::parse`), and the report gains a fault/recovery
+//! section reconciled against the DRAM regions' ECC counters.
 //! With `--telemetry full` the run streams cross-layer events into a
 //! recorder: `--trace-out` writes a Chrome `trace_event` file for
 //! `ui.perfetto.dev`, `--metrics-out` a per-epoch CSV, `--events-out` a
@@ -23,6 +30,7 @@ use std::io::BufWriter;
 use hmm_bench::{f1, f2, human_bytes};
 use hmm_core::{MigrationDesign, Mode};
 use hmm_dram::SchedPolicy;
+use hmm_fault::FaultPlan;
 use hmm_power::{normalized_power, EnergyParams};
 use hmm_sim_base::config::SimScale;
 use hmm_sim_base::cycles::CpuClock;
@@ -83,11 +91,21 @@ fn usage() -> ! {
         "usage: hmm-sim --workload <name> --mode <mode> [--page <size>] \
          [--interval <accesses>] [--accesses <n>] [--warmup <n>] \
          [--scale <divisor>] [--seed <n>] [--on-package <size>] [--fcfs] \
+         [--faults <spec>] [--fault-seed <n>] \
          [--telemetry off|counters|full] [--trace-out <file>] \
          [--metrics-out <file>] [--events-out <file>]\n\
          modes: off on static n n-1 live\n\
-         workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb"
+         workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb\n\
+         fault specs: stress | flip/uflip/drop/timeout/rowcorrupt=<rate>, \
+         stuck=<on|off>:<ch>:<bank>, throttle=<on|off>:<period>:<dur>, \
+         retries/backoff/qthresh/spares/seed=<n> (comma-separated)"
     );
+    std::process::exit(2)
+}
+
+/// One-line diagnostic and exit 2 — invalid input must never panic.
+fn fail(msg: &str) -> ! {
+    eprintln!("hmm-sim: {msg}");
     std::process::exit(2)
 }
 
@@ -103,6 +121,8 @@ fn main() {
     let mut seed = 42u64;
     let mut on_package = 512u64 << 20;
     let mut policy = SchedPolicy::FrFcfs;
+    let mut faults: Option<FaultPlan> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut telemetry: Option<TelemetryLevel> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -110,40 +130,71 @@ fn main() {
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        let mut val =
+            || it.next().cloned().unwrap_or_else(|| fail(&format!("{a} requires a value")));
+        let num = |flag: &str, v: String| {
+            v.parse::<u64>().unwrap_or_else(|_| fail(&format!("invalid number for {flag}: {v}")))
+        };
+        let size = |flag: &str, v: String| {
+            parse_size(&v).unwrap_or_else(|| fail(&format!("invalid size for {flag}: {v}")))
+        };
         match a.as_str() {
-            "--workload" | "-w" => workload = parse_workload(&val()),
-            "--mode" | "-m" => mode = parse_mode(&val()),
-            "--page" | "-p" => page = parse_size(&val()).unwrap_or_else(|| usage()),
-            "--interval" | "-i" => interval = val().parse().unwrap_or_else(|_| usage()),
-            "--accesses" | "-n" => accesses = val().parse().unwrap_or_else(|_| usage()),
-            "--warmup" => warmup = val().parse().ok(),
-            "--scale" | "-s" => scale = val().parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
-            "--on-package" => on_package = parse_size(&val()).unwrap_or_else(|| usage()),
-            "--fcfs" => policy = SchedPolicy::Fcfs,
-            "--telemetry" => {
-                telemetry = Some(val().parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    usage()
-                }))
+            "--workload" | "-w" => {
+                let v = val();
+                workload = Some(
+                    parse_workload(&v).unwrap_or_else(|| fail(&format!("unknown workload {v}"))),
+                );
             }
+            "--mode" | "-m" => {
+                let v = val();
+                mode = Some(parse_mode(&v).unwrap_or_else(|| fail(&format!("unknown mode {v}"))));
+            }
+            "--page" | "-p" => page = size("--page", val()),
+            "--interval" | "-i" => interval = num("--interval", val()),
+            "--accesses" | "-n" => accesses = num("--accesses", val()),
+            "--warmup" => warmup = Some(num("--warmup", val())),
+            "--scale" | "-s" => scale = num("--scale", val()),
+            "--seed" => seed = num("--seed", val()),
+            "--on-package" => on_package = size("--on-package", val()),
+            "--fcfs" => policy = SchedPolicy::Fcfs,
+            "--faults" | "-f" => {
+                let v = val();
+                faults = Some(
+                    FaultPlan::parse(&v)
+                        .unwrap_or_else(|e| fail(&format!("invalid --faults: {e}"))),
+                );
+            }
+            "--fault-seed" => fault_seed = Some(num("--fault-seed", val())),
+            "--telemetry" => telemetry = Some(val().parse().unwrap_or_else(|e: String| fail(&e))),
             "--trace-out" => trace_out = Some(val()),
             "--metrics-out" => metrics_out = Some(val()),
             "--events-out" => events_out = Some(val()),
             "--help" | "-h" => usage(),
             other => {
                 if let Some(level) = other.strip_prefix("--telemetry=") {
-                    telemetry = Some(level.parse().unwrap_or_else(|e| {
-                        eprintln!("{e}");
-                        usage()
-                    }));
+                    telemetry = Some(level.parse().unwrap_or_else(|e: String| fail(&e)));
+                    continue;
+                }
+                if let Some(spec) = other.strip_prefix("--faults=") {
+                    faults = Some(
+                        FaultPlan::parse(spec)
+                            .unwrap_or_else(|e| fail(&format!("invalid --faults: {e}"))),
+                    );
+                    continue;
+                }
+                if let Some(s) = other.strip_prefix("--fault-seed=") {
+                    fault_seed = Some(num("--fault-seed", s.to_string()));
                     continue;
                 }
                 eprintln!("unknown argument {other}");
                 usage()
             }
         }
+    }
+    match (&mut faults, fault_seed) {
+        (Some(plan), Some(s)) => plan.seed = s,
+        (None, Some(_)) => fail("--fault-seed requires --faults"),
+        _ => {}
     }
     // Any export flag implies full capture: the exporters need the event
     // stream, not just counters.
@@ -162,8 +213,13 @@ fn main() {
     };
     let (Some(workload), Some(mode)) = (workload, mode) else { usage() };
     if !page.is_power_of_two() {
-        eprintln!("--page must be a power of two");
-        usage()
+        fail(&format!("--page must be a power of two, got {page}"))
+    }
+    if interval == 0 {
+        fail("--interval must be at least 1")
+    }
+    if accesses == 0 {
+        fail("--accesses must be at least 1")
     }
 
     let cfg = RunConfig {
@@ -177,8 +233,12 @@ fn main() {
         warmup: warmup.unwrap_or(accesses / 5),
         seed,
         policy,
+        faults,
         ..RunConfig::paper(workload, mode)
     };
+    if let Err(e) = cfg.geometry().validate() {
+        fail(&format!("invalid memory geometry: {e}"))
+    }
 
     let recorder = (telemetry != TelemetryLevel::Off).then(|| {
         Recorder::new(RecorderConfig {
@@ -224,6 +284,40 @@ fn main() {
             println!("normalized power  : {}x of off-package-only", f2(p));
         }
     }
+    if let Some(plan) = cfg.faults {
+        let s = &r.controller;
+        let (on, off) = (&r.on_region, &r.off_region);
+        println!(
+            "faults            : seed {:#x}{}",
+            plan.seed,
+            if plan.any_faults() { "" } else { " (all rates zero)" },
+        );
+        println!(
+            "  ecc             : {} corrected, {} uncorrectable ({} on-package)",
+            on.correctable_errors + off.correctable_errors,
+            on.uncorrectable_errors + off.uncorrectable_errors,
+            on.uncorrectable_errors,
+        );
+        println!(
+            "  throttling      : {} stalls, {} cycles of issue delay",
+            on.throttle_events + off.throttle_events,
+            on.throttle_delay_cycles + off.throttle_delay_cycles,
+        );
+        println!(
+            "  transfers       : {} dropped, {} timed out, {} ecc-failed, {} retries",
+            s.transfers_dropped, s.transfers_timed_out, s.transfers_ecc_failed, s.transfer_retries,
+        );
+        if let Some(sw) = r.swaps {
+            println!(
+                "  recovery        : {} aborted swaps, {} sub-blocks rolled back, {} abandoned",
+                sw.aborted, sw.rolled_back_sub_blocks, s.abandoned_sub_blocks,
+            );
+            println!(
+                "  degradation     : {} slots quarantined, {} row corruptions repaired",
+                s.slots_quarantined, s.row_corruptions,
+            );
+        }
+    }
 
     let Some(recorder) = recorder else { return };
     let counters = recorder.counters();
@@ -253,6 +347,33 @@ fn main() {
         "  swap events     : {start} started / {done} completed vs stats {s_trig}/{s_done} -> {}",
         if swaps_ok { "ok" } else { "MISMATCH" },
     );
+    // The fault pipeline reconciles the same way: each injection site
+    // reports exactly one FaultInjected, and each recovery action exactly
+    // one event of its kind. (All-zero when no plan is armed.)
+    let expected_faults = r.on_region.correctable_errors
+        + r.on_region.uncorrectable_errors
+        + r.on_region.throttle_events
+        + r.off_region.correctable_errors
+        + r.off_region.uncorrectable_errors
+        + r.off_region.throttle_events
+        + r.controller.transfers_dropped
+        + r.controller.transfers_timed_out
+        + r.controller.row_corruptions;
+    let faults_ok = counters.get(EventKind::FaultInjected) == expected_faults
+        && counters.get(EventKind::TransferRetried) == r.controller.transfer_retries
+        && counters.get(EventKind::SwapAborted) == r.swaps.map_or(0, |s| s.aborted)
+        && counters.get(EventKind::SlotQuarantined) == r.controller.slots_quarantined;
+    if cfg.faults.is_some() {
+        println!(
+            "  fault events    : {} injected vs expected {expected_faults}, \
+             {} retries / {} aborts / {} quarantines -> {}",
+            counters.get(EventKind::FaultInjected),
+            counters.get(EventKind::TransferRetried),
+            counters.get(EventKind::SwapAborted),
+            counters.get(EventKind::SlotQuarantined),
+            if faults_ok { "ok" } else { "MISMATCH" },
+        );
+    }
 
     if telemetry == TelemetryLevel::Full {
         let events = recorder.events();
@@ -296,7 +417,7 @@ fn main() {
         if let Some(path) = &events_out {
             write(path, "jsonl ", &|w| write_jsonl(w, &events));
         }
-        if !(swaps_ok && epochs_ok) && recorder.dropped() == 0 {
+        if !(swaps_ok && epochs_ok && faults_ok) && recorder.dropped() == 0 {
             eprintln!("error: telemetry counters disagree with controller statistics");
             std::process::exit(1);
         }

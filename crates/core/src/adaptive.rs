@@ -335,6 +335,7 @@ mod tests {
             policy: SchedPolicy::FrFcfs,
             on_profile: DeviceProfile::on_package(),
             off_profile: DeviceProfile::off_package_ddr3(),
+            faults: None,
         }
     }
 

@@ -11,15 +11,18 @@
 //! static mapping (the lowest addresses live on-package, no migration), an
 //! all-on-package ideal, and an all-off-package baseline.
 
-use crate::migrate::{MigrationDesign, MigrationEngine, SwapStats, Transfer};
+use crate::migrate::{
+    FailureAction, MigrationDesign, MigrationEngine, SwapStats, Transfer, TransferKind,
+};
 use crate::monitor::{MultiQueueMru, SlotClock};
 use crate::table::{RowState, TranslationTable};
 use hmm_dram::{DeviceProfile, DramRegion, RegionStats, SchedPolicy, Transaction};
+use hmm_fault::{FaultPlan, MemFault, TransferFault};
 use hmm_sim_base::addr::{PhysAddr, LINE_BYTES};
 use hmm_sim_base::config::MachineConfig;
 use hmm_sim_base::cycles::Cycle;
 use hmm_sim_base::stats::LatencyBreakdown;
-use hmm_telemetry::{Event, EventKind, NullSink, RegionKind, TelemetrySink};
+use hmm_telemetry::{Event, EventKind, FaultClass, NullSink, RegionKind, TelemetrySink};
 use std::collections::HashMap;
 
 /// How the controller manages the heterogeneous space.
@@ -63,6 +66,13 @@ pub struct ControllerConfig {
     pub on_profile: DeviceProfile,
     /// Device profile for the off-package region.
     pub off_profile: DeviceProfile,
+    /// Deterministic fault-injection plan (`None` = fault-free; the
+    /// fault machinery is then never consulted, so runs are bit-identical
+    /// to a build without it). When set, program-visible pages must stay
+    /// below `TranslationTable::first_reserved_page()` — the plan's
+    /// `spare_slots` pages just under the ghost are parking space for
+    /// quarantined slots.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ControllerConfig {
@@ -78,6 +88,7 @@ impl ControllerConfig {
             policy: SchedPolicy::FrFcfs,
             on_profile: DeviceProfile::on_package(),
             off_profile: DeviceProfile::off_package_ddr3(),
+            faults: None,
         }
     }
 
@@ -124,6 +135,23 @@ pub struct ControllerStats {
     /// Epochs where the trigger comparison rejected the swap (MRU not
     /// hotter than LRU).
     pub rejected_triggers: u64,
+    /// Failed migration transfers that were re-issued with backoff.
+    pub transfer_retries: u64,
+    /// Migration transfers whose copy request was dropped in flight.
+    pub transfers_dropped: u64,
+    /// Migration transfers that timed out in flight.
+    pub transfers_timed_out: u64,
+    /// Migration transfers whose read returned uncorrectable data.
+    pub transfers_ecc_failed: u64,
+    /// Sub-block copies that were in flight when their swap aborted and
+    /// whose results were discarded on arrival.
+    pub abandoned_sub_blocks: u64,
+    /// Translation-table rows found corrupted (and repaired) at epoch
+    /// boundaries.
+    pub row_corruptions: u64,
+    /// Slots retired from the migration pool after repeated uncorrectable
+    /// errors.
+    pub slots_quarantined: u64,
 }
 
 impl ControllerStats {
@@ -138,6 +166,13 @@ impl ControllerStats {
         self.stall_cycles += other.stall_cycles;
         self.epochs += other.epochs;
         self.rejected_triggers += other.rejected_triggers;
+        self.transfer_retries += other.transfer_retries;
+        self.transfers_dropped += other.transfers_dropped;
+        self.transfers_timed_out += other.transfers_timed_out;
+        self.transfers_ecc_failed += other.transfers_ecc_failed;
+        self.abandoned_sub_blocks += other.abandoned_sub_blocks;
+        self.row_corruptions += other.row_corruptions;
+        self.slots_quarantined += other.slots_quarantined;
     }
 }
 
@@ -151,6 +186,32 @@ struct DemandMeta {
     is_write: bool,
     /// Physical macro page (telemetry labelling).
     page: u64,
+    /// On-package slot serving this access, for attributing uncorrectable
+    /// errors to slots (quarantine accounting). `None` off-package.
+    slot: Option<u32>,
+}
+
+/// How a migration transfer's copy failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailKind {
+    Dropped,
+    TimedOut,
+    Ecc,
+}
+
+/// Bookkeeping for the in-flight line legs of one sub-block transfer,
+/// keyed by `(generation, engine token)` — the generation is bumped on
+/// every swap abort so legs issued for a dead swap are recognised and
+/// discarded when their DRAM completions eventually arrive.
+#[derive(Debug, Clone, Copy)]
+struct LegState {
+    remaining: u32,
+    /// Set when the transfer is doomed (decided at issue for drops and
+    /// timeouts, or when a read leg returns uncorrectable data).
+    fail: Option<FailKind>,
+    kind: TransferKind,
+    /// On-package slot the copy touches, for error attribution.
+    slot: Option<u32>,
 }
 
 /// Snapshot of the cumulative counters at the last epoch rollover, so
@@ -183,10 +244,19 @@ pub struct HeteroController<S: TelemetrySink = NullSink> {
     off_region: DramRegion<S>,
     next_id: u64,
     demand_meta: HashMap<u64, DemandMeta>,
-    /// Copy-leg id -> engine token.
-    copy_meta: HashMap<u64, u64>,
-    /// Engine token -> outstanding leg count.
-    copy_legs: HashMap<u64, u32>,
+    /// Copy-leg id -> (generation, engine token).
+    copy_meta: HashMap<u64, (u64, u64)>,
+    /// (generation, engine token) -> in-flight leg state.
+    copy_legs: HashMap<(u64, u64), LegState>,
+    /// Current transfer generation; bumped when a swap aborts so stale
+    /// legs are dropped instead of reported to the engine.
+    copy_gen: u64,
+    /// Monotone issue counter hashed by the fault plan to doom transfers.
+    copy_seq: u64,
+    /// Uncorrectable-error counts per on-package slot.
+    slot_errors: HashMap<u32, u32>,
+    /// Slots over the quarantine threshold awaiting an idle engine.
+    pending_quarantine: Vec<u32>,
     completed: Vec<DemandCompletion>,
     accesses_in_epoch: u64,
     /// Demand traffic stalls until this cycle (N-design halts, OS updates).
@@ -231,8 +301,12 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             }
             _ => None,
         };
-        Self {
-            table: TranslationTable::new(slots, g.total_pages(), sacrifice),
+        // Spare pages (quarantine parking) are only meaningful for the
+        // N-1 designs, which are the only ones that can retire a slot.
+        let spares = if sacrifice { cfg.faults.map_or(0, |p| p.spare_slots) } else { 0 };
+        let faults = cfg.faults;
+        let mut this = Self {
+            table: TranslationTable::with_spares(slots, g.total_pages(), sacrifice, spares),
             engine,
             lru: SlotClock::new(slots as usize),
             mru: MultiQueueMru::paper_default(),
@@ -257,6 +331,10 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             demand_meta: HashMap::new(),
             copy_meta: HashMap::new(),
             copy_legs: HashMap::new(),
+            copy_gen: 0,
+            copy_seq: 0,
+            slot_errors: HashMap::new(),
+            pending_quarantine: Vec::new(),
             completed: Vec::new(),
             accesses_in_epoch: 0,
             stall_until: 0,
@@ -268,7 +346,12 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             epoch_mark: EpochMark::default(),
             swap_steps_seen: 0,
             swap_subs_mark: 0,
+        };
+        if let Some(plan) = faults {
+            this.on_region.set_faults(plan);
+            this.off_region.set_faults(plan);
         }
+        this
     }
 
     /// The translation table (read-only, for inspection and tests).
@@ -352,9 +435,11 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         };
 
         // Monitor touches and epoch bookkeeping (dynamic modes only).
+        let mut slot_attr = None;
         if let Mode::Dynamic(_) = self.cfg.mode {
             if on_pkg {
                 let slot = (machine_byte / g.page_bytes()) as u32;
+                slot_attr = Some(slot);
                 self.lru.touch(slot);
             } else {
                 self.mru.touch(page.0, sub.0);
@@ -392,6 +477,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                 on_package: on_pkg,
                 is_write,
                 page: page.0,
+                slot: slot_attr,
             },
         );
         let local = self.region_local(machine_byte, on_pkg);
@@ -425,6 +511,26 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
     /// the on-package LRU slot and start a swap if strictly hotter.
     fn consider_swap(&mut self, now: Cycle) {
         self.stats.epochs += 1;
+        // Translation-RAM row corruption check (the table rows are SRAM
+        // protected by ECC; the model is detect-and-repair): a corrupted
+        // row costs a repair stall akin to a kernel table update, never a
+        // wrong translation.
+        if let Some(plan) = self.cfg.faults {
+            if plan.row_corrupts(self.stats.epochs) {
+                self.stats.row_corruptions += 1;
+                self.stall_until = self.stall_until.max(now + self.cfg.machine.latency.os_update);
+                if self.sink.enabled(EventKind::FaultInjected) {
+                    let slot = self.stats.epochs % self.table.slots();
+                    self.sink.emit(Event::FaultInjected {
+                        cycle: now,
+                        class: FaultClass::RowCorruption,
+                        detail: slot,
+                    });
+                }
+            }
+        }
+        // A pending quarantine drain outranks starting a new swap.
+        self.maybe_start_quarantine(now);
         let rejected_before = self.stats.rejected_triggers;
         self.swap_decision(now);
         self.lru.new_epoch();
@@ -475,14 +581,16 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         // Skip pages that are already fast or not migratable.
         let hot_candidate = self.mru.hottest(|p| {
             if p >= n {
-                table.cam_lookup(p).is_some() || p == table.ghost().0
+                table.cam_lookup(p).is_some() || table.is_reserved(p)
             } else {
                 !matches!(table.row_state(p as u32), RowState::Swapped(_))
             }
         });
         if let Some((hot, hot_count, hot_sub)) = hot_candidate {
             let empty = table.empty_slot();
-            let cold = self.lru.coldest(|s| Some(s) == empty || (hot < n && s as u64 == hot));
+            let cold = self.lru.coldest(|s| {
+                Some(s) == empty || (hot < n && s as u64 == hot) || table.is_quarantined(s)
+            });
             if let Some(cold_slot) = cold {
                 let cold_count = self.lru.epoch_count(cold_slot);
                 if hot_count > cold_count {
@@ -589,39 +697,73 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             self.copy_release = self.copy_release.max(now) + pace * transfers.len() as u64;
         }
         for t in transfers {
-            let src_on = self.table.is_on_package(t.src);
-            let dst_on = self.table.is_on_package(t.dst);
-            let sub_off = t.sub as u64 * g.sub_block_bytes();
-            let src_base = self.region_local(t.src.0 * g.page_bytes() + sub_off, src_on);
-            let dst_base = self.region_local(t.dst.0 * g.page_bytes() + sub_off, dst_on);
-            // All legs of a sub-block share the engine token; the last leg
-            // to complete reports to the engine.
-            self.copy_legs.insert(t.token, 2 * sub_lines);
-            for k in 0..sub_lines as u64 {
-                let off = k * LINE_BYTES;
-                let read_id = self.fresh_id();
-                let write_id = self.fresh_id();
-                self.copy_meta.insert(read_id, t.token);
-                self.copy_meta.insert(write_id, t.token);
-                let read = Transaction::migration(read_id, now, src_base + off, false, 1);
-                let write = Transaction::migration(write_id, now, dst_base + off, true, 1);
-                if src_on {
-                    self.stats.migration_on_lines += 1;
-                    self.on_region.enqueue(read);
-                } else {
-                    self.stats.migration_off_lines += 1;
-                    self.off_region.enqueue(read);
-                }
-                if dst_on {
-                    self.stats.migration_on_lines += 1;
-                    self.on_region.enqueue(write);
-                } else {
-                    self.stats.migration_off_lines += 1;
-                    self.off_region.enqueue(write);
-                }
-            }
-            self.outstanding_copies += 1;
+            self.enqueue_transfer(t, now);
         }
+    }
+
+    /// Issue the per-line read and write legs of one sub-block transfer,
+    /// arriving at `arrival` (the future, for retries with backoff). For
+    /// forward transfers under a fault plan this is also where the
+    /// transfer's fate is sealed: a hash of the monotone issue counter
+    /// decides up front whether this copy will be dropped or time out,
+    /// which keeps fault placement independent of completion order.
+    fn enqueue_transfer(&mut self, t: Transfer, arrival: Cycle) {
+        let g = self.cfg.machine.geometry;
+        let sub_lines = (g.sub_block_bytes() / LINE_BYTES).max(1) as u32;
+        let mut fail = None;
+        if t.kind == TransferKind::Forward {
+            if let Some(plan) = self.cfg.faults {
+                let seq = self.copy_seq;
+                self.copy_seq += 1;
+                fail = match plan.transfer_fault(seq) {
+                    Some(TransferFault::Dropped) => Some(FailKind::Dropped),
+                    Some(TransferFault::TimedOut) => Some(FailKind::TimedOut),
+                    None => None,
+                };
+            }
+        }
+        let src_on = self.table.is_on_package(t.src);
+        let dst_on = self.table.is_on_package(t.dst);
+        let slot = if src_on {
+            Some(t.src.0 as u32)
+        } else if dst_on {
+            Some(t.dst.0 as u32)
+        } else {
+            None
+        };
+        let sub_off = t.sub as u64 * g.sub_block_bytes();
+        let src_base = self.region_local(t.src.0 * g.page_bytes() + sub_off, src_on);
+        let dst_base = self.region_local(t.dst.0 * g.page_bytes() + sub_off, dst_on);
+        // All legs of a sub-block share the engine token; the last leg
+        // to complete reports to the engine.
+        self.copy_legs.insert(
+            (self.copy_gen, t.token),
+            LegState { remaining: 2 * sub_lines, fail, kind: t.kind, slot },
+        );
+        for k in 0..sub_lines as u64 {
+            let off = k * LINE_BYTES;
+            let read_id = self.fresh_id();
+            let write_id = self.fresh_id();
+            self.copy_meta.insert(read_id, (self.copy_gen, t.token));
+            self.copy_meta.insert(write_id, (self.copy_gen, t.token));
+            let read = Transaction::migration(read_id, arrival, src_base + off, false, 1);
+            let write = Transaction::migration(write_id, arrival, dst_base + off, true, 1);
+            if src_on {
+                self.stats.migration_on_lines += 1;
+                self.on_region.enqueue(read);
+            } else {
+                self.stats.migration_off_lines += 1;
+                self.off_region.enqueue(read);
+            }
+            if dst_on {
+                self.stats.migration_on_lines += 1;
+                self.on_region.enqueue(write);
+            } else {
+                self.stats.migration_off_lines += 1;
+                self.off_region.enqueue(write);
+            }
+        }
+        self.outstanding_copies += 1;
     }
 
     /// Advance simulated time; service queues and process completions.
@@ -683,6 +825,13 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         for c in completions {
             any = true;
             if let Some(meta) = self.demand_meta.remove(&c.id) {
+                // Uncorrectable demand reads count against the serving
+                // slot's quarantine budget.
+                if matches!(c.fault, Some(MemFault::Uncorrectable(_))) {
+                    if let Some(slot) = meta.slot {
+                        self.note_uncorrectable(slot);
+                    }
+                }
                 // Response-side share of the fixed path.
                 let tail = lat.ctl_to_core_each_way
                     + if meta.on_package {
@@ -719,25 +868,78 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                     on_package: meta.on_package,
                     is_write: meta.is_write,
                 });
-            } else if let Some(token) = self.copy_meta.remove(&c.id) {
-                self.handle_copy_leg(token, now.max(c.finish));
+            } else if let Some((gen, token)) = self.copy_meta.remove(&c.id) {
+                self.handle_copy_leg(gen, token, c.fault, now.max(c.finish));
             }
         }
         any
     }
 
-    fn handle_copy_leg(&mut self, token: u64, now: Cycle) {
-        // All line read/write legs of a sub-block share the engine token;
-        // the last one to complete reports to the engine.
-        let legs = self.copy_legs.get_mut(&token).expect("legs tracked per token");
-        *legs -= 1;
-        if *legs > 0 {
+    fn handle_copy_leg(&mut self, gen: u64, token: u64, fault: Option<MemFault>, now: Cycle) {
+        let key = (gen, token);
+        if gen != self.copy_gen {
+            // A leg issued for a swap that has since aborted: its data is
+            // discarded on arrival (the rollback owns those pages now).
+            if let Some(leg) = self.copy_legs.get_mut(&key) {
+                leg.remaining -= 1;
+                if leg.remaining == 0 {
+                    self.copy_legs.remove(&key);
+                    self.stats.abandoned_sub_blocks += 1;
+                }
+            }
             return;
         }
-        self.copy_legs.remove(&token);
+        // All line read/write legs of a sub-block share the engine token;
+        // the last one to complete reports to the engine.
+        let leg = self.copy_legs.get_mut(&key).expect("legs tracked per token");
+        if leg.kind == TransferKind::Forward
+            && leg.fail.is_none()
+            && matches!(fault, Some(MemFault::Uncorrectable(_)))
+        {
+            leg.fail = Some(FailKind::Ecc);
+        }
+        leg.remaining -= 1;
+        if leg.remaining > 0 {
+            return;
+        }
+        let leg = self.copy_legs.remove(&key).expect("checked above");
+        self.outstanding_copies = self.outstanding_copies.saturating_sub(1);
+        if let Some(kind) = leg.fail {
+            match kind {
+                FailKind::Dropped => {
+                    self.stats.transfers_dropped += 1;
+                    if self.sink.enabled(EventKind::FaultInjected) {
+                        self.sink.emit(Event::FaultInjected {
+                            cycle: now,
+                            class: FaultClass::TransferDrop,
+                            detail: token,
+                        });
+                    }
+                }
+                FailKind::TimedOut => {
+                    self.stats.transfers_timed_out += 1;
+                    if self.sink.enabled(EventKind::FaultInjected) {
+                        self.sink.emit(Event::FaultInjected {
+                            cycle: now,
+                            class: FaultClass::TransferTimeout,
+                            detail: token,
+                        });
+                    }
+                }
+                // The channel already counted and reported the ECC event;
+                // here it only escalates to a transfer failure.
+                FailKind::Ecc => {
+                    self.stats.transfers_ecc_failed += 1;
+                    if let Some(slot) = leg.slot {
+                        self.note_uncorrectable(slot);
+                    }
+                }
+            }
+            self.transfer_failure(token, now);
+            return;
+        }
         let Some(engine) = &mut self.engine else { return };
         let progress = engine.transfer_done(token, &mut self.table);
-        self.outstanding_copies = self.outstanding_copies.saturating_sub(1);
         let subs_copied = engine.stats().sub_blocks_copied;
         if self.sink.enabled(EventKind::PfTransition) {
             for t in engine.drain_pf_log() {
@@ -765,10 +967,24 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                     });
                 }
             }
+            // The abort itself was reported when the rollback began.
+            SwapProgress::RollbackDone => {}
+            SwapProgress::DrainDone { slot, parked } => {
+                self.stats.slots_quarantined += 1;
+                if self.sink.enabled(EventKind::SlotQuarantined) {
+                    self.sink.emit(Event::SlotQuarantined {
+                        cycle: now,
+                        slot,
+                        parked_page: parked,
+                    });
+                }
+            }
             SwapProgress::InFlight => {}
         }
         match progress {
-            SwapProgress::SwapDone => {
+            SwapProgress::SwapDone
+            | SwapProgress::RollbackDone
+            | SwapProgress::DrainDone { .. } => {
                 // The halting N design's stall window is the estimate set
                 // at trigger time; it is deliberately not shortened here —
                 // the controller's effective clock must stay monotone so
@@ -777,6 +993,8 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                     self.stall_until =
                         self.stall_until.max(now + self.cfg.machine.latency.os_update);
                 }
+                // The engine is idle: a pending slot retirement may start.
+                self.maybe_start_quarantine(now);
             }
             SwapProgress::StepDone => {
                 if self.cfg.is_os_assisted() {
@@ -787,6 +1005,113 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             SwapProgress::InFlight => {}
         }
         self.pump_copies(now);
+    }
+
+    /// The last leg of a transfer arrived with its copy marked failed:
+    /// consult the engine for retry-or-abort and carry out the decision.
+    fn transfer_failure(&mut self, token: u64, now: Cycle) {
+        let plan = self.cfg.faults.expect("transfer failures require a fault plan");
+        let action = {
+            let Some(engine) = &mut self.engine else { return };
+            engine.transfer_failed(token, &mut self.table, plan.max_retries)
+        };
+        if self.sink.enabled(EventKind::PfTransition) {
+            if let Some(engine) = &mut self.engine {
+                for t in engine.drain_pf_log() {
+                    self.sink.emit(Event::PfTransition {
+                        cycle: now,
+                        slot: t.slot,
+                        bit: t.bit,
+                        set: t.set,
+                    });
+                }
+            }
+        }
+        match action {
+            FailureAction::Retry(t) => {
+                self.stats.transfer_retries += 1;
+                if self.sink.enabled(EventKind::TransferRetried) {
+                    self.sink.emit(Event::TransferRetried {
+                        cycle: now,
+                        sub: t.sub,
+                        attempt: t.attempt,
+                    });
+                }
+                // Exponential backoff, capped to keep the shift sane.
+                let backoff = plan.retry_backoff_cycles << (t.attempt - 1).min(16);
+                self.enqueue_transfer(t, now + backoff);
+            }
+            FailureAction::RollbackStarted | FailureAction::Aborted => {
+                if self.sink.enabled(EventKind::SwapAborted) {
+                    self.sink.emit(Event::SwapAborted {
+                        cycle: now,
+                        step: (token >> 32) as u32,
+                        rollback: matches!(action, FailureAction::RollbackStarted),
+                    });
+                }
+                // Outstanding transfers of the dead swap become stale:
+                // bump the generation so their completions are discarded.
+                self.copy_gen += 1;
+                self.outstanding_copies = 0;
+                self.maybe_start_quarantine(now);
+                self.pump_copies(now);
+            }
+        }
+    }
+
+    /// Count an uncorrectable error against an on-package slot; past the
+    /// plan's threshold the slot is queued for quarantine.
+    fn note_uncorrectable(&mut self, slot: u32) {
+        let Some(plan) = self.cfg.faults else { return };
+        let count = self.slot_errors.entry(slot).or_insert(0);
+        *count += 1;
+        if *count >= plan.quarantine_threshold
+            && !self.pending_quarantine.contains(&slot)
+            && !self.table.is_quarantined(slot)
+        {
+            self.pending_quarantine.push(slot);
+        }
+    }
+
+    /// Start a quarantine drain for the oldest pending slot, if the engine
+    /// is idle and degrading further still leaves a workable pool (a spare
+    /// page to park the occupant, and more than three usable slots so the
+    /// hottest-coldest trigger keeps a meaningful choice).
+    fn maybe_start_quarantine(&mut self, now: Cycle) {
+        if self.pending_quarantine.is_empty() {
+            return;
+        }
+        let Some(engine) = &mut self.engine else {
+            self.pending_quarantine.clear();
+            return;
+        };
+        if !engine.design().sacrifices_slot() {
+            self.pending_quarantine.clear();
+            return;
+        }
+        if engine.busy() {
+            return;
+        }
+        let mut started = false;
+        while let Some(slot) = self.pending_quarantine.first().copied() {
+            let usable = self.table.slots() - self.table.quarantined_count();
+            if usable <= 3 || !self.table.spare_available() {
+                // Degraded as far as allowed; further requests are moot.
+                self.pending_quarantine.clear();
+                break;
+            }
+            self.pending_quarantine.remove(0);
+            if self.table.is_quarantined(slot) {
+                continue;
+            }
+            if engine.start_quarantine(&mut self.table, slot) {
+                started = true;
+                break;
+            }
+        }
+        if started {
+            self.pump_copies(now);
+        }
     }
 
     /// Take all demand completions accumulated so far.
@@ -828,6 +1153,7 @@ mod tests {
             policy: SchedPolicy::FrFcfs,
             on_profile: DeviceProfile::on_package(),
             off_profile: DeviceProfile::off_package_ddr3(),
+            faults: None,
         }
     }
 
@@ -1005,5 +1331,202 @@ mod tests {
             s.migration_on_lines + s.migration_off_lines,
             swaps.sub_blocks_copied * lines_per_sub * 2
         );
+    }
+
+    /// Like [`run`] but with a fault plan armed; accesses stay below the
+    /// program-visible ceiling (spare pages are carved from the top).
+    fn run_faulty(
+        plan: FaultPlan,
+        design: MigrationDesign,
+        accesses: usize,
+    ) -> (HeteroController, Vec<DemandCompletion>) {
+        let mut c = HeteroController::new(ControllerConfig {
+            faults: Some(plan),
+            ..cfg(Mode::Dynamic(design))
+        });
+        let mut rng = SimRng::new(5);
+        let g = tiny_geometry();
+        let visible = c.table().first_reserved_page();
+        let mut now = 0;
+        for _ in 0..accesses {
+            now += 40;
+            let addr = if rng.chance(0.8) {
+                40 * g.page_bytes() + (rng.below(g.page_bytes()) & !63)
+            } else {
+                rng.below(visible * g.page_bytes()) & !63
+            };
+            c.access(now, PhysAddr(addr), rng.chance(0.3));
+            c.advance(now);
+        }
+        c.flush();
+        let done = c.drain();
+        (c, done)
+    }
+
+    fn stress_plan() -> FaultPlan {
+        FaultPlan {
+            drop_rate: 0.05,
+            timeout_rate: 0.02,
+            flip_rate: 1e-4,
+            uflip_rate: 2e-5,
+            row_corrupt_rate: 0.05,
+            max_retries: 2,
+            retry_backoff_cycles: 500,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn faulty_runs_complete_and_reconcile_lines() {
+        for design in
+            [MigrationDesign::N, MigrationDesign::NMinusOne, MigrationDesign::LiveMigration]
+        {
+            let (c, done) = run_faulty(stress_plan(), design, 4_000);
+            assert_eq!(done.len(), 4_000, "{design:?} lost completions under faults");
+            let s = c.stats();
+            let swaps = c.swap_stats().unwrap();
+            assert!(
+                s.transfers_dropped + s.transfers_timed_out > 0,
+                "{design:?}: the stress plan should hit some transfers"
+            );
+            // Every issued sub-block ends exactly one way: copied (engine
+            // saw it), failed (dropped/timed out/ECC), or abandoned by an
+            // abort — so the line counters reconcile exactly.
+            let lines_per_sub = tiny_geometry().sub_block_bytes() / 64;
+            let outcomes = swaps.sub_blocks_copied
+                + s.transfers_dropped
+                + s.transfers_timed_out
+                + s.transfers_ecc_failed
+                + s.abandoned_sub_blocks;
+            assert_eq!(
+                s.migration_on_lines + s.migration_off_lines,
+                outcomes * lines_per_sub * 2,
+                "{design:?}: migration line accounting out of balance"
+            );
+            // Every started swap ended: completed, or aborted.
+            assert_eq!(swaps.triggered, swaps.completed + swaps.aborted, "{design:?}");
+            c.table().validate(design.sacrifices_slot()).unwrap();
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let a = run_faulty(stress_plan(), MigrationDesign::LiveMigration, 3_000);
+        let b = run_faulty(stress_plan(), MigrationDesign::LiveMigration, 3_000);
+        assert_eq!(a.0.stats(), b.0.stats());
+        assert_eq!(a.0.swap_stats(), b.0.swap_stats());
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_no_plan_exactly() {
+        let plan = FaultPlan::default(); // all rates zero
+        assert!(!plan.any_faults());
+        let (cf, df) = run_faulty(plan, MigrationDesign::LiveMigration, 3_000);
+        // The same run with faults: None — run_faulty's address stream is
+        // identical because spare_slots defaults to >0... so compare
+        // against a controller built without a plan but with the same
+        // spare carve-out.
+        let mut c = HeteroController::new(ControllerConfig {
+            faults: Some(plan),
+            ..cfg(Mode::Dynamic(MigrationDesign::LiveMigration))
+        });
+        let mut c0 = HeteroController::new(cfg(Mode::Dynamic(MigrationDesign::LiveMigration)));
+        // Identical visible ceilings are required for identical streams.
+        let visible = c.table().first_reserved_page().min(c0.table().first_reserved_page());
+        let g = tiny_geometry();
+        let mut rng = SimRng::new(9);
+        let mut rng0 = SimRng::new(9);
+        let mut now = 0;
+        for _ in 0..2_000 {
+            now += 40;
+            let mk = |r: &mut SimRng| {
+                if r.chance(0.8) {
+                    40 * g.page_bytes() + (r.below(g.page_bytes()) & !63)
+                } else {
+                    r.below(visible * g.page_bytes()) & !63
+                }
+            };
+            c.access(now, PhysAddr(mk(&mut rng)), false);
+            c0.access(now, PhysAddr(mk(&mut rng0)), false);
+            c.advance(now);
+            c0.advance(now);
+        }
+        c.flush();
+        c0.flush();
+        assert_eq!(c.drain(), c0.drain(), "zero-rate plan must not perturb completions");
+        assert_eq!(c.stats(), c0.stats());
+        assert_eq!(c.swap_stats(), c0.swap_stats());
+        // And the faulty-path counters all stayed at zero.
+        let s = cf.stats();
+        assert_eq!(
+            (
+                s.transfer_retries,
+                s.transfers_dropped,
+                s.transfers_timed_out,
+                s.transfers_ecc_failed,
+                s.abandoned_sub_blocks,
+                s.row_corruptions,
+                s.slots_quarantined
+            ),
+            (0, 0, 0, 0, 0, 0, 0)
+        );
+        assert!(!df.is_empty());
+    }
+
+    #[test]
+    fn stuck_bank_drives_slot_quarantine() {
+        // A stuck on-package bank makes every read through it
+        // uncorrectable; with a low threshold the affected slots retire
+        // and the run degrades instead of failing.
+        let plan = FaultPlan {
+            stuck_banks: {
+                let mut banks = [None; hmm_fault::MAX_STUCK_BANKS];
+                banks[0] = Some(hmm_fault::StuckBank {
+                    region: hmm_fault::FaultRegion::On,
+                    channel: 0,
+                    bank: 0,
+                });
+                banks
+            },
+            quarantine_threshold: 2,
+            spare_slots: 2,
+            max_retries: 1,
+            ..FaultPlan::default()
+        };
+        let (c, done) = run_faulty(plan, MigrationDesign::NMinusOne, 6_000);
+        assert_eq!(done.len(), 6_000);
+        let s = c.stats();
+        assert!(s.slots_quarantined > 0, "stuck bank should retire at least one slot");
+        assert!(c.table().quarantined_count() > 0);
+        assert_eq!(s.slots_quarantined, c.table().quarantined_count());
+        c.table().validate(true).unwrap();
+        // Quarantined slots keep their page reachable (degraded, not
+        // lost): each parks at a distinct reserved spare.
+        let swaps = c.swap_stats().unwrap();
+        assert_eq!(swaps.quarantine_drains, s.slots_quarantined);
+    }
+
+    #[test]
+    fn controller_stats_merge_covers_fault_counters() {
+        let mut a = ControllerStats {
+            transfer_retries: 1,
+            transfers_dropped: 2,
+            transfers_timed_out: 3,
+            transfers_ecc_failed: 4,
+            abandoned_sub_blocks: 5,
+            row_corruptions: 6,
+            slots_quarantined: 7,
+            ..ControllerStats::default()
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.transfer_retries, 2);
+        assert_eq!(a.transfers_dropped, 4);
+        assert_eq!(a.transfers_timed_out, 6);
+        assert_eq!(a.transfers_ecc_failed, 8);
+        assert_eq!(a.abandoned_sub_blocks, 10);
+        assert_eq!(a.row_corruptions, 12);
+        assert_eq!(a.slots_quarantined, 14);
     }
 }

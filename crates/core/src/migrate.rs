@@ -25,6 +25,7 @@
 use crate::table::{MachinePage, RowState, TranslationTable};
 use hmm_sim_base::addr::SubBlockId;
 use hmm_telemetry::{PfBit, PfChange};
+use std::collections::HashMap;
 
 /// Which migration design is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,19 @@ impl MigrationDesign {
     }
 }
 
+/// What kind of work a [`Transfer`] is doing, so the controller can
+/// exempt recovery traffic from fault injection (recovery copies are
+/// modelled fault-free: retrying a rollback would recurse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// A normal forward swap copy; eligible for injected faults.
+    Forward,
+    /// A compensating copy of an abort rollback.
+    Rollback,
+    /// A copy of a quarantine drain.
+    Drain,
+}
+
 /// A sub-block copy request emitted by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transfer {
@@ -60,6 +74,11 @@ pub struct Transfer {
     pub dst: MachinePage,
     /// Sub-block index within the page.
     pub sub: u32,
+    /// Forward, rollback or drain traffic.
+    pub kind: TransferKind,
+    /// Retry attempt (0 for first issue; retries from
+    /// [`MigrationEngine::transfer_failed`] count up from 1).
+    pub attempt: u32,
 }
 
 /// Progress report from [`MigrationEngine::transfer_done`].
@@ -71,6 +90,33 @@ pub enum SwapProgress {
     StepDone,
     /// The whole swap finished; the engine is idle again.
     SwapDone,
+    /// An abort rollback finished: the table is back in its pre-swap
+    /// state and the engine is idle again.
+    RollbackDone,
+    /// A quarantine drain finished: `slot` is retired and its page now
+    /// lives at the reserved spare page `parked`.
+    DrainDone {
+        /// The quarantined slot.
+        slot: u32,
+        /// Machine page the slot's own page was parked to.
+        parked: u64,
+    },
+}
+
+/// What [`MigrationEngine::transfer_failed`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Re-issue this transfer (the engine still counts the sub-block as
+    /// outstanding; `attempt` in the transfer says how many retries so
+    /// far).
+    Retry(Transfer),
+    /// The retry budget is exhausted; completed steps are being unwound
+    /// by a rollback plan now active in the engine — pump its transfers.
+    RollbackStarted,
+    /// The swap was abandoned and the engine is idle; any table changes
+    /// were undone by begin-op inverses alone (or, in the halting N
+    /// design, were never applied).
+    Aborted,
 }
 
 /// Counters for reporting and the power model.
@@ -83,8 +129,15 @@ pub struct SwapStats {
     /// Paper Fig. 8 case counts: (a), (b), (c), (d).
     pub case_counts: [u64; 4],
     /// Sub-block copies performed (each is one read + one write of a
-    /// sub-block).
+    /// sub-block). Includes rollback and drain copies.
     pub sub_blocks_copied: u64,
+    /// Swaps aborted after exhausting their transfer-retry budget.
+    pub aborted: u64,
+    /// Sub-block copies performed by abort rollbacks (also counted in
+    /// `sub_blocks_copied`).
+    pub rolled_back_sub_blocks: u64,
+    /// Quarantine drains completed (slots retired from the pool).
+    pub quarantine_drains: u64,
 }
 
 impl SwapStats {
@@ -98,6 +151,9 @@ impl SwapStats {
             *a += b;
         }
         self.sub_blocks_copied += other.sub_blocks_copied;
+        self.aborted += other.aborted;
+        self.rolled_back_sub_blocks += other.rolled_back_sub_blocks;
+        self.quarantine_drains += other.quarantine_drains;
     }
 }
 
@@ -111,6 +167,13 @@ enum TableOp {
     RetireToEmpty(u32),
     SetSwapped { slot: u32, page: u64 },
     SetOwn(u32),
+    // Rollback inverses of the begin-ops above.
+    UnsuppressCam(u32),
+    AbortFillEmpty(u32),
+    AbortRestoreOwn { slot: u32, partner: u64 },
+    // Quarantine drains.
+    SetPParked { slot: u32, spare: u64 },
+    QuarantineRow { slot: u32, spare: u64 },
 }
 
 #[derive(Debug, Clone)]
@@ -123,6 +186,15 @@ struct CopyStep {
     fill_slot: Option<u32>,
 }
 
+/// Whether the active step list is a forward swap, a compensating
+/// rollback, or a quarantine drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SwapMode {
+    Forward,
+    Rollback,
+    Drain { slot: u32, parked: u64 },
+}
+
 #[derive(Debug)]
 struct ActiveSwap {
     steps: Vec<CopyStep>,
@@ -131,6 +203,10 @@ struct ActiveSwap {
     done: u32,
     /// Critical-data-first rotation offset.
     start_sub: u32,
+    mode: SwapMode,
+    /// Per-sub-block retry counts for the current step (cleared at step
+    /// boundaries).
+    retries: HashMap<u32, u32>,
 }
 
 /// The migration state machine.
@@ -218,8 +294,8 @@ impl MigrationEngine {
             return false;
         }
         let n = table.slots();
-        if hot == table.ghost().0 {
-            return false; // the reserved page is not a program page
+        if table.is_reserved(hot) {
+            return false; // ghost and spare pages are not program pages
         }
 
         // Classify the hot page.
@@ -348,6 +424,8 @@ impl MigrationEngine {
             issued: 0,
             done: 0,
             start_sub: hot_sub_hint % self.sub_blocks_per_page,
+            mode: SwapMode::Forward,
+            retries: HashMap::new(),
         };
         let bits = self.bitmap_bits();
         let log = self.log_pf;
@@ -356,6 +434,7 @@ impl MigrationEngine {
         }
         self.active = Some(swap);
         self.stats.triggered += 1;
+        self.dbg_validate(table);
         true
     }
 
@@ -535,7 +614,64 @@ impl MigrationEngine {
             }
             TableOp::SetSwapped { slot, page } => table.set_swapped(slot, page),
             TableOp::SetOwn(s) => table.set_own(s),
+            TableOp::UnsuppressCam(s) => table.unsuppress_cam(s),
+            TableOp::AbortFillEmpty(s) => {
+                let had_fill = table.fill_state(s).is_some();
+                table.abort_fill_into_empty(s);
+                if let Some(log) = log {
+                    if had_fill {
+                        log.push(PfChange { slot: s, bit: PfBit::F, set: false });
+                    }
+                    log.push(PfChange { slot: s, bit: PfBit::P, set: false });
+                }
+            }
+            TableOp::AbortRestoreOwn { slot, partner } => {
+                let had_fill = table.fill_state(slot).is_some();
+                table.abort_restore_own(slot, partner);
+                if had_fill {
+                    note(log, slot, PfBit::F, false);
+                }
+            }
+            TableOp::SetPParked { slot, spare } => {
+                table.set_p_parked(slot, MachinePage(spare));
+                note(log, slot, PfBit::P, true);
+            }
+            TableOp::QuarantineRow { slot, spare } => {
+                let was_pending = table.p_bit(slot);
+                table.quarantine_row(slot, MachinePage(spare));
+                if was_pending {
+                    note(log, slot, PfBit::P, false);
+                }
+            }
         }
+    }
+
+    /// Invert a begin/end op for the abort rollback. Only ops that can
+    /// appear before the final step need inverses: the final step's ops
+    /// (`RetireToEmpty`, `SetSwapped`, `SetOwn`) commit the swap, and a
+    /// completed final step means there is nothing left to abort.
+    fn inverse(op: &TableOp) -> TableOp {
+        match *op {
+            TableOp::SuppressCam(s) => TableOp::UnsuppressCam(s),
+            TableOp::BeginFillEmpty { slot, .. } => TableOp::AbortFillEmpty(slot),
+            TableOp::BeginRestoreOwn { slot, source } => {
+                TableOp::AbortRestoreOwn { slot, partner: source.0 }
+            }
+            TableOp::ClearP(s) => TableOp::SetP(s),
+            TableOp::SetP(s) => TableOp::ClearP(s),
+            _ => unreachable!("final-step ops never need inverting"),
+        }
+    }
+
+    /// Debug-build invariant sweep after every table-op batch: panics if
+    /// the translation table lost an invariant or stopped being injective
+    /// over the program-visible pages.
+    fn dbg_validate(&self, table: &TranslationTable) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = table.validate(self.design.sacrifices_slot()) {
+            panic!("translation-table invariant violated: {e}");
+        }
+        let _ = table;
     }
 
     /// Emit up to `allowance` new sub-block transfers for the current step
@@ -545,6 +681,11 @@ impl MigrationEngine {
         let Some(swap) = &mut self.active else { return };
         let per_step = self.sub_blocks_per_page;
         let step = &swap.steps[swap.step];
+        let kind = match swap.mode {
+            SwapMode::Forward => TransferKind::Forward,
+            SwapMode::Rollback => TransferKind::Rollback,
+            SwapMode::Drain { .. } => TransferKind::Drain,
+        };
         let mut issued = 0;
         while swap.issued < per_step && issued < allowance {
             let k = swap.issued;
@@ -557,6 +698,8 @@ impl MigrationEngine {
                 src: step.src,
                 dst: step.dst,
                 sub,
+                kind,
+                attempt: 0,
             });
             swap.issued += 1;
             issued += 1;
@@ -574,6 +717,9 @@ impl MigrationEngine {
         assert_eq!(step_idx, swap.step, "completion for a stale step");
         swap.done += 1;
         self.stats.sub_blocks_copied += 1;
+        if swap.mode == SwapMode::Rollback {
+            self.stats.rolled_back_sub_blocks += 1;
+        }
 
         let step = &swap.steps[swap.step];
         if live {
@@ -605,16 +751,250 @@ impl MigrationEngine {
         swap.step += 1;
         swap.issued = 0;
         swap.done = 0;
-        if swap.step == swap.steps.len() {
+        swap.retries.clear();
+        let progress = if swap.step == swap.steps.len() {
+            let mode = swap.mode;
             self.active = None;
-            self.stats.completed += 1;
-            SwapProgress::SwapDone
+            match mode {
+                SwapMode::Forward => {
+                    self.stats.completed += 1;
+                    SwapProgress::SwapDone
+                }
+                SwapMode::Rollback => SwapProgress::RollbackDone,
+                SwapMode::Drain { slot, parked } => {
+                    self.stats.quarantine_drains += 1;
+                    SwapProgress::DrainDone { slot, parked }
+                }
+            }
         } else {
             for op in swap.steps[swap.step].begin.clone() {
                 Self::apply(table, op, bits, log.then_some(&mut self.pf_log));
             }
             SwapProgress::StepDone
+        };
+        self.dbg_validate(table);
+        progress
+    }
+
+    /// Record that a transfer's copy failed in a way the data path could
+    /// not hide (dropped request, timeout, uncorrectable read). The engine
+    /// either hands back a retry of the same transfer (bounded by
+    /// `max_retries` per sub-block per step) or aborts the swap. Aborting
+    /// an N-1 swap installs a rollback plan — compensating copies that
+    /// restore every touched machine page, with the inverse table ops
+    /// applied at the matching reverse-step boundaries — and the caller
+    /// keeps pumping [`Self::take_transfers`] /
+    /// [`Self::transfer_done`] until [`SwapProgress::RollbackDone`].
+    pub fn transfer_failed(
+        &mut self,
+        token: u64,
+        table: &mut TranslationTable,
+        max_retries: u32,
+    ) -> FailureAction {
+        {
+            let swap = self.active.as_mut().expect("no swap in flight");
+            let step_idx = (token >> 32) as usize;
+            let sub = (token & 0xFFFF_FFFF) as u32;
+            assert_eq!(step_idx, swap.step, "failure for a stale step");
+            assert_eq!(
+                swap.mode,
+                SwapMode::Forward,
+                "rollback and drain copies are modelled fault-free"
+            );
+            let attempts = swap.retries.entry(sub).or_insert(0);
+            if *attempts < max_retries {
+                *attempts += 1;
+                let attempt = *attempts;
+                let step = &swap.steps[swap.step];
+                return FailureAction::Retry(Transfer {
+                    token,
+                    src: step.src,
+                    dst: step.dst,
+                    sub,
+                    kind: TransferKind::Forward,
+                    attempt,
+                });
+            }
         }
+        // Retry budget exhausted: abort the swap.
+        self.stats.aborted += 1;
+        if !self.design.sacrifices_slot() {
+            // The N design touches the table only at the final step's end,
+            // and a failed transfer means that end was never reached:
+            // dropping the swap leaves the table exactly as before.
+            self.active = None;
+            self.dbg_validate(table);
+            return FailureAction::Aborted;
+        }
+        let bits = self.bitmap_bits();
+        let log = self.log_pf;
+        let swap = self.active.as_mut().expect("no swap in flight");
+        let k = swap.step;
+        // Undo the current (incomplete) step's begin ops right now. Partial
+        // writes into its destination are harmless: after the inverses, no
+        // translation points there (and for completed earlier steps the
+        // reverse copies below rewrite their destinations before the
+        // inverse ops re-point translations at them).
+        for op in swap.steps[k].begin.clone().into_iter().rev() {
+            Self::apply(table, Self::inverse(&op), bits, log.then_some(&mut self.pf_log));
+        }
+        // Completed steps are unwound in reverse: copy each step's data
+        // back, then invert its end ops and begin ops.
+        let rollback: Vec<CopyStep> = (0..k)
+            .rev()
+            .map(|j| {
+                let f = &swap.steps[j];
+                let mut end: Vec<TableOp> = f.end.iter().rev().map(Self::inverse).collect();
+                end.extend(f.begin.iter().rev().map(Self::inverse));
+                CopyStep { src: f.dst, dst: f.src, begin: vec![], end, fill_slot: None }
+            })
+            .collect();
+        if rollback.is_empty() {
+            // Failed during the first step: the inverses above already
+            // restored the pre-swap table and no data moved anywhere a
+            // translation still points at.
+            self.active = None;
+            self.dbg_validate(table);
+            return FailureAction::Aborted;
+        }
+        swap.steps = rollback;
+        swap.step = 0;
+        swap.issued = 0;
+        swap.done = 0;
+        swap.start_sub = 0;
+        swap.mode = SwapMode::Rollback;
+        swap.retries.clear();
+        self.dbg_validate(table);
+        FailureAction::RollbackStarted
+    }
+
+    /// Begin draining `slot` out of the migration pool (graceful
+    /// degradation after repeated uncorrectable errors). The slot's
+    /// occupant is relocated so the slot can be marked quarantined: an
+    /// `Own` page parks at a reserved spare page off-package; a `Swapped`
+    /// guest first drains to its own home while the slot's own page takes
+    /// the spare; an `Empty` slot steals the emptiness from a victim slot
+    /// (so the N-1 machinery keeps its one empty slot). Returns false if
+    /// the engine is busy, the design has no empty-slot machinery, the
+    /// slot is already quarantined, or no spare page is left.
+    pub fn start_quarantine(&mut self, table: &mut TranslationTable, slot: u32) -> bool {
+        if self.busy() || !self.design.sacrifices_slot() {
+            return false;
+        }
+        if table.is_quarantined(slot) || !table.spare_available() {
+            return false;
+        }
+        let home = MachinePage;
+        let slotp = |s: u32| MachinePage(s as u64);
+        let ghost = table.ghost();
+
+        // For an empty slot we must transplant the emptiness: pick a
+        // victim row (prefer an Own occupant — one copy instead of two)
+        // whose page moves to Ω, making the victim the new empty slot.
+        let victim = if table.row_state(slot) == RowState::Empty {
+            let n = table.slots() as u32;
+            let pick = (0..n)
+                .filter(|&v| v != slot && !table.is_quarantined(v))
+                .filter(|&v| table.row_state(v) != RowState::Empty)
+                .max_by_key(|&v| match table.row_state(v) {
+                    RowState::Own => 1,
+                    _ => 0,
+                });
+            match pick {
+                Some(v) => Some(v),
+                None => return false, // nothing left to sacrifice
+            }
+        } else {
+            None
+        };
+        let Some(spare) = table.allocate_spare() else { return false };
+
+        let mut steps: Vec<CopyStep> = Vec::new();
+        match table.row_state(slot) {
+            RowState::Own => {
+                // The slot's own page escapes to the spare location.
+                steps.push(CopyStep {
+                    src: slotp(slot),
+                    dst: spare,
+                    begin: vec![],
+                    end: vec![TableOp::QuarantineRow { slot, spare: spare.0 }],
+                    fill_slot: None,
+                });
+            }
+            RowState::Swapped(m) => {
+                // The slot's own page (parked at home(m)) moves to the
+                // spare; then guest m drains from the failing slot to its
+                // own home.
+                steps.push(CopyStep {
+                    src: home(m),
+                    dst: spare,
+                    begin: vec![],
+                    end: vec![TableOp::SetPParked { slot, spare: spare.0 }],
+                    fill_slot: None,
+                });
+                steps.push(CopyStep {
+                    src: slotp(slot),
+                    dst: home(m),
+                    begin: vec![],
+                    end: vec![TableOp::QuarantineRow { slot, spare: spare.0 }],
+                    fill_slot: None,
+                });
+            }
+            RowState::Empty => {
+                // The parked ghost data moves to the spare so Ω can take
+                // the victim's page next.
+                steps.push(CopyStep {
+                    src: ghost,
+                    dst: spare,
+                    begin: vec![],
+                    end: vec![TableOp::QuarantineRow { slot, spare: spare.0 }],
+                    fill_slot: None,
+                });
+                let v = victim.expect("picked above");
+                match table.row_state(v) {
+                    RowState::Own => {
+                        steps.push(CopyStep {
+                            src: slotp(v),
+                            dst: ghost,
+                            begin: vec![],
+                            end: vec![TableOp::RetireToEmpty(v)],
+                            fill_slot: None,
+                        });
+                    }
+                    RowState::Swapped(m) => {
+                        // Same shape as the Fig. 8(b) tail: the victim's
+                        // own page parks at Ω, then guest m drains home.
+                        steps.push(CopyStep {
+                            src: home(m),
+                            dst: ghost,
+                            begin: vec![],
+                            end: vec![TableOp::SetP(v)],
+                            fill_slot: None,
+                        });
+                        steps.push(CopyStep {
+                            src: slotp(v),
+                            dst: home(m),
+                            begin: vec![],
+                            end: vec![TableOp::RetireToEmpty(v)],
+                            fill_slot: None,
+                        });
+                    }
+                    RowState::Empty => unreachable!("victim filter excludes empties"),
+                }
+            }
+        }
+
+        self.active = Some(ActiveSwap {
+            steps,
+            step: 0,
+            issued: 0,
+            done: 0,
+            start_sub: 0,
+            mode: SwapMode::Drain { slot, parked: spare.0 },
+            retries: HashMap::new(),
+        });
+        self.dbg_validate(table);
+        true
     }
 }
 
@@ -680,6 +1060,77 @@ mod tests {
 
         fn loc(&self, page: u64) -> u64 {
             self.table.translate(MacroPageId(page), hmm_sim_base::addr::SubBlockId(0)).0
+        }
+
+        /// Drive the swap but fail the `fail_at`-th transfer (0-based)
+        /// with a zero retry budget; pump whatever recovery plan results
+        /// to completion.
+        fn abort_at(&mut self, hot: u64, cold: u32, fail_at: usize) {
+            assert!(self.engine.start_swap(&mut self.table, hot, cold, 0));
+            let mut seen = 0usize;
+            let mut guard = 0;
+            while self.engine.busy() {
+                let mut ts = Vec::new();
+                self.engine.take_transfers(8, &mut ts);
+                assert!(!ts.is_empty(), "engine busy but emitted no transfers");
+                for t in ts {
+                    if seen == fail_at {
+                        let act = self.engine.transfer_failed(t.token, &mut self.table, 0);
+                        assert!(!matches!(act, FailureAction::Retry(_)));
+                        seen += 1;
+                        break; // sibling tokens of the dead swap are stale
+                    }
+                    self.engine.transfer_done(t.token, &mut self.table);
+                    seen += 1;
+                }
+                guard += 1;
+                assert!(guard < 10_000, "abort recovery did not converge");
+            }
+        }
+
+        /// Pump the active drain/swap to completion, returning the last
+        /// progress report.
+        fn pump(&mut self) -> SwapProgress {
+            let mut last = SwapProgress::InFlight;
+            let mut guard = 0;
+            while self.engine.busy() {
+                let mut ts = Vec::new();
+                self.engine.take_transfers(8, &mut ts);
+                assert!(!ts.is_empty(), "engine busy but emitted no transfers");
+                for t in ts {
+                    last = self.engine.transfer_done(t.token, &mut self.table);
+                }
+                guard += 1;
+                assert!(guard < 10_000, "drain did not converge");
+            }
+            last
+        }
+    }
+
+    fn snapshot(table: &TranslationTable) -> Vec<u64> {
+        (0..table.first_reserved_page())
+            .map(|p| table.translate(MacroPageId(p), hmm_sim_base::addr::SubBlockId(0)).0)
+            .collect()
+    }
+
+    /// For one (setup, hot, cold) scenario, abort at every possible
+    /// transfer and check the table rolls back to its pre-swap state.
+    fn assert_abort_rolls_back(mk: impl Fn() -> Harness, hot: u64, cold: u32) {
+        let total = {
+            let mut probe = mk();
+            let before = probe.engine.stats().sub_blocks_copied;
+            assert!(probe.run_swap(hot, cold));
+            (probe.engine.stats().sub_blocks_copied - before) as usize
+        };
+        for fail_at in 0..total {
+            let mut h = mk();
+            let aborted_before = h.engine.stats().aborted;
+            let snap = snapshot(&h.table);
+            h.abort_at(hot, cold, fail_at);
+            assert!(!h.engine.busy());
+            assert_eq!(snapshot(&h.table), snap, "translations differ after abort at {fail_at}");
+            h.table.check_invariants(true, true).expect("post-rollback invariants");
+            assert_eq!(h.engine.stats().aborted, aborted_before + 1);
         }
     }
 
@@ -879,6 +1330,245 @@ mod tests {
         assert!(!h.engine.start_swap(&mut h.table, 20, 7, 0));
         // The reserved ghost page.
         assert!(!h.engine.start_swap(&mut h.table, 31, 3, 0));
+    }
+
+    #[test]
+    fn abort_rolls_back_case_a_everywhere() {
+        assert_abort_rolls_back(|| Harness::new(MigrationDesign::NMinusOne, 2), 20, 3);
+    }
+
+    #[test]
+    fn abort_rolls_back_case_b_everywhere() {
+        assert_abort_rolls_back(
+            || {
+                let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+                assert!(h.run_swap(20, 3));
+                h
+            },
+            21,
+            7,
+        );
+    }
+
+    #[test]
+    fn abort_rolls_back_case_c_everywhere() {
+        assert_abort_rolls_back(
+            || {
+                let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+                assert!(h.run_swap(20, 3));
+                h
+            },
+            7,
+            2,
+        );
+    }
+
+    #[test]
+    fn abort_rolls_back_case_d_everywhere() {
+        assert_abort_rolls_back(
+            || {
+                let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+                assert!(h.run_swap(20, 3));
+                assert!(h.run_swap(21, 5));
+                h
+            },
+            3,
+            7,
+        );
+    }
+
+    #[test]
+    fn abort_rolls_back_live_migration_mid_fill() {
+        assert_abort_rolls_back(|| Harness::new(MigrationDesign::LiveMigration, 4), 20, 3);
+    }
+
+    #[test]
+    fn retries_are_bounded_then_abort() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+        assert!(h.engine.start_swap(&mut h.table, 20, 3, 0));
+        let mut ts = Vec::new();
+        h.engine.take_transfers(1, &mut ts);
+        let t = ts[0];
+        assert_eq!(t.kind, TransferKind::Forward);
+        for attempt in 1..=3u32 {
+            match h.engine.transfer_failed(t.token, &mut h.table, 3) {
+                FailureAction::Retry(r) => {
+                    assert_eq!(r.token, t.token);
+                    assert_eq!(r.sub, t.sub);
+                    assert_eq!(r.attempt, attempt);
+                }
+                other => panic!("expected retry, got {other:?}"),
+            }
+        }
+        // The fourth failure exhausts the budget; the swap dies during its
+        // first step, so the begin-op inverses alone restore the table.
+        assert!(matches!(
+            h.engine.transfer_failed(t.token, &mut h.table, 3),
+            FailureAction::Aborted
+        ));
+        assert!(!h.engine.busy());
+        assert_eq!(h.engine.stats().aborted, 1);
+        assert_eq!(h.engine.stats().completed, 0);
+        h.table.check_invariants(true, true).unwrap();
+    }
+
+    #[test]
+    fn rollback_transfers_are_marked_and_counted() {
+        let mut h = Harness::new(MigrationDesign::NMinusOne, 2);
+        assert!(h.engine.start_swap(&mut h.table, 20, 3, 0));
+        // Complete step 0, then fail in step 1.
+        let mut ts = Vec::new();
+        h.engine.take_transfers(2, &mut ts);
+        for t in ts.drain(..) {
+            h.engine.transfer_done(t.token, &mut h.table);
+        }
+        h.engine.take_transfers(1, &mut ts);
+        assert!(matches!(
+            h.engine.transfer_failed(ts[0].token, &mut h.table, 0),
+            FailureAction::RollbackStarted
+        ));
+        let mut rb = Vec::new();
+        h.engine.take_transfers(8, &mut rb);
+        assert!(!rb.is_empty());
+        assert!(rb.iter().all(|t| t.kind == TransferKind::Rollback));
+        let mut last = SwapProgress::InFlight;
+        for t in rb {
+            last = h.engine.transfer_done(t.token, &mut h.table);
+        }
+        if h.engine.busy() {
+            last = h.pump();
+        }
+        assert_eq!(last, SwapProgress::RollbackDone);
+        assert_eq!(h.engine.stats().rolled_back_sub_blocks, 2);
+        h.table.check_invariants(true, true).unwrap();
+    }
+
+    #[test]
+    fn n_design_abort_leaves_table_untouched() {
+        let mut h = Harness::new(MigrationDesign::N, 2);
+        let snap = snapshot(&h.table);
+        assert!(h.engine.start_swap(&mut h.table, 20, 3, 0));
+        let mut ts = Vec::new();
+        h.engine.take_transfers(1, &mut ts);
+        assert!(matches!(
+            h.engine.transfer_failed(ts[0].token, &mut h.table, 0),
+            FailureAction::Aborted
+        ));
+        assert!(!h.engine.busy());
+        assert_eq!(snapshot(&h.table), snap);
+        h.table.check_invariants(true, false).unwrap();
+    }
+
+    /// 8 slots, 34 total pages: ghost = 33, spares at 31 and 32,
+    /// program-visible pages 0..31.
+    fn spared(design: MigrationDesign) -> Harness {
+        Harness {
+            table: TranslationTable::with_spares(8, 34, true, 2),
+            engine: MigrationEngine::new(design, 2),
+        }
+    }
+
+    #[test]
+    fn quarantine_own_slot_parks_page_at_spare() {
+        let mut h = spared(MigrationDesign::NMinusOne);
+        assert!(h.engine.start_quarantine(&mut h.table, 2));
+        let last = h.pump();
+        assert_eq!(last, SwapProgress::DrainDone { slot: 2, parked: 31 });
+        assert!(h.table.is_quarantined(2));
+        assert_eq!(h.loc(2), 31, "own page lives at the spare");
+        assert_eq!(h.table.empty_slot(), Some(7), "the empty slot is untouched");
+        assert_eq!(h.engine.stats().quarantine_drains, 1);
+        h.table.check_invariants(true, true).unwrap();
+        // Retired slots cannot be quarantined again.
+        assert!(!h.engine.start_quarantine(&mut h.table, 2));
+    }
+
+    #[test]
+    fn quarantine_swapped_slot_drains_guest_home() {
+        let mut h = spared(MigrationDesign::NMinusOne);
+        assert!(h.run_swap(20, 3)); // slot 7 now holds guest page 20
+        assert_eq!(h.loc(20), 7);
+        assert!(h.engine.start_quarantine(&mut h.table, 7));
+        let last = h.pump();
+        assert_eq!(last, SwapProgress::DrainDone { slot: 7, parked: 31 });
+        assert!(h.table.is_quarantined(7));
+        assert_eq!(h.loc(20), 20, "guest drained back to its own home");
+        assert_eq!(h.loc(7), 31, "slot 7's own page parks at the spare");
+        assert_eq!(h.table.empty_slot(), Some(3));
+        h.table.check_invariants(true, true).unwrap();
+    }
+
+    #[test]
+    fn quarantine_empty_slot_transplants_emptiness() {
+        let mut h = spared(MigrationDesign::NMinusOne);
+        assert_eq!(h.table.empty_slot(), Some(7));
+        assert!(h.engine.start_quarantine(&mut h.table, 7));
+        let last = h.pump();
+        assert_eq!(last, SwapProgress::DrainDone { slot: 7, parked: 31 });
+        assert!(h.table.is_quarantined(7));
+        assert_eq!(h.loc(7), 31, "parked ghost data moved to the spare");
+        let new_empty = h.table.empty_slot().expect("emptiness transplanted to a victim");
+        assert_ne!(new_empty, 7);
+        assert_eq!(h.loc(new_empty as u64), 33, "victim's page is the new ghost");
+        h.table.check_invariants(true, true).unwrap();
+    }
+
+    #[test]
+    fn quarantine_refused_when_out_of_spares_or_busy() {
+        let mut h = spared(MigrationDesign::NMinusOne);
+        assert!(h.engine.start_quarantine(&mut h.table, 1));
+        assert!(!h.engine.start_quarantine(&mut h.table, 2), "engine is busy draining");
+        h.pump();
+        assert!(h.engine.start_quarantine(&mut h.table, 2));
+        h.pump();
+        // Both spares are used up now.
+        assert!(!h.table.spare_available());
+        assert!(!h.engine.start_quarantine(&mut h.table, 3));
+        // The N design has no quarantine machinery at all.
+        let mut n = Harness::new(MigrationDesign::N, 2);
+        assert!(!n.engine.start_quarantine(&mut n.table, 1));
+    }
+
+    #[test]
+    fn quarantined_slots_keep_migrating_correctly() {
+        let mut h = spared(MigrationDesign::NMinusOne);
+        assert!(h.engine.start_quarantine(&mut h.table, 2));
+        h.pump();
+        // Swaps still work around the retired slot.
+        assert!(h.run_swap(20, 3));
+        assert_eq!(h.loc(20), 7);
+        assert!(h.run_swap(21, 4));
+        h.table.check_invariants(true, true).unwrap();
+        assert_eq!(h.loc(2), 31, "quarantined slot's page stays parked");
+    }
+
+    #[test]
+    fn swap_stats_merge_covers_fault_counters() {
+        let mut a = SwapStats {
+            triggered: 1,
+            completed: 1,
+            case_counts: [1, 0, 0, 0],
+            sub_blocks_copied: 4,
+            aborted: 1,
+            rolled_back_sub_blocks: 2,
+            quarantine_drains: 1,
+        };
+        let b = SwapStats {
+            triggered: 2,
+            completed: 1,
+            case_counts: [0, 1, 1, 0],
+            sub_blocks_copied: 6,
+            aborted: 2,
+            rolled_back_sub_blocks: 3,
+            quarantine_drains: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.triggered, 3);
+        assert_eq!(a.aborted, 3);
+        assert_eq!(a.rolled_back_sub_blocks, 5);
+        assert_eq!(a.quarantine_drains, 3);
+        assert_eq!(a.sub_blocks_copied, 10);
+        assert_eq!(a.case_counts, [1, 1, 1, 0]);
     }
 
     #[test]

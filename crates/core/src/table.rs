@@ -127,6 +127,14 @@ struct Row {
     /// home. While suppressed, the row's `Swapped` entry serves only the
     /// RAM function.
     cam_suppressed: bool,
+    /// Where the row's own page was parked when the slot was drained for
+    /// quarantine (a reserved spare page). While set, the P-bit/Empty
+    /// translation goes here instead of Ω.
+    parked: Option<u64>,
+    /// The slot was retired from the migration pool after exceeding its
+    /// uncorrectable-error budget. Quarantined rows stay `Empty` forever
+    /// and are never picked as the fill target of a swap.
+    quarantined: bool,
 }
 
 /// The translation table.
@@ -140,6 +148,11 @@ pub struct TranslationTable {
     rows: Vec<Row>,
     /// CAM function: high page -> slot holding it.
     cam: HashMap<u64, u32>,
+    /// Reserved spare pages just below Ω, used to park the occupants of
+    /// quarantined slots.
+    spares_total: u32,
+    /// Spares handed out so far.
+    next_spare: u32,
 }
 
 impl TranslationTable {
@@ -147,17 +160,42 @@ impl TranslationTable {
     /// `total_pages` macro pages. With `sacrifice_slot` (the N-1 designs),
     /// the last slot starts `Empty` and its page lives at Ω.
     pub fn new(slots: u64, total_pages: u64, sacrifice_slot: bool) -> Self {
+        Self::with_spares(slots, total_pages, sacrifice_slot, 0)
+    }
+
+    /// Like [`TranslationTable::new`], additionally reserving `spares`
+    /// pages just below Ω as parking space for quarantined-slot
+    /// occupants. The reserved pages (spares plus Ω) are invisible to the
+    /// program; the caller must size the machine space to cover them.
+    pub fn with_spares(slots: u64, total_pages: u64, sacrifice_slot: bool, spares: u32) -> Self {
         assert!(slots >= 2, "need at least two on-package slots");
-        assert!(total_pages > slots + 1, "need off-package pages plus the ghost page");
-        let mut rows =
-            vec![
-                Row { state: RowState::Own, p_bit: false, fill: None, cam_suppressed: false };
-                slots as usize
-            ];
+        assert!(
+            total_pages > slots + 1 + spares as u64,
+            "need off-package pages plus the ghost page plus {spares} spares"
+        );
+        let mut rows = vec![
+            Row {
+                state: RowState::Own,
+                p_bit: false,
+                fill: None,
+                cam_suppressed: false,
+                parked: None,
+                quarantined: false,
+            };
+            slots as usize
+        ];
         if sacrifice_slot {
             rows[slots as usize - 1].state = RowState::Empty;
         }
-        Self { slots, total_pages, ghost: total_pages - 1, rows, cam: HashMap::new() }
+        Self {
+            slots,
+            total_pages,
+            ghost: total_pages - 1,
+            rows,
+            cam: HashMap::new(),
+            spares_total: spares,
+            next_spare: 0,
+        }
     }
 
     /// Number of on-package slots N.
@@ -174,6 +212,44 @@ impl TranslationTable {
     #[inline]
     pub fn is_on_package(&self, mp: MachinePage) -> bool {
         mp.0 < self.slots
+    }
+
+    /// First reserved (non-program-visible) page: the spares and Ω live
+    /// at `first_reserved_page()..total_pages`.
+    pub fn first_reserved_page(&self) -> u64 {
+        self.ghost - self.spares_total as u64
+    }
+
+    /// Is `page` reserved (a spare or the ghost page Ω)? Reserved pages
+    /// must never be picked as swap candidates.
+    #[inline]
+    pub fn is_reserved(&self, page: u64) -> bool {
+        page >= self.first_reserved_page()
+    }
+
+    /// Is at least one spare page still unallocated?
+    pub fn spare_available(&self) -> bool {
+        self.next_spare < self.spares_total
+    }
+
+    /// Hand out the next reserved spare page for a quarantine drain.
+    pub fn allocate_spare(&mut self) -> Option<MachinePage> {
+        if !self.spare_available() {
+            return None;
+        }
+        let p = self.first_reserved_page() + self.next_spare as u64;
+        self.next_spare += 1;
+        Some(MachinePage(p))
+    }
+
+    /// Has this slot been retired from the migration pool?
+    pub fn is_quarantined(&self, slot: u32) -> bool {
+        self.rows[slot as usize].quarantined
+    }
+
+    /// Number of quarantined slots.
+    pub fn quarantined_count(&self) -> u64 {
+        self.rows.iter().filter(|r| r.quarantined).count() as u64
     }
 
     /// Current state of a row.
@@ -212,9 +288,14 @@ impl TranslationTable {
         self.cam.len()
     }
 
-    /// The slot in `Empty` state, if any (idle N-1 table has exactly one).
+    /// The slot in `Empty` state, if any (idle N-1 table has exactly
+    /// one). Quarantined slots are also `Empty` but are permanently out
+    /// of the pool, so they don't count.
     pub fn empty_slot(&self) -> Option<u32> {
-        self.rows.iter().position(|r| r.state == RowState::Empty).map(|i| i as u32)
+        self.rows
+            .iter()
+            .position(|r| r.state == RowState::Empty && !r.quarantined)
+            .map(|i| i as u32)
     }
 
     /// Translate one access (the paper's two additional clock cycles are
@@ -231,12 +312,12 @@ impl TranslationTable {
                 }
             }
             if row.p_bit {
-                return MachinePage(self.ghost);
+                return MachinePage(row.parked.unwrap_or(self.ghost));
             }
             match row.state {
                 RowState::Own => MachinePage(p),
                 RowState::Swapped(m) => MachinePage(m),
-                RowState::Empty => MachinePage(self.ghost),
+                RowState::Empty => MachinePage(row.parked.unwrap_or(self.ghost)),
             }
         } else {
             // CAM function.
@@ -273,6 +354,7 @@ impl TranslationTable {
     ) {
         let row = &mut self.rows[slot as usize];
         assert_eq!(row.state, RowState::Empty, "fill target must be the empty slot");
+        assert!(!row.quarantined, "quarantined slots never rejoin the pool");
         assert!(page >= self.slots, "only high pages enter via the empty slot");
         assert!(row.fill.is_none());
         row.state = RowState::Swapped(page);
@@ -385,11 +467,95 @@ impl TranslationTable {
         row.state = RowState::Own;
     }
 
+    // ---- rollback and quarantine primitives ----
+    //
+    // Inverses of the begin-ops above, used when a swap aborts mid-flight
+    // and the engine walks the P/F state machine backwards, plus the two
+    // operations of a quarantine drain.
+
+    /// Undo [`TranslationTable::begin_fill_into_empty`]: the fill is
+    /// abandoned, the CAM entry withdrawn and the slot returns to `Empty`
+    /// (whatever sub-blocks already arrived are discarded — the source
+    /// copy is still intact, so the page's single valid home moves back).
+    pub fn abort_fill_into_empty(&mut self, slot: u32) {
+        let row = &mut self.rows[slot as usize];
+        let RowState::Swapped(page) = row.state else {
+            panic!("abort_fill target is not mid-fill");
+        };
+        assert!(row.p_bit, "fill rows carry the P bit until the ghost drains");
+        row.state = RowState::Empty;
+        row.p_bit = false;
+        row.fill = None;
+        let removed = self.cam.remove(&page);
+        assert_eq!(removed, Some(slot), "CAM out of sync for page {page}");
+    }
+
+    /// Undo [`TranslationTable::suppress_cam`]: re-create the partner
+    /// page's CAM entry at this row.
+    pub fn unsuppress_cam(&mut self, slot: u32) {
+        let row = &mut self.rows[slot as usize];
+        let RowState::Swapped(partner) = row.state else {
+            panic!("only swapped rows can re-own a CAM entry");
+        };
+        assert!(row.cam_suppressed, "CAM not suppressed on slot {slot}");
+        row.cam_suppressed = false;
+        let prev = self.cam.insert(partner, slot);
+        assert!(prev.is_none(), "page {partner} already CAM-mapped");
+    }
+
+    /// Undo [`TranslationTable::begin_restore_own`]: the restore is
+    /// abandoned and the row returns to `Swapped(partner)` with its CAM
+    /// entry suppressed (as it was between the suppress and restore
+    /// steps). `partner` is the high page whose home still holds the
+    /// row's own data.
+    pub fn abort_restore_own(&mut self, slot: u32, partner: u64) {
+        let row = &mut self.rows[slot as usize];
+        assert_eq!(row.state, RowState::Own, "abort_restore target is not mid-restore");
+        assert!(!row.cam_suppressed);
+        assert!(partner >= self.slots);
+        row.state = RowState::Swapped(partner);
+        row.cam_suppressed = true;
+        row.fill = None;
+    }
+
+    /// Set the P bit with a parked destination: the row's own data has
+    /// been copied to the reserved spare page (quarantine drain of a
+    /// `Swapped` slot) and translates there while the occupant drains.
+    pub fn set_p_parked(&mut self, slot: u32, spare: MachinePage) {
+        assert!(self.is_reserved(spare.0) && spare.0 != self.ghost, "park target must be a spare");
+        let row = &mut self.rows[slot as usize];
+        assert!(!row.p_bit, "P bit already set on slot {slot}");
+        assert!(matches!(row.state, RowState::Swapped(_)), "parked drains leave swapped rows");
+        assert!(row.parked.is_none());
+        row.p_bit = true;
+        row.parked = Some(spare.0);
+    }
+
+    /// Retire `slot` from the migration pool for good: its own page now
+    /// lives at the spare, any occupant has been drained, and the row is
+    /// permanently `Empty` + quarantined.
+    pub fn quarantine_row(&mut self, slot: u32, spare: MachinePage) {
+        assert!(self.is_reserved(spare.0) && spare.0 != self.ghost, "park target must be a spare");
+        let row = &mut self.rows[slot as usize];
+        assert!(!row.quarantined, "slot {slot} already quarantined");
+        assert!(row.fill.is_none(), "cannot quarantine a filling slot");
+        assert!(!row.cam_suppressed);
+        if let RowState::Swapped(m) = row.state {
+            let removed = self.cam.remove(&m);
+            assert_eq!(removed, Some(slot));
+        }
+        row.state = RowState::Empty;
+        row.p_bit = false;
+        row.quarantined = true;
+        row.parked = Some(spare.0);
+    }
+
     /// Verify the paper's structural invariants; used by tests and
     /// property tests. `idle` additionally requires no in-flight migration
     /// state (no P/F bits) and, for N-1 tables, exactly one empty slot.
     pub fn check_invariants(&self, idle: bool, n_minus_one: bool) -> Result<(), String> {
         let mut seen = HashMap::new();
+        let mut parked_seen = HashMap::new();
         let mut empties = 0;
         for (i, row) in self.rows.iter().enumerate() {
             match row.state {
@@ -400,8 +566,8 @@ impl TranslationTable {
                             "slot {i} holds low page {m}; low pages may only live in their own slot"
                         ));
                     }
-                    if m == self.ghost {
-                        return Err(format!("slot {i} claims the reserved ghost page"));
+                    if self.is_reserved(m) {
+                        return Err(format!("slot {i} claims reserved page {m}"));
                     }
                     if row.cam_suppressed {
                         if idle {
@@ -416,7 +582,30 @@ impl TranslationTable {
                         }
                     }
                 }
+                RowState::Empty if row.quarantined => {}
                 RowState::Empty => empties += 1,
+            }
+            if row.quarantined {
+                if row.state != RowState::Empty {
+                    return Err(format!("quarantined slot {i} is not empty"));
+                }
+                if row.parked.is_none() {
+                    return Err(format!("quarantined slot {i} has nowhere to park its page"));
+                }
+                if row.p_bit || row.fill.is_some() {
+                    return Err(format!("quarantined slot {i} has residual P/F state"));
+                }
+            }
+            if let Some(pk) = row.parked {
+                if !self.is_reserved(pk) || pk == self.ghost {
+                    return Err(format!("slot {i} parked at non-spare page {pk}"));
+                }
+                if !row.quarantined && !row.p_bit {
+                    return Err(format!("slot {i} parked without quarantine or pending drain"));
+                }
+                if let Some(prev) = parked_seen.insert(pk, i) {
+                    return Err(format!("spare {pk} parks slots {prev} and {i}"));
+                }
             }
             if idle && (row.p_bit || row.fill.is_some()) {
                 return Err(format!("slot {i} has residual P/F state while idle"));
@@ -432,6 +621,43 @@ impl TranslationTable {
         }
         if !n_minus_one && empties != 0 {
             return Err(format!("N table must have no empty slots, found {empties}"));
+        }
+        Ok(())
+    }
+
+    /// Full consistency check, run after every table-mutating state
+    /// transition in debug builds (and by the property tests in any
+    /// build): the structural invariants of
+    /// [`TranslationTable::check_invariants`], fill records that agree
+    /// with their rows, and the paper's availability claim itself —
+    /// every program-visible page has exactly **one** valid home at
+    /// every instant, even mid-swap, mid-rollback or mid-drain.
+    pub fn validate(&self, n_minus_one: bool) -> Result<(), String> {
+        self.check_invariants(false, n_minus_one)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(f) = &row.fill {
+                let consistent =
+                    f.page == i as u64 || matches!(row.state, RowState::Swapped(m) if m == f.page);
+                if !consistent {
+                    return Err(format!("slot {i} fill record names page {} it does not hold", {
+                        f.page
+                    }));
+                }
+            }
+        }
+        // One-valid-home: the translation of the program-visible space is
+        // injective (checked at sub-block 0; other sub-blocks differ only
+        // in picking the fill target vs. the fill source, both of which
+        // are exclusive to the same page).
+        let mut homes = HashMap::new();
+        for p in 0..self.first_reserved_page() {
+            let mp = self.translate(MacroPageId(p), SubBlockId(0));
+            if let Some(prev) = homes.insert(mp, p) {
+                return Err(format!(
+                    "pages {prev} and {p} both translate to machine page {}",
+                    mp.0
+                ));
+            }
         }
         Ok(())
     }

@@ -5,9 +5,10 @@ use crate::bank::Bank;
 use crate::device::{DeviceProfile, DramCoord};
 use crate::timing::TimingCpu;
 use crate::txn::{Completion, PagePolicy, SchedPolicy, Transaction};
+use hmm_fault::{FaultPlan, MemFault, UncorrectableCause};
 use hmm_sim_base::cycles::Cycle;
 use hmm_sim_base::stats::LatencyBreakdown;
-use hmm_telemetry::{DramOutcome, Event, NullSink, RegionKind, TelemetrySink};
+use hmm_telemetry::{DramOutcome, Event, FaultClass, NullSink, RegionKind, TelemetrySink};
 use std::collections::VecDeque;
 
 /// Per-channel counters.
@@ -21,6 +22,15 @@ pub struct ChannelStats {
     pub data_bus_busy: Cycle,
     /// Transactions serviced.
     pub serviced: u64,
+    /// Reads whose single-bit ECC error was corrected in-line.
+    pub correctable_errors: u64,
+    /// Reads that returned detected-but-uncorrectable data (double-bit
+    /// flips and stuck-bank hits).
+    pub uncorrectable_errors: u64,
+    /// Transactions whose issue was delayed by a throttle window.
+    pub throttle_events: u64,
+    /// Total cycles of issue delay charged by throttle windows.
+    pub throttle_delay_cycles: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -88,6 +98,9 @@ pub struct Channel<S: TelemetrySink = NullSink> {
     page_policy: PagePolicy,
     /// Monotone clamp for demand arrivals (command-path FIFO ordering).
     last_demand_arrival: Cycle,
+    /// Active fault plan, if any. `None` keeps every fault branch cold so
+    /// fault-free runs stay bit-identical to builds without a plan.
+    faults: Option<FaultPlan>,
 }
 
 impl Channel {
@@ -138,7 +151,14 @@ impl<S: TelemetrySink> Channel<S> {
             bypasses: 0,
             page_policy,
             last_demand_arrival: 0,
+            faults: None,
         }
+    }
+
+    /// Arm a fault plan: subsequent reads roll for ECC outcomes and issue
+    /// respects the plan's throttle windows.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Current statistics snapshot.
@@ -280,6 +300,25 @@ impl<S: TelemetrySink> Channel<S> {
         let rank = q.coord.rank as usize;
         let mut earliest = q.txn.arrival;
 
+        // Throttle gate: a refresh-storm/thermal window from the fault
+        // plan holds issue until the window ends, for every transaction
+        // in the matching region.
+        if let Some(plan) = &self.faults {
+            let on = self.region == RegionKind::OnPackage;
+            if let Some(release) = plan.throttle_release(on, earliest) {
+                self.stats.throttle_events += 1;
+                self.stats.throttle_delay_cycles += release - earliest;
+                if self.sink.enabled(hmm_telemetry::EventKind::FaultInjected) {
+                    self.sink.emit(Event::FaultInjected {
+                        cycle: earliest,
+                        class: FaultClass::Throttle,
+                        detail: release,
+                    });
+                }
+                earliest = release;
+            }
+        }
+
         // Refresh gate: if the command would start past the rank's next
         // refresh boundary, the refresh happens first and closes every row
         // in the rank.
@@ -349,6 +388,43 @@ impl<S: TelemetrySink> Channel<S> {
             });
         }
 
+        // ECC check on the returned data: stuck banks always fail, other
+        // reads roll the plan's SECDED rates. Writes carry no data back.
+        let fault = match &self.faults {
+            Some(plan) if !q.txn.is_write => {
+                if plan.is_stuck(self.region == RegionKind::OnPackage, self.index, bank_idx as u32)
+                {
+                    Some(MemFault::Uncorrectable(UncorrectableCause::StuckBank))
+                } else {
+                    plan.classify_read(q.txn.addr, q.txn.id)
+                }
+            }
+            _ => None,
+        };
+        if let Some(f) = fault {
+            let class = match f {
+                MemFault::Corrected => {
+                    self.stats.correctable_errors += 1;
+                    FaultClass::CorrectedEcc
+                }
+                MemFault::Uncorrectable(UncorrectableCause::DoubleBit) => {
+                    self.stats.uncorrectable_errors += 1;
+                    FaultClass::UncorrectableEcc
+                }
+                MemFault::Uncorrectable(UncorrectableCause::StuckBank) => {
+                    self.stats.uncorrectable_errors += 1;
+                    FaultClass::StuckBank
+                }
+            };
+            if self.sink.enabled(hmm_telemetry::EventKind::FaultInjected) {
+                self.sink.emit(Event::FaultInjected {
+                    cycle: svc.finish,
+                    class,
+                    detail: (self.index as u64) << 32 | bank_idx as u64,
+                });
+            }
+        }
+
         let total = svc.finish - q.txn.arrival;
         let queuing = total - svc.core_latency;
         let completion = Completion {
@@ -361,6 +437,7 @@ impl<S: TelemetrySink> Channel<S> {
                 interconnect: 0,
             },
             row_hit: svc.row_hit,
+            fault,
         };
         (completion, svc.finish - burst)
     }

@@ -25,6 +25,14 @@ pub struct RegionStats {
     pub row_misses: u64,
     /// Sum of data-bus busy cycles over all channels.
     pub data_bus_busy: Cycle,
+    /// Reads whose single-bit ECC error was corrected in-line.
+    pub correctable_errors: u64,
+    /// Reads that returned detected-but-uncorrectable data.
+    pub uncorrectable_errors: u64,
+    /// Transactions delayed by throttle windows.
+    pub throttle_events: u64,
+    /// Total issue delay charged by throttle windows, in cycles.
+    pub throttle_delay_cycles: u64,
 }
 
 impl RegionStats {
@@ -138,8 +146,19 @@ impl<S: TelemetrySink> DramRegion<S> {
             s.row_hits += cs.row_hits;
             s.row_misses += cs.row_misses;
             s.data_bus_busy += cs.data_bus_busy;
+            s.correctable_errors += cs.correctable_errors;
+            s.uncorrectable_errors += cs.uncorrectable_errors;
+            s.throttle_events += cs.throttle_events;
+            s.throttle_delay_cycles += cs.throttle_delay_cycles;
         }
         s
+    }
+
+    /// Arm a fault plan on every channel of this region.
+    pub fn set_faults(&mut self, plan: hmm_fault::FaultPlan) {
+        for ch in &mut self.channels {
+            ch.set_faults(plan);
+        }
     }
 }
 

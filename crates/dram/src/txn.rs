@@ -1,5 +1,6 @@
 //! Transactions and completions exchanged with a [`crate::region::DramRegion`].
 
+use hmm_fault::MemFault;
 use hmm_sim_base::cycles::Cycle;
 use hmm_sim_base::stats::LatencyBreakdown;
 
@@ -51,6 +52,9 @@ pub struct Completion {
     pub breakdown: LatencyBreakdown,
     /// Whether the access hit the open row.
     pub row_hit: bool,
+    /// ECC outcome of the serviced data, if the channel's fault plan
+    /// injected anything (always `None` on fault-free runs and writes).
+    pub fault: Option<MemFault>,
 }
 
 /// Transaction-scheduling policy of a region's channel queues.

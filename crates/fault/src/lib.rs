@@ -1,0 +1,511 @@
+//! Deterministic fault injection for the heterogeneous memory simulator.
+//!
+//! The paper's N-1 migration design is sold on an availability argument:
+//! every macro page always has exactly one valid physical home, so the
+//! machine never halts mid-swap.  This crate supplies the adversary that
+//! tests the claim — a seeded [`FaultPlan`] describing *which* faults to
+//! inject and *how often*, evaluated with a stateless hash so that the
+//! same plan over the same simulation produces the same faults no matter
+//! how the simulator interleaves its queries.
+//!
+//! Fault classes (all optional, all off by default):
+//!
+//! * **ECC events** — per-read single-bit flips (corrected by the SECDED
+//!   code, latency-free) and double-bit flips (detected-uncorrectable).
+//! * **Stuck-at banks** — a (region, channel, bank) triple whose reads
+//!   are always uncorrectable, modelling a dead DRAM bank.
+//! * **Throttle windows** — periodic refresh/thermal stall windows during
+//!   which a region issues no transactions.
+//! * **Transfer faults** — migration sub-block copies that are dropped or
+//!   time out in flight, forcing the controller to retry and eventually
+//!   abort the swap.
+//! * **Translation-row corruption** — a soft error in the on-chip
+//!   translation RAM, detected by its parity protection and repaired
+//!   from the controller's shadow copy at a latency cost.
+//!
+//! The plan also carries the *recovery policy* knobs (retry budget,
+//! backoff, quarantine threshold, spare capacity) so one `--faults=`
+//! string describes a whole experiment.
+
+#![warn(missing_docs)]
+
+/// Maximum number of stuck-at bank faults a single plan can carry.
+pub const MAX_STUCK_BANKS: usize = 4;
+
+/// Which memory region a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRegion {
+    /// On-package (die-stacked) DRAM only.
+    On,
+    /// Off-package (DIMM) DRAM only.
+    Off,
+    /// Both regions.
+    Both,
+}
+
+impl FaultRegion {
+    /// Does this fault apply to the given region (`true` = on-package)?
+    pub fn applies(self, on_package: bool) -> bool {
+        match self {
+            FaultRegion::On => on_package,
+            FaultRegion::Off => !on_package,
+            FaultRegion::Both => true,
+        }
+    }
+}
+
+/// A permanently failed DRAM bank: every read it services returns
+/// uncorrectable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckBank {
+    /// Region the bank lives in (`Both` matches either region).
+    pub region: FaultRegion,
+    /// Channel index within the region.
+    pub channel: u32,
+    /// Bank index within the channel (rank-major, as the timing model
+    /// numbers them).
+    pub bank: u32,
+}
+
+/// A periodic stall window modelling refresh storms or thermal
+/// throttling: for `duration` cycles out of every `period`, the matching
+/// region issues no transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThrottleSpec {
+    /// Region the window applies to.
+    pub region: FaultRegion,
+    /// Window repeat period in memory-controller cycles.
+    pub period: u64,
+    /// Stall length at the start of each period, in cycles.
+    pub duration: u64,
+}
+
+/// Outcome of the SECDED(72,64) ECC check on a serviced read.
+///
+/// Single-bit errors are corrected in-line (the model charges no extra
+/// latency); double-bit errors and stuck-bank reads are detected but
+/// uncorrectable, and it is the consumer's job to recover (retry a
+/// migration transfer, count demand errors toward quarantine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemFault {
+    /// A single-bit error the SECDED code corrected transparently.
+    Corrected,
+    /// A detected-but-uncorrectable error.
+    Uncorrectable(UncorrectableCause),
+}
+
+/// Why an uncorrectable ECC outcome was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UncorrectableCause {
+    /// Two independent bit flips in one code word: SECDED detects but
+    /// cannot correct.
+    DoubleBit,
+    /// The read hit a stuck-at bank from the plan.
+    StuckBank,
+}
+
+/// How an in-flight migration transfer failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFault {
+    /// The transfer was silently dropped (e.g. a NACKed interconnect
+    /// packet) and must be re-issued.
+    Dropped,
+    /// The transfer exceeded its completion deadline.
+    TimedOut,
+}
+
+/// A complete, seeded description of the faults to inject during one run
+/// plus the recovery-policy knobs the controller should use.
+///
+/// The plan is `Copy` and free of interior state: every query hashes the
+/// seed with the caller-supplied coordinates, so fault decisions are a
+/// pure function of (plan, site) and the simulation stays deterministic
+/// regardless of query order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the stateless fault hash.
+    pub seed: u64,
+    /// Per-read probability of a correctable single-bit flip.
+    pub flip_rate: f64,
+    /// Per-read probability of an uncorrectable double-bit flip.
+    pub uflip_rate: f64,
+    /// Per-transfer probability that a migration sub-block copy is
+    /// dropped in flight.
+    pub drop_rate: f64,
+    /// Per-transfer probability that a migration sub-block copy times
+    /// out.
+    pub timeout_rate: f64,
+    /// Per-swap probability that a translation row takes a soft error at
+    /// swap-trigger time (detected and repaired at a latency cost).
+    pub row_corrupt_rate: f64,
+    /// Permanently failed banks (up to [`MAX_STUCK_BANKS`]).
+    pub stuck_banks: [Option<StuckBank>; MAX_STUCK_BANKS],
+    /// Optional periodic throttle window.
+    pub throttle: Option<ThrottleSpec>,
+    /// How many times a failed transfer is retried before the swap is
+    /// aborted and rolled back.
+    pub max_retries: u32,
+    /// Base backoff before a retry is re-issued; retry `n` waits
+    /// `retry_backoff_cycles << (n-1)` cycles.
+    pub retry_backoff_cycles: u64,
+    /// Number of uncorrectable errors attributed to one on-package slot
+    /// before it is quarantined (0 disables quarantine).
+    pub quarantine_threshold: u32,
+    /// Spare off-package pages reserved for parking the occupants of
+    /// quarantined slots; bounds how many slots can be retired.
+    pub spare_slots: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA17,
+            flip_rate: 0.0,
+            uflip_rate: 0.0,
+            drop_rate: 0.0,
+            timeout_rate: 0.0,
+            row_corrupt_rate: 0.0,
+            stuck_banks: [None; MAX_STUCK_BANKS],
+            throttle: None,
+            max_retries: 3,
+            retry_backoff_cycles: 2_000,
+            quarantine_threshold: 8,
+            spare_slots: 1,
+        }
+    }
+}
+
+/// splitmix64 finaliser: a cheap, well-mixed 64-bit permutation.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Independent hash domains so an ECC roll at site (a, b) can never
+/// correlate with a transfer roll at the same coordinates.
+#[derive(Clone, Copy)]
+enum Domain {
+    Ecc = 1,
+    Transfer = 2,
+    RowCorrupt = 3,
+}
+
+impl FaultPlan {
+    /// True if the plan can ever inject anything (used to skip fault
+    /// bookkeeping entirely on fault-free runs).
+    pub fn any_faults(&self) -> bool {
+        self.flip_rate > 0.0
+            || self.uflip_rate > 0.0
+            || self.drop_rate > 0.0
+            || self.timeout_rate > 0.0
+            || self.row_corrupt_rate > 0.0
+            || self.stuck_banks.iter().any(Option::is_some)
+            || self.throttle.is_some()
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for a fault site.
+    #[inline]
+    fn roll(&self, domain: Domain, a: u64, b: u64) -> f64 {
+        let z = mix(mix(mix(self.seed ^ (domain as u64).wrapping_mul(0xA5A5_A5A5)) ^ a) ^ b);
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// SECDED outcome for a serviced read, excluding stuck banks (see
+    /// [`FaultPlan::is_stuck`]).  `addr` and `id` identify the access so
+    /// repeated reads of the same line at different times fault
+    /// independently.
+    #[inline]
+    pub fn classify_read(&self, addr: u64, id: u64) -> Option<MemFault> {
+        if self.flip_rate <= 0.0 && self.uflip_rate <= 0.0 {
+            return None;
+        }
+        let r = self.roll(Domain::Ecc, addr, id);
+        if r < self.uflip_rate {
+            Some(MemFault::Uncorrectable(UncorrectableCause::DoubleBit))
+        } else if r < self.uflip_rate + self.flip_rate {
+            Some(MemFault::Corrected)
+        } else {
+            None
+        }
+    }
+
+    /// Does the plan declare (region, channel, bank) stuck?
+    #[inline]
+    pub fn is_stuck(&self, on_package: bool, channel: u32, bank: u32) -> bool {
+        self.stuck_banks
+            .iter()
+            .flatten()
+            .any(|s| s.region.applies(on_package) && s.channel == channel && s.bank == bank)
+    }
+
+    /// Fate of the `seq`-th migration transfer issued this run (the
+    /// caller numbers transfers monotonically).
+    #[inline]
+    pub fn transfer_fault(&self, seq: u64) -> Option<TransferFault> {
+        if self.drop_rate <= 0.0 && self.timeout_rate <= 0.0 {
+            return None;
+        }
+        let r = self.roll(Domain::Transfer, seq, 0);
+        if r < self.drop_rate {
+            Some(TransferFault::Dropped)
+        } else if r < self.drop_rate + self.timeout_rate {
+            Some(TransferFault::TimedOut)
+        } else {
+            None
+        }
+    }
+
+    /// Does the `seq`-th swap trigger corrupt a translation row?
+    #[inline]
+    pub fn row_corrupts(&self, seq: u64) -> bool {
+        self.row_corrupt_rate > 0.0 && self.roll(Domain::RowCorrupt, seq, 0) < self.row_corrupt_rate
+    }
+
+    /// If `at` falls inside a throttle window for the given region,
+    /// returns the cycle at which the window ends (the earliest issue
+    /// time); otherwise `None`.
+    #[inline]
+    pub fn throttle_release(&self, on_package: bool, at: u64) -> Option<u64> {
+        let t = self.throttle?;
+        if !t.region.applies(on_package) || t.period == 0 {
+            return None;
+        }
+        let into = at % t.period;
+        (into < t.duration).then(|| at - into + t.duration)
+    }
+
+    /// Parse a fault specification string.
+    ///
+    /// The spec is a comma-separated list of tokens.  The token `stress`
+    /// loads the documented stress preset; `key=value` tokens set
+    /// individual fields (later tokens override earlier ones, so
+    /// `stress,drop=0` is the stress schedule without transfer drops):
+    ///
+    /// * `flip`, `uflip`, `drop`, `timeout`, `rowcorrupt` — rates in
+    ///   `[0, 1]`
+    /// * `stuck=REGION:CHANNEL:BANK` — add a stuck bank (repeatable,
+    ///   REGION is `on`/`off`/`both`)
+    /// * `throttle=REGION:PERIOD:DURATION` — periodic stall window
+    /// * `retries`, `backoff`, `qthresh`, `spares`, `seed` — integers
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if token == "stress" {
+                plan = FaultPlan::stress(plan.seed);
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("fault token `{token}` is not `key=value` or `stress`"))?;
+            match key {
+                "flip" => plan.flip_rate = parse_rate(key, value)?,
+                "uflip" => plan.uflip_rate = parse_rate(key, value)?,
+                "drop" => plan.drop_rate = parse_rate(key, value)?,
+                "timeout" => plan.timeout_rate = parse_rate(key, value)?,
+                "rowcorrupt" => plan.row_corrupt_rate = parse_rate(key, value)?,
+                "retries" => plan.max_retries = parse_int(key, value)? as u32,
+                "backoff" => plan.retry_backoff_cycles = parse_int(key, value)?,
+                "qthresh" => plan.quarantine_threshold = parse_int(key, value)? as u32,
+                "spares" => plan.spare_slots = parse_int(key, value)? as u32,
+                "seed" => plan.seed = parse_int(key, value)?,
+                "stuck" => {
+                    let (region, channel, bank) = parse_triple(key, value)?;
+                    let slot = plan
+                        .stuck_banks
+                        .iter_mut()
+                        .find(|s| s.is_none())
+                        .ok_or_else(|| format!("more than {MAX_STUCK_BANKS} stuck banks"))?;
+                    *slot = Some(StuckBank { region, channel: channel as u32, bank: bank as u32 });
+                }
+                "throttle" => {
+                    let (region, period, duration) = parse_triple(key, value)?;
+                    if period == 0 || duration == 0 || duration >= period {
+                        return Err(format!(
+                            "throttle needs 0 < duration < period, got {duration}/{period}"
+                        ));
+                    }
+                    plan.throttle = Some(ThrottleSpec { region, period, duration });
+                }
+                _ => return Err(format!("unknown fault key `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The documented stress schedule: every fault class active at rates
+    /// that exercise retry, rollback and quarantine within a short run.
+    pub fn stress(seed: u64) -> FaultPlan {
+        let mut stuck = [None; MAX_STUCK_BANKS];
+        stuck[0] = Some(StuckBank { region: FaultRegion::On, channel: 0, bank: 5 });
+        FaultPlan {
+            seed,
+            flip_rate: 2e-4,
+            uflip_rate: 5e-5,
+            drop_rate: 2e-3,
+            timeout_rate: 1e-3,
+            row_corrupt_rate: 5e-4,
+            stuck_banks: stuck,
+            throttle: Some(ThrottleSpec {
+                region: FaultRegion::Off,
+                period: 300_000,
+                duration: 3_000,
+            }),
+            max_retries: 3,
+            retry_backoff_cycles: 2_000,
+            quarantine_threshold: 4,
+            spare_slots: 2,
+        }
+    }
+}
+
+fn parse_rate(key: &str, value: &str) -> Result<f64, String> {
+    let r: f64 =
+        value.parse().map_err(|_| format!("fault key `{key}`: `{value}` is not a number"))?;
+    if !(0.0..=1.0).contains(&r) {
+        return Err(format!("fault key `{key}`: rate {r} outside [0, 1]"));
+    }
+    Ok(r)
+}
+
+fn parse_int(key: &str, value: &str) -> Result<u64, String> {
+    value.parse().map_err(|_| format!("fault key `{key}`: `{value}` is not an integer"))
+}
+
+fn parse_triple(key: &str, value: &str) -> Result<(FaultRegion, u64, u64), String> {
+    let mut it = value.split(':');
+    let region = match it.next() {
+        Some("on") => FaultRegion::On,
+        Some("off") => FaultRegion::Off,
+        Some("both") => FaultRegion::Both,
+        other => {
+            return Err(format!(
+                "fault key `{key}`: region `{}` is not on/off/both",
+                other.unwrap_or("")
+            ))
+        }
+    };
+    let mut num = || -> Result<u64, String> {
+        it.next()
+            .ok_or_else(|| format!("fault key `{key}` needs REGION:A:B"))?
+            .parse()
+            .map_err(|_| format!("fault key `{key}`: non-integer field in `{value}`"))
+    };
+    let a = num()?;
+    let b = num()?;
+    if it.next().is_some() {
+        return Err(format!("fault key `{key}`: too many fields in `{value}`"));
+    }
+    Ok((region, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(!p.any_faults());
+        for i in 0..1_000u64 {
+            assert_eq!(p.classify_read(i * 64, i), None);
+            assert_eq!(p.transfer_fault(i), None);
+            assert!(!p.row_corrupts(i));
+            assert_eq!(p.throttle_release(i % 2 == 0, i * 100), None);
+        }
+        assert!(!p.is_stuck(true, 0, 0));
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan { flip_rate: 0.1, uflip_rate: 0.05, ..FaultPlan::default() };
+        let b = FaultPlan { seed: a.seed + 1, ..a };
+        let hits = |p: &FaultPlan| {
+            (0..10_000u64).filter(|&i| p.classify_read(i * 64, 7).is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(hits(&a), hits(&a), "same plan, same faults");
+        assert_ne!(hits(&a), hits(&b), "different seed, different faults");
+        // Rates land in the right ballpark (15% combined, wide tolerance).
+        let n = hits(&a).len();
+        assert!((1_000..2_200).contains(&n), "combined rate off: {n}/10000");
+    }
+
+    #[test]
+    fn ecc_severity_ordering() {
+        let p = FaultPlan { flip_rate: 0.2, uflip_rate: 0.1, ..FaultPlan::default() };
+        let (mut corrected, mut fatal) = (0, 0);
+        for i in 0..10_000u64 {
+            match p.classify_read(i * 64, 0) {
+                Some(MemFault::Corrected) => corrected += 1,
+                Some(MemFault::Uncorrectable(c)) => {
+                    assert_eq!(c, UncorrectableCause::DoubleBit);
+                    fatal += 1;
+                }
+                None => {}
+            }
+        }
+        assert!(corrected > fatal, "single-bit flips outnumber double-bit: {corrected} {fatal}");
+    }
+
+    #[test]
+    fn throttle_windows_gate_the_right_region() {
+        let p = FaultPlan {
+            throttle: Some(ThrottleSpec { region: FaultRegion::Off, period: 1_000, duration: 100 }),
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.throttle_release(false, 0), Some(100));
+        assert_eq!(p.throttle_release(false, 99), Some(100));
+        assert_eq!(p.throttle_release(false, 100), None);
+        assert_eq!(p.throttle_release(false, 2_050), Some(2_100));
+        assert_eq!(p.throttle_release(true, 0), None, "on-package unaffected");
+    }
+
+    #[test]
+    fn stuck_banks_match_region_channel_bank() {
+        let p = FaultPlan::parse("stuck=on:1:3,stuck=both:0:0").unwrap();
+        assert!(p.is_stuck(true, 1, 3));
+        assert!(!p.is_stuck(false, 1, 3));
+        assert!(p.is_stuck(true, 0, 0) && p.is_stuck(false, 0, 0));
+        assert!(!p.is_stuck(true, 1, 2));
+    }
+
+    #[test]
+    fn parse_stress_preset_and_overrides() {
+        let p = FaultPlan::parse("stress").unwrap();
+        assert_eq!(p, FaultPlan::stress(FaultPlan::default().seed));
+        assert!(p.any_faults());
+        let q = FaultPlan::parse("stress,drop=0,timeout=0,seed=9").unwrap();
+        assert_eq!(q.drop_rate, 0.0);
+        assert_eq!(q.timeout_rate, 0.0);
+        assert_eq!(q.seed, 9);
+        assert_eq!(q.flip_rate, p.flip_rate, "overrides keep the rest of the preset");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "flip",
+            "flip=x",
+            "flip=1.5",
+            "nope=1",
+            "stuck=mid:0:0",
+            "stuck=on:0",
+            "stuck=on:0:0:0",
+            "throttle=off:0:0",
+            "throttle=off:100:100",
+            "retries=many",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should fail");
+        }
+        // Five stuck banks overflow the fixed array.
+        let five = std::iter::repeat_n("stuck=on:0:1", 5).collect::<Vec<_>>().join(",");
+        assert!(FaultPlan::parse(&five).is_err());
+    }
+
+    #[test]
+    fn parse_empty_spec_is_default() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+}

@@ -7,7 +7,8 @@
 //! warm-up-then-measure protocol (Table II).
 
 use hmm_core::{ControllerConfig, ControllerStats, HeteroController, Mode, SwapStats};
-use hmm_dram::{DeviceProfile, SchedPolicy};
+use hmm_dram::{DeviceProfile, RegionStats, SchedPolicy};
+use hmm_fault::FaultPlan;
 use hmm_sim_base::config::{MachineConfig, MemoryGeometry, SimScale};
 use hmm_sim_base::stats::AccessStats;
 use hmm_telemetry::{NullSink, TelemetrySink};
@@ -45,6 +46,9 @@ pub struct RunConfig {
     pub os_assisted: Option<bool>,
     /// DRAM scheduling policy.
     pub policy: SchedPolicy,
+    /// Fault-injection plan; `None` runs the fault-free fast path and is
+    /// bit-identical to a build without the fault subsystem.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -65,6 +69,7 @@ impl RunConfig {
             seed: 42,
             os_assisted: None,
             policy: SchedPolicy::FrFcfs,
+            faults: None,
         }
     }
 
@@ -89,8 +94,13 @@ impl RunConfig {
         let round_up = |v: u64| v.div_ceil(page) * page;
         let round_down = |v: u64| (v / page * page).max(page);
         // One extra page beyond the footprint keeps the reserved ghost
-        // page Ω outside the program-visible space.
-        let total = round_up(self.scale.bytes(self.total_bytes).max(fp) + page);
+        // page Ω outside the program-visible space; a fault plan reserves
+        // further spare pages below Ω for quarantine parking.
+        let spares = match (self.faults, self.mode) {
+            (Some(p), Mode::Dynamic(d)) if d.sacrifices_slot() => p.spare_slots as u64,
+            _ => 0,
+        };
+        let total = round_up(self.scale.bytes(self.total_bytes).max(fp) + page * (1 + spares));
         let mut on = round_down(self.scale.bytes(self.on_package_bytes));
         if on + 2 * page > total {
             on = (total - 2 * page).max(page);
@@ -115,6 +125,11 @@ pub struct RunResult {
     pub controller: ControllerStats,
     /// Migration statistics, when the mode migrates.
     pub swaps: Option<SwapStats>,
+    /// Per-channel aggregates for the on-package region (ECC and
+    /// throttle counters live here).
+    pub on_region: RegionStats,
+    /// Per-channel aggregates for the off-package region.
+    pub off_region: RegionStats,
     /// The geometry that was simulated.
     pub geometry: MemoryGeometry,
 }
@@ -172,6 +187,7 @@ pub fn run_with_sink<S: TelemetrySink + Clone>(cfg: &RunConfig, sink: S) -> RunR
             policy: cfg.policy,
             on_profile: DeviceProfile::on_package(),
             off_profile: DeviceProfile::off_package_ddr3(),
+            faults: cfg.faults,
         },
         sink,
     );
@@ -211,11 +227,14 @@ pub fn run_with_sink<S: TelemetrySink + Clone>(cfg: &RunConfig, sink: S) -> RunR
         }
     }
 
+    let (on_region, off_region) = ctrl.region_stats();
     RunResult {
         workload: w.name,
         access,
         controller: ctrl.stats(),
         swaps: ctrl.swap_stats(),
+        on_region,
+        off_region,
         geometry,
     }
 }

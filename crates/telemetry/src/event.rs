@@ -73,6 +73,42 @@ pub enum DramOutcome {
     BankConflict,
 }
 
+/// Classification of an injected fault, as reported by whichever layer
+/// detected it (the DRAM channel for ECC/stuck/throttle events, the
+/// controller for transfer and translation-row faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Single-bit ECC error, corrected in-line by the SECDED code.
+    CorrectedEcc,
+    /// Double-bit ECC error: detected but uncorrectable.
+    UncorrectableEcc,
+    /// A read serviced by a stuck-at (permanently failed) bank.
+    StuckBank,
+    /// A refresh/thermal throttle window delayed issue.
+    Throttle,
+    /// A migration sub-block transfer was dropped in flight.
+    TransferDrop,
+    /// A migration sub-block transfer timed out.
+    TransferTimeout,
+    /// A translation-table row took a soft error (detected and repaired).
+    RowCorruption,
+}
+
+impl FaultClass {
+    /// Short label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::CorrectedEcc => "corrected_ecc",
+            FaultClass::UncorrectableEcc => "uncorrectable_ecc",
+            FaultClass::StuckBank => "stuck_bank",
+            FaultClass::Throttle => "throttle",
+            FaultClass::TransferDrop => "transfer_drop",
+            FaultClass::TransferTimeout => "transfer_timeout",
+            FaultClass::RowCorruption => "row_corruption",
+        }
+    }
+}
+
 /// Discriminant of [`Event`], used for cheap `enabled()` checks and for the
 /// recorder's per-kind counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,11 +134,20 @@ pub enum EventKind {
     BankConflict,
     /// The adaptive controller switched migration granularity.
     GranularitySwitch,
+    /// A fault from the active fault plan fired.
+    FaultInjected,
+    /// A failed migration transfer was re-issued with backoff.
+    TransferRetried,
+    /// A swap exhausted its retry budget and was aborted (rolled back
+    /// under the N-1 designs).
+    SwapAborted,
+    /// An on-package slot was retired from the migration pool.
+    SlotQuarantined,
 }
 
 impl EventKind {
     /// Number of kinds; sizes the recorder's counter array.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 14;
 
     /// All kinds, in counter order.
     pub const ALL: [EventKind; Self::COUNT] = [
@@ -116,6 +161,10 @@ impl EventKind {
         EventKind::RowMiss,
         EventKind::BankConflict,
         EventKind::GranularitySwitch,
+        EventKind::FaultInjected,
+        EventKind::TransferRetried,
+        EventKind::SwapAborted,
+        EventKind::SlotQuarantined,
     ];
 
     /// Stable name used in JSONL output and counter summaries.
@@ -131,6 +180,10 @@ impl EventKind {
             EventKind::RowMiss => "row_miss",
             EventKind::BankConflict => "bank_conflict",
             EventKind::GranularitySwitch => "granularity_switch",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::TransferRetried => "transfer_retried",
+            EventKind::SwapAborted => "swap_aborted",
+            EventKind::SlotQuarantined => "slot_quarantined",
         }
     }
 }
@@ -234,6 +287,47 @@ pub enum Event {
         /// New macro-page shift (log2 bytes).
         to_shift: u32,
     },
+    /// A fault from the active fault plan fired.
+    FaultInjected {
+        /// Cycle the fault was detected.
+        cycle: Cycle,
+        /// What kind of fault.
+        class: FaultClass,
+        /// Class-specific location: `channel << 32 | bank` for ECC and
+        /// stuck-bank events, the release cycle for throttle windows,
+        /// the transfer token for drops/timeouts, the slot for row
+        /// corruption.
+        detail: u64,
+    },
+    /// A failed migration transfer was re-issued with backoff.
+    TransferRetried {
+        /// Cycle the failure was detected and the retry scheduled.
+        cycle: Cycle,
+        /// Sub-block index within the current copy step.
+        sub: u32,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A swap exhausted its retry budget and was aborted.
+    SwapAborted {
+        /// Cycle of the abort decision.
+        cycle: Cycle,
+        /// Copy step the swap had reached when it aborted.
+        step: u32,
+        /// Whether a rollback (reverse copies restoring the pre-swap
+        /// placement) was started; `false` means the table needed no
+        /// repair (N design, or abort before any step completed).
+        rollback: bool,
+    },
+    /// An on-package slot was retired from the migration pool.
+    SlotQuarantined {
+        /// Cycle the quarantine drain completed.
+        cycle: Cycle,
+        /// The retired on-package slot.
+        slot: u32,
+        /// Machine page its occupant was parked to.
+        parked_page: u64,
+    },
 }
 
 impl Event {
@@ -252,6 +346,10 @@ impl Event {
                 DramOutcome::BankConflict => EventKind::BankConflict,
             },
             Event::GranularitySwitch { .. } => EventKind::GranularitySwitch,
+            Event::FaultInjected { .. } => EventKind::FaultInjected,
+            Event::TransferRetried { .. } => EventKind::TransferRetried,
+            Event::SwapAborted { .. } => EventKind::SwapAborted,
+            Event::SlotQuarantined { .. } => EventKind::SlotQuarantined,
         }
     }
 
@@ -265,7 +363,11 @@ impl Event {
             | Event::EpochRollover { cycle, .. }
             | Event::PfTransition { cycle, .. }
             | Event::DramAccess { cycle, .. }
-            | Event::GranularitySwitch { cycle, .. } => cycle,
+            | Event::GranularitySwitch { cycle, .. }
+            | Event::FaultInjected { cycle, .. }
+            | Event::TransferRetried { cycle, .. }
+            | Event::SwapAborted { cycle, .. }
+            | Event::SlotQuarantined { cycle, .. } => cycle,
         }
     }
 }

@@ -65,6 +65,18 @@ pub fn event_to_json(event: &Event) -> String {
         Event::GranularitySwitch { from_shift, to_shift, .. } => {
             obj.u64("from_shift", from_shift as u64).u64("to_shift", to_shift as u64).finish()
         }
+        Event::FaultInjected { class, detail, .. } => {
+            obj.str("class", class.label()).u64("detail", detail).finish()
+        }
+        Event::TransferRetried { sub, attempt, .. } => {
+            obj.u64("sub", sub as u64).u64("attempt", attempt as u64).finish()
+        }
+        Event::SwapAborted { step, rollback, .. } => {
+            obj.u64("step", step as u64).bool("rollback", rollback).finish()
+        }
+        Event::SlotQuarantined { slot, parked_page, .. } => {
+            obj.u64("slot", slot as u64).u64("parked_page", parked_page).finish()
+        }
     }
 }
 
@@ -238,9 +250,65 @@ pub fn write_chrome_trace<W: Write>(mut w: W, events: &[Event], cpu_mhz: u64) ->
                     )
                     .finish(),
             ),
+            Event::TransferRetried { cycle, sub, attempt } => Some(
+                JsonObject::new()
+                    .str("name", "transfer_retry")
+                    .str("cat", "migration")
+                    .str("ph", "i")
+                    .str("s", "t")
+                    .u64("pid", 0)
+                    .u64("tid", 1)
+                    .f64("ts", ts(cycle))
+                    .raw(
+                        "args",
+                        &JsonObject::new()
+                            .u64("sub", sub as u64)
+                            .u64("attempt", attempt as u64)
+                            .finish(),
+                    )
+                    .finish(),
+            ),
+            Event::SwapAborted { cycle, step, rollback } => Some(
+                JsonObject::new()
+                    .str("name", "swap_abort")
+                    .str("cat", "migration")
+                    .str("ph", "i")
+                    .str("s", "t")
+                    .u64("pid", 0)
+                    .u64("tid", 1)
+                    .f64("ts", ts(cycle))
+                    .raw(
+                        "args",
+                        &JsonObject::new()
+                            .u64("step", step as u64)
+                            .bool("rollback", rollback)
+                            .finish(),
+                    )
+                    .finish(),
+            ),
+            Event::SlotQuarantined { cycle, slot, parked_page } => Some(
+                JsonObject::new()
+                    .str("name", "slot_quarantine")
+                    .str("cat", "migration")
+                    .str("ph", "i")
+                    .str("s", "p")
+                    .u64("pid", 0)
+                    .u64("tid", 1)
+                    .f64("ts", ts(cycle))
+                    .raw(
+                        "args",
+                        &JsonObject::new()
+                            .u64("slot", slot as u64)
+                            .u64("parked_page", parked_page)
+                            .finish(),
+                    )
+                    .finish(),
+            ),
             // Per-access DRAM events are too dense for a useful timeline;
             // they are summarised by counters and the JSONL dump instead.
-            Event::DramAccess { .. } => None,
+            // Individual fault injections likewise: the retry/abort/
+            // quarantine instants above carry the recovery story.
+            Event::DramAccess { .. } | Event::FaultInjected { .. } => None,
         };
         if let Some(record) = record {
             write!(w, ",{record}")?;

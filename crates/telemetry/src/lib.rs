@@ -30,7 +30,7 @@ pub mod recorder;
 pub mod ring;
 pub mod sink;
 
-pub use event::{DramOutcome, Event, EventKind, PfBit, PfChange, RegionKind};
+pub use event::{DramOutcome, Event, EventKind, FaultClass, PfBit, PfChange, RegionKind};
 pub use export::{
     count_kind, epoch_rows, event_to_json, write_chrome_trace, write_epoch_csv, write_jsonl,
     EpochRow,

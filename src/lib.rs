@@ -11,6 +11,8 @@
 //! * [`workloads`] — synthetic trace generators for the paper's workloads.
 //! * [`core`] — the paper's contribution: the heterogeneity-aware memory
 //!   controller with its translation table and migration engine.
+//! * [`fault`] — deterministic fault injection: seeded fault plans,
+//!   SECDED ECC outcomes, stuck banks, throttle windows, transfer faults.
 //! * [`simulator`] — trace-driven system simulation and experiment sweeps.
 //! * [`power`] — the pJ/bit energy model.
 //! * [`telemetry`] — cross-layer event tracing, counters and exporters
@@ -21,6 +23,7 @@
 pub use hmm_cache as cache;
 pub use hmm_core as core;
 pub use hmm_dram as dram;
+pub use hmm_fault as fault;
 pub use hmm_power as power;
 pub use hmm_sim_base as base;
 pub use hmm_simulator as simulator;

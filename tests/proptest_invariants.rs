@@ -215,6 +215,91 @@ fn workloads_respect_footprints() {
     }
 }
 
+/// Random fault schedules against all three migration designs: every
+/// access completes (no deadlock), the translation table stays valid
+/// afterwards, every started swap either completed or rolled back, and
+/// the whole faulty pipeline is bit-for-bit deterministic.
+#[test]
+fn fault_schedules_preserve_invariants() {
+    use hetero_mem::base::addr::PhysAddr;
+    use hetero_mem::base::config::MachineConfig;
+    use hetero_mem::core::{ControllerConfig, HeteroController, Mode};
+    use hetero_mem::dram::{DeviceProfile, SchedPolicy};
+    use hetero_mem::fault::FaultPlan;
+
+    let run_case = |case: u64| {
+        let mut rng = SimRng::new(6000 + case);
+        let design = DESIGNS[(case % 3) as usize];
+        let plan = FaultPlan {
+            seed: 77 + case,
+            flip_rate: rng.below(3) as f64 * 1e-4,
+            uflip_rate: rng.below(3) as f64 * 3e-5,
+            drop_rate: rng.below(4) as f64 * 2e-3,
+            timeout_rate: rng.below(3) as f64 * 1e-3,
+            row_corrupt_rate: rng.below(2) as f64 * 0.03,
+            max_retries: rng.below(4) as u32,
+            retry_backoff_cycles: 200 + rng.below(2000),
+            quarantine_threshold: 2 + rng.below(6) as u32,
+            spare_slots: 1 + rng.below(2) as u32,
+            ..FaultPlan::default()
+        };
+        let geometry = hetero_mem::base::config::MemoryGeometry {
+            total_bytes: 36 << 16,
+            on_package_bytes: 8 << 16,
+            page_shift: 16,
+            sub_block_shift: 14,
+        };
+        let mut ctrl = HeteroController::new(ControllerConfig {
+            machine: MachineConfig { geometry, ..MachineConfig::default() },
+            mode: Mode::Dynamic(design),
+            swap_interval: 300,
+            os_assisted: None,
+            max_outstanding_copies: 8,
+            copy_pace_cycles_per_line: 10,
+            policy: SchedPolicy::FrFcfs,
+            on_profile: DeviceProfile::on_package(),
+            off_profile: DeviceProfile::off_package_ddr3(),
+            faults: Some(plan),
+        });
+        let page = geometry.page_bytes();
+        let visible = ctrl.table().first_reserved_page();
+        let hot = 8 + rng.below(visible - 8); // an off-package page to attract swaps
+        let mut now = 0u64;
+        let accesses = 2_000;
+        for _ in 0..accesses {
+            now += 37;
+            let addr = if rng.chance(0.7) {
+                hot * page + (rng.below(page) & !63)
+            } else {
+                rng.below(visible * page) & !63
+            };
+            ctrl.access(now, PhysAddr(addr), rng.chance(0.25));
+            ctrl.advance(now);
+        }
+        ctrl.flush();
+        let done = ctrl.drain();
+        assert_eq!(done.len(), accesses, "case {case} ({design:?}): accesses lost under faults");
+        ctrl.table()
+            .validate(design.sacrifices_slot())
+            .unwrap_or_else(|e| panic!("case {case} ({design:?}): {e}"));
+        let swaps = ctrl.swap_stats().expect("dynamic mode has swap stats");
+        assert_eq!(
+            swaps.triggered,
+            swaps.completed + swaps.aborted,
+            "case {case} ({design:?}): a started swap neither completed nor rolled back"
+        );
+        (ctrl.stats(), swaps, done)
+    };
+
+    for case in 0..24 {
+        let a = run_case(case);
+        let b = run_case(case);
+        assert_eq!(a.0, b.0, "case {case}: controller stats must be deterministic");
+        assert_eq!(a.1, b.1, "case {case}: swap stats must be deterministic");
+        assert_eq!(a.2, b.2, "case {case}: completions must be deterministic");
+    }
+}
+
 /// Zipf sampling is deterministic and in-range for arbitrary domains.
 #[test]
 fn zipf_domain_safety() {

@@ -3,6 +3,7 @@
 //! exporters must emit well-formed documents.
 
 use hetero_mem::core::{MigrationDesign, Mode};
+use hetero_mem::fault::FaultPlan;
 use hetero_mem::simulator::driver::{run, run_with_sink, RunConfig};
 use hetero_mem::telemetry::{
     count_kind, epoch_rows, write_chrome_trace, write_epoch_csv, EventKind, Recorder,
@@ -116,6 +117,71 @@ fn telemetry_does_not_perturb_the_simulation() {
     assert_eq!(plain.mean_latency(), recorded.mean_latency());
     assert_eq!(plain.controller, recorded.controller);
     assert_eq!(plain.swaps, recorded.swaps);
+}
+
+/// Every fault-pipeline event reconciles exactly against the statistics
+/// kept by the DRAM regions and the controller: one FaultInjected per
+/// injection site, one TransferRetried/SwapAborted/SlotQuarantined per
+/// recovery action.
+#[test]
+fn fault_events_reconcile_with_stats() {
+    let mut cfg = quick_cfg();
+    cfg.faults = Some(FaultPlan::parse("stress").expect("stress preset parses"));
+    let rec = full_recorder();
+    let r = run_with_sink(&cfg, rec.clone());
+    assert_eq!(rec.dropped(), 0, "ring sized to hold the whole run");
+    assert_eq!(r.access.accesses(), cfg.accesses - cfg.warmup, "faults must not lose accesses");
+
+    let counters = rec.counters();
+    let swaps = r.swaps.expect("live migration collects swap stats");
+    assert!(swaps.completed > 0, "the stress schedule must still migrate");
+
+    let expected_injections = r.on_region.correctable_errors
+        + r.on_region.uncorrectable_errors
+        + r.on_region.throttle_events
+        + r.off_region.correctable_errors
+        + r.off_region.uncorrectable_errors
+        + r.off_region.throttle_events
+        + r.controller.transfers_dropped
+        + r.controller.transfers_timed_out
+        + r.controller.row_corruptions;
+    assert!(expected_injections > 0, "the stress schedule must inject faults");
+    assert_eq!(counters.get(EventKind::FaultInjected), expected_injections);
+    assert_eq!(counters.get(EventKind::TransferRetried), r.controller.transfer_retries);
+    assert_eq!(counters.get(EventKind::SwapAborted), swaps.aborted);
+    assert_eq!(counters.get(EventKind::SlotQuarantined), r.controller.slots_quarantined);
+
+    // Swap lifecycle reconciliation still holds under fire, counting
+    // aborted swaps as terminated rather than completed.
+    assert_eq!(counters.get(EventKind::SwapStart), swaps.triggered);
+    assert_eq!(counters.get(EventKind::SwapComplete), swaps.completed);
+    assert_eq!(swaps.triggered, swaps.completed + swaps.aborted);
+
+    // The ring retained every one of them (nothing dropped).
+    let events = rec.events();
+    assert_eq!(count_kind(&events, EventKind::FaultInjected), expected_injections);
+    assert_eq!(count_kind(&events, EventKind::SlotQuarantined), r.controller.slots_quarantined);
+}
+
+/// An armed plan whose rates are all zero must be invisible: same
+/// statistics, same latency, same region counters as no plan at all.
+#[test]
+fn zero_rate_fault_plan_is_invisible() {
+    let mut cfg = quick_cfg();
+    let baseline = run(&cfg);
+    // spare_slots: 0 keeps the geometry identical to the unarmed run.
+    cfg.faults = Some(FaultPlan { spare_slots: 0, ..FaultPlan::default() });
+    let armed = run(&cfg);
+    assert_eq!(baseline.controller, armed.controller);
+    assert_eq!(baseline.swaps, armed.swaps);
+    assert_eq!(baseline.mean_latency(), armed.mean_latency());
+    assert_eq!(baseline.on_region, armed.on_region);
+    assert_eq!(baseline.off_region, armed.off_region);
+    let s = armed.controller;
+    assert_eq!(
+        (s.transfer_retries, s.transfers_dropped, s.transfers_timed_out, s.slots_quarantined),
+        (0, 0, 0, 0)
+    );
 }
 
 #[test]
