@@ -1,0 +1,167 @@
+//! `hmm-bench` — the repo's performance benchmark CLI.
+//!
+//! The `perf` subcommand runs the pinned scenario suite (see
+//! `hmm_bench::perf`), prints a human-readable table, writes the stable
+//! `BENCH_*.json` report, and optionally gates against a committed
+//! baseline:
+//!
+//! ```text
+//! hmm-bench perf [--quick] [--samples <k>] [--out <file>]
+//!                [--baseline <file>] [--threshold <pct>]
+//! ```
+//!
+//! Exit codes: 0 success, 1 regression vs baseline, 2 invalid usage.
+
+use std::fs;
+
+use hmm_bench::perf;
+use hmm_bench::{cells, f1, render_table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmm-bench perf [--quick] [--samples <k>] [--out <file>] \
+         [--baseline <file>] [--threshold <pct>]"
+    );
+    std::process::exit(2)
+}
+
+/// One-line diagnostic and exit 2 — invalid input must never panic.
+fn fail(msg: &str) -> ! {
+    eprintln!("hmm-bench: {msg}");
+    std::process::exit(2)
+}
+
+struct PerfArgs {
+    quick: bool,
+    samples: usize,
+    out: String,
+    baseline: Option<String>,
+    threshold: f64,
+}
+
+fn parse_perf_args(args: &[String]) -> PerfArgs {
+    let mut quick = false;
+    let mut samples: Option<usize> = None;
+    let mut out = String::from("BENCH_4.json");
+    let mut baseline = None;
+    let mut threshold = perf::DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--samples" => {
+                let v = it.next().unwrap_or_else(|| fail("--samples needs a value"));
+                samples = match v.parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => fail(&format!("invalid --samples '{v}' (positive integer)")),
+                };
+            }
+            "--out" => {
+                out = it.next().unwrap_or_else(|| fail("--out needs a path")).clone();
+            }
+            "--baseline" => {
+                baseline =
+                    Some(it.next().unwrap_or_else(|| fail("--baseline needs a path")).clone());
+            }
+            "--threshold" => {
+                let v = it.next().unwrap_or_else(|| fail("--threshold needs a value"));
+                threshold = match v.trim_end_matches('%').parse::<f64>() {
+                    Ok(p) if p > 0.0 && p < 100.0 => p / 100.0,
+                    _ => fail(&format!("invalid --threshold '{v}' (percent in 0..100)")),
+                };
+            }
+            other => fail(&format!("unknown argument '{other}' for perf")),
+        }
+    }
+    // Quick mode defaults to fewer samples so the CI gate stays fast.
+    let samples = samples.unwrap_or(if quick { 3 } else { 5 });
+    PerfArgs { quick, samples, out, baseline, threshold }
+}
+
+fn cmd_perf(args: &[String]) -> ! {
+    let a = parse_perf_args(args);
+    // Snapshot the baseline before anything is written: `--out` defaults to
+    // the committed baseline's path, so reading it only after the write
+    // would silently compare the fresh report against itself (and the gate
+    // would always pass).
+    let baseline_text = a.baseline.as_ref().map(|path| match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hmm-bench: reading baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    });
+    eprintln!(
+        "running pinned perf suite ({} scenarios, {} samples each{})...",
+        perf::suite().len(),
+        a.samples,
+        if a.quick { ", quick" } else { "" }
+    );
+    let rows = perf::measure_suite(a.quick, a.samples);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            cells([
+                r.id.clone(),
+                format!("{:.2}", r.wall_ns_p50 as f64 / 1e6),
+                format!("{:.0}", r.spread * 100.0),
+                format!("{:.2}", r.accesses_per_sec / 1e6),
+                f1(r.mean_latency),
+                format!("{:.1}", r.on_fraction * 100.0),
+                perf::Digest::from_value(r.digest).hex(),
+            ])
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "hmm-bench perf",
+            &["scenario", "wall p50 (ms)", "spread%", "Macc/s", "mean lat", "on%", "digest"],
+            &table,
+        )
+    );
+
+    let json = perf::report_json(a.quick, a.samples, &rows);
+    if let Err(e) = fs::write(&a.out, format!("{json}\n")) {
+        eprintln!("hmm-bench: writing {}: {e}", a.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", a.out);
+
+    if let (Some(path), Some(base)) = (&a.baseline, &baseline_text) {
+        match perf::compare(&json, base, a.threshold) {
+            Ok(cmp) => {
+                println!("\nbaseline comparison ({path}, threshold {:.0}%):", a.threshold * 100.0);
+                for line in &cmp.lines {
+                    println!("  {line}");
+                }
+                if cmp.regressions.is_empty() {
+                    println!("no regressions");
+                } else {
+                    eprintln!(
+                        "hmm-bench: {} scenario(s) regressed beyond {:.0}%: {}",
+                        cmp.regressions.len(),
+                        a.threshold * 100.0,
+                        cmp.regressions.join(", ")
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("hmm-bench: baseline compare failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("perf") => cmd_perf(&args[1..]),
+        Some(other) => fail(&format!("unknown subcommand '{other}' (expected 'perf')")),
+        None => usage(),
+    }
+}

@@ -6,6 +6,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod jsonin;
+pub mod perf;
 
 use std::fmt::Display;
 

@@ -1,0 +1,454 @@
+//! The pinned performance suite behind `hmm-bench perf`.
+//!
+//! Measures end-to-end simulator throughput (simulated accesses per
+//! wall-clock second) over a fixed grid of scenarios — the three migration
+//! designs × demand-dominated workloads at fixed seeds — with warmup plus
+//! median-of-k sampling, and emits a machine-readable `BENCH_*.json` whose
+//! schema is stable so CI can gate on regressions against a committed
+//! baseline. Every scenario also carries a *sim-stat digest*: a hash over
+//! the run's exact simulated counters, used to assert bit-determinism
+//! across sequential/parallel execution and across binaries (a perf PR
+//! must not change simulated behaviour).
+
+use std::time::Instant;
+
+use hmm_core::{MigrationDesign, Mode};
+use hmm_simulator::driver::{run, RunConfig, RunResult};
+use hmm_telemetry::json::JsonObject;
+use hmm_workloads::WorkloadId;
+
+use crate::jsonin::{self, Json};
+
+/// Schema identifier written into every report; bump on breaking change.
+pub const SCHEMA: &str = "hmm-bench-perf-v1";
+
+/// Default regression threshold for `--baseline` mode: fail when median
+/// throughput drops more than this fraction below the baseline.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// One cell of the pinned suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable identifier, `<design>/<workload>` (baseline rows are matched
+    /// by this string).
+    pub id: &'static str,
+    /// Migration design under test.
+    pub design: MigrationDesign,
+    /// Workload driving the run.
+    pub workload: WorkloadId,
+}
+
+/// The pinned grid: three designs × three demand-dominated workloads.
+/// Order, ids and seeds are frozen — CI compares rows by `id`.
+pub fn suite() -> Vec<Scenario> {
+    use MigrationDesign::*;
+    use WorkloadId::*;
+    vec![
+        Scenario { id: "n/pgbench", design: N, workload: Pgbench },
+        Scenario { id: "n/specjbb", design: N, workload: SpecJbb },
+        Scenario { id: "n/mg", design: N, workload: Mg },
+        Scenario { id: "n1/pgbench", design: NMinusOne, workload: Pgbench },
+        Scenario { id: "n1/specjbb", design: NMinusOne, workload: SpecJbb },
+        Scenario { id: "n1/mg", design: NMinusOne, workload: Mg },
+        Scenario { id: "live/pgbench", design: LiveMigration, workload: Pgbench },
+        Scenario { id: "live/specjbb", design: LiveMigration, workload: SpecJbb },
+        Scenario { id: "live/mg", design: LiveMigration, workload: Mg },
+    ]
+}
+
+/// The fixed run configuration for one scenario. `quick` shortens the
+/// trace for CI smoke runs; everything else (scale, seed, geometry,
+/// epoch length) is pinned so digests are comparable across binaries.
+pub fn run_config(s: &Scenario, quick: bool) -> RunConfig {
+    let mut cfg = RunConfig::quick(s.workload, Mode::Dynamic(s.design));
+    cfg.seed = 42;
+    cfg.accesses = if quick { 150_000 } else { 500_000 };
+    cfg.warmup = 20_000;
+    cfg
+}
+
+/// FNV-1a over a sequence of words — stable across platforms and runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest(u64);
+
+impl Digest {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Digest(Self::OFFSET)
+    }
+
+    fn push(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn push_u128(&mut self, v: u128) {
+        self.push(v as u64);
+        self.push((v >> 64) as u64);
+    }
+
+    /// The digest value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Wrap a raw digest value (for rendering a stored digest).
+    pub fn from_value(v: u64) -> Self {
+        Digest(v)
+    }
+
+    /// Canonical hex rendering used in the JSON schema.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Hash the exact simulated counters of one run. Every input is an
+/// integer total — no floats — so equal digests mean bit-identical
+/// simulated behaviour, and the digest doubles as the determinism check
+/// for sequential-vs-parallel sweeps and for cross-binary A/B runs.
+pub fn digest_of(r: &RunResult) -> Digest {
+    let mut d = Digest::new();
+    let a = &r.access;
+    d.push(a.reads);
+    d.push(a.writes);
+    d.push(a.on_package_hits);
+    d.push(a.latency.count());
+    d.push_u128(a.latency.total());
+    d.push_u128(a.dram_core.total());
+    d.push_u128(a.queuing.total());
+    d.push_u128(a.controller.total());
+    d.push_u128(a.interconnect.total());
+    d.push(a.histogram.count());
+    d.push(a.histogram.max());
+    let c = &r.controller;
+    for v in [
+        c.demand_on_lines,
+        c.demand_off_lines,
+        c.migration_on_lines,
+        c.migration_off_lines,
+        c.stall_cycles,
+        c.epochs,
+        c.rejected_triggers,
+        c.transfer_retries,
+        c.transfers_dropped,
+        c.transfers_timed_out,
+        c.transfers_ecc_failed,
+        c.abandoned_sub_blocks,
+        c.row_corruptions,
+        c.slots_quarantined,
+    ] {
+        d.push(v);
+    }
+    if let Some(s) = &r.swaps {
+        for v in [
+            s.triggered,
+            s.completed,
+            s.sub_blocks_copied,
+            s.aborted,
+            s.rolled_back_sub_blocks,
+            s.quarantine_drains,
+        ] {
+            d.push(v);
+        }
+    }
+    d
+}
+
+/// Run one scenario once (no timing) and return its sim-stat digest.
+pub fn scenario_digest(s: &Scenario, quick: bool) -> u64 {
+    digest_of(&run(&run_config(s, quick))).value()
+}
+
+/// Measured result of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Stable scenario id.
+    pub id: String,
+    /// Simulated accesses per run (the workload length).
+    pub accesses: u64,
+    /// Wall-clock nanoseconds of each timed sample, in sample order.
+    pub wall_ns: Vec<u64>,
+    /// Median wall-clock nanoseconds.
+    pub wall_ns_p50: u64,
+    /// Noise measure: (max - min) / p50 over the timed samples.
+    pub spread: f64,
+    /// Simulated accesses per wall-clock second at the median sample.
+    pub accesses_per_sec: f64,
+    /// Sim-stat digest (identical across all samples, asserted).
+    pub digest: u64,
+    /// Mean simulated end-to-end latency, for the human-readable table.
+    pub mean_latency: f64,
+    /// Fraction of accesses served on-package.
+    pub on_fraction: f64,
+}
+
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Measure one scenario: one untimed warmup run, then `samples` timed
+/// runs. Panics if any sample's digest disagrees with the first — a
+/// nondeterministic simulator makes every number here meaningless.
+pub fn measure_scenario(s: &Scenario, quick: bool, samples: usize) -> ScenarioReport {
+    let cfg = run_config(s, quick);
+    let warm = run(&cfg);
+    let expect = digest_of(&warm).value();
+    let mut wall_ns = Vec::with_capacity(samples);
+    let mut last = warm;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        let r = run(&cfg);
+        let dt = t0.elapsed();
+        assert_eq!(
+            digest_of(&r).value(),
+            expect,
+            "scenario {} is not deterministic across samples",
+            s.id
+        );
+        wall_ns.push(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        last = r;
+    }
+    let mut sorted = wall_ns.clone();
+    sorted.sort_unstable();
+    let p50 = median(&sorted);
+    let spread =
+        if p50 > 0 { (sorted[sorted.len() - 1] - sorted[0]) as f64 / p50 as f64 } else { 0.0 };
+    let aps = if p50 > 0 { cfg.accesses as f64 * 1e9 / p50 as f64 } else { 0.0 };
+    ScenarioReport {
+        id: s.id.to_string(),
+        accesses: cfg.accesses,
+        wall_ns,
+        wall_ns_p50: p50,
+        spread,
+        accesses_per_sec: aps,
+        digest: expect,
+        mean_latency: last.mean_latency(),
+        on_fraction: last.on_fraction(),
+    }
+}
+
+/// Measure the whole pinned suite sequentially (timings are only
+/// meaningful without co-running scenarios competing for cores).
+pub fn measure_suite(quick: bool, samples: usize) -> Vec<ScenarioReport> {
+    suite().iter().map(|s| measure_scenario(s, quick, samples)).collect()
+}
+
+/// Render the full report as the stable `BENCH_*.json` document.
+pub fn report_json(quick: bool, samples: usize, rows: &[ScenarioReport]) -> String {
+    let scenarios: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .str("id", &r.id)
+                .u64("accesses", r.accesses)
+                .u64("wall_ns_p50", r.wall_ns_p50)
+                .f64("spread", r.spread)
+                .f64("accesses_per_sec", r.accesses_per_sec)
+                .str("digest", &Digest(r.digest).hex())
+                .f64("mean_latency_cycles", r.mean_latency)
+                .f64("on_fraction", r.on_fraction)
+                .finish()
+        })
+        .collect();
+    JsonObject::new()
+        .str("schema", SCHEMA)
+        .u64("bench_pr", 4)
+        .bool("quick", quick)
+        .u64("samples", samples as u64)
+        .raw("scenarios", &format!("[{}]", scenarios.join(",")))
+        .finish()
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug)]
+pub struct Comparison {
+    /// One human-readable line per compared scenario.
+    pub lines: Vec<String>,
+    /// Scenario ids whose throughput regressed beyond the threshold (or
+    /// that vanished from the new report).
+    pub regressions: Vec<String>,
+}
+
+/// Compare a fresh report against a baseline document. Rows are matched
+/// by scenario id; comparison is on `accesses_per_sec` (throughput), so a
+/// `--quick` run can be gated against a full-length baseline — fixed
+/// per-run costs make quick runs *slower* per access, never faster, which
+/// keeps the gate conservative in that direction only when thresholds are
+/// chosen per mode (CI passes an explicit `--threshold`). Digests are
+/// reported but never gated on: legitimate behaviour changes move them.
+pub fn compare(new_json: &str, baseline_json: &str, threshold: f64) -> Result<Comparison, String> {
+    let new = jsonin::parse(new_json).map_err(|e| format!("new report: {e}"))?;
+    let base = jsonin::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    for (doc, what) in [(&new, "new report"), (&base, "baseline")] {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("{what}: unsupported schema '{other}'")),
+            None => return Err(format!("{what}: missing schema field")),
+        }
+    }
+    let rows = |doc: &Json| -> Result<Vec<(String, f64, String)>, String> {
+        doc.get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing scenarios array".to_string())?
+            .iter()
+            .map(|r| {
+                let id = r
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "scenario without id".to_string())?;
+                let aps = r
+                    .get("accesses_per_sec")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("scenario {id}: missing accesses_per_sec"))?;
+                let digest = r.get("digest").and_then(Json::as_str).unwrap_or_default().to_string();
+                Ok((id.to_string(), aps, digest))
+            })
+            .collect()
+    };
+    let new_rows = rows(&new)?;
+    let base_rows = rows(&base)?;
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for (id, base_aps, base_digest) in &base_rows {
+        let Some((_, new_aps, new_digest)) = new_rows.iter().find(|(n, _, _)| n == id) else {
+            lines.push(format!("{id}: MISSING from new report"));
+            regressions.push(id.clone());
+            continue;
+        };
+        let ratio = if *base_aps > 0.0 { new_aps / base_aps } else { f64::INFINITY };
+        let digest_note = if base_digest == new_digest { "" } else { " [digest changed]" };
+        if ratio < 1.0 - threshold {
+            lines.push(format!(
+                "{id}: REGRESSION {:.2}x baseline throughput ({:.0} vs {:.0} acc/s){digest_note}",
+                ratio, new_aps, base_aps
+            ));
+            regressions.push(id.clone());
+        } else {
+            lines.push(format!(
+                "{id}: ok {:.2}x baseline throughput ({:.0} vs {:.0} acc/s){digest_note}",
+                ratio, new_aps, base_aps
+            ));
+        }
+    }
+    Ok(Comparison { lines, regressions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_pinned() {
+        let s = suite();
+        assert_eq!(s.len(), 9);
+        let ids: Vec<&str> = s.iter().map(|x| x.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "n/pgbench",
+                "n/specjbb",
+                "n/mg",
+                "n1/pgbench",
+                "n1/specjbb",
+                "n1/mg",
+                "live/pgbench",
+                "live/specjbb",
+                "live/mg"
+            ]
+        );
+        // Ids must be unique: baseline matching is by id.
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let s = suite()[0];
+        let a = scenario_digest(&s, true);
+        let b = scenario_digest(&s, true);
+        assert_eq!(a, b, "same scenario must digest identically");
+        let other = Scenario { id: "x", ..suite()[1] };
+        assert_ne!(a, scenario_digest(&other, true), "different workloads must differ");
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let rows = vec![ScenarioReport {
+            id: "live/pgbench".into(),
+            accesses: 1000,
+            wall_ns: vec![10, 20, 30],
+            wall_ns_p50: 20,
+            spread: 1.0,
+            accesses_per_sec: 5.0e7,
+            digest: 0xdead_beef,
+            mean_latency: 123.4,
+            on_fraction: 0.9,
+        }];
+        let text = report_json(false, 3, &rows);
+        let doc = jsonin::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let sc = doc.get("scenarios").unwrap().as_arr().unwrap();
+        assert_eq!(sc[0].get("id").unwrap().as_str(), Some("live/pgbench"));
+        assert_eq!(sc[0].get("digest").unwrap().as_str(), Some("00000000deadbeef"));
+        assert_eq!(sc[0].get("accesses_per_sec").unwrap().as_f64(), Some(5.0e7));
+    }
+
+    #[test]
+    fn compare_flags_regression_and_missing() {
+        let mk = |id: &str, aps: f64| ScenarioReport {
+            id: id.into(),
+            accesses: 100,
+            wall_ns: vec![1],
+            wall_ns_p50: 1,
+            spread: 0.0,
+            accesses_per_sec: aps,
+            digest: 1,
+            mean_latency: 1.0,
+            on_fraction: 0.5,
+        };
+        let base = report_json(false, 1, &[mk("a", 100.0), mk("b", 100.0), mk("c", 100.0)]);
+        // 'a' fine, 'b' regressed beyond 25%, 'c' missing.
+        let new = report_json(false, 1, &[mk("a", 90.0), mk("b", 60.0)]);
+        let cmp = compare(&new, &base, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(cmp.regressions, vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(cmp.lines.len(), 3);
+        // A faster run is never a regression.
+        let fast = report_json(false, 1, &[mk("a", 500.0), mk("b", 500.0), mk("c", 500.0)]);
+        assert!(compare(&fast, &base, DEFAULT_THRESHOLD).unwrap().regressions.is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_bad_documents() {
+        assert!(compare("{", "{}", 0.25).is_err());
+        assert!(compare("{}", "{}", 0.25).is_err(), "missing schema must be rejected");
+        let wrong = r#"{"schema":"other-v9","scenarios":[]}"#;
+        let ok = r#"{"schema":"hmm-bench-perf-v1","scenarios":[]}"#;
+        assert!(compare(wrong, ok, 0.25).is_err());
+        assert!(compare(ok, ok, 0.25).unwrap().regressions.is_empty());
+    }
+
+    #[test]
+    fn measure_scenario_quick_smoke() {
+        // One real timed measurement end-to-end (shortest cell).
+        let s = suite()[0];
+        let r = measure_scenario(&s, true, 1);
+        assert_eq!(r.wall_ns.len(), 1);
+        assert!(r.wall_ns_p50 > 0);
+        assert!(r.accesses_per_sec > 0.0);
+        assert!(r.mean_latency > 0.0);
+    }
+}

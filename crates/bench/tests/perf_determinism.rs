@@ -1,0 +1,31 @@
+//! The perf suite's sim-stat digests must be bit-identical however the
+//! suite is executed: sequentially, fanned out over `par_map` workers, or
+//! in two back-to-back invocations. Wall-clock numbers may wobble; the
+//! *simulated* counters may not — the CI perf gate and every cross-binary
+//! A/B comparison depend on it.
+
+use hmm_bench::perf::{scenario_digest, suite};
+use hmm_sim_base::par_map;
+
+#[test]
+fn digests_identical_sequential_vs_parallel_and_across_invocations() {
+    let scenarios = suite();
+    let sequential: Vec<u64> = scenarios.iter().map(|s| scenario_digest(s, true)).collect();
+    let parallel: Vec<u64> = par_map(scenarios.clone(), |s| scenario_digest(&s, true));
+    assert_eq!(
+        sequential, parallel,
+        "perf-suite digests must not depend on the execution strategy"
+    );
+    let again: Vec<u64> = par_map(scenarios, |s| scenario_digest(&s, true));
+    assert_eq!(parallel, again, "back-to-back invocations must agree bit-for-bit");
+}
+
+#[test]
+fn suite_digests_are_distinct_per_scenario() {
+    // Nine scenarios, nine distinct behaviours: a digest collision here
+    // would mean the hash ignores the counters that distinguish designs.
+    let mut ds: Vec<u64> = par_map(suite(), |s| scenario_digest(&s, true));
+    ds.sort_unstable();
+    ds.dedup();
+    assert_eq!(ds.len(), suite().len());
+}

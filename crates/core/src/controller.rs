@@ -16,14 +16,15 @@ use crate::migrate::{
 };
 use crate::monitor::{MultiQueueMru, SlotClock};
 use crate::table::{RowState, TranslationTable};
-use hmm_dram::{DeviceProfile, DramRegion, RegionStats, SchedPolicy, Transaction};
+use crate::tcache::TranslationCache;
+use hmm_dram::{Completion, DeviceProfile, DramRegion, RegionStats, SchedPolicy, Transaction};
 use hmm_fault::{FaultPlan, MemFault, TransferFault};
 use hmm_sim_base::addr::{PhysAddr, LINE_BYTES};
 use hmm_sim_base::config::MachineConfig;
 use hmm_sim_base::cycles::Cycle;
+use hmm_sim_base::fxhash::FxHashMap;
 use hmm_sim_base::stats::LatencyBreakdown;
 use hmm_telemetry::{Event, EventKind, FaultClass, NullSink, RegionKind, TelemetrySink};
-use std::collections::HashMap;
 
 /// How the controller manages the heterogeneous space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +192,41 @@ struct DemandMeta {
     slot: Option<u32>,
 }
 
+/// Id-indexed in-flight demand metadata (hot path: one insert and one
+/// remove per demand access). Ids come from the controller's monotone
+/// counter, so a deque indexed by `id - base` replaces a hash map — no
+/// hashing, O(1) amortised, memory bounded by the in-flight id span.
+/// Copy-leg ids draw from the same counter and occupy permanent `None`
+/// gap slots that are reclaimed when they reach the front.
+#[derive(Debug, Default)]
+struct MetaRing {
+    base: u64,
+    slots: std::collections::VecDeque<Option<DemandMeta>>,
+}
+
+impl MetaRing {
+    fn insert(&mut self, id: u64, meta: DemandMeta) {
+        if self.slots.is_empty() {
+            self.base = id;
+        }
+        debug_assert!(id >= self.base + self.slots.len() as u64, "ids are monotone");
+        while self.base + (self.slots.len() as u64) < id {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(meta));
+    }
+
+    fn remove(&mut self, id: u64) -> Option<DemandMeta> {
+        let idx = id.checked_sub(self.base)?;
+        let meta = self.slots.get_mut(idx as usize)?.take();
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        meta
+    }
+}
+
 /// How a migration transfer's copy failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FailKind {
@@ -213,6 +249,10 @@ struct LegState {
     /// On-package slot the copy touches, for error attribution.
     slot: Option<u32>,
 }
+
+/// Upper bound on buffered demand events between flushes, so a huge epoch
+/// (or a run with swaps disabled) cannot grow the buffer unboundedly.
+const DEMAND_BATCH_CAP: usize = 4096;
 
 /// Snapshot of the cumulative counters at the last epoch rollover, so
 /// [`Event::EpochRollover`] can carry per-epoch deltas that sum exactly to
@@ -237,27 +277,37 @@ pub struct HeteroController<S: TelemetrySink = NullSink> {
     cfg: ControllerConfig,
     sink: S,
     table: TranslationTable,
+    /// Direct-mapped lookup cache in front of `table` for the demand path;
+    /// invalidated wholesale by the table's generation counter.
+    tcache: TranslationCache,
     engine: Option<MigrationEngine>,
     lru: SlotClock,
     mru: MultiQueueMru,
     on_region: DramRegion<S>,
     off_region: DramRegion<S>,
     next_id: u64,
-    demand_meta: HashMap<u64, DemandMeta>,
+    demand_meta: MetaRing,
     /// Copy-leg id -> (generation, engine token).
-    copy_meta: HashMap<u64, (u64, u64)>,
+    copy_meta: FxHashMap<u64, (u64, u64)>,
     /// (generation, engine token) -> in-flight leg state.
-    copy_legs: HashMap<(u64, u64), LegState>,
+    copy_legs: FxHashMap<(u64, u64), LegState>,
     /// Current transfer generation; bumped when a swap aborts so stale
     /// legs are dropped instead of reported to the engine.
     copy_gen: u64,
     /// Monotone issue counter hashed by the fault plan to doom transfers.
     copy_seq: u64,
     /// Uncorrectable-error counts per on-package slot.
-    slot_errors: HashMap<u32, u32>,
+    slot_errors: FxHashMap<u32, u32>,
     /// Slots over the quarantine threshold awaiting an idle engine.
     pending_quarantine: Vec<u32>,
     completed: Vec<DemandCompletion>,
+    /// Reusable buffer for draining region completions (per-access path;
+    /// reuse keeps it allocation-free after warm-up).
+    comp_scratch: Vec<Completion>,
+    /// Demand events buffered between epoch rollovers so the sink takes
+    /// one lock per batch instead of one per access. Flushed at every
+    /// rollover, at [`HeteroController::flush`], and at a size cap.
+    demand_events: Vec<Event>,
     accesses_in_epoch: u64,
     /// Demand traffic stalls until this cycle (N-design halts, OS updates).
     stall_until: Cycle,
@@ -307,6 +357,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         let faults = cfg.faults;
         let mut this = Self {
             table: TranslationTable::with_spares(slots, g.total_pages(), sacrifice, spares),
+            tcache: TranslationCache::default(),
             engine,
             lru: SlotClock::new(slots as usize),
             mru: MultiQueueMru::paper_default(),
@@ -328,14 +379,16 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             ),
             sink,
             next_id: 0,
-            demand_meta: HashMap::new(),
-            copy_meta: HashMap::new(),
-            copy_legs: HashMap::new(),
+            demand_meta: MetaRing::default(),
+            copy_meta: FxHashMap::default(),
+            copy_legs: FxHashMap::default(),
             copy_gen: 0,
             copy_seq: 0,
-            slot_errors: HashMap::new(),
+            slot_errors: FxHashMap::default(),
             pending_quarantine: Vec::new(),
             completed: Vec::new(),
+            comp_scratch: Vec::new(),
+            demand_events: Vec::new(),
             accesses_in_epoch: 0,
             stall_until: 0,
             outstanding_copies: 0,
@@ -427,7 +480,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                 (addr.0, on, false)
             }
             Mode::Dynamic(_) => {
-                let mp = self.table.translate(page, sub);
+                let mp = self.tcache.translate(&self.table, page, sub);
                 let on = self.table.is_on_package(mp);
                 let byte = mp.0 * g.page_bytes() + addr.page_offset(g.page_shift);
                 (byte, on, true)
@@ -535,6 +588,10 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         self.swap_decision(now);
         self.lru.new_epoch();
         self.mru.new_epoch();
+        // Hand the epoch's buffered demand events to the sink in one batch
+        // before the rollover marker (export re-sorts by cycle, so only
+        // same-cycle tie-break order depends on this).
+        self.sink.emit_batch(&mut self.demand_events);
         if self.sink.enabled(EventKind::EpochRollover) {
             let rejected = self.stats.rejected_triggers > rejected_before;
             self.emit_epoch_rollover(now, self.stats.epochs - 1, rejected);
@@ -806,6 +863,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             guard += 1;
             assert!(guard < 1_000_000, "flush did not converge");
         }
+        self.sink.emit_batch(&mut self.demand_events);
         if self.sink.enabled(EventKind::EpochRollover) {
             // Tail row covering the partial epoch since the last rollover,
             // so the per-epoch CSV sums exactly to the flat counters.
@@ -816,15 +874,12 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
     fn process_completions(&mut self, now: Cycle) -> bool {
         let lat = self.cfg.machine.latency;
         let mut any = false;
-        let completions: Vec<_> = self
-            .on_region
-            .drain_completions()
-            .into_iter()
-            .chain(self.off_region.drain_completions())
-            .collect();
-        for c in completions {
+        let mut completions = std::mem::take(&mut self.comp_scratch);
+        self.on_region.drain_completions_into(&mut completions);
+        self.off_region.drain_completions_into(&mut completions);
+        for c in completions.drain(..) {
             any = true;
-            if let Some(meta) = self.demand_meta.remove(&c.id) {
+            if let Some(meta) = self.demand_meta.remove(c.id) {
                 // Uncorrectable demand reads count against the serving
                 // slot's quarantine budget.
                 if matches!(c.fault, Some(MemFault::Uncorrectable(_))) {
@@ -852,7 +907,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                     "latency components must sum to end-to-end latency"
                 );
                 if self.sink.enabled(EventKind::Demand) {
-                    self.sink.emit(Event::Demand {
+                    self.demand_events.push(Event::Demand {
                         cycle: finish,
                         page: meta.page,
                         on_package: meta.on_package,
@@ -860,6 +915,9 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                         latency: breakdown.total(),
                         queuing: breakdown.queuing,
                     });
+                    if self.demand_events.len() >= DEMAND_BATCH_CAP {
+                        self.sink.emit_batch(&mut self.demand_events);
+                    }
                 }
                 self.completed.push(DemandCompletion {
                     id: c.id,
@@ -872,6 +930,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                 self.handle_copy_leg(gen, token, c.fault, now.max(c.finish));
             }
         }
+        self.comp_scratch = completions;
         any
     }
 
@@ -1117,6 +1176,13 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
     /// Take all demand completions accumulated so far.
     pub fn drain(&mut self) -> Vec<DemandCompletion> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Drain accumulated demand completions in place, keeping the internal
+    /// buffer's capacity — the allocation-free variant of
+    /// [`HeteroController::drain`] for tight polling loops.
+    pub fn drain_completed(&mut self) -> std::vec::Drain<'_, DemandCompletion> {
+        self.completed.drain(..)
     }
 }
 

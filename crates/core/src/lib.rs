@@ -16,6 +16,9 @@
 //! * [`controller`] — the heterogeneity-aware memory controller of Fig. 3:
 //!   translation before scheduling, independent per-region scheduling, and
 //!   the migration controller driving background copy traffic.
+//! * [`tcache`] — a direct-mapped, generation-validated lookup cache in
+//!   front of the translation table so the common no-migration case skips
+//!   the full row walk on the demand path.
 //! * [`overhead`] — the pure-hardware cost model of Fig. 10 (translation
 //!   table + bitmaps + multi-queue bits) and the pure-HW vs. OS-assisted
 //!   threshold.
@@ -32,6 +35,7 @@ pub mod migrate;
 pub mod monitor;
 pub mod overhead;
 pub mod table;
+pub mod tcache;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, TrialResult};
 pub use controller::{ControllerConfig, ControllerStats, HeteroController, Mode};
@@ -39,3 +43,4 @@ pub use migrate::{MigrationDesign, MigrationEngine, SwapStats};
 pub use monitor::{MultiQueueMru, SlotClock};
 pub use overhead::{hardware_bits, HardwareOverhead, OS_ASSIST_THRESHOLD_BYTES};
 pub use table::{MachinePage, RowState, TranslationTable};
+pub use tcache::TranslationCache;

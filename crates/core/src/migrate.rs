@@ -24,8 +24,8 @@
 
 use crate::table::{MachinePage, RowState, TranslationTable};
 use hmm_sim_base::addr::SubBlockId;
+use hmm_sim_base::fxhash::FxHashMap;
 use hmm_telemetry::{PfBit, PfChange};
-use std::collections::HashMap;
 
 /// Which migration design is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,7 +206,7 @@ struct ActiveSwap {
     mode: SwapMode,
     /// Per-sub-block retry counts for the current step (cleared at step
     /// boundaries).
-    retries: HashMap<u32, u32>,
+    retries: FxHashMap<u32, u32>,
 }
 
 /// The migration state machine.
@@ -425,7 +425,7 @@ impl MigrationEngine {
             done: 0,
             start_sub: hot_sub_hint % self.sub_blocks_per_page,
             mode: SwapMode::Forward,
-            retries: HashMap::new(),
+            retries: FxHashMap::default(),
         };
         let bits = self.bitmap_bits();
         let log = self.log_pf;
@@ -991,7 +991,7 @@ impl MigrationEngine {
             done: 0,
             start_sub: 0,
             mode: SwapMode::Drain { slot, parked: spare.0 },
-            retries: HashMap::new(),
+            retries: FxHashMap::default(),
         });
         self.dbg_validate(table);
         true

@@ -36,7 +36,7 @@
 //!   served on-package, the rest route to the recorded source location.
 
 use hmm_sim_base::addr::{MacroPageId, SubBlockId};
-use std::collections::HashMap;
+use hmm_sim_base::fxhash::FxHashMap;
 
 /// A macro-page-sized machine location: `< N` → on-package slot,
 /// `>= N` → off-package DIMM page.
@@ -147,12 +147,17 @@ pub struct TranslationTable {
     ghost: u64,
     rows: Vec<Row>,
     /// CAM function: high page -> slot holding it.
-    cam: HashMap<u64, u32>,
+    cam: FxHashMap<u64, u32>,
     /// Reserved spare pages just below Ω, used to park the occupants of
     /// quarantined slots.
     spares_total: u32,
     /// Spares handed out so far.
     next_spare: u32,
+    /// Mutation epoch: bumped by every primitive that can change a
+    /// translation, so lookup caches in front of the table
+    /// ([`crate::tcache::TranslationCache`]) can validate entries with a
+    /// single compare instead of subscribing to individual updates.
+    generation: u64,
 }
 
 impl TranslationTable {
@@ -192,10 +197,26 @@ impl TranslationTable {
             total_pages,
             ghost: total_pages - 1,
             rows,
-            cam: HashMap::new(),
+            cam: FxHashMap::default(),
             spares_total: spares,
             next_spare: 0,
+            generation: 0,
         }
+    }
+
+    /// Current mutation epoch. Any value change means previously observed
+    /// translations may be stale; equality guarantees they are not (the
+    /// sole exception is fill-bitmap progress, which only ever affects the
+    /// filling page itself — a page [`TranslationTable::translate_stable`]
+    /// refuses to vouch for).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    #[inline]
+    fn bump(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Number of on-package slots N.
@@ -335,6 +356,46 @@ impl TranslationTable {
         }
     }
 
+    /// Translate a page whose mapping does not depend on the sub-block, or
+    /// `None` while the page is the target of an active fill (its F bitmap
+    /// decides per sub-block). A `Some` result stays valid until
+    /// [`TranslationTable::generation`] changes, which is what makes it
+    /// safe to hold in a lookup cache.
+    pub fn translate_stable(&self, page: MacroPageId) -> Option<MachinePage> {
+        let p = page.0;
+        debug_assert!(p < self.total_pages, "page {p} out of range");
+        if p < self.slots {
+            // RAM function.
+            let row = &self.rows[p as usize];
+            if let Some(f) = &row.fill {
+                if f.page == p {
+                    return None;
+                }
+            }
+            if row.p_bit {
+                return Some(MachinePage(row.parked.unwrap_or(self.ghost)));
+            }
+            Some(match row.state {
+                RowState::Own => MachinePage(p),
+                RowState::Swapped(m) => MachinePage(m),
+                RowState::Empty => MachinePage(row.parked.unwrap_or(self.ghost)),
+            })
+        } else {
+            // CAM function.
+            if let Some(&slot) = self.cam.get(&p) {
+                let row = &self.rows[slot as usize];
+                if let Some(f) = &row.fill {
+                    if f.page == p {
+                        return None;
+                    }
+                }
+                Some(MachinePage(slot as u64))
+            } else {
+                Some(MachinePage(p))
+            }
+        }
+    }
+
     // ---- mutation primitives used by the migration engine ----
     //
     // Each mirrors one of the paper's table updates; preconditions are
@@ -352,6 +413,7 @@ impl TranslationTable {
         source: MachinePage,
         sub_blocks: u32,
     ) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         assert_eq!(row.state, RowState::Empty, "fill target must be the empty slot");
         assert!(!row.quarantined, "quarantined slots never rejoin the pool");
@@ -369,6 +431,7 @@ impl TranslationTable {
     /// RAM state must keep translating its own page to the partner's home
     /// until the restore step. Panics unless the row is `Swapped`.
     pub fn suppress_cam(&mut self, slot: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         let RowState::Swapped(partner) = row.state else {
             panic!("only swapped rows have a CAM entry to suppress");
@@ -384,6 +447,7 @@ impl TranslationTable {
     /// `Swapped(partner)` with its CAM entry suppressed (the partner's data
     /// was re-homed to the empty slot by the previous step).
     pub fn begin_restore_own(&mut self, slot: u32, source: MachinePage, sub_blocks: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         let RowState::Swapped(_) = row.state else {
             panic!("restore target must be a swapped slot");
@@ -410,6 +474,7 @@ impl TranslationTable {
 
     /// Clear the P bit (the reverse copy finished).
     pub fn clear_p(&mut self, slot: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         assert!(row.p_bit, "P bit not set on slot {slot}");
         row.p_bit = false;
@@ -418,6 +483,7 @@ impl TranslationTable {
     /// Set the P bit (Fig. 8b/d: the row's own data has been parked at Ω
     /// while its slot drains).
     pub fn set_p(&mut self, slot: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         assert!(!row.p_bit, "P bit already set on slot {slot}");
         assert!(row.state != RowState::Empty);
@@ -427,6 +493,7 @@ impl TranslationTable {
     /// Retire a slot to `Empty` (its occupant has been copied out; the
     /// row's own page now lives at Ω — it is the new Ghost page).
     pub fn retire_to_empty(&mut self, slot: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         assert!(row.fill.is_none(), "cannot retire a filling slot");
         if let RowState::Swapped(m) = row.state {
@@ -444,6 +511,7 @@ impl TranslationTable {
     /// halting N design, which completes the whole exchange before any
     /// table update).
     pub fn set_swapped(&mut self, slot: u32, page: u64) {
+        self.bump();
         assert!(page >= self.slots);
         let row = &mut self.rows[slot as usize];
         assert!(row.fill.is_none());
@@ -458,6 +526,7 @@ impl TranslationTable {
 
     /// Directly set a row to `Own` without a fill (N design).
     pub fn set_own(&mut self, slot: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         assert!(row.fill.is_none());
         if let RowState::Swapped(old) = row.state {
@@ -478,6 +547,7 @@ impl TranslationTable {
     /// (whatever sub-blocks already arrived are discarded — the source
     /// copy is still intact, so the page's single valid home moves back).
     pub fn abort_fill_into_empty(&mut self, slot: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         let RowState::Swapped(page) = row.state else {
             panic!("abort_fill target is not mid-fill");
@@ -493,6 +563,7 @@ impl TranslationTable {
     /// Undo [`TranslationTable::suppress_cam`]: re-create the partner
     /// page's CAM entry at this row.
     pub fn unsuppress_cam(&mut self, slot: u32) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         let RowState::Swapped(partner) = row.state else {
             panic!("only swapped rows can re-own a CAM entry");
@@ -509,6 +580,7 @@ impl TranslationTable {
     /// steps). `partner` is the high page whose home still holds the
     /// row's own data.
     pub fn abort_restore_own(&mut self, slot: u32, partner: u64) {
+        self.bump();
         let row = &mut self.rows[slot as usize];
         assert_eq!(row.state, RowState::Own, "abort_restore target is not mid-restore");
         assert!(!row.cam_suppressed);
@@ -522,6 +594,7 @@ impl TranslationTable {
     /// been copied to the reserved spare page (quarantine drain of a
     /// `Swapped` slot) and translates there while the occupant drains.
     pub fn set_p_parked(&mut self, slot: u32, spare: MachinePage) {
+        self.bump();
         assert!(self.is_reserved(spare.0) && spare.0 != self.ghost, "park target must be a spare");
         let row = &mut self.rows[slot as usize];
         assert!(!row.p_bit, "P bit already set on slot {slot}");
@@ -535,6 +608,7 @@ impl TranslationTable {
     /// lives at the spare, any occupant has been drained, and the row is
     /// permanently `Empty` + quarantined.
     pub fn quarantine_row(&mut self, slot: u32, spare: MachinePage) {
+        self.bump();
         assert!(self.is_reserved(spare.0) && spare.0 != self.ghost, "park target must be a spare");
         let row = &mut self.rows[slot as usize];
         assert!(!row.quarantined, "slot {slot} already quarantined");
@@ -554,8 +628,8 @@ impl TranslationTable {
     /// property tests. `idle` additionally requires no in-flight migration
     /// state (no P/F bits) and, for N-1 tables, exactly one empty slot.
     pub fn check_invariants(&self, idle: bool, n_minus_one: bool) -> Result<(), String> {
-        let mut seen = HashMap::new();
-        let mut parked_seen = HashMap::new();
+        let mut seen = FxHashMap::default();
+        let mut parked_seen = FxHashMap::default();
         let mut empties = 0;
         for (i, row) in self.rows.iter().enumerate() {
             match row.state {
@@ -649,7 +723,7 @@ impl TranslationTable {
         // injective (checked at sub-block 0; other sub-blocks differ only
         // in picking the fill target vs. the fill source, both of which
         // are exclusive to the same page).
-        let mut homes = HashMap::new();
+        let mut homes = FxHashMap::default();
         for p in 0..self.first_reserved_page() {
             let mp = self.translate(MacroPageId(p), SubBlockId(0));
             if let Some(prev) = homes.insert(mp, p) {

@@ -1,0 +1,288 @@
+//! A direct-mapped lookup cache in front of the [`TranslationTable`].
+//!
+//! The demand path translates every access; between migration events the
+//! table is read-only, and most lookups are CAM misses (off-package pages
+//! at their own home) that cost a `HashMap` probe each. The cache replaces
+//! the full row walk with one array index and two compares in the common
+//! no-migration case.
+//!
+//! Coherence is by construction, not by callbacks: every mutating table
+//! primitive bumps [`TranslationTable::generation`], and an entry is valid
+//! only while its recorded generation equals the table's. A stale mapping
+//! after a P-bit flip would be a *correctness* bug (the access would read
+//! the wrong DRAM location), so entries never outlive a table mutation.
+//! Fill-in-progress pages translate per sub-block and are never inserted
+//! ([`TranslationTable::translate_stable`] returns `None` for them); their
+//! bitmap progress is the one table change that deliberately does not bump
+//! the generation.
+
+use crate::table::{MachinePage, TranslationTable};
+use hmm_sim_base::addr::{MacroPageId, SubBlockId};
+
+/// One direct-mapped entry. `gen` must match the table's current
+/// generation for the entry to be live; `page` disambiguates the pages
+/// aliasing onto one index.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    page: u64,
+    machine: u64,
+    gen: u64,
+}
+
+/// Direct-mapped physical-page → machine-page cache with generation-based
+/// invalidation. Sized in entries (a power of two).
+#[derive(Debug, Clone)]
+pub struct TranslationCache {
+    entries: Box<[Entry]>,
+    mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default cache size: covers the hot working set of every paper geometry
+/// while staying well inside L1/L2 (1024 × 24 B = 24 KB).
+pub const DEFAULT_ENTRIES: usize = 1024;
+
+impl Default for TranslationCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_ENTRIES)
+    }
+}
+
+impl TranslationCache {
+    /// Cache with `entries` slots (rounded up to a power of two).
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(1);
+        // Generation 0 entries for page u64::MAX can never be hit: the
+        // table starts at generation 0 but no real page is u64::MAX.
+        let empty = Entry { page: u64::MAX, machine: 0, gen: 0 };
+        Self {
+            entries: vec![empty; n].into_boxed_slice(),
+            mask: (n - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache has no slots (never: `new` clamps to ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that walked the table so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Translate through the cache. Hits cost one array read; misses walk
+    /// the table and, when the mapping is sub-block-independent, install
+    /// it for the table's current generation.
+    #[inline]
+    pub fn translate(
+        &mut self,
+        table: &TranslationTable,
+        page: MacroPageId,
+        sub: SubBlockId,
+    ) -> MachinePage {
+        let idx = (page.0 & self.mask) as usize;
+        let e = self.entries[idx];
+        if e.page == page.0 && e.gen == table.generation() {
+            self.hits += 1;
+            return MachinePage(e.machine);
+        }
+        self.misses += 1;
+        match table.translate_stable(page) {
+            Some(mp) => {
+                self.entries[idx] = Entry { page: page.0, machine: mp.0, gen: table.generation() };
+                mp
+            }
+            // Mid-fill pages route per sub-block; never cached.
+            None => table.translate(page, sub),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(p: u64) -> MacroPageId {
+        MacroPageId(p)
+    }
+
+    fn sub(s: u32) -> SubBlockId {
+        SubBlockId(s)
+    }
+
+    /// 8 slots, 32 total pages, ghost = 31, sacrificed slot 7.
+    fn table() -> TranslationTable {
+        TranslationTable::new(8, 32, true)
+    }
+
+    /// Every cached translation must agree with the table at all times.
+    fn assert_coherent(c: &mut TranslationCache, t: &TranslationTable) {
+        for p in 0..28 {
+            // program-visible pages (below spares/ghost)
+            assert_eq!(
+                c.translate(t, page(p), sub(0)),
+                t.translate(page(p), sub(0)),
+                "cache diverged on page {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_mapping() {
+        let t = table();
+        let mut c = TranslationCache::new(64);
+        let a = c.translate(&t, page(20), sub(0));
+        assert_eq!(c.misses(), 1);
+        let b = c.translate(&t, page(20), sub(1));
+        assert_eq!(c.hits(), 1, "second lookup must hit");
+        assert_eq!(a, b);
+        assert_eq!(a, MachinePage(20));
+    }
+
+    #[test]
+    fn aliasing_pages_evict_each_other() {
+        let t = table();
+        let mut c = TranslationCache::new(4);
+        // Pages 20 and 24 alias onto index 0 of a 4-entry cache.
+        c.translate(&t, page(20), sub(0));
+        c.translate(&t, page(24), sub(0));
+        c.translate(&t, page(20), sub(0));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 3);
+    }
+
+    #[test]
+    fn swap_start_invalidates_cached_mapping() {
+        let mut t = table();
+        let mut c = TranslationCache::new(64);
+        assert_eq!(c.translate(&t, page(20), sub(0)), MachinePage(20));
+        // The fill begins: page 20 is now mid-flight, its unfilled
+        // sub-blocks still live at the source.
+        t.begin_fill_into_empty(7, 20, MachinePage(20), 4);
+        assert_eq!(
+            c.translate(&t, page(20), sub(0)),
+            MachinePage(20),
+            "stale cached slot mapping would read the wrong location"
+        );
+        assert_eq!(c.hits(), 0, "generation bump must invalidate the entry");
+        assert_coherent(&mut c, &t);
+    }
+
+    #[test]
+    fn fill_progress_is_never_cached() {
+        let mut t = table();
+        let mut c = TranslationCache::new(64);
+        t.begin_fill_into_empty(7, 20, MachinePage(20), 4);
+        assert_eq!(c.translate(&t, page(20), sub(0)), MachinePage(20));
+        t.mark_sub_block_filled(7, sub(0));
+        // Filled sub-block now serves on-package, unfilled still remote —
+        // the cache must track the bitmap exactly (by not caching).
+        assert_eq!(c.translate(&t, page(20), sub(0)), MachinePage(7));
+        assert_eq!(c.translate(&t, page(20), sub(1)), MachinePage(20));
+        assert_eq!(c.hits(), 0, "mid-fill pages must bypass the cache");
+    }
+
+    #[test]
+    fn swap_complete_invalidates_p_bit_mapping() {
+        let mut t = table();
+        let mut c = TranslationCache::new(64);
+        t.begin_fill_into_empty(7, 20, MachinePage(20), 1);
+        t.mark_sub_block_filled(7, sub(0));
+        // P bit set: page 7 translates to the ghost Ω = 31. Cache it.
+        assert_eq!(c.translate(&t, page(7), sub(0)), MachinePage(31));
+        // Completion clears P: page 7's data now lives at home(20).
+        t.clear_p(7);
+        assert_eq!(
+            c.translate(&t, page(7), sub(0)),
+            MachinePage(20),
+            "a stale mapping after a P-bit flip is a correctness bug"
+        );
+        assert_coherent(&mut c, &t);
+    }
+
+    #[test]
+    fn swap_abort_invalidates() {
+        let mut t = table();
+        let mut c = TranslationCache::new(64);
+        t.begin_fill_into_empty(7, 20, MachinePage(20), 4);
+        // Cache the hot page's CAM mapping... which is mid-fill, so it is
+        // not cached; cache a neighbour that the abort also touches.
+        assert_eq!(c.translate(&t, page(7), sub(0)), MachinePage(31));
+        t.abort_fill_into_empty(7);
+        // Rollback: slot 7 is empty again, page 20 back at its own home.
+        assert_eq!(c.translate(&t, page(20), sub(0)), MachinePage(20));
+        assert_eq!(c.translate(&t, page(7), sub(0)), MachinePage(31));
+        assert_coherent(&mut c, &t);
+    }
+
+    #[test]
+    fn quarantine_invalidates_and_parks() {
+        let mut t = TranslationTable::with_spares(8, 32, true, 2);
+        let mut c = TranslationCache::new(64);
+        // Slot 2 starts Own; cache its RAM mapping.
+        assert_eq!(c.translate(&t, page(2), sub(0)), MachinePage(2));
+        let spare = t.allocate_spare().unwrap();
+        t.quarantine_row(2, spare);
+        assert_eq!(
+            c.translate(&t, page(2), sub(0)),
+            spare,
+            "quarantined slot's page must translate to its parking spare"
+        );
+        assert_coherent(&mut c, &t);
+    }
+
+    #[test]
+    fn n_design_direct_ops_invalidate() {
+        let mut t = TranslationTable::new(8, 32, false);
+        let mut c = TranslationCache::new(64);
+        assert_eq!(c.translate(&t, page(25), sub(0)), MachinePage(25));
+        assert_eq!(c.translate(&t, page(3), sub(0)), MachinePage(3));
+        t.set_swapped(3, 25);
+        assert_eq!(c.translate(&t, page(25), sub(0)), MachinePage(3));
+        assert_eq!(c.translate(&t, page(3), sub(0)), MachinePage(25));
+        t.set_own(3);
+        assert_eq!(c.translate(&t, page(25), sub(0)), MachinePage(25));
+        assert_eq!(c.translate(&t, page(3), sub(0)), MachinePage(3));
+        assert_eq!(c.hits(), 0, "every mutation in between must invalidate");
+    }
+
+    #[test]
+    fn cache_agrees_with_table_through_full_case_b() {
+        // Replay the Fig. 8(b) sequence from the table tests with a cache
+        // interposed on every step.
+        let mut t = table();
+        let mut c = TranslationCache::new(64);
+        assert_coherent(&mut c, &t);
+        t.begin_fill_into_empty(7, 20, MachinePage(20), 1);
+        assert_coherent(&mut c, &t);
+        t.mark_sub_block_filled(7, sub(0));
+        assert_coherent(&mut c, &t);
+        t.clear_p(7);
+        assert_coherent(&mut c, &t);
+        t.retire_to_empty(3);
+        assert_coherent(&mut c, &t);
+        t.begin_fill_into_empty(3, 21, MachinePage(21), 1);
+        t.mark_sub_block_filled(3, sub(0));
+        t.clear_p(3);
+        t.set_p(7);
+        assert_coherent(&mut c, &t);
+        t.retire_to_empty(7);
+        assert_coherent(&mut c, &t);
+        t.check_invariants(true, true).unwrap();
+        assert!(c.hits() > 0, "idle stretches should hit");
+    }
+}

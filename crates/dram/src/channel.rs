@@ -254,6 +254,15 @@ impl<S: TelemetrySink> Channel<S> {
     /// 2. (FR-FCFS only) open-row hits before misses;
     /// 3. oldest arrival.
     fn pick(&mut self, decision: Cycle, min_arrival: Cycle, policy: SchedPolicy) -> Option<usize> {
+        // Fast path: the queue is arrival-sorted, so when the second entry
+        // has not arrived yet the front is the only candidate — no
+        // arbitration scan, and the oldest request trivially wins (same
+        // outcome the full scan would produce, including the bypass
+        // counter reset).
+        if self.queue.get(1).is_none_or(|q| q.txn.arrival > decision) {
+            self.bypasses = 0;
+            return Some(0);
+        }
         let mut best: Option<(usize, (bool, Cycle))> = None;
         let mut oldest: Option<usize> = None;
         for (i, q) in self.queue.iter().enumerate().take(SCHED_WINDOW) {

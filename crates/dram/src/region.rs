@@ -53,6 +53,10 @@ pub struct DramRegion<S: TelemetrySink = NullSink> {
     channels: Vec<Channel<S>>,
     policy: SchedPolicy,
     completions: Vec<Completion>,
+    /// Transactions enqueued but not yet completed, across all channels.
+    /// Lets `advance` skip the whole channel sweep when the region is idle
+    /// (the common case for the quiet region of a mostly-one-sided phase).
+    queued: usize,
 }
 
 impl DramRegion {
@@ -90,7 +94,7 @@ impl<S: TelemetrySink + Clone> DramRegion<S> {
         let channels = (0..profile.channels)
             .map(|i| Channel::with_sink(profile, timing, page_policy, sink.clone(), kind, i))
             .collect();
-        Self { profile, channels, policy, completions: Vec::new() }
+        Self { profile, channels, policy, completions: Vec::new(), queued: 0 }
     }
 }
 
@@ -109,27 +113,42 @@ impl<S: TelemetrySink> DramRegion<S> {
     /// region (the memory controller subtracts the region base).
     pub fn enqueue(&mut self, txn: Transaction) {
         let coord = self.profile.decode(txn.addr);
+        self.queued += 1;
         self.channels[coord.channel as usize].enqueue(txn, coord);
     }
 
     /// Advance simulated time: service everything that has arrived by
     /// `now` on every channel.
     pub fn advance(&mut self, now: Cycle) {
+        if self.queued == 0 {
+            return;
+        }
+        let before = self.completions.len();
         for ch in &mut self.channels {
             ch.advance(now, self.policy, &mut self.completions);
         }
+        self.queued -= self.completions.len() - before;
     }
 
     /// Service all remaining transactions (end of trace).
     pub fn flush(&mut self) {
+        let before = self.completions.len();
         for ch in &mut self.channels {
             ch.flush(self.policy, &mut self.completions);
         }
+        self.queued -= self.completions.len() - before;
     }
 
     /// Take all completions accumulated since the last call.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Append all accumulated completions to `out`, keeping this region's
+    /// internal buffer (and its capacity) for reuse — the allocation-free
+    /// variant of [`DramRegion::drain_completions`] for per-access polling.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
     }
 
     /// Transactions still waiting across all channels.

@@ -1,0 +1,139 @@
+//! A fast, deterministic hasher for the simulator's hot-path maps.
+//!
+//! The per-access and per-copy-line bookkeeping maps are keyed by small
+//! integers (transaction ids, engine tokens, slot indices). The standard
+//! library's default hasher is SipHash behind a per-process random seed —
+//! robust against adversarial keys, but an order of magnitude slower than
+//! needed for trusted integer keys, and it makes map iteration order vary
+//! between processes. This is the Fx multiply-rotate hash used by rustc's
+//! own interning tables (FxHasher), written out here because the container
+//! image is offline and the workspace takes no external dependencies.
+//!
+//! Determinism note: the seed is a compile-time constant, so hashes — and
+//! therefore map bucket layouts — are identical across runs and platforms
+//! with the same word size. (No simulation result may depend on map
+//! iteration order regardless; the determinism tests enforce that.)
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher over machine words (rustc's `FxHasher`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0, "hash must mix the input");
+    }
+
+    #[test]
+    fn distinct_keys_usually_differ() {
+        let hashes: FxHashSet<u64> = (0..10_000u64)
+            .map(|k| {
+                let mut h = FxHasher::default();
+                h.write_u64(k);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions over a small integer range");
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<(u64, u64), u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i, i * 7), i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.remove(&(i, i * 7)), Some(i as u32));
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a tail");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a tail");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

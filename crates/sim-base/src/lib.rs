@@ -15,6 +15,8 @@
 //!   capacities, macro-page geometry) with validation.
 //! * [`rng`] — a small, deterministic xoshiro256** PRNG so traces are
 //!   reproducible across platforms and toolchain bumps.
+//! * [`fxhash`] — a deterministic integer-key hasher for the simulator's
+//!   hot-path bookkeeping maps (ids, tokens, slot indices).
 //! * [`par`] — a scoped-thread `par_map` for the embarrassingly parallel
 //!   experiment grids.
 //! * [`stats`] — running means, log-scaled histograms and latency-breakdown
@@ -26,6 +28,7 @@
 pub mod addr;
 pub mod config;
 pub mod cycles;
+pub mod fxhash;
 pub mod par;
 pub mod rng;
 pub mod stats;
@@ -33,6 +36,7 @@ pub mod stats;
 pub use addr::{LineAddr, MachineAddr, MacroPageId, PhysAddr, SlotId, SubBlockId};
 pub use config::{LatencyConfig, MemoryGeometry, SimScale};
 pub use cycles::Cycle;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use par::par_map;
 pub use rng::SimRng;
 pub use stats::{Histogram, LatencyBreakdown, RunningMean};

@@ -1,19 +1,26 @@
 //! Minimal data parallelism for the experiment grids.
 //!
 //! The sweeps in `hmm-simulator` are embarrassingly parallel over
-//! independent cells, so a scoped thread pool pulling indices off an
-//! atomic counter covers everything the workspace needs without an
+//! independent cells, so a scoped thread pool pulling chunks of indices
+//! off an atomic counter covers everything the workspace needs without an
 //! external runtime. Results come back in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Chunks per worker thread: enough slack for dynamic balancing when cell
+/// costs are uneven (a paper-scale cell next to a quick one), few enough
+/// that per-chunk overhead stays negligible.
+const CHUNKS_PER_THREAD: usize = 4;
+
 /// Map `f` over `items` on up to `available_parallelism` threads,
 /// returning results in input order.
 ///
-/// Work is distributed dynamically (one atomic fetch per item), so uneven
-/// cell costs — a paper-scale cell next to a quick one — still balance.
-/// Panics in `f` propagate after all threads join.
+/// Work is split into contiguous index chunks (≈ 4 per thread) handed out
+/// by one atomic counter, so uneven cell costs still balance while the
+/// synchronisation cost is per *chunk*, not per item: each worker locks an
+/// input chunk once, maps it locally, and publishes the whole result chunk
+/// with a second lock. Panics in `f` propagate after all threads join.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -26,25 +33,43 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let chunk_len = n.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let n_chunks = n.div_ceil(chunk_len);
+
+    // Input chunks wait behind one Mutex each; every chunk's result slot
+    // is published exactly once, so the collect below never blocks.
+    let mut items = items;
+    let in_chunks: Vec<Mutex<Vec<T>>> = (0..n_chunks)
+        .map(|c| {
+            let take = chunk_len.min(items.len());
+            let rest = items.split_off(take);
+            debug_assert!(c + 1 < n_chunks || rest.is_empty());
+            Mutex::new(std::mem::replace(&mut items, rest))
+        })
+        .collect();
+    let out_chunks: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
                     break;
                 }
-                let item = slots[i].lock().unwrap().take().expect("slot taken twice");
-                let result = f(item);
-                *out[i].lock().unwrap() = Some(result);
+                let chunk = std::mem::take(&mut *in_chunks[c].lock().unwrap());
+                let mapped: Vec<R> = chunk.into_iter().map(&f).collect();
+                *out_chunks[c].lock().unwrap() = mapped;
             });
         }
     });
 
-    out.into_iter().map(|m| m.into_inner().unwrap().expect("worker skipped a slot")).collect()
+    let mut out = Vec::with_capacity(n);
+    for m in out_chunks {
+        out.append(&mut m.into_inner().unwrap());
+    }
+    assert_eq!(out.len(), n, "worker skipped a chunk");
+    out
 }
 
 #[cfg(test)]
@@ -59,6 +84,17 @@ mod tests {
     }
 
     #[test]
+    fn preserves_order_across_chunk_boundaries() {
+        // Sizes straddling every chunking edge case: empty, one, exactly
+        // one chunk, one more than a chunk, many chunks, prime sizes.
+        for n in [0usize, 1, 2, 3, 7, 31, 32, 33, 63, 64, 65, 128, 1009] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(items, |x| x + 1);
+            assert_eq!(out, (1..=n).collect::<Vec<_>>(), "n = {n}");
+        }
+    }
+
+    #[test]
     fn handles_empty_and_single() {
         assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
@@ -69,5 +105,31 @@ mod tests {
         let items: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
         let out = par_map(items, |s| s.len());
         assert!(out.iter().all(|&l| l >= 6));
+    }
+
+    #[test]
+    fn uneven_costs_balance() {
+        // A few very slow items early should not serialise the rest.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(items, |x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * x
+        });
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_in_mapper_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map((0..32).collect::<Vec<u64>>(), |x| {
+                if x == 17 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "a worker panic must propagate to the caller");
     }
 }

@@ -90,6 +90,13 @@ impl SimRng {
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,
+    /// Guide table over the unit interval: `guide[j]` is the first index
+    /// whose CDF value exceeds `j / G`, where `G = guide.len() - 1` is a
+    /// power of two. A draw lands in `[j/G, (j+1)/G)`, so its inverse-CDF
+    /// answer lies in `guide[j]..=guide[j+1]` — the binary search runs
+    /// over that handful of entries instead of the whole table, returning
+    /// exactly the same rank.
+    guide: Vec<u32>,
 }
 
 impl Zipf {
@@ -107,7 +114,13 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Self { cdf }
+        // Power-of-two guide size makes the `u -> j` bucketing exact in
+        // floating point (scaling by 2^k and the `j / G` boundaries are
+        // both exact), so the narrowed search provably brackets the
+        // full-table answer.
+        let g = n.next_power_of_two().clamp(64, 1 << 16);
+        let guide = (0..=g).map(|j| cdf.partition_point(|&c| c <= j as f64 / g as f64) as u32);
+        Self { guide: guide.collect(), cdf }
     }
 
     /// Number of items in the domain.
@@ -124,8 +137,17 @@ impl Zipf {
     #[inline]
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.unit_f64();
-        // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        let g = self.guide.len() - 1;
+        // u < 1.0, and scaling by the power-of-two G is exact, so
+        // j < G and u lies in [j/G, (j+1)/G).
+        let j = (u * g as f64) as usize;
+        let lo = self.guide[j] as usize;
+        let hi = self.guide[j + 1] as usize;
+        // partition_point returns the first index with cdf > u; entries
+        // below `lo` are all <= j/G <= u and entries from `hi` on are all
+        // > (j+1)/G > u, so the narrowed search equals the full search.
+        let i = lo + self.cdf[lo..hi].partition_point(|&c| c <= u);
+        i.min(self.cdf.len() - 1)
     }
 }
 

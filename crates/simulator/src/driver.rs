@@ -209,13 +209,13 @@ pub fn run_with_sink<S: TelemetrySink + Clone>(cfg: &RunConfig, sink: S) -> RunR
         if submitted.is_multiple_of(64) {
             match warmup_boundary_id {
                 Some(b) => {
-                    for c in ctrl.drain() {
+                    for c in ctrl.drain_completed() {
                         if c.id > b {
                             access.record(&c.breakdown, c.is_write, c.on_package);
                         }
                     }
                 }
-                None => stash.extend(ctrl.drain()),
+                None => stash.extend(ctrl.drain_completed()),
             }
         }
     }

@@ -473,6 +473,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grid_is_bit_deterministic_across_invocations() {
+        // Two back-to-back parallel invocations must agree bit-for-bit,
+        // not approximately: the perf harness digests sim stats on this
+        // assumption, and a thread-schedule-dependent float sum would
+        // silently break every cross-binary A/B comparison.
+        let g = GridConfig::quick();
+        let grid = || {
+            fig11_grid_with_totals(
+                &g,
+                2_000,
+                &[WorkloadId::Pgbench, WorkloadId::SpecJbb],
+                &[14, 16],
+                &[MigrationDesign::NMinusOne, MigrationDesign::LiveMigration],
+            )
+        };
+        let (rows_a, totals_a) = grid();
+        let (rows_b, totals_b) = grid();
+        assert_eq!(totals_a.controller, totals_b.controller);
+        assert_eq!(totals_a.swaps, totals_b.swaps);
+        assert_eq!(rows_a.len(), rows_b.len());
+        for (a, b) in rows_a.iter().zip(rows_b.iter()) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(
+                a.mean_latency.to_bits(),
+                b.mean_latency.to_bits(),
+                "{}/{}: latency must be bit-identical across invocations",
+                a.workload,
+                a.design,
+            );
+            assert_eq!(a.on_fraction.to_bits(), b.on_fraction.to_bits());
+        }
+    }
+
+    #[test]
     fn effectiveness_row_is_consistent() {
         let rows =
             effectiveness_table(&GridConfig::quick(), &[WorkloadId::Pgbench], &[16], &[2_000]);

@@ -239,6 +239,22 @@ impl TelemetrySink for Recorder {
             shard.ring.push(event);
         }
     }
+
+    /// One shard lock for the whole batch instead of one per event.
+    fn emit_batch(&self, events: &mut Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let store = self.inner.level == TelemetryLevel::Full;
+        let idx = self.shard_index();
+        let mut shard = self.inner.shards[idx].lock().unwrap();
+        for event in events.drain(..) {
+            shard.counters.record(&event);
+            if store {
+                shard.ring.push(event);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +307,25 @@ mod tests {
         assert_eq!(rec.dropped(), 12);
         // Counters are not subject to ring capacity.
         assert_eq!(rec.counters().get(EventKind::Demand), 20);
+    }
+
+    #[test]
+    fn emit_batch_matches_per_event_emit() {
+        let one = Recorder::with_level(TelemetryLevel::Full);
+        let batched = Recorder::with_level(TelemetryLevel::Full);
+        let mut buf = Vec::new();
+        for c in 0..100 {
+            one.emit(demand(c, 10 + c));
+            buf.push(demand(c, 10 + c));
+        }
+        batched.emit_batch(&mut buf);
+        assert!(buf.is_empty(), "emit_batch must drain the buffer");
+        assert_eq!(
+            one.counters().get(EventKind::Demand),
+            batched.counters().get(EventKind::Demand)
+        );
+        assert_eq!(one.counters().demand_latency.mean(), batched.counters().demand_latency.mean());
+        assert_eq!(one.events().len(), batched.events().len());
     }
 
     #[test]

@@ -24,6 +24,18 @@ pub trait TelemetrySink {
 
     /// Record one event. Only called when `enabled(event.kind())` is true.
     fn emit(&self, event: Event);
+
+    /// Record a batch of events in one call, draining `events`. Only
+    /// called when every event's kind is enabled. Hot paths that produce
+    /// many events per epoch (demand completions) buffer locally and hand
+    /// the batch over here, so a locking sink can amortise one lock
+    /// acquisition over the whole batch instead of paying it per event.
+    /// The default forwards to [`TelemetrySink::emit`] event by event.
+    fn emit_batch(&self, events: &mut Vec<Event>) {
+        for event in events.drain(..) {
+            self.emit(event);
+        }
+    }
 }
 
 /// The disabled sink: every query is a compile-time `false`, so
@@ -40,6 +52,9 @@ impl TelemetrySink for NullSink {
 
     #[inline(always)]
     fn emit(&self, _event: Event) {}
+
+    #[inline(always)]
+    fn emit_batch(&self, _events: &mut Vec<Event>) {}
 }
 
 impl<T: TelemetrySink + ?Sized> TelemetrySink for &T {
@@ -51,6 +66,11 @@ impl<T: TelemetrySink + ?Sized> TelemetrySink for &T {
     #[inline]
     fn emit(&self, event: Event) {
         (**self).emit(event);
+    }
+
+    #[inline]
+    fn emit_batch(&self, events: &mut Vec<Event>) {
+        (**self).emit_batch(events);
     }
 }
 

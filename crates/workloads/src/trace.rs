@@ -91,6 +91,9 @@ impl Workload {
         self.validate().expect("invalid workload");
         let parent = SimRng::new(seed);
         TraceIter {
+            // Mixture weights never change mid-trace; precomputing the
+            // per-stream totals keeps the per-record draw summation-free.
+            mix_totals: self.streams.iter().map(|s| s.mix.iter().map(|(w, _)| *w).sum()).collect(),
             streams: self.streams.clone(),
             cdf: build_stream_cdf(&self.streams),
             rng: parent.fork(0xACCE55),
@@ -118,6 +121,9 @@ fn build_stream_cdf(streams: &[Stream]) -> Vec<f64> {
 pub struct TraceIter {
     streams: Vec<Stream>,
     cdf: Vec<f64>,
+    /// Per-stream mixture weight totals (same summation order as the
+    /// original per-draw sum, so draws are bit-identical).
+    mix_totals: Vec<f64>,
     rng: SimRng,
     tick: Cycle,
     mean_gap: Cycle,
@@ -140,7 +146,7 @@ impl Iterator for TraceIter {
         let pi = if stream.mix.len() == 1 {
             0
         } else {
-            let total: f64 = stream.mix.iter().map(|(w, _)| *w).sum();
+            let total = self.mix_totals[si];
             let mut draw = self.rng.unit_f64() * total;
             let mut idx = 0;
             for (i, (w, _)) in stream.mix.iter().enumerate() {
