@@ -410,14 +410,40 @@ fn adaptive_demo(grid: &GridConfig) {
     );
 }
 
+/// One-line diagnostic and exit 2 — invalid input must never panic.
+/// (Same convention as `hmm-sim`, `hmm-bench`, and `hmm-serve`.)
+fn fail(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    std::process::exit(2)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let size = args
-        .iter()
-        .find(|a| matches!(a.as_str(), "--quick" | "--bench" | "--full"))
-        .map(String::as_str)
-        .unwrap_or("--quick");
+    let mut what: Option<String> = None;
+    let mut size = "--quick";
+    for a in &args {
+        match a.as_str() {
+            s @ ("--quick" | "--bench" | "--full") => size = s,
+            "--json" => {} // read by emit_json directly
+            flag if flag.starts_with('-') => {
+                fail(&format!("unknown flag '{flag}' (flags: --quick --bench --full --json)"))
+            }
+            exp => {
+                if let Some(prev) = &what {
+                    fail(&format!("more than one experiment named ('{prev}' and '{exp}')"));
+                }
+                what = Some(exp.to_string());
+            }
+        }
+    }
+    let what = what.as_deref().unwrap_or("all");
+    const EXPERIMENTS: [&str; 15] = [
+        "table1", "table2", "table3", "table4", "fig4", "fig5", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "adaptive", "all",
+    ];
+    if !EXPERIMENTS.contains(&what) {
+        fail(&format!("unknown experiment '{what}' (experiments: {})", EXPERIMENTS.join(" ")));
+    }
     let grid = grid_for(size);
     eprintln!(
         "[figures] {what} at scale 1/{} ({} accesses per run)",
@@ -458,13 +484,6 @@ fn main() {
             fig16(&grid);
             table4(&grid);
         }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "experiments: table1 table2 table3 table4 fig4 fig5 fig10 fig11 \
-                 fig12 fig13 fig14 fig15 fig16 adaptive all"
-            );
-            std::process::exit(2);
-        }
+        other => unreachable!("'{other}' was validated against EXPERIMENTS above"),
     }
 }

@@ -28,11 +28,11 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use hmm_bench::{f1, f2, human_bytes};
-use hmm_core::{MigrationDesign, Mode};
+use hmm_core::Mode;
 use hmm_dram::SchedPolicy;
 use hmm_fault::FaultPlan;
 use hmm_power::{normalized_power, EnergyParams};
-use hmm_sim_base::config::SimScale;
+use hmm_sim_base::config::{parse_size, SimScale};
 use hmm_sim_base::cycles::CpuClock;
 use hmm_simulator::driver::{run_with_sink, RunConfig};
 use hmm_telemetry::{
@@ -40,51 +40,6 @@ use hmm_telemetry::{
     RecorderConfig, TelemetryLevel,
 };
 use hmm_workloads::WorkloadId;
-
-fn parse_workload(s: &str) -> Option<WorkloadId> {
-    use WorkloadId::*;
-    Some(match s.to_ascii_lowercase().as_str() {
-        "bt" | "bt.c" => Bt,
-        "cg" | "cg.c" => Cg,
-        "dc" | "dc.b" => Dc,
-        "ep" | "ep.c" => Ep,
-        "ft" | "ft.c" => Ft,
-        "is" | "is.c" => Is,
-        "lu" | "lu.c" => Lu,
-        "mg" | "mg.c" => Mg,
-        "sp" | "sp.c" => Sp,
-        "ua" | "ua.c" => Ua,
-        "spec2006" | "spec" => Spec2006Mix,
-        "pgbench" => Pgbench,
-        "indexer" => Indexer,
-        "specjbb" | "jbb" => SpecJbb,
-        _ => return None,
-    })
-}
-
-fn parse_mode(s: &str) -> Option<Mode> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "off" | "baseline" => Mode::AllOffPackage,
-        "on" | "ideal" => Mode::AllOnPackage,
-        "static" => Mode::Static,
-        "n" => Mode::Dynamic(MigrationDesign::N),
-        "n-1" | "n1" => Mode::Dynamic(MigrationDesign::NMinusOne),
-        "live" => Mode::Dynamic(MigrationDesign::LiveMigration),
-        _ => return None,
-    })
-}
-
-/// Parse sizes like `64K`, `4M`, `1G`, `512M`, plain bytes.
-fn parse_size(s: &str) -> Option<u64> {
-    let s = s.trim();
-    let (num, mult) = match s.chars().last()? {
-        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
-        'm' | 'M' => (&s[..s.len() - 1], 1 << 20),
-        'g' | 'G' => (&s[..s.len() - 1], 1 << 30),
-        _ => (s, 1),
-    };
-    num.parse::<u64>().ok().map(|v| v * mult)
-}
 
 fn usage() -> ! {
     eprintln!(
@@ -140,14 +95,10 @@ fn main() {
         };
         match a.as_str() {
             "--workload" | "-w" => {
-                let v = val();
-                workload = Some(
-                    parse_workload(&v).unwrap_or_else(|| fail(&format!("unknown workload {v}"))),
-                );
+                workload = Some(val().parse::<WorkloadId>().unwrap_or_else(|e| fail(&e)));
             }
             "--mode" | "-m" => {
-                let v = val();
-                mode = Some(parse_mode(&v).unwrap_or_else(|| fail(&format!("unknown mode {v}"))));
+                mode = Some(val().parse::<Mode>().unwrap_or_else(|e| fail(&e)));
             }
             "--page" | "-p" => page = size("--page", val()),
             "--interval" | "-i" => interval = num("--interval", val()),
@@ -186,8 +137,7 @@ fn main() {
                     fault_seed = Some(num("--fault-seed", s.to_string()));
                     continue;
                 }
-                eprintln!("unknown argument {other}");
-                usage()
+                fail(&format!("unknown argument '{other}' (try --help)"))
             }
         }
     }

@@ -6,8 +6,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
-pub mod jsonin;
 pub mod perf;
+
+/// The workspace JSON reader now lives beside the writer in
+/// `hmm_telemetry`; re-exported here so `hmm_bench::jsonin` paths keep
+/// working.
+pub use hmm_telemetry::jsonin;
 
 use std::fmt::Display;
 

@@ -1,0 +1,68 @@
+//! Negative CLI tests: every binary in this crate answers invalid input
+//! with a one-line diagnostic on stderr and exit code 2 — never a panic,
+//! never a silent fallback. (The serve crate holds the same tests for
+//! `hmm-serve` and `hmm-loadgen`.)
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"))
+}
+
+/// The shared convention: exit 2, exactly one stderr line, naming the
+/// offending input.
+fn assert_one_line_exit2(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "diagnostic must be one line, got: {stderr:?}"
+    );
+    assert!(stderr.contains(needle), "wanted '{needle}' in: {stderr}");
+    assert!(!stderr.to_lowercase().contains("panic"), "{stderr}");
+}
+
+#[test]
+fn hmm_sim_rejects_invalid_input_with_one_line() {
+    let bin = env!("CARGO_BIN_EXE_hmm-sim");
+    let base = ["--workload", "pgbench", "--mode", "live"];
+    fn with<'a>(base: &[&'a str], extra: &[&'a str]) -> Vec<&'a str> {
+        let mut args = base.to_vec();
+        args.extend_from_slice(extra);
+        args
+    }
+    assert_one_line_exit2(&run(bin, &with(&base, &["--bogus"])), "--bogus");
+    assert_one_line_exit2(&run(bin, &["--workload", "warehouse", "--mode", "live"]), "warehouse");
+    assert_one_line_exit2(&run(bin, &["--workload", "pgbench", "--mode", "turbo"]), "turbo");
+    assert_one_line_exit2(&run(bin, &with(&base, &["--page", "3K"])), "power of two");
+    assert_one_line_exit2(&run(bin, &with(&base, &["--accesses", "many"])), "many");
+    assert_one_line_exit2(&run(bin, &with(&base, &["--seed"])), "--seed");
+    assert_one_line_exit2(&run(bin, &with(&base, &["--faults", "bogus=1"])), "bogus");
+}
+
+#[test]
+fn hmm_bench_rejects_invalid_input_with_one_line() {
+    let bin = env!("CARGO_BIN_EXE_hmm-bench");
+    assert_one_line_exit2(&run(bin, &["frobnicate"]), "frobnicate");
+    assert_one_line_exit2(&run(bin, &["perf", "--wat"]), "--wat");
+}
+
+#[test]
+fn figures_rejects_invalid_input_with_one_line() {
+    let bin = env!("CARGO_BIN_EXE_figures");
+    assert_one_line_exit2(&run(bin, &["fig99"]), "fig99");
+    assert_one_line_exit2(&run(bin, &["--fast"]), "--fast");
+    assert_one_line_exit2(&run(bin, &["table1", "table2"]), "more than one");
+}
+
+/// Valid invocations of the cheap experiments still succeed after the
+/// flag-parsing tightening.
+#[test]
+fn figures_still_runs_static_tables() {
+    let bin = env!("CARGO_BIN_EXE_figures");
+    let out = run(bin, &["table1", "--quick"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I"), "{stdout}");
+}

@@ -40,6 +40,40 @@ pub enum Mode {
     AllOffPackage,
 }
 
+impl Mode {
+    /// Canonical lowercase token, round-trippable through [`FromStr`](std::str::FromStr).
+    /// This is the spelling used by CLI flags and the `hmm-serve` wire
+    /// format, so cache keys and reports agree on one name per mode.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Mode::AllOffPackage => "off",
+            Mode::AllOnPackage => "on",
+            Mode::Static => "static",
+            Mode::Dynamic(MigrationDesign::N) => "n",
+            Mode::Dynamic(MigrationDesign::NMinusOne) => "n-1",
+            Mode::Dynamic(MigrationDesign::LiveMigration) => "live",
+        }
+    }
+}
+
+impl std::str::FromStr for Mode {
+    type Err = String;
+
+    /// Accepts the canonical token plus the historical CLI aliases
+    /// (`baseline`, `ideal`, `n1`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "off" | "baseline" => Mode::AllOffPackage,
+            "on" | "ideal" => Mode::AllOnPackage,
+            "static" => Mode::Static,
+            "n" => Mode::Dynamic(MigrationDesign::N),
+            "n-1" | "n1" => Mode::Dynamic(MigrationDesign::NMinusOne),
+            "live" => Mode::Dynamic(MigrationDesign::LiveMigration),
+            other => return Err(format!("unknown mode '{other}'")),
+        })
+    }
+}
+
 /// Controller configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ControllerConfig {

@@ -196,4 +196,41 @@ mod tests {
     fn empty_traffic_has_no_ratio() {
         assert_eq!(normalized_power(&p(), &Traffic::default()), None);
     }
+
+    #[test]
+    fn traffic_accessor_identities() {
+        let t = Traffic {
+            demand_on_lines: 3,
+            demand_off_lines: 5,
+            migration_on_lines: 7,
+            migration_off_lines: 11,
+        };
+        assert_eq!(t.on_lines(), 10);
+        assert_eq!(t.off_lines(), 16);
+        assert_eq!(t.demand_lines(), 8);
+        // Every line is either demand or migration, on one region or the
+        // other — no counter is double-counted by the accessors.
+        assert_eq!(
+            t.on_lines() + t.off_lines(),
+            t.demand_lines() + t.migration_on_lines + t.migration_off_lines
+        );
+    }
+
+    #[test]
+    fn migration_never_reduces_hybrid_energy() {
+        // Energy is monotone in every counter: adding migration legs to
+        // any demand mix strictly raises hybrid energy and leaves the
+        // demand-only baseline untouched.
+        let demand = Traffic { demand_on_lines: 500, demand_off_lines: 500, ..Default::default() };
+        for (on, off) in [(1, 0), (0, 1), (64, 64), (0, 4096)] {
+            let with = Traffic { migration_on_lines: on, migration_off_lines: off, ..demand };
+            assert!(
+                hybrid_energy(&p(), &with).total_pj() > hybrid_energy(&p(), &demand).total_pj()
+            );
+            assert_eq!(
+                baseline_energy(&p(), &with).total_pj(),
+                baseline_energy(&p(), &demand).total_pj()
+            );
+        }
+    }
 }

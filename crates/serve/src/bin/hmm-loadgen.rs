@@ -1,0 +1,338 @@
+//! Concurrent load generator for `hmm-serve`.
+//!
+//! ```text
+//! hmm-loadgen --addr <host:port> [--concurrency 8] [--duration-s 10]
+//!             [--requests <n>] [--workloads pgbench,mg] [--modes live,static]
+//!             [--accesses 20000] [--scale 64] [--seed 1] [--unique]
+//!             [--timeout-ms 30000] [--check]
+//! ```
+//!
+//! Spawns `--concurrency` client threads, each issuing
+//! `POST /v1/simulate` requests back-to-back over the workload × mode
+//! mix until the duration (or request budget) runs out, then prints
+//! throughput, a status-code breakdown, and exact client-side latency
+//! percentiles. By default every thread draws from the same small
+//! request population so the server's result cache gets real hits;
+//! `--unique` gives every request a fresh seed to defeat the cache and
+//! measure raw simulation throughput.
+//!
+//! `--check` then fetches `/metrics` and reconciles the server's
+//! counters against what this client saw — admission identity
+//! (`accepted == cache_hits + cache_misses`), rejection counts matching
+//! the client's `429`/`503` tallies, and one admission per answered
+//! request. Exits 1 when reconciliation fails, 2 on bad usage.
+
+use hmm_core::Mode;
+use hmm_serve::client::request;
+use hmm_sim_base::SimRng;
+use hmm_telemetry::jsonin;
+use hmm_workloads::WorkloadId;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmm-loadgen --addr <host:port> [--concurrency <n>] [--duration-s <n>] \
+         [--requests <n>] [--workloads <w,...>] [--modes <m,...>] [--accesses <n>] \
+         [--scale <divisor>] [--seed <n>] [--unique] [--timeout-ms <n>] [--check]"
+    );
+    std::process::exit(2)
+}
+
+/// One-line diagnostic and exit 2 — invalid input must never panic.
+fn fail(msg: &str) -> ! {
+    eprintln!("hmm-loadgen: {msg}");
+    std::process::exit(2)
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    ok: u64,
+    busy_429: u64,
+    draining_503: u64,
+    timeout_504: u64,
+    other_4xx: u64,
+    other_5xx: u64,
+    io_errors: u64,
+    cache_hit_headers: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl Tally {
+    fn answered(&self) -> u64 {
+        self.ok
+            + self.busy_429
+            + self.draining_503
+            + self.timeout_504
+            + self.other_4xx
+            + self.other_5xx
+    }
+
+    fn absorb(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.busy_429 += other.busy_429;
+        self.draining_503 += other.draining_503;
+        self.timeout_504 += other.timeout_504;
+        self.other_4xx += other.other_4xx;
+        self.other_5xx += other.other_5xx;
+        self.io_errors += other.io_errors;
+        self.cache_hit_headers += other.cache_hit_headers;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+struct Plan {
+    addr: SocketAddr,
+    workloads: Vec<WorkloadId>,
+    modes: Vec<Mode>,
+    accesses: u64,
+    scale: u64,
+    seed: u64,
+    unique: bool,
+    timeout: Duration,
+    deadline: Instant,
+    /// Remaining request budget; `u64::MAX` means duration-bounded only.
+    budget: AtomicU64,
+}
+
+fn body_for(plan: &Plan, rng: &mut SimRng, serial: u64) -> String {
+    let w = plan.workloads[rng.below(plan.workloads.len() as u64) as usize];
+    let m = plan.modes[rng.below(plan.modes.len() as u64) as usize];
+    // A non-unique run cycles a few seeds per (workload, mode) pair so
+    // repeats land in the server's cache; --unique makes every request
+    // its own simulation.
+    let seed = if plan.unique { plan.seed.wrapping_add(serial) } else { plan.seed + serial % 3 };
+    format!(
+        "{{\"workload\":\"{}\",\"mode\":\"{}\",\"accesses\":{},\"scale\":{},\"seed\":{},\"timeout_ms\":{}}}",
+        w.token(),
+        m.token(),
+        plan.accesses,
+        plan.scale,
+        seed,
+        plan.timeout.as_millis(),
+    )
+}
+
+fn client_thread(plan: &Plan, thread_idx: u64) -> Tally {
+    let mut rng = SimRng::new(plan.seed ^ 0x10ad_9e4e).fork(thread_idx);
+    let mut tally = Tally::default();
+    let mut serial = 0u64;
+    while Instant::now() < plan.deadline {
+        if plan.budget.fetch_sub(1, Ordering::Relaxed) == 0 {
+            // Budget exhausted; put the token back for well-definedness.
+            plan.budget.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        let body = body_for(plan, &mut rng, serial);
+        serial += 1;
+        let started = Instant::now();
+        match request(plan.addr, "POST", "/v1/simulate", &body, plan.timeout) {
+            Ok(resp) => {
+                match resp.status {
+                    200 => {
+                        tally.ok += 1;
+                        let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        tally.latencies_us.push(us);
+                        if resp.header("x-cache") == Some("hit") {
+                            tally.cache_hit_headers += 1;
+                        }
+                    }
+                    429 => tally.busy_429 += 1,
+                    503 => tally.draining_503 += 1,
+                    504 => tally.timeout_504 += 1,
+                    s if (400..500).contains(&s) => tally.other_4xx += 1,
+                    _ => tally.other_5xx += 1,
+                }
+                if resp.status == 429 {
+                    // Honour backpressure briefly instead of hammering.
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            Err(_) => tally.io_errors += 1,
+        }
+    }
+    tally
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+fn check_metrics(plan: &Plan, tally: &Tally) -> Result<(), String> {
+    let resp = request(plan.addr, "GET", "/metrics", "", plan.timeout)
+        .map_err(|e| format!("fetching /metrics failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/metrics answered {}", resp.status));
+    }
+    let doc = jsonin::parse(&resp.body).map_err(|e| format!("/metrics body: {e}"))?;
+    let field = |name: &str| {
+        doc.get(name)
+            .and_then(|v| v.as_f64())
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("/metrics is missing '{name}'"))
+    };
+    let accepted = field("accepted")?;
+    let hits = field("cache_hits")?;
+    let misses = field("cache_misses")?;
+    let coalesced = field("coalesced")?;
+    let sim_runs = field("sim_runs")?;
+    let busy = field("rejected_busy")?;
+    let draining = field("rejected_draining")?;
+    if accepted != hits + misses {
+        return Err(format!(
+            "admission identity broken: accepted={accepted}, hits={hits} + misses={misses}"
+        ));
+    }
+    if sim_runs + coalesced > misses {
+        return Err(format!(
+            "work exceeds misses: sim_runs={sim_runs} + coalesced={coalesced} > misses={misses}"
+        ));
+    }
+    if busy < tally.busy_429 || draining < tally.draining_503 {
+        return Err(format!(
+            "server rejections ({busy} busy, {draining} draining) below client tallies \
+             ({} busy, {} draining)",
+            tally.busy_429, tally.draining_503
+        ));
+    }
+    let answered = tally.ok + tally.timeout_504;
+    if tally.io_errors == 0 && accepted < answered {
+        return Err(format!(
+            "accepted={accepted} below the {answered} requests this client got answers for"
+        ));
+    }
+    if tally.cache_hit_headers > hits {
+        return Err(format!(
+            "client saw {} X-Cache hits but the server counted only {hits}",
+            tally.cache_hit_headers
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<SocketAddr> = None;
+    let mut concurrency = 8u64;
+    let mut duration_s = 10u64;
+    let mut requests: Option<u64> = None;
+    let mut workloads = vec![WorkloadId::Pgbench, WorkloadId::Mg];
+    let mut modes: Vec<Mode> = vec!["live".parse().unwrap(), "static".parse().unwrap()];
+    let mut accesses = 20_000u64;
+    let mut scale = 64u64;
+    let mut seed = 1u64;
+    let mut unique = false;
+    let mut timeout_ms = 30_000u64;
+    let mut check = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val =
+            || it.next().cloned().unwrap_or_else(|| fail(&format!("{a} requires a value")));
+        let num = |flag: &str, v: String| {
+            v.parse::<u64>().unwrap_or_else(|_| fail(&format!("invalid number for {flag}: {v}")))
+        };
+        match a.as_str() {
+            "--addr" => {
+                let v = val();
+                addr = Some(v.parse().unwrap_or_else(|_| fail(&format!("invalid address '{v}'"))));
+            }
+            "--concurrency" | "-c" => concurrency = num("--concurrency", val()).max(1),
+            "--duration-s" | "-d" => duration_s = num("--duration-s", val()),
+            "--requests" | "-n" => requests = Some(num("--requests", val())),
+            "--workloads" => {
+                workloads = val()
+                    .split(',')
+                    .map(|t| t.trim().parse::<WorkloadId>().unwrap_or_else(|e| fail(&e)))
+                    .collect();
+            }
+            "--modes" => {
+                modes = val()
+                    .split(',')
+                    .map(|t| t.trim().parse::<Mode>().unwrap_or_else(|e| fail(&e)))
+                    .collect();
+            }
+            "--accesses" => accesses = num("--accesses", val()).max(1),
+            "--scale" => scale = num("--scale", val()).max(1),
+            "--seed" => seed = num("--seed", val()),
+            "--unique" => unique = true,
+            "--timeout-ms" => timeout_ms = num("--timeout-ms", val()).max(1),
+            "--check" => check = true,
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| fail("--addr is required"));
+    if workloads.is_empty() || modes.is_empty() {
+        fail("--workloads and --modes must each name at least one entry");
+    }
+
+    let plan = Arc::new(Plan {
+        addr,
+        workloads,
+        modes,
+        accesses,
+        scale,
+        seed,
+        unique,
+        timeout: Duration::from_millis(timeout_ms),
+        deadline: Instant::now() + Duration::from_secs(duration_s),
+        budget: AtomicU64::new(requests.unwrap_or(u64::MAX)),
+    });
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..concurrency)
+        .map(|i| {
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || client_thread(&plan, i))
+        })
+        .collect();
+    let mut tally = Tally::default();
+    for t in threads {
+        tally.absorb(t.join().expect("client thread panicked"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    tally.latencies_us.sort_unstable();
+    let answered = tally.answered();
+    println!(
+        "hmm-loadgen: {answered} requests answered in {elapsed:.1}s \
+         ({:.1} req/s) at concurrency {concurrency}",
+        answered as f64 / elapsed.max(1e-9),
+    );
+    println!(
+        "  ok {}  429 {}  503 {}  504 {}  other-4xx {}  other-5xx {}  io-errors {}  \
+         cache-hits {}",
+        tally.ok,
+        tally.busy_429,
+        tally.draining_503,
+        tally.timeout_504,
+        tally.other_4xx,
+        tally.other_5xx,
+        tally.io_errors,
+        tally.cache_hit_headers,
+    );
+    println!(
+        "  latency ms: p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+        percentile(&tally.latencies_us, 0.50),
+        percentile(&tally.latencies_us, 0.90),
+        percentile(&tally.latencies_us, 0.99),
+        tally.latencies_us.last().copied().unwrap_or(0) as f64 / 1000.0,
+    );
+
+    if check {
+        match check_metrics(&plan, &tally) {
+            Ok(()) => println!("  check: /metrics reconciles with client counts"),
+            Err(msg) => {
+                eprintln!("hmm-loadgen: check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The simulation server.
+//!
+//! ```text
+//! hmm-serve [--addr 127.0.0.1:0] [--workers 4] [--conn-threads 16]
+//!           [--queue-depth 32] [--cache-entries 256]
+//!           [--max-accesses 2000000] [--sync-timeout-ms 30000]
+//! ```
+//!
+//! Prints one line — `hmm-serve listening on <addr>` — once the socket
+//! is bound (scripts parse the port out of it), then serves until
+//! SIGTERM, SIGINT, or `POST /admin/shutdown` starts the graceful
+//! drain: admission stops, every queued job is finished and answered,
+//! the final metrics document goes to stderr, and the process exits 0.
+//! Exit code 2 on bad usage, with a one-line diagnostic.
+
+use hmm_serve::request::Limits;
+use hmm_serve::{Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmm-serve [--addr <host:port>] [--workers <n>] [--conn-threads <n>] \
+         [--queue-depth <n>] [--cache-entries <n>] [--max-accesses <n>] \
+         [--sync-timeout-ms <n>]"
+    );
+    std::process::exit(2)
+}
+
+/// One-line diagnostic and exit 2 — invalid input must never panic.
+fn fail(msg: &str) -> ! {
+    eprintln!("hmm-serve: {msg}");
+    std::process::exit(2)
+}
+
+/// Set by the signal handler; polled by the main loop.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // `std` exposes no signal API and the workspace links no libc crate,
+    // so register the classic `signal(2)` handler directly. The handler
+    // only flips an atomic — everything async-signal-unsafe (joining
+    // threads, writing the report) happens on the main thread.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServerConfig::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val =
+            || it.next().cloned().unwrap_or_else(|| fail(&format!("{a} requires a value")));
+        let num = |flag: &str, v: String| {
+            v.parse::<u64>().unwrap_or_else(|_| fail(&format!("invalid number for {flag}: {v}")))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--workers" => cfg.workers = num("--workers", val()).max(1) as usize,
+            "--conn-threads" => cfg.conn_threads = num("--conn-threads", val()).max(1) as usize,
+            "--queue-depth" => cfg.queue_depth = num("--queue-depth", val()).max(1) as usize,
+            "--cache-entries" => cfg.cache_entries = num("--cache-entries", val()) as usize,
+            "--max-accesses" => {
+                cfg.limits = Limits { max_accesses: num("--max-accesses", val()).max(1) }
+            }
+            "--sync-timeout-ms" => {
+                cfg.sync_timeout = Duration::from_millis(num("--sync-timeout-ms", val()))
+            }
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+
+    install_signal_handlers();
+    let server = Server::start(cfg).unwrap_or_else(|e| fail(&format!("failed to bind: {e}")));
+    println!("hmm-serve listening on {}", server.local_addr());
+    // Line-buffer stdout may hold the line back when piped; scripts wait
+    // on it, so push it out now.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    while !STOP.load(Ordering::SeqCst) && !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("hmm-serve: draining");
+    let final_metrics = server.shutdown();
+    eprintln!("hmm-serve: final metrics {final_metrics}");
+}

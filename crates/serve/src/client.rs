@@ -1,0 +1,114 @@
+//! A tiny blocking HTTP/1.1 client, just enough for `hmm-loadgen` and
+//! the end-to-end tests to drive the server without external crates.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` framing. The response is read to EOF and split on
+//! the first blank line; only what the tests and load generator need is
+//! parsed (status code, headers, body).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes as UTF-8.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Send one request and read the full response. `timeout` bounds the
+/// connect and each socket read/write.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no head/body separator"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("response head is not UTF-8"))?;
+    let body = String::from_utf8(raw[split + 4..].to_vec())
+        .map_err(|_| bad("response body is not UTF-8"))?;
+
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(format!("malformed status line '{status_line}'")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    // Trust content-length over read-to-EOF only to truncate trailing
+    // garbage; the server always sends an exact length.
+    let trimmed = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(n) if n <= body.len() => body[..n].to_string(),
+        _ => body,
+    };
+    Ok(HttpResponse { status, headers, body: trimmed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\ncontent-type: application/json\r\ncontent-length: 13\r\nx-cache: miss\r\n\r\n{\"error\":\"q\"}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.header("x-cache"), Some("miss"));
+        assert_eq!(r.body, "{\"error\":\"q\"}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

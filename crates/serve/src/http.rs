@@ -1,0 +1,295 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! Covers exactly what the serving subsystem needs: parse one request
+//! (method, target, headers, `Content-Length`-delimited body) from a
+//! stream with a read deadline, and write one response with an explicit
+//! `Content-Length` and `Connection: close`. Closing after every response
+//! keeps the drain path fast — a handler thread is never parked on an
+//! idle keep-alive connection — at the cost of one TCP handshake per
+//! request, which is noise on the loopback paths this server is built
+//! for. Chunked transfer encoding is intentionally rejected (`501`).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 8 << 10;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Request target as sent (no query parsing; the API does not use it).
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded UTF-8 body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The client closed the connection before sending a request line.
+    Eof,
+    /// The socket read failed or timed out.
+    Io(std::io::Error),
+    /// The bytes were not a servable request; respond with this status
+    /// and message, then close.
+    Bad(u16, String),
+}
+
+/// Read one request from the stream. The stream's read timeout (set by
+/// the caller) bounds how long a slow client can hold the handler.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let head = read_head(stream)?;
+    let head_text = String::from_utf8(head)
+        .map_err(|_| ReadError::Bad(400, "request head is not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) =
+        (parts.next().unwrap_or(""), parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || path.is_empty() || parts.next().is_some() {
+        return Err(ReadError::Bad(400, format!("malformed request line '{request_line}'")));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(505, format!("unsupported version '{version}'")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad(400, format!("malformed header line '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let req = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: String::new(),
+    };
+
+    if req.header("transfer-encoding").is_some() {
+        return Err(ReadError::Bad(501, "transfer-encoding is not supported".into()));
+    }
+    let content_length = match req.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Bad(400, format!("invalid content-length '{v}'")))?,
+    };
+    if content_length > max_body {
+        return Err(ReadError::Bad(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(map_io)?;
+    let body =
+        String::from_utf8(body).map_err(|_| ReadError::Bad(400, "body is not UTF-8".into()))?;
+    Ok(Request { body, ..req })
+}
+
+/// Read up to and including the `\r\n\r\n` head terminator, one byte at a
+/// time (the head is tiny and the stream is unbuffered on purpose: the
+/// body must not be consumed into a reader-local buffer).
+fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, ReadError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Err(ReadError::Eof)
+                } else {
+                    Err(ReadError::Bad(400, "connection closed mid-request".into()))
+                };
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return if head.is_empty() { Err(ReadError::Io(e)) } else { Err(map_io(e)) };
+            }
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            head.truncate(head.len() - 4);
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Bad(431, "request head too large".into()));
+        }
+    }
+}
+
+fn map_io(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            ReadError::Bad(408, "timed out reading request".into())
+        }
+        _ => ReadError::Io(e),
+    }
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always `application/json` in this API).
+    pub body: String,
+    /// Extra headers beyond the generated ones (`X-Cache`, ...).
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response with no extra headers.
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, body, extra_headers: Vec::new() }
+    }
+
+    /// Attach one extra header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+}
+
+/// Serialize and send `resp`; the connection is closed by the caller
+/// afterwards (every response carries `Connection: close`).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.body.len(),
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    /// Run the parser against raw bytes pushed through a real socket pair.
+    fn parse_raw(raw: &'static [u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let r = read_request(&mut stream, 1 << 10);
+        writer.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse_raw(b"POST /v1/simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/simulate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, "abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let cases: [(&'static [u8], u16); 5] = [
+            (b"NOT-A-REQUEST\r\n\r\n", 400),
+            (b"GET /x HTTP/2.0\r\n\r\n", 505),
+            (b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 413),
+        ];
+        for (raw, want) in cases {
+            match parse_raw(raw) {
+                Err(ReadError::Bad(status, _)) => assert_eq!(status, want, "{raw:?}"),
+                other => panic!("{raw:?}: expected Bad({want}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_connection_is_eof_not_bad() {
+        assert!(matches!(parse_raw(b""), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let resp = Response::json(200, "{\"ok\":true}".into()).with_header("x-cache", "hit".into());
+        write_response(&mut stream, &resp).unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("x-cache: hit\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

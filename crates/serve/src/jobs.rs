@@ -1,0 +1,294 @@
+//! Job lifecycle and the bounded-retention registry behind the async
+//! API.
+//!
+//! A [`Job`] is one admitted simulation request. Synchronous requests
+//! (`POST /v1/simulate`) block a connection handler on
+//! [`Job::wait_done`]; asynchronous ones (`POST /v1/jobs`) return the id
+//! immediately and poll `GET /v1/jobs/<id>`. Both kinds live in the
+//! [`JobRegistry`] — a synchronous request that outlives its client's
+//! patience (`504`) can still be polled to completion by id.
+//!
+//! Cancellation is cooperative and only certain while a job is queued:
+//! a worker claims a job with [`Job::claim`], which fails if the job was
+//! cancelled first. A running simulation is never interrupted — the run
+//! is short, deterministic, and its result still populates the cache —
+//! so cancelling a `running` job reports `false`.
+
+use hmm_sim_base::FxHashMap;
+use hmm_simulator::driver::RunConfig;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Monotonically increasing job identifier.
+pub type JobId = u64;
+
+/// Where a job is in its life.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the rendered response body is ready.
+    Done(Arc<String>),
+    /// The worker failed (simulator panic); the message explains.
+    Failed(String),
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire-format status token.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// True once no further transitions can happen.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled)
+    }
+}
+
+/// One admitted simulation request.
+#[derive(Debug)]
+pub struct Job {
+    /// Registry identifier.
+    pub id: JobId,
+    /// Canonical-request hash (the cache key).
+    pub key: u64,
+    /// Canonical JSON of the resolved configuration.
+    pub canonical: String,
+    /// The configuration a worker will run.
+    pub cfg: RunConfig,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+impl Job {
+    /// A freshly admitted job in the `Queued` state.
+    pub fn new(id: JobId, key: u64, canonical: String, cfg: RunConfig) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            key,
+            canonical,
+            cfg,
+            state: Mutex::new(JobState::Queued),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Snapshot of the current state.
+    pub fn state(&self) -> JobState {
+        self.state.lock().unwrap().clone()
+    }
+
+    /// Worker-side: move `Queued` → `Running`. Returns `false` when the
+    /// job was cancelled before a worker reached it.
+    pub fn claim(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            JobState::Queued => {
+                *state = JobState::Running;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn finish(&self, next: JobState) {
+        let mut state = self.state.lock().unwrap();
+        debug_assert!(!state.is_terminal(), "job {} finished twice", self.id);
+        *state = next;
+        drop(state);
+        self.done.notify_all();
+    }
+
+    /// Worker-side: publish the rendered response body.
+    pub fn complete(&self, body: Arc<String>) {
+        self.finish(JobState::Done(body));
+    }
+
+    /// Worker-side: record a failure.
+    pub fn fail(&self, message: String) {
+        self.finish(JobState::Failed(message));
+    }
+
+    /// Client-side: cancel if still queued. Returns whether the job is
+    /// now (or already was) cancelled.
+    pub fn cancel(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        match *state {
+            JobState::Queued => {
+                *state = JobState::Cancelled;
+                drop(state);
+                self.done.notify_all();
+                true
+            }
+            JobState::Cancelled => true,
+            _ => false,
+        }
+    }
+
+    /// Block until the job reaches a terminal state or `timeout`
+    /// elapses; `None` on timeout.
+    pub fn wait_done(&self, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        while !state.is_terminal() {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (next, result) = self.done.wait_timeout(state, left).unwrap();
+            state = next;
+            if result.timed_out() && !state.is_terminal() {
+                return None;
+            }
+        }
+        Some(state.clone())
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    jobs: FxHashMap<JobId, Arc<Job>>,
+    /// Terminal jobs in retirement order; the oldest fall off first.
+    retired: VecDeque<JobId>,
+}
+
+/// Id-to-job map with bounded retention of finished jobs.
+///
+/// Live (queued/running) jobs are always resolvable. Terminal jobs stay
+/// queryable until `retention` newer jobs have also finished — enough
+/// for a client to collect an async result without the registry growing
+/// forever.
+#[derive(Debug)]
+pub struct JobRegistry {
+    inner: Mutex<RegistryInner>,
+    retention: usize,
+}
+
+impl JobRegistry {
+    /// A registry retaining up to `retention` finished jobs.
+    pub fn new(retention: usize) -> Self {
+        JobRegistry { inner: Mutex::new(RegistryInner::default()), retention }
+    }
+
+    /// Register a newly admitted job.
+    pub fn insert(&self, job: Arc<Job>) {
+        self.inner.lock().unwrap().jobs.insert(job.id, job);
+    }
+
+    /// Remove a job that was admitted but then refused by the queue
+    /// (it never existed as far as clients are concerned).
+    pub fn forget(&self, id: JobId) {
+        self.inner.lock().unwrap().jobs.remove(&id);
+    }
+
+    /// Resolve an id.
+    pub fn get(&self, id: JobId) -> Option<Arc<Job>> {
+        self.inner.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Mark a job terminal for retention accounting, evicting the oldest
+    /// retired jobs beyond the retention bound.
+    pub fn retire(&self, id: JobId) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.retired.push_back(id);
+        while inner.retired.len() > self.retention {
+            let old = inner.retired.pop_front().unwrap();
+            inner.jobs.remove(&old);
+        }
+    }
+
+    /// Jobs currently resolvable (live + retained).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    /// True when no jobs are resolvable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_core::Mode;
+    use hmm_workloads::WorkloadId;
+    use std::thread;
+
+    fn job(id: JobId) -> Arc<Job> {
+        let cfg = RunConfig::quick(WorkloadId::Pgbench, Mode::Static);
+        Job::new(id, id ^ 0xfeed, String::from("{}"), cfg)
+    }
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let j = job(1);
+        assert_eq!(j.state().label(), "queued");
+        assert!(j.claim());
+        assert_eq!(j.state().label(), "running");
+        j.complete(Arc::new("body".into()));
+        match j.state() {
+            JobState::Done(b) => assert_eq!(&*b, "body"),
+            s => panic!("expected done, got {s:?}"),
+        }
+        assert!(!j.cancel(), "terminal jobs cannot be cancelled");
+    }
+
+    #[test]
+    fn cancel_beats_claim() {
+        let j = job(2);
+        assert!(j.cancel());
+        assert!(!j.claim(), "worker must skip a cancelled job");
+        assert!(j.cancel(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn wait_done_times_out_then_succeeds() {
+        let j = job(3);
+        assert!(j.wait_done(Duration::from_millis(10)).is_none());
+        let waiter = {
+            let j = Arc::clone(&j);
+            thread::spawn(move || j.wait_done(Duration::from_secs(5)))
+        };
+        j.claim();
+        j.complete(Arc::new("late".into()));
+        match waiter.join().unwrap() {
+            Some(JobState::Done(b)) => assert_eq!(&*b, "late"),
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_retention_evicts_oldest_terminal() {
+        let reg = JobRegistry::new(2);
+        for id in 1..=4 {
+            let j = job(id);
+            reg.insert(Arc::clone(&j));
+            j.claim();
+            j.complete(Arc::new(String::new()));
+            reg.retire(id);
+        }
+        assert!(reg.get(1).is_none(), "oldest retired job evicted");
+        assert!(reg.get(2).is_none());
+        assert!(reg.get(3).is_some());
+        assert!(reg.get(4).is_some());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn registry_forget_removes_unqueued_jobs() {
+        let reg = JobRegistry::new(8);
+        reg.insert(job(9));
+        assert!(!reg.is_empty());
+        reg.forget(9);
+        assert!(reg.get(9).is_none());
+    }
+}

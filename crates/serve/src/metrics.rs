@@ -1,0 +1,295 @@
+//! Server counters and the `GET /metrics` document.
+//!
+//! Counters follow one discipline: every admitted simulate request is
+//! counted exactly once as a cache hit or a cache miss, so
+//! `accepted == cache_hits + cache_misses` holds at any quiescent
+//! moment, and `hmm-loadgen --check` reconciles its client-side counts
+//! against these numbers after a run. Alongside the serving counters,
+//! the worker pool folds every completed run's `ControllerStats` and
+//! `SwapStats` into a merged digest (the workspace-wide `merge()`
+//! convention), so `/metrics` also answers "what did all those
+//! simulations do" — total demand/migration lines, swaps, stalls —
+//! without storing per-run results.
+
+use hmm_core::{ControllerStats, SwapStats};
+use hmm_sim_base::stats::{Histogram, RunningMean};
+use hmm_simulator::driver::RunResult;
+use hmm_telemetry::JsonObject;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Relaxed ordering everywhere: these are statistics, not synchronisation.
+const ORD: Ordering = Ordering::Relaxed;
+
+#[derive(Debug, Default)]
+struct Latency {
+    mean: RunningMean,
+    hist: Histogram,
+}
+
+#[derive(Debug, Default)]
+struct SimTotals {
+    controller: ControllerStats,
+    swaps: SwapStats,
+    runs_with_swaps: u64,
+}
+
+/// Shared counter block; one instance per server.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    /// TCP connections accepted.
+    pub conns_accepted: AtomicU64,
+    /// HTTP requests parsed successfully.
+    pub requests: AtomicU64,
+    /// Requests that failed HTTP- or body-level validation (4xx).
+    pub bad_requests: AtomicU64,
+    /// Simulate requests admitted (cache hit, coalesced, or enqueued).
+    pub accepted: AtomicU64,
+    /// Simulate requests refused with `429` (queue full).
+    pub rejected_busy: AtomicU64,
+    /// Simulate requests refused with `503` (draining).
+    pub rejected_draining: AtomicU64,
+    /// Admissions served straight from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Admissions that needed a job (includes coalesced waiters).
+    pub cache_misses: AtomicU64,
+    /// Cache misses that attached to an identical in-flight job instead
+    /// of enqueueing a duplicate (single-flight).
+    pub coalesced: AtomicU64,
+    /// Simulations actually executed by the worker pool.
+    pub sim_runs: AtomicU64,
+    /// Worker-side failures (simulator panic).
+    pub sim_failures: AtomicU64,
+    /// Jobs cancelled before a worker claimed them.
+    pub cancelled: AtomicU64,
+    /// Synchronous waits that hit their deadline (`504`).
+    pub sync_timeouts: AtomicU64,
+    /// Jobs currently being simulated.
+    pub in_flight: AtomicU64,
+    latency: Mutex<Latency>,
+    sim: Mutex<SimTotals>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            conns_accepted: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            sim_runs: AtomicU64::new(0),
+            sim_failures: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            sync_timeouts: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency: Mutex::new(Latency::default()),
+            sim: Mutex::new(SimTotals::default()),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Bump a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, ORD);
+    }
+
+    /// Record the service latency of one answered simulate request
+    /// (admission to response body ready).
+    pub fn record_latency(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut lat = self.latency.lock().unwrap();
+        lat.mean.push(micros);
+        lat.hist.push(micros);
+    }
+
+    /// Fold one completed run's counters into the merged digests.
+    pub fn record_run(&self, result: &RunResult) {
+        let mut sim = self.sim.lock().unwrap();
+        sim.controller.merge(&result.controller);
+        if let Some(swaps) = &result.swaps {
+            sim.swaps.merge(swaps);
+            sim.runs_with_swaps += 1;
+        }
+    }
+
+    /// Render the `/metrics` document. Queue and cache occupancy are
+    /// sampled by the caller, which owns those structures.
+    pub fn to_json(&self, sample: &GaugeSample<'_>) -> String {
+        let get = |c: &AtomicU64| c.load(ORD);
+        let (lat_json, sim_json, swaps_json, runs_with_swaps) = {
+            let lat = self.latency.lock().unwrap();
+            let lat_json = JsonObject::new()
+                .u64("count", lat.mean.count())
+                .f64("mean_us", lat.mean.mean())
+                .u64("p50_us", lat.hist.quantile(0.50))
+                .u64("p90_us", lat.hist.quantile(0.90))
+                .u64("p99_us", lat.hist.quantile(0.99))
+                .u64("max_us", lat.hist.max())
+                .finish();
+            let sim = self.sim.lock().unwrap();
+            (
+                lat_json,
+                controller_json(&sim.controller),
+                swaps_json(&sim.swaps),
+                sim.runs_with_swaps,
+            )
+        };
+        JsonObject::new()
+            .str("schema", "hmm-serve-metrics-v1")
+            .u64("uptime_ms", self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64)
+            .bool("draining", sample.draining)
+            .u64("workers", sample.workers as u64)
+            .u64("queue_capacity", sample.queue_capacity as u64)
+            .u64("queue_len", sample.queue_len as u64)
+            .u64("cache_capacity", sample.cache_capacity as u64)
+            .u64("cache_len", sample.cache_len as u64)
+            .u64("cache_evictions", sample.cache_evictions)
+            .u64("conns_accepted", get(&self.conns_accepted))
+            .u64("requests", get(&self.requests))
+            .u64("bad_requests", get(&self.bad_requests))
+            .u64("accepted", get(&self.accepted))
+            .u64("rejected_busy", get(&self.rejected_busy))
+            .u64("rejected_draining", get(&self.rejected_draining))
+            .u64("cache_hits", get(&self.cache_hits))
+            .u64("cache_misses", get(&self.cache_misses))
+            .u64("coalesced", get(&self.coalesced))
+            .u64("sim_runs", get(&self.sim_runs))
+            .u64("sim_failures", get(&self.sim_failures))
+            .u64("cancelled", get(&self.cancelled))
+            .u64("sync_timeouts", get(&self.sync_timeouts))
+            .u64("in_flight", get(&self.in_flight))
+            .raw("latency", &lat_json)
+            .u64("runs_with_swaps", runs_with_swaps)
+            .raw("controller_totals", &sim_json)
+            .raw("swap_totals", &swaps_json)
+            .finish()
+    }
+}
+
+/// Point-in-time gauges owned by the server, passed into
+/// [`ServerMetrics::to_json`].
+#[derive(Debug)]
+pub struct GaugeSample<'a> {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently queued.
+    pub queue_len: usize,
+    /// Result-cache capacity.
+    pub cache_capacity: usize,
+    /// Result-cache occupancy.
+    pub cache_len: usize,
+    /// Result-cache evictions so far.
+    pub cache_evictions: u64,
+    /// True once a drain has been requested.
+    pub draining: bool,
+    /// Unused lifetime anchor so future samples can borrow.
+    pub _marker: std::marker::PhantomData<&'a ()>,
+}
+
+/// Render merged `ControllerStats` with stable field names.
+pub fn controller_json(s: &ControllerStats) -> String {
+    JsonObject::new()
+        .u64("demand_on_lines", s.demand_on_lines)
+        .u64("demand_off_lines", s.demand_off_lines)
+        .u64("migration_on_lines", s.migration_on_lines)
+        .u64("migration_off_lines", s.migration_off_lines)
+        .u64("stall_cycles", s.stall_cycles)
+        .u64("epochs", s.epochs)
+        .u64("rejected_triggers", s.rejected_triggers)
+        .u64("transfer_retries", s.transfer_retries)
+        .u64("transfers_dropped", s.transfers_dropped)
+        .u64("transfers_timed_out", s.transfers_timed_out)
+        .u64("transfers_ecc_failed", s.transfers_ecc_failed)
+        .u64("abandoned_sub_blocks", s.abandoned_sub_blocks)
+        .u64("row_corruptions", s.row_corruptions)
+        .u64("slots_quarantined", s.slots_quarantined)
+        .finish()
+}
+
+/// Render merged `SwapStats` with stable field names.
+pub fn swaps_json(s: &SwapStats) -> String {
+    JsonObject::new()
+        .u64("triggered", s.triggered)
+        .u64("completed", s.completed)
+        .u64("case_a", s.case_counts[0])
+        .u64("case_b", s.case_counts[1])
+        .u64("case_c", s.case_counts[2])
+        .u64("case_d", s.case_counts[3])
+        .u64("sub_blocks_copied", s.sub_blocks_copied)
+        .u64("aborted", s.aborted)
+        .u64("rolled_back_sub_blocks", s.rolled_back_sub_blocks)
+        .u64("quarantine_drains", s.quarantine_drains)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_telemetry::jsonin;
+
+    fn sample() -> GaugeSample<'static> {
+        GaugeSample {
+            workers: 4,
+            queue_capacity: 32,
+            queue_len: 1,
+            cache_capacity: 256,
+            cache_len: 2,
+            cache_evictions: 0,
+            draining: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    #[test]
+    fn document_parses_and_reconciles() {
+        let m = ServerMetrics::default();
+        for _ in 0..3 {
+            m.inc(&m.accepted);
+        }
+        m.inc(&m.cache_hits);
+        m.inc(&m.cache_misses);
+        m.inc(&m.cache_misses);
+        m.record_latency(Duration::from_micros(1500));
+        let doc = jsonin::parse(&m.to_json(&sample())).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("hmm-serve-metrics-v1"));
+        let accepted = doc.get("accepted").unwrap().as_f64().unwrap();
+        let hits = doc.get("cache_hits").unwrap().as_f64().unwrap();
+        let misses = doc.get("cache_misses").unwrap().as_f64().unwrap();
+        assert_eq!(accepted, hits + misses, "the admission identity");
+        let lat = doc.get("latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(1.0));
+        assert!(lat.get("p99_us").unwrap().as_f64().unwrap() >= 1500.0);
+    }
+
+    #[test]
+    fn run_totals_merge() {
+        use hmm_core::Mode;
+        use hmm_simulator::driver::{run, RunConfig};
+        use hmm_workloads::WorkloadId;
+
+        let m = ServerMetrics::default();
+        let r = run(&RunConfig {
+            accesses: 4_000,
+            warmup: 500,
+            ..RunConfig::quick(WorkloadId::Pgbench, Mode::Static)
+        });
+        m.record_run(&r);
+        m.record_run(&r);
+        let doc = jsonin::parse(&m.to_json(&sample())).unwrap();
+        let totals = doc.get("controller_totals").unwrap();
+        let on = totals.get("demand_on_lines").unwrap().as_f64().unwrap();
+        let off = totals.get("demand_off_lines").unwrap().as_f64().unwrap();
+        assert_eq!(on + off, 2.0 * 4_000.0, "two runs' demand lines merged");
+    }
+}

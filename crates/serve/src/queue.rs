@@ -1,0 +1,161 @@
+//! The bounded job queue between connection handlers and the worker
+//! pool.
+//!
+//! Admission control is the whole point: when the queue is full,
+//! [`JobQueue::try_push`] fails *immediately* and the handler answers
+//! `429` — the server sheds load at the door instead of accumulating a
+//! latency backlog no client asked to wait in. Shutdown follows the
+//! graceful-drain convention: after [`JobQueue::shutdown`] no new work
+//! is admitted, but [`JobQueue::pop`] keeps handing out already-queued
+//! jobs until the queue is empty, so every admitted request is answered
+//! before the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should answer `429`.
+    Full,
+    /// The server is draining; the caller should answer `503`.
+    ShuttingDown,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    cap: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `cap` outstanding jobs.
+    pub fn new(cap: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(cap), shutdown: false }),
+            nonempty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently queued (racy by nature; for metrics only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit one job, or refuse without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Err(PushError::ShuttingDown);
+        }
+        if inner.items.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Take the oldest job, blocking while the queue is empty. Returns
+    /// `None` only once the queue is shut down *and* drained — the
+    /// worker's signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Stop admission and wake every blocked consumer. Queued jobs are
+    /// still handed out (graceful drain).
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_bound() {
+        let q = JobQueue::new(3);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Ok(()));
+        assert_eq!(q.try_push(4), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(()), "popping frees a slot");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = JobQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.shutdown();
+        assert_eq!(q.try_push("c"), Err(PushError::ShuttingDown));
+        assert_eq!(q.pop(), Some("a"), "queued work survives shutdown");
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None, "drained queue signals exit");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_shutdown() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        thread::sleep(Duration::from_millis(10));
+        for v in 0..20 {
+            while q.try_push(v).is_err() {
+                thread::yield_now();
+            }
+        }
+        q.shutdown();
+        let mut all: Vec<u32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>(), "every job consumed exactly once");
+    }
+}

@@ -1,0 +1,338 @@
+//! The JSON wire format of `POST /v1/simulate` and `POST /v1/jobs`, and
+//! the canonical form behind the result cache.
+//!
+//! A request body selects a simulation the same way the `hmm-sim` CLI
+//! does — same field names, same value spellings, same defaults:
+//!
+//! ```json
+//! {"workload": "pgbench", "mode": "live", "page": "64K",
+//!  "interval": 1000, "accesses": 60000, "warmup": 10000,
+//!  "scale": 64, "seed": 42, "on_package": "512M",
+//!  "policy": "fcfs", "faults": "stress", "fault_seed": 7,
+//!  "timeout_ms": 5000}
+//! ```
+//!
+//! Only `workload` and `mode` are required. Unknown fields are rejected
+//! with a structured `400` rather than ignored — a typo like
+//! `"intreval"` must not silently simulate something else.
+//!
+//! **Canonicalisation.** The cache key is `fxhash64` over a canonical
+//! JSON rendering of the *resolved* [`RunConfig`] — every default
+//! filled in, sizes reduced to shifts and byte counts, workload and mode
+//! reduced to their canonical tokens, fault specs reduced to the parsed
+//! [`FaultPlan`]. Requests that differ in whitespace, field order, or
+//! alias spelling (`"jbb"` vs `"specjbb"`) therefore share a cache
+//! entry, while any field that changes simulated behaviour changes the
+//! key. `timeout_ms` is deliberately *excluded*: it shapes how long the
+//! client waits, not what is simulated.
+
+use hmm_core::Mode;
+use hmm_dram::SchedPolicy;
+use hmm_fault::FaultPlan;
+use hmm_sim_base::config::{parse_size, SimScale};
+use hmm_sim_base::FxHasher;
+use hmm_simulator::driver::RunConfig;
+use hmm_telemetry::jsonin::{self, Json};
+use hmm_telemetry::JsonObject;
+use hmm_workloads::WorkloadId;
+use std::hash::Hasher;
+
+/// Admission limits enforced while parsing, before anything is queued.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Largest demand-access count one request may ask for.
+    pub max_accesses: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_accesses: 2_000_000 }
+    }
+}
+
+/// One parsed, validated simulation request.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// The fully resolved run configuration.
+    pub cfg: RunConfig,
+    /// Canonical JSON rendering of `cfg` (echoed in responses; its hash
+    /// is the cache key).
+    pub canonical: String,
+    /// `fxhash64` of `canonical`.
+    pub key: u64,
+    /// Per-request override of the server's synchronous wait deadline.
+    pub timeout_ms: Option<u64>,
+}
+
+fn field_u64(v: &Json, name: &str) -> Result<u64, String> {
+    let n = v.as_f64().ok_or_else(|| format!("field '{name}' must be a number"))?;
+    if n.fract() != 0.0 || !(0.0..=(u64::MAX as f64)).contains(&n) {
+        return Err(format!("field '{name}' must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+/// Sizes may be spelled as JSON numbers (bytes) or strings (`"64K"`).
+fn field_size(v: &Json, name: &str) -> Result<u64, String> {
+    match v {
+        Json::Str(s) => parse_size(s).ok_or_else(|| format!("invalid size for '{name}': '{s}'")),
+        _ => field_u64(v, name),
+    }
+}
+
+/// Parse one request body into a resolved, validated [`SimRequest`].
+pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
+    let doc = jsonin::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(fields) = &doc else {
+        return Err("request body must be a JSON object".into());
+    };
+
+    let mut workload: Option<WorkloadId> = None;
+    let mut mode: Option<Mode> = None;
+    let mut page = 64u64 << 10;
+    let mut interval = 1_000u64;
+    let mut accesses = 400_000u64;
+    let mut warmup: Option<u64> = None;
+    let mut scale = 8u64;
+    let mut seed = 42u64;
+    let mut on_package = 512u64 << 20;
+    let mut policy = SchedPolicy::FrFcfs;
+    let mut faults: Option<FaultPlan> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut timeout_ms: Option<u64> = None;
+
+    for (name, value) in fields {
+        let as_str = || {
+            value.as_str().ok_or_else(|| format!("field '{name}' must be a string")).map(str::trim)
+        };
+        match name.as_str() {
+            "workload" => workload = Some(as_str()?.parse()?),
+            "mode" => mode = Some(as_str()?.parse()?),
+            "page" => page = field_size(value, name)?,
+            "interval" => interval = field_u64(value, name)?,
+            "accesses" => accesses = field_u64(value, name)?,
+            "warmup" => warmup = Some(field_u64(value, name)?),
+            "scale" => scale = field_u64(value, name)?.max(1),
+            "seed" => seed = field_u64(value, name)?,
+            "on_package" => on_package = field_size(value, name)?,
+            "policy" => {
+                policy = match as_str()?.to_ascii_lowercase().as_str() {
+                    "frfcfs" | "fr-fcfs" => SchedPolicy::FrFcfs,
+                    "fcfs" => SchedPolicy::Fcfs,
+                    other => return Err(format!("unknown policy '{other}'")),
+                };
+            }
+            "faults" => {
+                faults = Some(FaultPlan::parse(as_str()?).map_err(|e| format!("faults: {e}"))?)
+            }
+            "fault_seed" => fault_seed = Some(field_u64(value, name)?),
+            "timeout_ms" => timeout_ms = Some(field_u64(value, name)?),
+            other => return Err(format!("unknown field '{other}'")),
+        }
+    }
+
+    let workload = workload.ok_or("field 'workload' is required")?;
+    let mode = mode.ok_or("field 'mode' is required")?;
+    if !page.is_power_of_two() {
+        return Err(format!("'page' must be a power of two, got {page}"));
+    }
+    if interval == 0 {
+        return Err("'interval' must be at least 1".into());
+    }
+    if accesses == 0 {
+        return Err("'accesses' must be at least 1".into());
+    }
+    if accesses > limits.max_accesses {
+        return Err(format!(
+            "'accesses' of {accesses} exceeds this server's limit of {}",
+            limits.max_accesses
+        ));
+    }
+    let warmup = warmup.unwrap_or(accesses / 5);
+    if warmup >= accesses {
+        return Err(format!("'warmup' ({warmup}) must be smaller than 'accesses' ({accesses})"));
+    }
+    match (&mut faults, fault_seed) {
+        (Some(plan), Some(s)) => plan.seed = s,
+        (None, Some(_)) => return Err("'fault_seed' requires 'faults'".into()),
+        _ => {}
+    }
+
+    let cfg = RunConfig {
+        workload,
+        mode,
+        page_shift: page.trailing_zeros(),
+        swap_interval: interval,
+        on_package_bytes: on_package,
+        scale: SimScale { divisor: scale },
+        accesses,
+        warmup,
+        seed,
+        policy,
+        faults,
+        ..RunConfig::paper(workload, mode)
+    };
+    cfg.geometry().validate().map_err(|e| format!("invalid memory geometry: {e}"))?;
+
+    let canonical = canonical_json(&cfg);
+    Ok(SimRequest { key: fxhash64(canonical.as_bytes()), cfg, canonical, timeout_ms })
+}
+
+/// Render the resolved configuration in a fixed field order with
+/// canonical value spellings. Equal configurations — and only equal
+/// configurations — produce equal strings.
+pub fn canonical_json(cfg: &RunConfig) -> String {
+    let mut obj = JsonObject::new()
+        .str("workload", cfg.workload.token())
+        .str("mode", cfg.mode.token())
+        .u64("page_shift", cfg.page_shift as u64)
+        .u64("sub_block_shift", cfg.sub_block_shift as u64)
+        .u64("interval", cfg.swap_interval)
+        .u64("accesses", cfg.accesses)
+        .u64("warmup", cfg.warmup)
+        .u64("scale", cfg.scale.divisor)
+        .u64("seed", cfg.seed)
+        .u64("on_package", cfg.on_package_bytes)
+        .u64("total", cfg.total_bytes)
+        .str(
+            "policy",
+            match cfg.policy {
+                SchedPolicy::FrFcfs => "frfcfs",
+                SchedPolicy::Fcfs => "fcfs",
+            },
+        );
+    match cfg.os_assisted {
+        None => {}
+        Some(v) => obj = obj.bool("os_assisted", v),
+    }
+    if let Some(plan) = &cfg.faults {
+        // The parsed plan's Debug form names every field with exact
+        // values, so equivalent spec spellings canonicalise identically.
+        obj = obj.str("faults", &format!("{plan:?}"));
+    }
+    obj.finish()
+}
+
+/// The workspace's deterministic 64-bit hash over a byte string.
+pub fn fxhash64(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_core::MigrationDesign;
+
+    const MINIMAL: &str = r#"{"workload":"pgbench","mode":"live"}"#;
+
+    #[test]
+    fn minimal_request_resolves_cli_defaults() {
+        let r = parse_body(MINIMAL, &Limits::default()).unwrap();
+        assert_eq!(r.cfg.workload, WorkloadId::Pgbench);
+        assert_eq!(r.cfg.mode, Mode::Dynamic(MigrationDesign::LiveMigration));
+        assert_eq!(r.cfg.page_shift, 16, "64K default page");
+        assert_eq!(r.cfg.accesses, 400_000);
+        assert_eq!(r.cfg.warmup, 80_000, "accesses/5 default");
+        assert_eq!(r.cfg.scale.divisor, 8);
+        assert_eq!(r.timeout_ms, None);
+    }
+
+    #[test]
+    fn key_ignores_whitespace_field_order_and_aliases() {
+        let a = parse_body(r#"{"workload":"specjbb","mode":"n-1","seed":7}"#, &Limits::default())
+            .unwrap();
+        let b = parse_body(
+            "{ \"seed\": 7,\n  \"mode\": \"N1\",\n  \"workload\": \"jbb\" }",
+            &Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(a.canonical, b.canonical);
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn key_tracks_every_behavioural_field() {
+        let base = parse_body(MINIMAL, &Limits::default()).unwrap();
+        for variant in [
+            r#"{"workload":"pgbench","mode":"n"}"#,
+            r#"{"workload":"mg","mode":"live"}"#,
+            r#"{"workload":"pgbench","mode":"live","seed":43}"#,
+            r#"{"workload":"pgbench","mode":"live","page":"128K"}"#,
+            r#"{"workload":"pgbench","mode":"live","interval":999}"#,
+            r#"{"workload":"pgbench","mode":"live","accesses":400001}"#,
+            r#"{"workload":"pgbench","mode":"live","warmup":1}"#,
+            r#"{"workload":"pgbench","mode":"live","scale":64}"#,
+            r#"{"workload":"pgbench","mode":"live","on_package":"256M"}"#,
+            r#"{"workload":"pgbench","mode":"live","policy":"fcfs"}"#,
+            r#"{"workload":"pgbench","mode":"live","faults":"flip=1e-4"}"#,
+        ] {
+            let v = parse_body(variant, &Limits::default()).unwrap();
+            assert_ne!(v.key, base.key, "{variant} must change the cache key");
+        }
+    }
+
+    #[test]
+    fn timeout_is_excluded_from_the_key() {
+        let a = parse_body(MINIMAL, &Limits::default()).unwrap();
+        let b = parse_body(
+            r#"{"workload":"pgbench","mode":"live","timeout_ms":5}"#,
+            &Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(b.timeout_ms, Some(5));
+    }
+
+    #[test]
+    fn equivalent_fault_specs_share_a_key() {
+        let a = parse_body(
+            r#"{"workload":"pgbench","mode":"live","faults":"flip=1e-4,seed=9"}"#,
+            &Limits::default(),
+        )
+        .unwrap();
+        let b = parse_body(
+            r#"{"workload":"pgbench","mode":"live","faults":"flip=0.0001","fault_seed":9}"#,
+            &Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(a.key, b.key, "spec spelling must not leak into the key");
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        let cases = [
+            ("", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"mode":"live"}"#, "'workload' is required"),
+            (r#"{"workload":"pgbench"}"#, "'mode' is required"),
+            (r#"{"workload":"warehouse","mode":"live"}"#, "unknown workload"),
+            (r#"{"workload":"pgbench","mode":"turbo"}"#, "unknown mode"),
+            (r#"{"workload":"pgbench","mode":"live","intreval":5}"#, "unknown field"),
+            (r#"{"workload":"pgbench","mode":"live","page":"3K"}"#, "power of two"),
+            (r#"{"workload":"pgbench","mode":"live","page":"nope"}"#, "invalid size"),
+            (r#"{"workload":"pgbench","mode":"live","accesses":0}"#, "at least 1"),
+            (r#"{"workload":"pgbench","mode":"live","seed":1.5}"#, "non-negative integer"),
+            (r#"{"workload":"pgbench","mode":"live","warmup":400000}"#, "must be smaller"),
+            (r#"{"workload":"pgbench","mode":"live","fault_seed":1}"#, "requires 'faults'"),
+            (r#"{"workload":"pgbench","mode":"live","faults":"bogus=1"}"#, "faults:"),
+            (r#"{"workload":"pgbench","mode":"live","policy":"elevator"}"#, "unknown policy"),
+            (r#"{"workload":7,"mode":"live"}"#, "must be a string"),
+        ];
+        for (body, want) in cases {
+            let err = parse_body(body, &Limits::default()).unwrap_err();
+            assert!(err.contains(want), "{body}: got '{err}', wanted '{want}'");
+        }
+    }
+
+    #[test]
+    fn enforces_the_accesses_limit() {
+        let err = parse_body(
+            r#"{"workload":"pgbench","mode":"live","accesses":100000}"#,
+            &Limits { max_accesses: 50_000 },
+        )
+        .unwrap_err();
+        assert!(err.contains("exceeds this server's limit"), "{err}");
+    }
+}

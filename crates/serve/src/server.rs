@@ -1,0 +1,484 @@
+//! The serving core: accept loop, request dispatch, worker pool, and
+//! graceful drain.
+//!
+//! Threading model: `conn_threads` handler threads share one
+//! non-blocking listener — each accepts a connection, serves exactly one
+//! request on it (the framing layer closes after every response), and
+//! goes back to accepting. `workers` worker threads block on the bounded
+//! job queue and run simulations. Synchronous requests park their
+//! handler thread on [`Job::wait_done`]; asynchronous ones return a job
+//! id immediately.
+//!
+//! Admission is a single decision under one lock (`AdmitState` holds
+//! the result cache *and* the in-flight map together): cache hit → serve
+//! the stored body; identical request already in flight → join it
+//! (single-flight, no duplicate simulation); otherwise enqueue a new
+//! job or refuse with `429`/`503`. Workers publish under the same lock —
+//! insert into the cache and leave the in-flight map atomically — so an
+//! identical request admitted at any moment either sees the cache entry
+//! or joins the running job; it can never start a duplicate run.
+//!
+//! Graceful drain ([`Server::shutdown`], triggered by SIGTERM/ctrl-c in
+//! the binary or `POST /admin/shutdown`): stop accepting connections,
+//! stop admitting jobs (`503`), let the workers finish every queued job,
+//! join all threads, exit. Every request the server said yes to gets its
+//! answer.
+
+use crate::cache::LruCache;
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::jobs::{Job, JobRegistry, JobState};
+use crate::metrics::{GaugeSample, ServerMetrics};
+use crate::queue::{JobQueue, PushError};
+use crate::request::{parse_body, Limits, SimRequest};
+use crate::response::{error_body, job_status, render_run};
+use hmm_sim_base::FxHashMap;
+use hmm_simulator::driver::run;
+use hmm_telemetry::JsonObject;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Everything tunable about one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Connection handler threads (each serves one request at a time).
+    pub conn_threads: usize,
+    /// Bounded job-queue depth; beyond it requests get `429`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Admission limits applied while parsing request bodies.
+    pub limits: Limits,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Socket read/write deadline — a slow client cannot hold a handler
+    /// longer than this per direction.
+    pub io_timeout: Duration,
+    /// Default (and maximum) synchronous wait for `POST /v1/simulate`.
+    pub sync_timeout: Duration,
+    /// Finished jobs kept queryable by id.
+    pub job_retention: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            conn_threads: 16,
+            queue_depth: 32,
+            cache_entries: 256,
+            limits: Limits::default(),
+            max_body_bytes: 64 << 10,
+            io_timeout: Duration::from_secs(10),
+            sync_timeout: Duration::from_secs(30),
+            job_retention: 1024,
+        }
+    }
+}
+
+/// The result cache and the single-flight map, guarded together so
+/// admission and publication are atomic with respect to each other.
+#[derive(Debug)]
+struct AdmitState {
+    cache: LruCache,
+    inflight: FxHashMap<u64, Arc<Job>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServerConfig,
+    queue: JobQueue<Arc<Job>>,
+    registry: JobRegistry,
+    admit: Mutex<AdmitState>,
+    metrics: ServerMetrics,
+    draining: AtomicBool,
+    next_job_id: AtomicU64,
+}
+
+/// How an admission attempt resolved.
+enum Admitted {
+    /// Cache hit; here is the body.
+    Cached(Arc<String>),
+    /// Joined or started a job; wait on it.
+    Pending(Arc<Job>),
+    /// Refused; answer with this status and message.
+    Refused(u16, String),
+}
+
+impl Shared {
+    /// The single admission decision for both simulate endpoints.
+    fn admit(&self, req: &SimRequest) -> Admitted {
+        let mut admit = self.admit.lock().unwrap();
+        if let Some(body) = admit.cache.get(req.key) {
+            self.metrics.inc(&self.metrics.accepted);
+            self.metrics.inc(&self.metrics.cache_hits);
+            return Admitted::Cached(body);
+        }
+        if let Some(job) = admit.inflight.get(&req.key) {
+            self.metrics.inc(&self.metrics.accepted);
+            self.metrics.inc(&self.metrics.cache_misses);
+            self.metrics.inc(&self.metrics.coalesced);
+            return Admitted::Pending(Arc::clone(job));
+        }
+        let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let job = Job::new(id, req.key, req.canonical.clone(), req.cfg);
+        match self.queue.try_push(Arc::clone(&job)) {
+            Ok(()) => {
+                admit.inflight.insert(req.key, Arc::clone(&job));
+                self.registry.insert(Arc::clone(&job));
+                self.metrics.inc(&self.metrics.accepted);
+                self.metrics.inc(&self.metrics.cache_misses);
+                Admitted::Pending(job)
+            }
+            Err(PushError::Full) => {
+                self.metrics.inc(&self.metrics.rejected_busy);
+                Admitted::Refused(
+                    429,
+                    format!("queue full ({} jobs); retry later", self.queue.capacity()),
+                )
+            }
+            Err(PushError::ShuttingDown) => {
+                self.metrics.inc(&self.metrics.rejected_draining);
+                Admitted::Refused(503, "server is draining".into())
+            }
+        }
+    }
+
+    /// Remove `job` from the single-flight map if it still owns its key.
+    fn leave_inflight(&self, job: &Job) {
+        let mut admit = self.admit.lock().unwrap();
+        if admit.inflight.get(&job.key).is_some_and(|j| j.id == job.id) {
+            admit.inflight.remove(&job.key);
+        }
+    }
+
+    fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.shutdown();
+    }
+
+    fn metrics_doc(&self) -> String {
+        let (cache_len, cache_evictions) = {
+            let admit = self.admit.lock().unwrap();
+            (admit.cache.len(), admit.cache.evictions())
+        };
+        self.metrics.to_json(&GaugeSample {
+            workers: self.cfg.workers,
+            queue_capacity: self.queue.capacity(),
+            queue_len: self.queue.len(),
+            cache_capacity: self.cfg.cache_entries,
+            cache_len,
+            cache_evictions,
+            draining: self.draining.load(Ordering::SeqCst),
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// A running server; dropping it without [`Server::shutdown`] aborts the
+/// threads with the process (tests should always call `shutdown`).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and handler threads, and start
+    /// serving.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_depth),
+            registry: JobRegistry::new(cfg.job_retention),
+            admit: Mutex::new(AdmitState {
+                cache: LruCache::new(cfg.cache_entries),
+                inflight: FxHashMap::default(),
+            }),
+            metrics: ServerMetrics::default(),
+            draining: AtomicBool::new(false),
+            next_job_id: AtomicU64::new(1),
+            cfg,
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("hmm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptors = (0..shared.cfg.conn_threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let listener = listener.try_clone().expect("clone listener");
+                thread::Builder::new()
+                    .name(format!("hmm-serve-conn-{i}"))
+                    .spawn(move || accept_loop(&shared, &listener))
+                    .expect("spawn handler thread")
+            })
+            .collect();
+
+        Ok(Server { shared, addr, acceptors, workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a drain has been requested (by [`Server::shutdown`] or
+    /// `POST /admin/shutdown`).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current `/metrics` document, for out-of-band inspection.
+    pub fn metrics_doc(&self) -> String {
+        self.shared.metrics_doc()
+    }
+
+    /// Graceful drain: stop accepting, finish every queued job, join all
+    /// threads. Returns the final metrics document.
+    pub fn shutdown(self) -> String {
+        self.shared.start_drain();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        for a in self.acceptors {
+            let _ = a.join();
+        }
+        self.shared.metrics_doc()
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.inc(&shared.metrics.conns_accepted);
+                handle_connection(shared, stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Accept errors (EMFILE, aborted handshakes) are transient;
+            // back off briefly instead of killing the handler thread.
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
+    let response = match read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(req) => {
+            shared.metrics.inc(&shared.metrics.requests);
+            dispatch(shared, &req)
+        }
+        Err(ReadError::Eof) => return,
+        Err(ReadError::Io(_)) => return,
+        Err(ReadError::Bad(status, msg)) => {
+            shared.metrics.inc(&shared.metrics.bad_requests);
+            Response::json(status, error_body(&msg))
+        }
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+fn dispatch(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            JsonObject::new()
+                .bool("ok", true)
+                .bool("draining", shared.draining.load(Ordering::SeqCst))
+                .finish(),
+        ),
+        ("GET", "/metrics") => Response::json(200, shared.metrics_doc()),
+        ("POST", "/v1/simulate") => simulate_sync(shared, req),
+        ("POST", "/v1/jobs") => submit_job(shared, req),
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_get(shared, path),
+        ("DELETE", path) if path.starts_with("/v1/jobs/") => job_cancel(shared, path),
+        ("POST", "/admin/shutdown") => {
+            shared.start_drain();
+            Response::json(200, JsonObject::new().bool("draining", true).finish())
+        }
+        (_, "/healthz" | "/metrics" | "/v1/simulate" | "/v1/jobs" | "/admin/shutdown") => {
+            bad(shared, 405, &format!("method {} not allowed here", req.method))
+        }
+        _ => bad(shared, 404, &format!("no such endpoint '{}'", req.path)),
+    }
+}
+
+fn bad(shared: &Shared, status: u16, msg: &str) -> Response {
+    shared.metrics.inc(&shared.metrics.bad_requests);
+    Response::json(status, error_body(msg))
+}
+
+/// `POST /v1/simulate`: admit, wait for the result, answer in-line.
+fn simulate_sync(shared: &Shared, req: &Request) -> Response {
+    let sim = match parse_body(&req.body, &shared.cfg.limits) {
+        Ok(sim) => sim,
+        Err(msg) => return bad(shared, 400, &msg),
+    };
+    let started = Instant::now();
+    match shared.admit(&sim) {
+        Admitted::Cached(body) => {
+            shared.metrics.record_latency(started.elapsed());
+            Response::json(200, body.as_ref().clone()).with_header("x-cache", "hit".into())
+        }
+        Admitted::Refused(status, msg) => Response::json(status, error_body(&msg)),
+        Admitted::Pending(job) => {
+            let wait = sim
+                .timeout_ms
+                .map(Duration::from_millis)
+                .unwrap_or(shared.cfg.sync_timeout)
+                .min(shared.cfg.sync_timeout);
+            match job.wait_done(wait) {
+                Some(JobState::Done(body)) => {
+                    shared.metrics.record_latency(started.elapsed());
+                    Response::json(200, body.as_ref().clone())
+                        .with_header("x-cache", "miss".into())
+                        .with_header("x-job-id", job.id.to_string())
+                }
+                Some(JobState::Failed(msg)) => Response::json(500, error_body(&msg)),
+                Some(_) => {
+                    Response::json(409, error_body(&format!("job {} was cancelled", job.id)))
+                }
+                None => {
+                    shared.metrics.inc(&shared.metrics.sync_timeouts);
+                    Response::json(
+                        504,
+                        JsonObject::new()
+                            .str("error", "deadline exceeded; poll the job instead")
+                            .u64("id", job.id)
+                            .finish(),
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// `POST /v1/jobs`: admit and answer `202` with the job id immediately.
+/// A cache hit manufactures an already-done job so the client's polling
+/// flow is uniform.
+fn submit_job(shared: &Shared, req: &Request) -> Response {
+    let sim = match parse_body(&req.body, &shared.cfg.limits) {
+        Ok(sim) => sim,
+        Err(msg) => return bad(shared, 400, &msg),
+    };
+    match shared.admit(&sim) {
+        Admitted::Cached(body) => {
+            let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+            let job = Job::new(id, sim.key, sim.canonical, sim.cfg);
+            job.claim();
+            job.complete(body);
+            shared.registry.insert(Arc::clone(&job));
+            shared.registry.retire(id);
+            Response::json(202, JsonObject::new().u64("id", id).str("status", "done").finish())
+                .with_header("x-cache", "hit".into())
+        }
+        Admitted::Pending(job) => Response::json(
+            202,
+            JsonObject::new().u64("id", job.id).str("status", job.state().label()).finish(),
+        )
+        .with_header("x-cache", "miss".into()),
+        Admitted::Refused(status, msg) => Response::json(status, error_body(&msg)),
+    }
+}
+
+fn job_id_from(path: &str) -> Option<u64> {
+    path.strip_prefix("/v1/jobs/")?.parse().ok()
+}
+
+fn job_get(shared: &Shared, path: &str) -> Response {
+    let Some(id) = job_id_from(path) else {
+        return bad(shared, 404, &format!("malformed job id in '{path}'"));
+    };
+    match shared.registry.get(id) {
+        Some(job) => Response::json(200, job_status(id, &job.state())),
+        None => bad(shared, 404, &format!("no such job {id} (expired or never existed)")),
+    }
+}
+
+fn job_cancel(shared: &Shared, path: &str) -> Response {
+    let Some(id) = job_id_from(path) else {
+        return bad(shared, 404, &format!("malformed job id in '{path}'"));
+    };
+    let Some(job) = shared.registry.get(id) else {
+        return bad(shared, 404, &format!("no such job {id} (expired or never existed)"));
+    };
+    if job.cancel() {
+        // The worker that eventually pops this job sees the cancelled
+        // state and skips it; clean up the admission side now so an
+        // identical request starts fresh instead of joining a corpse.
+        shared.leave_inflight(&job);
+        shared.registry.retire(id);
+        shared.metrics.inc(&shared.metrics.cancelled);
+        Response::json(200, job_status(id, &JobState::Cancelled))
+    } else {
+        Response::json(
+            409,
+            error_body(&format!("job {id} is {} and cannot be cancelled", job.state().label())),
+        )
+    }
+}
+
+/// One worker thread: pop, claim, simulate, publish, until the queue is
+/// shut down and drained.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        if !job.claim() {
+            // Cancelled while queued; the cancel path already retired it.
+            continue;
+        }
+        shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(&job.cfg)));
+        match outcome {
+            Ok(result) => {
+                shared.metrics.inc(&shared.metrics.sim_runs);
+                shared.metrics.record_run(&result);
+                let body = Arc::new(render_run(&job.canonical, &result));
+                {
+                    // Publish atomically: once the key leaves the
+                    // in-flight map, the cache already has the body.
+                    let mut admit = shared.admit.lock().unwrap();
+                    admit.cache.insert(job.key, Arc::clone(&body));
+                    if admit.inflight.get(&job.key).is_some_and(|j| j.id == job.id) {
+                        admit.inflight.remove(&job.key);
+                    }
+                }
+                job.complete(body);
+            }
+            Err(_) => {
+                shared.metrics.inc(&shared.metrics.sim_failures);
+                shared.leave_inflight(&job);
+                job.fail("simulation panicked; see server log".into());
+            }
+        }
+        shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.registry.retire(job.id);
+    }
+}

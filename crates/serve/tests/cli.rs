@@ -1,0 +1,102 @@
+//! Negative CLI tests for `hmm-serve` and `hmm-loadgen`, plus a
+//! process-level smoke test of the server binary's lifecycle: boot,
+//! answer requests, drain cleanly on `POST /admin/shutdown`, exit 0.
+
+use hmm_serve::client::request;
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"))
+}
+
+/// The workspace-wide convention: exit 2, exactly one stderr line,
+/// naming the offending input.
+fn assert_one_line_exit2(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "diagnostic must be one line, got: {stderr:?}"
+    );
+    assert!(stderr.contains(needle), "wanted '{needle}' in: {stderr}");
+}
+
+#[test]
+fn hmm_serve_rejects_invalid_input_with_one_line() {
+    let bin = env!("CARGO_BIN_EXE_hmm-serve");
+    assert_one_line_exit2(&run(bin, &["--bogus"]), "--bogus");
+    assert_one_line_exit2(&run(bin, &["--workers", "lots"]), "lots");
+    assert_one_line_exit2(&run(bin, &["--queue-depth"]), "--queue-depth");
+    assert_one_line_exit2(&run(bin, &["--addr", "not-an-addr"]), "failed to bind");
+}
+
+#[test]
+fn hmm_loadgen_rejects_invalid_input_with_one_line() {
+    let bin = env!("CARGO_BIN_EXE_hmm-loadgen");
+    assert_one_line_exit2(&run(bin, &[]), "--addr is required");
+    assert_one_line_exit2(&run(bin, &["--addr", "nope"]), "nope");
+    assert_one_line_exit2(&run(bin, &["--addr", "127.0.0.1:1", "--wat"]), "--wat");
+    assert_one_line_exit2(&run(bin, &["--addr", "127.0.0.1:1", "--concurrency", "x"]), "x");
+    assert_one_line_exit2(
+        &run(bin, &["--addr", "127.0.0.1:1", "--workloads", "warehouse"]),
+        "warehouse",
+    );
+    assert_one_line_exit2(&run(bin, &["--addr", "127.0.0.1:1", "--modes", "turbo"]), "turbo");
+}
+
+/// Boot the real server process, hit it over TCP, drain it via the admin
+/// endpoint, and require a clean exit 0 — the same lifecycle the CI
+/// `serve-smoke` job drives with SIGTERM.
+#[test]
+fn hmm_serve_process_boots_serves_and_drains() {
+    let bin = env!("CARGO_BIN_EXE_hmm-serve");
+    let mut child = Command::new(bin)
+        .args(["--addr", "127.0.0.1:0", "--workers", "2", "--conn-threads", "4"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hmm-serve");
+
+    // The first stdout line announces the bound address.
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("hmm-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+
+    let timeout = Duration::from_secs(10);
+    let health = request(addr, "GET", "/healthz", "", timeout).expect("healthz");
+    assert_eq!(health.status, 200);
+    let sim = request(
+        addr,
+        "POST",
+        "/v1/simulate",
+        r#"{"workload":"pgbench","mode":"static","accesses":3000,"scale":64}"#,
+        timeout,
+    )
+    .expect("simulate");
+    assert_eq!(sim.status, 200, "{}", sim.body);
+
+    let drain = request(addr, "POST", "/admin/shutdown", "", timeout).expect("shutdown");
+    assert_eq!(drain.status, 200);
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("hmm-serve did not exit after the drain");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(status.code(), Some(0), "graceful drain must exit 0");
+}

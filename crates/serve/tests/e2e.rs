@@ -1,0 +1,419 @@
+//! End-to-end tests: a real `Server` on a loopback socket, driven
+//! through the real client. These are the acceptance tests for the
+//! serving layer's contract — determinism through the wire, cache
+//! accounting, backpressure, the async job lifecycle, and graceful
+//! drain.
+
+use hmm_serve::client::{request, HttpResponse};
+use hmm_serve::request::Limits;
+use hmm_serve::{Server, ServerConfig};
+use hmm_telemetry::jsonin::{self, Json};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A fast request body (~25 ms of simulation in debug builds).
+const FAST: &str = r#"{"workload":"pgbench","mode":"live","accesses":3000,"scale":64}"#;
+
+fn small_server() -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        conn_threads: 8,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> HttpResponse {
+    request(addr, "POST", path, body, TIMEOUT).expect("request failed")
+}
+
+fn get(addr: SocketAddr, path: &str) -> HttpResponse {
+    request(addr, "GET", path, "", TIMEOUT).expect("request failed")
+}
+
+fn metrics(addr: SocketAddr) -> Json {
+    let resp = get(addr, "/metrics");
+    assert_eq!(resp.status, 200);
+    jsonin::parse(&resp.body).expect("metrics must be valid JSON")
+}
+
+fn counter(doc: &Json, name: &str) -> u64 {
+    doc.get(name).and_then(|v| v.as_f64()).unwrap_or_else(|| panic!("missing '{name}'")) as u64
+}
+
+#[test]
+fn health_and_metrics_respond() {
+    let server = small_server();
+    let addr = server.local_addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let doc = jsonin::parse(&health.body).unwrap();
+    assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("draining").unwrap().as_bool(), Some(false));
+
+    let doc = metrics(addr);
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("hmm-serve-metrics-v1"));
+    assert_eq!(counter(&doc, "accepted"), 0);
+
+    server.shutdown();
+}
+
+/// The tentpole determinism guarantee, observed from outside: the same
+/// request twice produces byte-identical bodies, the first as a miss and
+/// the second as a hit, with the hit counter moving exactly once.
+#[test]
+fn determinism_through_the_wire() {
+    let server = small_server();
+    let addr = server.local_addr();
+
+    let first = post(addr, "/v1/simulate", FAST);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+
+    // Different spelling, same simulation: field order and whitespace
+    // must not defeat the cache.
+    let respelled = r#"{ "scale": 64, "accesses": 3000, "mode": "live", "workload": "pgbench" }"#;
+    let second = post(addr, "/v1/simulate", respelled);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cached body must be byte-identical");
+
+    let doc = metrics(addr);
+    assert_eq!(counter(&doc, "cache_hits"), 1, "exactly one hit");
+    assert_eq!(counter(&doc, "cache_misses"), 1);
+    assert_eq!(counter(&doc, "sim_runs"), 1, "the simulation ran once, not twice");
+    assert_eq!(counter(&doc, "accepted"), 2);
+
+    let body = jsonin::parse(&first.body).unwrap();
+    assert_eq!(body.get("schema").unwrap().as_str(), Some("hmm-serve-sim-v1"));
+    assert_eq!(
+        body.get("config").unwrap().get("workload").unwrap().as_str(),
+        Some("pgbench"),
+        "canonical config echoed in the body"
+    );
+    assert!(
+        body.get("access").unwrap().get("mean_latency_cycles").unwrap().as_f64().unwrap() > 0.0
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_structured_400s() {
+    let server = small_server();
+    let addr = server.local_addr();
+
+    for body in [
+        "",
+        "not json",
+        r#"{"mode":"live"}"#,
+        r#"{"workload":"pgbench","mode":"warp"}"#,
+        r#"{"workload":"pgbench","mode":"live","bogus_field":1}"#,
+    ] {
+        let resp = post(addr, "/v1/simulate", body);
+        assert_eq!(resp.status, 400, "{body:?} -> {}", resp.body);
+        let doc = jsonin::parse(&resp.body).expect("errors must be JSON");
+        assert!(doc.get("error").unwrap().as_str().is_some(), "{body:?}");
+    }
+
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(post(addr, "/healthz", "").status, 405);
+    assert_eq!(get(addr, "/v1/jobs/notanumber").status, 404);
+    assert_eq!(get(addr, "/v1/jobs/99999").status, 404);
+
+    let doc = metrics(addr);
+    assert!(counter(&doc, "bad_requests") >= 5);
+    assert_eq!(counter(&doc, "accepted"), 0, "nothing malformed was admitted");
+
+    server.shutdown();
+}
+
+/// An over-limit request is refused at the door, before queueing.
+#[test]
+fn accesses_limit_is_enforced() {
+    let server = Server::start(ServerConfig {
+        limits: Limits { max_accesses: 10_000 },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let resp =
+        post(addr, "/v1/simulate", r#"{"workload":"pgbench","mode":"live","accesses":20000}"#);
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("limit"), "{}", resp.body);
+    server.shutdown();
+}
+
+/// Flooding a tiny queue with distinct async jobs produces immediate
+/// `429`s, never hangs — and everything that was admitted completes.
+#[test]
+fn backpressure_rejects_above_the_bound() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        conn_threads: 4,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut accepted_ids = Vec::new();
+    let mut rejected = 0u64;
+    for seed in 0..12u64 {
+        // Unique seeds: every request is a distinct simulation, so the
+        // cache and single-flight cannot absorb the flood.
+        let body = format!(
+            r#"{{"workload":"pgbench","mode":"live","accesses":3000,"scale":64,"seed":{seed}}}"#
+        );
+        let resp = post(addr, "/v1/jobs", &body);
+        match resp.status {
+            202 => {
+                let doc = jsonin::parse(&resp.body).unwrap();
+                accepted_ids.push(counter(&doc, "id"));
+            }
+            429 => rejected += 1,
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert!(rejected > 0, "a 12-deep flood must overflow a 1-deep queue");
+    assert!(!accepted_ids.is_empty(), "the queue admits up to its bound");
+
+    // Every admitted job still completes (zero dropped work).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for id in &accepted_ids {
+        loop {
+            let resp = get(addr, &format!("/v1/jobs/{id}"));
+            assert_eq!(resp.status, 200);
+            let doc = jsonin::parse(&resp.body).unwrap();
+            match doc.get("status").unwrap().as_str().unwrap() {
+                "done" => break,
+                "failed" | "cancelled" => panic!("job {id} did not complete: {}", resp.body),
+                _ => {
+                    assert!(Instant::now() < deadline, "job {id} never finished");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    let doc = metrics(server.local_addr());
+    assert_eq!(counter(&doc, "rejected_busy"), rejected);
+    assert_eq!(counter(&doc, "accepted"), accepted_ids.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn async_job_lifecycle_matches_sync_result() {
+    let server = small_server();
+    let addr = server.local_addr();
+
+    let submitted = post(addr, "/v1/jobs", FAST);
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let id = counter(&jsonin::parse(&submitted.body).unwrap(), "id");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let result = loop {
+        let resp = get(addr, &format!("/v1/jobs/{id}"));
+        assert_eq!(resp.status, 200);
+        let doc = jsonin::parse(&resp.body).unwrap();
+        if doc.get("status").unwrap().as_str() == Some("done") {
+            break resp.body;
+        }
+        assert!(Instant::now() < deadline, "job never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // The sync endpoint must now hit the cache with the identical body
+    // the async job embedded under `result`.
+    let sync = post(addr, "/v1/simulate", FAST);
+    assert_eq!(sync.status, 200);
+    assert_eq!(sync.header("x-cache"), Some("hit"));
+    let embedded = jsonin::parse(&result).unwrap();
+    let sync_doc = jsonin::parse(&sync.body).unwrap();
+    assert_eq!(
+        embedded.get("result").unwrap().get("digest").unwrap().as_f64(),
+        sync_doc.get("digest").unwrap().as_f64(),
+        "async and sync answers describe the same run"
+    );
+
+    // A second submission of the same body is answered from the cache as
+    // an instantly-done job.
+    let resubmitted = post(addr, "/v1/jobs", FAST);
+    assert_eq!(resubmitted.status, 202);
+    assert_eq!(resubmitted.header("x-cache"), Some("hit"));
+    let doc = jsonin::parse(&resubmitted.body).unwrap();
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+
+    server.shutdown();
+}
+
+/// Two concurrent identical requests run the simulation once
+/// (single-flight) and both get the full answer.
+#[test]
+fn identical_concurrent_requests_coalesce() {
+    let server = small_server();
+    let addr = server.local_addr();
+    let body = r#"{"workload":"mg","mode":"static","accesses":20000,"scale":64}"#;
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let resp = post(addr, "/v1/simulate", body);
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                resp.body
+            })
+        })
+        .collect();
+    let bodies: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "coalesced answers must be byte-identical");
+    }
+
+    let doc = metrics(addr);
+    assert_eq!(counter(&doc, "sim_runs"), 1, "one simulation served all four clients");
+    assert_eq!(counter(&doc, "accepted"), 4);
+    server.shutdown();
+}
+
+#[test]
+fn queued_jobs_can_be_cancelled() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        conn_threads: 4,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Occupy the only worker with ~2.5s of simulation (debug builds).
+    let slow = r#"{"workload":"pgbench","mode":"live","accesses":1000000,"scale":64,"seed":77}"#;
+    let running = post(addr, "/v1/jobs", slow);
+    assert_eq!(running.status, 202, "{}", running.body);
+    let running_id = counter(&jsonin::parse(&running.body).unwrap(), "id");
+
+    let queued = post(addr, "/v1/jobs", FAST);
+    assert_eq!(queued.status, 202);
+    let queued_id = counter(&jsonin::parse(&queued.body).unwrap(), "id");
+
+    let cancel = request(addr, "DELETE", &format!("/v1/jobs/{queued_id}"), "", TIMEOUT).unwrap();
+    assert_eq!(cancel.status, 200, "{}", cancel.body);
+    let doc = jsonin::parse(&cancel.body).unwrap();
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("cancelled"));
+
+    let polled = get(addr, &format!("/v1/jobs/{queued_id}"));
+    let doc = jsonin::parse(&polled.body).unwrap();
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("cancelled"));
+
+    // After cancellation the same request admits fresh instead of
+    // joining the cancelled job.
+    let retried = post(addr, "/v1/jobs", FAST);
+    assert_eq!(retried.status, 202);
+    let retried_id = counter(&jsonin::parse(&retried.body).unwrap(), "id");
+    assert_ne!(retried_id, queued_id);
+
+    // The drain finishes the slow job, the retried job, and skips the
+    // cancelled one.
+    let final_doc = jsonin::parse(&server.shutdown()).unwrap();
+    assert_eq!(counter(&final_doc, "cancelled"), 1);
+    assert_eq!(counter(&final_doc, "sim_runs"), 2, "cancelled job never ran");
+    let _ = running_id;
+}
+
+/// A sync request with a tiny deadline gets `504` plus the job id, and
+/// the job still completes in the background.
+#[test]
+fn sync_timeout_hands_back_a_pollable_job() {
+    let server = small_server();
+    let addr = server.local_addr();
+    let body =
+        r#"{"workload":"pgbench","mode":"live","accesses":150000,"scale":64,"timeout_ms":1}"#;
+    let resp = post(addr, "/v1/simulate", body);
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    let id = counter(&jsonin::parse(&resp.body).unwrap(), "id");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let polled = get(addr, &format!("/v1/jobs/{id}"));
+        let doc = jsonin::parse(&polled.body).unwrap();
+        if doc.get("status").unwrap().as_str() == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "timed-out job never completed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let doc = metrics(addr);
+    assert_eq!(counter(&doc, "sync_timeouts"), 1);
+    server.shutdown();
+}
+
+/// Graceful drain: admitted jobs finish, late arrivals are refused, the
+/// final counters balance, and the listener goes away.
+#[test]
+fn shutdown_drains_admitted_work() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        conn_threads: 4,
+        queue_depth: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut ids = Vec::new();
+    for seed in 100..104u64 {
+        let body = format!(
+            r#"{{"workload":"pgbench","mode":"live","accesses":20000,"scale":64,"seed":{seed}}}"#
+        );
+        let resp = post(addr, "/v1/jobs", &body);
+        assert_eq!(resp.status, 202);
+        ids.push(counter(&jsonin::parse(&resp.body).unwrap(), "id"));
+    }
+
+    let final_doc = jsonin::parse(&server.shutdown()).unwrap();
+    assert_eq!(counter(&final_doc, "sim_runs"), 4, "every admitted job ran before exit");
+    assert_eq!(counter(&final_doc, "in_flight"), 0);
+    assert_eq!(counter(&final_doc, "queue_len"), 0);
+    assert_eq!(
+        counter(&final_doc, "accepted"),
+        counter(&final_doc, "cache_hits") + counter(&final_doc, "cache_misses"),
+        "the admission identity survives a drain"
+    );
+
+    // The acceptors are gone; fresh connections must fail (possibly
+    // after the kernel backlog drains, hence the retry loop).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match request(addr, "GET", "/healthz", "", Duration::from_millis(200)) {
+            Err(_) => break,
+            Ok(_) => {
+                assert!(Instant::now() < deadline, "listener still answering after shutdown");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// `POST /admin/shutdown` flips the server into draining: health says
+/// so, new admissions get `503`, and the binary's poll loop would exit.
+#[test]
+fn admin_shutdown_starts_the_drain() {
+    let server = small_server();
+    let addr = server.local_addr();
+
+    let resp = post(addr, "/admin/shutdown", "");
+    assert_eq!(resp.status, 200);
+    assert!(server.is_draining());
+
+    // Connections racing the drain either get refused admission (503) or
+    // cannot connect at all once the acceptors notice the flag.
+    if let Ok(late) = request(addr, "POST", "/v1/simulate", FAST, Duration::from_secs(2)) {
+        assert_eq!(late.status, 503, "{}", late.body);
+    }
+    server.shutdown();
+}

@@ -279,6 +279,21 @@ impl Default for SimScale {
     }
 }
 
+/// Parse a byte size like `64K`, `4M`, `1G`, `512M`, or plain bytes
+/// (suffixes are powers of two, case-insensitive). Shared by the CLI flags
+/// (`hmm-sim --page`) and the `hmm-serve` wire format so every entry point
+/// accepts the same spellings.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|v| v.saturating_mul(mult))
+}
+
 /// Bundle of clock + latency + geometry: everything a simulator needs to
 /// know about the machine that is not workload-specific.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -360,5 +375,17 @@ mod tests {
     fn lines_per_page() {
         let g = MemoryGeometry::paper_default();
         assert_eq!(g.lines_per_page(), (4 << 20) / 64);
+    }
+
+    #[test]
+    fn parse_size_suffixes() {
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size("4m"), Some(4 << 20));
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size(" 2K "), Some(2048));
+        for bad in ["", "K", "4KB", "-1M", "1.5G"] {
+            assert_eq!(parse_size(bad), None, "{bad:?}");
+        }
     }
 }

@@ -1,10 +1,12 @@
-//! A minimal JSON reader for the perf-baseline compare mode.
+//! A minimal JSON reader — the read half of the workspace's JSON story.
 //!
-//! The workspace's writer lives in `hmm_telemetry::json`; nothing needed to
-//! *parse* JSON until `hmm-bench perf --baseline` had to read a committed
-//! `BENCH_*.json` back. This is a small recursive-descent parser for that
-//! one job — strict enough to reject malformed baselines with a useful
-//! message, with no external dependencies for offline toolchains.
+//! The writer lives next door in [`crate::json`]; nothing needed to *parse*
+//! JSON until `hmm-bench perf --baseline` had to read a committed
+//! `BENCH_*.json` back, and now `hmm-serve` parses request bodies and
+//! `hmm-loadgen` parses `/metrics` responses through the same parser. It is
+//! a small recursive-descent parser — strict enough to reject malformed
+//! documents with a useful message, with no external dependencies for
+//! offline toolchains.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -270,7 +272,7 @@ mod tests {
 
     #[test]
     fn round_trips_writer_output() {
-        use hmm_telemetry::json::JsonObject;
+        use crate::json::JsonObject;
         let text = JsonObject::new()
             .str("name", "a\"b\\c\nd\t")
             .f64("x", 0.25)

@@ -26,6 +26,7 @@
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod jsonin;
 pub mod recorder;
 pub mod ring;
 pub mod sink;
@@ -36,6 +37,7 @@ pub use export::{
     EpochRow,
 };
 pub use json::{JsonObject, ToJson};
+pub use jsonin::Json;
 pub use recorder::{Counters, Recorder, RecorderConfig, TelemetryLevel};
 pub use ring::EventRing;
 pub use sink::{NullSink, TelemetrySink};

@@ -86,6 +86,56 @@ impl WorkloadId {
             SpecJbb => "SPECjbb",
         }
     }
+
+    /// Canonical lowercase token, round-trippable through [`FromStr`](std::str::FromStr).
+    /// This is the spelling used by CLI flags and the `hmm-serve` wire
+    /// format, so cache keys and reports agree on one name per workload.
+    pub fn token(&self) -> &'static str {
+        use WorkloadId::*;
+        match self {
+            Bt => "bt",
+            Cg => "cg",
+            Dc => "dc",
+            Ep => "ep",
+            Ft => "ft",
+            Is => "is",
+            Lu => "lu",
+            Mg => "mg",
+            Sp => "sp",
+            Ua => "ua",
+            Spec2006Mix => "spec2006",
+            Pgbench => "pgbench",
+            Indexer => "indexer",
+            SpecJbb => "specjbb",
+        }
+    }
+}
+
+impl std::str::FromStr for WorkloadId {
+    type Err = String;
+
+    /// Accepts the canonical token, the paper spelling (`ft.c`), and the
+    /// historical CLI aliases (`spec`, `jbb`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        use WorkloadId::*;
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "bt" | "bt.c" => Bt,
+            "cg" | "cg.c" => Cg,
+            "dc" | "dc.b" => Dc,
+            "ep" | "ep.c" => Ep,
+            "ft" | "ft.c" => Ft,
+            "is" | "is.c" => Is,
+            "lu" | "lu.c" => Lu,
+            "mg" | "mg.c" => Mg,
+            "sp" | "sp.c" => Sp,
+            "ua" | "ua.c" => Ua,
+            "spec2006" | "spec" | "spec2006 mixture" => Spec2006Mix,
+            "pgbench" => Pgbench,
+            "indexer" => Indexer,
+            "specjbb" | "jbb" => SpecJbb,
+            other => return Err(format!("unknown workload '{other}'")),
+        })
+    }
 }
 
 /// NPB memory footprints in MB as printed in Table I (BT.C and CG.C digits
@@ -429,6 +479,15 @@ mod tests {
         for (id, mb) in expect {
             assert_eq!(npb_footprint_mb(id), mb, "{id:?}");
         }
+    }
+
+    #[test]
+    fn tokens_round_trip_through_from_str() {
+        for id in WorkloadId::npb_all().into_iter().chain(WorkloadId::trace_study()) {
+            assert_eq!(id.token().parse::<WorkloadId>(), Ok(id), "{id:?}");
+            assert_eq!(id.name().parse::<WorkloadId>(), Ok(id), "paper spelling for {id:?}");
+        }
+        assert!("warehouse".parse::<WorkloadId>().is_err());
     }
 
     #[test]

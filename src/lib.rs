@@ -15,6 +15,8 @@
 //!   SECDED ECC outcomes, stuck banks, throttle windows, transfer faults.
 //! * [`simulator`] — trace-driven system simulation and experiment sweeps.
 //! * [`power`] — the pJ/bit energy model.
+//! * [`serve`] — the concurrent simulation-serving subsystem: HTTP API,
+//!   bounded job queue, worker pool, deterministic result cache.
 //! * [`telemetry`] — cross-layer event tracing, counters and exporters
 //!   (JSONL, Chrome `trace_event`, per-epoch CSV).
 //!
@@ -25,6 +27,7 @@ pub use hmm_core as core;
 pub use hmm_dram as dram;
 pub use hmm_fault as fault;
 pub use hmm_power as power;
+pub use hmm_serve as serve;
 pub use hmm_sim_base as base;
 pub use hmm_simulator as simulator;
 pub use hmm_telemetry as telemetry;

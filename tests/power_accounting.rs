@@ -1,0 +1,169 @@
+//! Power-model accounting, reconciled end-to-end against the
+//! controller's own traffic counters.
+//!
+//! `RunResult::traffic()` maps `ControllerStats` line counters one-to-one
+//! onto `hmm_power::Traffic`; these tests pin that mapping and the
+//! conservation laws behind Fig. 16: every demand access moves exactly
+//! one line, and every migrated sub-block moves each of its lines twice
+//! (a read leg and a write leg), however the modes split those legs
+//! between the regions.
+
+use hetero_mem::base::config::SimScale;
+use hetero_mem::core::Mode;
+use hetero_mem::power::{
+    baseline_energy, hybrid_energy, normalized_power, EnergyParams, Traffic, LINE_BITS,
+};
+use hetero_mem::simulator::driver::{run, RunConfig, RunResult};
+use hetero_mem::workloads::WorkloadId;
+
+fn quick(mode: &str) -> (RunConfig, RunResult) {
+    let cfg = RunConfig {
+        accesses: 30_000,
+        warmup: 5_000,
+        scale: SimScale { divisor: 64 },
+        ..RunConfig::quick(WorkloadId::Pgbench, mode.parse::<Mode>().unwrap())
+    };
+    let result = run(&cfg);
+    (cfg, result)
+}
+
+#[test]
+fn traffic_mirrors_controller_stats_exactly() {
+    for mode in ["off", "on", "static", "n", "n-1", "live"] {
+        let (_, r) = quick(mode);
+        let t = r.traffic();
+        assert_eq!(t.demand_on_lines, r.controller.demand_on_lines, "{mode}");
+        assert_eq!(t.demand_off_lines, r.controller.demand_off_lines, "{mode}");
+        assert_eq!(t.migration_on_lines, r.controller.migration_on_lines, "{mode}");
+        assert_eq!(t.migration_off_lines, r.controller.migration_off_lines, "{mode}");
+    }
+}
+
+/// One line per demand access, warm-up included — no access is counted
+/// twice and none disappears, in any mode.
+#[test]
+fn every_demand_access_moves_exactly_one_line() {
+    for mode in ["off", "on", "static", "n", "n-1", "live"] {
+        let (cfg, r) = quick(mode);
+        assert_eq!(
+            r.traffic().demand_lines(),
+            cfg.accesses,
+            "{mode}: demand lines must equal submitted accesses"
+        );
+    }
+}
+
+/// Migration legs are conserved: each copied sub-block moves its lines
+/// twice (one read leg, one write leg). The modes split the legs
+/// differently between the regions — a plain swap pairs them one
+/// on-package to one off-package, the sacrificial-slot designs route
+/// both legs of some copies through one region — but the total is a
+/// hard identity.
+#[test]
+fn migration_legs_match_copied_sub_blocks() {
+    let mut saw_migration = false;
+    for mode in ["n", "n-1", "live"] {
+        let (_, r) = quick(mode);
+        let t = r.traffic();
+        let swaps = r.swaps.as_ref().unwrap_or_else(|| panic!("{mode} must report swaps"));
+        let lines_per_sub_block = (1u64 << r.geometry.sub_block_shift) / 64;
+        assert_eq!(
+            t.migration_on_lines + t.migration_off_lines,
+            2 * swaps.sub_blocks_copied * lines_per_sub_block,
+            "{mode}: two legs per copied line"
+        );
+        saw_migration |= swaps.sub_blocks_copied > 0;
+    }
+    assert!(saw_migration, "the quick configs must actually migrate something");
+}
+
+#[test]
+fn non_migrating_modes_report_zero_migration_traffic() {
+    for mode in ["off", "on", "static"] {
+        let (_, r) = quick(mode);
+        let t = r.traffic();
+        assert_eq!(t.migration_on_lines, 0, "{mode}");
+        assert_eq!(t.migration_off_lines, 0, "{mode}");
+        assert!(r.swaps.is_none(), "{mode} must not report swap stats");
+    }
+}
+
+/// The off-package-only run *is* the normalization baseline, so its
+/// normalized power is exactly 1; serving everything on-package beats it
+/// by the link-energy ratio.
+#[test]
+fn normalized_power_endpoints() {
+    let params = EnergyParams::default();
+    let (_, off) = quick("off");
+    let t = off.traffic();
+    assert_eq!(t.on_lines(), 0);
+    let r = normalized_power(&params, &t).unwrap();
+    assert!((r - 1.0).abs() < 1e-12, "off-only run is the baseline: {r}");
+
+    let (_, on) = quick("on");
+    let t = on.traffic();
+    assert_eq!(t.off_lines(), 0);
+    let r = normalized_power(&params, &t).unwrap();
+    let expected = (params.core_pj_per_bit + params.on_link_pj_per_bit)
+        / (params.core_pj_per_bit + params.off_link_pj_per_bit);
+    assert!((r - expected).abs() < 1e-12, "all-on ratio {r} vs {expected}");
+}
+
+/// Energy is linear in traffic: doubling every counter doubles every
+/// component, and the breakdown reconciles bit-for-bit with the counters.
+#[test]
+fn energy_is_linear_and_reconciles_with_counters() {
+    let params = EnergyParams::default();
+    let (_, r) = quick("live");
+    let t = r.traffic();
+    let e = hybrid_energy(&params, &t);
+    assert!(
+        (e.on_link_pj - t.on_lines() as f64 * LINE_BITS * params.on_link_pj_per_bit).abs() < 1e-6
+    );
+    assert!(
+        (e.off_link_pj - t.off_lines() as f64 * LINE_BITS * params.off_link_pj_per_bit).abs()
+            < 1e-6
+    );
+    assert!(
+        (e.core_pj - (t.on_lines() + t.off_lines()) as f64 * LINE_BITS * params.core_pj_per_bit)
+            .abs()
+            < 1e-6
+    );
+
+    let doubled = Traffic {
+        demand_on_lines: 2 * t.demand_on_lines,
+        demand_off_lines: 2 * t.demand_off_lines,
+        migration_on_lines: 2 * t.migration_on_lines,
+        migration_off_lines: 2 * t.migration_off_lines,
+    };
+    let e2 = hybrid_energy(&params, &doubled);
+    assert!((e2.total_pj() - 2.0 * e.total_pj()).abs() < 1e-6);
+    // The ratio is scale-invariant, so normalization cancels it out.
+    let b = baseline_energy(&params, &doubled);
+    assert!((b.total_pj() - 2.0 * baseline_energy(&params, &t).total_pj()).abs() < 1e-6);
+    assert!(
+        (normalized_power(&params, &t).unwrap() - normalized_power(&params, &doubled).unwrap())
+            .abs()
+            < 1e-12
+    );
+}
+
+/// Migration makes the hybrid strictly more expensive than the same
+/// demand stream without it, never cheaper — wasted legs cost energy.
+#[test]
+fn migration_only_adds_energy() {
+    let params = EnergyParams::default();
+    let (_, r) = quick("live");
+    let t = r.traffic();
+    assert!(t.migration_on_lines + t.migration_off_lines > 0, "config must migrate");
+    let without = Traffic { migration_on_lines: 0, migration_off_lines: 0, ..t };
+    assert!(
+        hybrid_energy(&params, &t).total_pj() > hybrid_energy(&params, &without).total_pj(),
+        "migration legs must cost energy"
+    );
+    // And the baseline only sees demand, so it is unchanged.
+    assert_eq!(
+        baseline_energy(&params, &t).total_pj(),
+        baseline_energy(&params, &without).total_pj()
+    );
+}
