@@ -7,6 +7,7 @@
 
 pub mod harness;
 pub mod perf;
+pub mod sweep;
 
 /// The workspace JSON reader now lives beside the writer in
 /// `hmm_telemetry`; re-exported here so `hmm_bench::jsonin` paths keep

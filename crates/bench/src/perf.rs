@@ -2,17 +2,20 @@
 //!
 //! Measures end-to-end simulator throughput (simulated accesses per
 //! wall-clock second) over a fixed grid of scenarios — the three migration
-//! designs × demand-dominated workloads at fixed seeds — with warmup plus
-//! median-of-k sampling, and emits a machine-readable `BENCH_*.json` whose
-//! schema is stable so CI can gate on regressions against a committed
-//! baseline. Every scenario also carries a *sim-stat digest*: a hash over
+//! designs × demand-dominated workloads at fixed seeds — plus the serve
+//! path (parse → admit → render over loopback HTTP, as requests per
+//! second), with warmup plus median-of-k sampling, and emits a
+//! machine-readable `BENCH_*.json` whose schema is stable so CI can gate
+//! on regressions against a committed baseline. Every scenario also carries a *sim-stat digest*: a hash over
 //! the run's exact simulated counters, used to assert bit-determinism
 //! across sequential/parallel execution and across binaries (a perf PR
 //! must not change simulated behaviour).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hmm_core::{MigrationDesign, Mode};
+use hmm_serve::client::request as http_request;
+use hmm_serve::{Server, ServerConfig};
 use hmm_simulator::driver::{run, RunConfig, RunResult};
 use hmm_telemetry::json::JsonObject;
 use hmm_workloads::WorkloadId;
@@ -89,6 +92,13 @@ impl Digest {
     fn push_u128(&mut self, v: u128) {
         self.push(v as u64);
         self.push((v >> 64) as u64);
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
     }
 
     /// The digest value.
@@ -221,29 +231,113 @@ pub fn measure_scenario(s: &Scenario, quick: bool, samples: usize) -> ScenarioRe
         wall_ns.push(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
         last = r;
     }
+    finish_report(s.id, cfg.accesses, wall_ns, expect, last.mean_latency(), last.on_fraction())
+}
+
+/// Assemble a [`ScenarioReport`] from raw timed samples: sort, take the
+/// median, derive spread and per-second throughput over `units` (simulated
+/// accesses for simulator scenarios, requests for the serve path).
+fn finish_report(
+    id: &str,
+    units: u64,
+    wall_ns: Vec<u64>,
+    digest: u64,
+    mean_latency: f64,
+    on_fraction: f64,
+) -> ScenarioReport {
     let mut sorted = wall_ns.clone();
     sorted.sort_unstable();
     let p50 = median(&sorted);
     let spread =
         if p50 > 0 { (sorted[sorted.len() - 1] - sorted[0]) as f64 / p50 as f64 } else { 0.0 };
-    let aps = if p50 > 0 { cfg.accesses as f64 * 1e9 / p50 as f64 } else { 0.0 };
+    let aps = if p50 > 0 { units as f64 * 1e9 / p50 as f64 } else { 0.0 };
     ScenarioReport {
-        id: s.id.to_string(),
-        accesses: cfg.accesses,
+        id: id.to_string(),
+        accesses: units,
         wall_ns,
         wall_ns_p50: p50,
         spread,
         accesses_per_sec: aps,
-        digest: expect,
-        mean_latency: last.mean_latency(),
-        on_fraction: last.on_fraction(),
+        digest,
+        mean_latency,
+        on_fraction,
     }
 }
 
+/// Stable id of the serve-path scenario: the row's `accesses` and
+/// `accesses_per_sec` count HTTP *requests*, not simulated accesses.
+pub const SERVE_SCENARIO_ID: &str = "serve/loopback";
+
+/// The fixed request body driven through the serve path. Small enough
+/// that the single warmup simulation is cheap; after it the result sits
+/// in the deterministic cache, so every timed request measures only
+/// parse → admit (cache hit) → render → loopback TCP.
+const SERVE_BODY: &str =
+    r#"{"workload":"pgbench","mode":"static","accesses":20000,"scale":64,"seed":42}"#;
+
+/// Requests per timed sample on the serve path.
+fn serve_requests(quick: bool) -> u64 {
+    if quick {
+        300
+    } else {
+        1000
+    }
+}
+
+/// Measure the serve path: boot a real server on loopback, warm the
+/// result cache with one simulation, then time batches of identical
+/// requests. The digest is FNV over the response body — the server must
+/// answer byte-identically on every request, which is the same
+/// determinism bar the simulator scenarios clear with their counters.
+pub fn measure_serve_path(quick: bool, samples: usize) -> ScenarioReport {
+    let cfg = ServerConfig { workers: 2, ..ServerConfig::default() };
+    let server = Server::start(cfg).expect("bind loopback bench server");
+    let addr = server.local_addr();
+    let timeout = Duration::from_secs(30);
+    let first = http_request(addr, "POST", "/v1/simulate", SERVE_BODY, timeout).expect("warmup");
+    assert_eq!(first.status, 200, "warmup request failed: {}", first.body);
+    let expect = {
+        let mut d = Digest::new();
+        d.push_bytes(first.body.as_bytes());
+        d.value()
+    };
+    let requests = serve_requests(quick);
+    let mut wall_ns = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..requests {
+            let r = http_request(addr, "POST", "/v1/simulate", SERVE_BODY, timeout)
+                .expect("serve-path request");
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert_eq!(r.body, first.body, "serve path must answer byte-identically");
+        }
+        wall_ns.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    server.shutdown();
+    // The headline metrics come from the cached simulation itself, so the
+    // serve row stays meaningful in the human-readable table.
+    let (mean_latency, on_fraction) = jsonin::parse(&first.body)
+        .ok()
+        .and_then(|doc| {
+            let a = doc.get("access")?;
+            Some((
+                a.get("mean_latency_cycles").and_then(Json::as_f64)?,
+                a.get("on_package_fraction").and_then(Json::as_f64)?,
+            ))
+        })
+        .unwrap_or((0.0, 0.0));
+    finish_report(SERVE_SCENARIO_ID, requests, wall_ns, expect, mean_latency, on_fraction)
+}
+
 /// Measure the whole pinned suite sequentially (timings are only
-/// meaningful without co-running scenarios competing for cores).
+/// meaningful without co-running scenarios competing for cores), then
+/// the serve-path scenario — every row lands in the same report and is
+/// gated by the same committed baseline.
 pub fn measure_suite(quick: bool, samples: usize) -> Vec<ScenarioReport> {
-    suite().iter().map(|s| measure_scenario(s, quick, samples)).collect()
+    let mut rows: Vec<ScenarioReport> =
+        suite().iter().map(|s| measure_scenario(s, quick, samples)).collect();
+    rows.push(measure_serve_path(quick, samples));
+    rows
 }
 
 /// Render the full report as the stable `BENCH_*.json` document.
@@ -439,6 +533,17 @@ mod tests {
         let ok = r#"{"schema":"hmm-bench-perf-v1","scenarios":[]}"#;
         assert!(compare(wrong, ok, 0.25).is_err());
         assert!(compare(ok, ok, 0.25).unwrap().regressions.is_empty());
+    }
+
+    #[test]
+    fn serve_path_smoke() {
+        let r = measure_serve_path(true, 1);
+        assert_eq!(r.id, SERVE_SCENARIO_ID);
+        assert_eq!(r.accesses, 300, "quick mode drives 300 requests per sample");
+        assert!(r.wall_ns_p50 > 0);
+        assert!(r.accesses_per_sec > 0.0, "requests/sec must be positive");
+        assert!(r.mean_latency > 0.0, "headline metrics parsed from the cached body");
+        assert!(r.on_fraction > 0.0);
     }
 
     #[test]

@@ -46,6 +46,54 @@ fn hmm_bench_rejects_invalid_input_with_one_line() {
     let bin = env!("CARGO_BIN_EXE_hmm-bench");
     assert_one_line_exit2(&run(bin, &["frobnicate"]), "frobnicate");
     assert_one_line_exit2(&run(bin, &["perf", "--wat"]), "--wat");
+    assert_one_line_exit2(&run(bin, &["sweep"]), "--spec or --doc");
+    assert_one_line_exit2(&run(bin, &["sweep", "--spec"]), "--spec");
+    assert_one_line_exit2(&run(bin, &["sweep", "--spec", "{}", "--doc", "x"]), "exactly one");
+    assert_one_line_exit2(&run(bin, &["sweep", "--spec", "{}", "--max-cells", "0"]), "0");
+}
+
+/// Runtime failures in `hmm-bench sweep` (missing files, failed runs)
+/// exit 1 with a one-line diagnostic, distinct from usage errors.
+#[test]
+fn hmm_bench_sweep_reports_runtime_errors() {
+    let bin = env!("CARGO_BIN_EXE_hmm-bench");
+    for (args, needle) in [
+        (vec!["sweep", "--spec", "@/nonexistent/spec.json"], "reading sweep spec"),
+        (vec!["sweep", "--doc", "/nonexistent/figures.json"], "reading figures document"),
+        (vec!["sweep", "--spec", "not json"], "sweep failed"),
+    ] {
+        let out = run(bin, &args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+        assert_eq!(stderr.trim_end().lines().count(), 1, "one line, got: {stderr:?}");
+        assert!(stderr.contains(needle), "wanted '{needle}' in: {stderr}");
+    }
+}
+
+/// A tiny grid runs in-process and renders both tables; `--out` saves
+/// the figures document, which `--doc` then renders identically.
+#[test]
+fn hmm_bench_sweep_runs_a_small_grid() {
+    let bin = env!("CARGO_BIN_EXE_hmm-bench");
+    let spec = r#"{"workload":"pgbench","mode":["static","live"],"accesses":3000,"scale":64}"#;
+    let dir = std::env::temp_dir().join(format!("hmm-bench-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc_path = dir.join("figures.json");
+    let doc_path = doc_path.to_str().unwrap();
+
+    let out = run(bin, &["sweep", "--spec", spec, "--out", doc_path]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== sweep figures =="), "{stdout}");
+    assert!(stdout.contains("== sweep totals =="), "{stdout}");
+    assert!(stdout.contains(&format!("wrote {doc_path}")), "{stdout}");
+
+    let again = run(bin, &["sweep", "--doc", doc_path]);
+    assert!(again.status.success(), "stderr: {}", String::from_utf8_lossy(&again.stderr));
+    let rendered = String::from_utf8_lossy(&again.stdout);
+    let tables = stdout.strip_suffix(&format!("wrote {doc_path}\n")).unwrap();
+    assert_eq!(rendered, tables, "--doc must render the saved document identically");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -5,6 +5,8 @@
 //!             [--requests <n>] [--workloads pgbench,mg] [--modes live,static]
 //!             [--accesses 20000] [--scale 64] [--seed 1] [--unique]
 //!             [--timeout-ms 30000] [--check]
+//! hmm-loadgen --addr <host:port> --sweep <spec-json|@file> [--timeout-ms <n>]
+//!             [--check] [--figures-out <file>]
 //! ```
 //!
 //! Spawns `--concurrency` client threads, each issuing
@@ -21,6 +23,17 @@
 //! (`accepted == cache_hits + cache_misses`), rejection counts matching
 //! the client's `429`/`503` tallies, and one admission per answered
 //! request. Exits 1 when reconciliation fails, 2 on bad usage.
+//!
+//! `--sweep` switches to sweep traffic: submit the grid spec to
+//! `POST /v1/sweeps`, poll `GET /v1/sweeps/<id>` to completion while
+//! asserting progress is monotone, and print the final accounting. With
+//! `--check` it also verifies the sweep identities
+//! (`expanded == unique + deduped`, the per-state partition, and the
+//! dispatch ledger `dispatched == done + failed + retries`) and
+//! recomputes the figures document's totals from its embedded result
+//! bodies, which must reconcile byte-for-byte. `--figures-out` saves
+//! the aggregated figures document, byte-identical to what the server
+//! rendered, for offline comparison or `hmm-bench sweep --doc`.
 
 use hmm_core::Mode;
 use hmm_serve::client::request;
@@ -36,7 +49,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: hmm-loadgen --addr <host:port> [--concurrency <n>] [--duration-s <n>] \
          [--requests <n>] [--workloads <w,...>] [--modes <m,...>] [--accesses <n>] \
-         [--scale <divisor>] [--seed <n>] [--unique] [--timeout-ms <n>] [--check]"
+         [--scale <divisor>] [--seed <n>] [--unique] [--timeout-ms <n>] [--check]\n\
+         \x20      hmm-loadgen --addr <host:port> --sweep <spec-json|@file> \
+         [--timeout-ms <n>] [--check] [--figures-out <file>]"
     );
     std::process::exit(2)
 }
@@ -216,6 +231,160 @@ fn check_metrics(plan: &Plan, tally: &Tally) -> Result<(), String> {
     Ok(())
 }
 
+/// Fetch one sweep status document and pull out the pieces the driver
+/// needs: terminal-or-not, the counts object, and the whole document.
+fn sweep_status(
+    addr: SocketAddr,
+    id: u64,
+    timeout: Duration,
+) -> Result<(String, hmm_sweep::SweepCounts, String), String> {
+    let resp = request(addr, "GET", &format!("/v1/sweeps/{id}"), "", timeout)
+        .map_err(|e| format!("polling sweep {id} failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /v1/sweeps/{id} answered {}", resp.status));
+    }
+    let doc = jsonin::parse(&resp.body).map_err(|e| format!("sweep status body: {e}"))?;
+    let status = doc
+        .get("status")
+        .and_then(|v| v.as_str())
+        .ok_or("sweep status lacks 'status'")?
+        .to_string();
+    let counts = doc.get("counts").ok_or("sweep status lacks 'counts'")?;
+    let counts = hmm_sweep::SweepCounts::from_json(counts)?;
+    Ok((status, counts, resp.body))
+}
+
+/// Sweep traffic mode: submit, poll to completion (asserting monotone
+/// progress), verify the accounting identities, and reconcile the
+/// figures totals against the embedded result bodies. With
+/// `figures_out`, the aggregated figures document is fetched from the
+/// raw `GET /v1/sweeps/<id>/figures` endpoint and saved verbatim, so
+/// the file can be byte-compared against an in-process run.
+fn run_sweep(
+    addr: SocketAddr,
+    spec: &str,
+    timeout: Duration,
+    check: bool,
+    figures_out: Option<&str>,
+) -> Result<(), String> {
+    let spec_text = match spec.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("reading sweep spec '{path}': {e}"))?,
+        None => spec.to_string(),
+    };
+    let resp = request(addr, "POST", "/v1/sweeps", &spec_text, timeout)
+        .map_err(|e| format!("submitting sweep failed: {e}"))?;
+    if resp.status != 202 {
+        return Err(format!("POST /v1/sweeps answered {}: {}", resp.status, resp.body));
+    }
+    let submitted = jsonin::parse(&resp.body).map_err(|e| format!("sweep submit body: {e}"))?;
+    let field = |name: &str| {
+        submitted
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("sweep submit response is missing '{name}'"))
+    };
+    let id = field("id")?;
+    let (expanded, deduped, cells) = (field("expanded")?, field("deduped")?, field("cells")?);
+    println!(
+        "hmm-loadgen: sweep {id} submitted: {expanded} expanded, {deduped} deduped, {cells} cells"
+    );
+
+    let started = Instant::now();
+    let mut last_done = 0u64;
+    let (final_counts, body) = loop {
+        let (status, counts, body) = sweep_status(addr, id, timeout)?;
+        if counts.done < last_done {
+            return Err(format!(
+                "progress went backwards: done {} after {}",
+                counts.done, last_done
+            ));
+        }
+        last_done = counts.done;
+        // Identities that must hold in *every* snapshot, terminal or not.
+        counts.check(false)?;
+        if status != "running" {
+            break (counts, body);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    println!(
+        "hmm-loadgen: sweep {id} finished in {:.1}s: {} done, {} failed, \
+         {} dispatched, {} retries ({} stolen)",
+        started.elapsed().as_secs_f64(),
+        final_counts.done,
+        final_counts.failed,
+        final_counts.dispatched,
+        final_counts.retries,
+        final_counts.stolen,
+    );
+
+    if let Some(path) = figures_out {
+        // Fetch the raw figures endpoint rather than carving the document
+        // out of the status body: the embedded u64 digests exceed 2^53,
+        // so a parse → render round trip would corrupt them and break
+        // byte comparisons against in-process runs.
+        let resp = request(addr, "GET", &format!("/v1/sweeps/{id}/figures"), "", timeout)
+            .map_err(|e| format!("fetching figures for sweep {id} failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "GET /v1/sweeps/{id}/figures answered {}: {}",
+                resp.status, resp.body
+            ));
+        }
+        std::fs::write(path, format!("{}\n", resp.body))
+            .map_err(|e| format!("writing figures to '{path}': {e}"))?;
+        println!("  wrote figures document to {path}");
+    }
+
+    if !check {
+        return Ok(());
+    }
+    if final_counts.expanded != expanded || final_counts.deduped != deduped {
+        return Err("final counts disagree with the submit response".into());
+    }
+    final_counts.check(true)?;
+    let doc = jsonin::parse(&body).map_err(|e| format!("sweep status body: {e}"))?;
+    let figures = doc.get("figures").ok_or("sweep status lacks 'figures'")?;
+    if final_counts.failed > 0 {
+        println!("  check: identities hold ({} cells failed; no figures)", final_counts.failed);
+        return Ok(());
+    }
+    let results = figures
+        .get("results")
+        .and_then(|v| match v {
+            jsonin::Json::Arr(items) => Some(items),
+            _ => None,
+        })
+        .ok_or("figures document lacks 'results'")?;
+    if results.len() as u64 != final_counts.done {
+        return Err(format!(
+            "figures embed {} results for {} done cells",
+            results.len(),
+            final_counts.done
+        ));
+    }
+    // Recompute the totals from the embedded bodies; the document's own
+    // totals must match byte for byte.
+    let mut totals = hmm_sweep::Totals::default();
+    for body in results {
+        totals.absorb_body(&hmm_sweep::spec::render_json(body))?;
+    }
+    let rendered = figures
+        .get("totals")
+        .map(hmm_sweep::spec::render_json)
+        .ok_or("figures document lacks 'totals'")?;
+    if totals.to_json() != rendered {
+        return Err(format!(
+            "figures totals do not reconcile with the embedded results:\n  doc: {rendered}\n  recomputed: {}",
+            totals.to_json()
+        ));
+    }
+    println!("  check: sweep identities hold and figures totals reconcile");
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<SocketAddr> = None;
@@ -230,6 +399,8 @@ fn main() {
     let mut unique = false;
     let mut timeout_ms = 30_000u64;
     let mut check = false;
+    let mut sweep: Option<String> = None;
+    let mut figures_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -264,6 +435,8 @@ fn main() {
             "--unique" => unique = true,
             "--timeout-ms" => timeout_ms = num("--timeout-ms", val()).max(1),
             "--check" => check = true,
+            "--sweep" => sweep = Some(val()),
+            "--figures-out" => figures_out = Some(val()),
             "--help" | "-h" => usage(),
             other => fail(&format!("unknown flag '{other}' (try --help)")),
         }
@@ -271,6 +444,20 @@ fn main() {
     let addr = addr.unwrap_or_else(|| fail("--addr is required"));
     if workloads.is_empty() || modes.is_empty() {
         fail("--workloads and --modes must each name at least one entry");
+    }
+
+    if figures_out.is_some() && sweep.is_none() {
+        fail("--figures-out only makes sense with --sweep");
+    }
+    if let Some(spec) = sweep {
+        let timeout = Duration::from_millis(timeout_ms);
+        match run_sweep(addr, &spec, timeout, check, figures_out.as_deref()) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("hmm-loadgen: sweep failed: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let plan = Arc::new(Plan {

@@ -4,6 +4,8 @@
 //! hmm-serve [--addr 127.0.0.1:0] [--workers 4] [--conn-threads 16]
 //!           [--queue-depth 32] [--cache-entries 256]
 //!           [--max-accesses 2000000] [--sync-timeout-ms 30000]
+//!           [--sjf] [--max-sweep-cells 1024]
+//!           [--coordinator --peers host:port,host:port,...]
 //! ```
 //!
 //! Prints one line — `hmm-serve listening on <addr>` — once the socket
@@ -22,7 +24,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hmm-serve [--addr <host:port>] [--workers <n>] [--conn-threads <n>] \
          [--queue-depth <n>] [--cache-entries <n>] [--max-accesses <n>] \
-         [--sync-timeout-ms <n>]"
+         [--sync-timeout-ms <n>] [--sjf] [--max-sweep-cells <n>] \
+         [--coordinator --peers <host:port,...>]"
     );
     std::process::exit(2)
 }
@@ -62,6 +65,7 @@ fn install_signal_handlers() {}
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ServerConfig::default();
+    let mut coordinator = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -82,9 +86,28 @@ fn main() {
             "--sync-timeout-ms" => {
                 cfg.sync_timeout = Duration::from_millis(num("--sync-timeout-ms", val()))
             }
+            "--sjf" => cfg.sjf = true,
+            "--max-sweep-cells" => {
+                cfg.max_sweep_cells = num("--max-sweep-cells", val()).max(1) as usize
+            }
+            "--coordinator" => coordinator = true,
+            "--peers" => {
+                cfg.peers = val().split(',').map(|p| p.trim().to_string()).collect();
+                for p in &cfg.peers {
+                    if p.parse::<std::net::SocketAddr>().is_err() {
+                        fail(&format!("invalid peer address '{p}' (want host:port)"));
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => fail(&format!("unknown flag '{other}' (try --help)")),
         }
+    }
+    if coordinator && cfg.peers.is_empty() {
+        fail("--coordinator requires --peers with at least one address");
+    }
+    if !coordinator && !cfg.peers.is_empty() {
+        fail("--peers only makes sense with --coordinator");
     }
 
     install_signal_handlers();

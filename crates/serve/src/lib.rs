@@ -30,7 +30,14 @@
 //!   worker pool running simulations, and graceful drain: a shutdown
 //!   request stops admission, finishes every queued job, then exits.
 //! * **[`client`]** — a tiny blocking HTTP client shared by
-//!   `hmm-loadgen` and the end-to-end tests.
+//!   `hmm-loadgen`, the coordinator's peer RPC, and the end-to-end
+//!   tests.
+//! * **[`sweeps`]** — `POST /v1/sweeps`: grid expansion (via
+//!   `hmm-sweep`), canonical-hash dedup, fan-out across the worker pool
+//!   or — with `--peers` — a cluster sharded by consistent hashing,
+//!   with work stealing, bounded retries on peer death, and a final
+//!   `hmm-sweep-figures-v1` document that is byte-identical to an
+//!   in-process run over the same cells.
 //!
 //! Two binaries ship with the crate: `hmm-serve` (the server; SIGTERM or
 //! `POST /admin/shutdown` triggers the graceful drain) and `hmm-loadgen`
@@ -50,6 +57,7 @@ pub mod queue;
 pub mod request;
 pub mod response;
 pub mod server;
+pub mod sweeps;
 
 pub use cache::LruCache;
 pub use jobs::{Job, JobRegistry, JobState};

@@ -68,6 +68,18 @@ pub struct ServerMetrics {
     pub sync_timeouts: AtomicU64,
     /// Jobs currently being simulated.
     pub in_flight: AtomicU64,
+    /// Sweeps accepted via `POST /v1/sweeps`.
+    pub sweeps_submitted: AtomicU64,
+    /// Sweeps that reached a terminal state (all cells concluded).
+    pub sweeps_completed: AtomicU64,
+    /// Sweep cells concluded with a result body.
+    pub sweep_cells_done: AtomicU64,
+    /// Sweep cells concluded in permanent failure.
+    pub sweep_cells_failed: AtomicU64,
+    /// Sweep dispatch attempts that were re-queued (peer death, steal).
+    pub sweep_retries: AtomicU64,
+    /// The stolen subset of `sweep_retries`.
+    pub sweep_stolen: AtomicU64,
     latency: Mutex<Latency>,
     sim: Mutex<SimTotals>,
 }
@@ -90,6 +102,12 @@ impl Default for ServerMetrics {
             cancelled: AtomicU64::new(0),
             sync_timeouts: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            sweeps_submitted: AtomicU64::new(0),
+            sweeps_completed: AtomicU64::new(0),
+            sweep_cells_done: AtomicU64::new(0),
+            sweep_cells_failed: AtomicU64::new(0),
+            sweep_retries: AtomicU64::new(0),
+            sweep_stolen: AtomicU64::new(0),
             latency: Mutex::new(Latency::default()),
             sim: Mutex::new(SimTotals::default()),
         }
@@ -167,6 +185,12 @@ impl ServerMetrics {
             .u64("cancelled", get(&self.cancelled))
             .u64("sync_timeouts", get(&self.sync_timeouts))
             .u64("in_flight", get(&self.in_flight))
+            .u64("sweeps_submitted", get(&self.sweeps_submitted))
+            .u64("sweeps_completed", get(&self.sweeps_completed))
+            .u64("sweep_cells_done", get(&self.sweep_cells_done))
+            .u64("sweep_cells_failed", get(&self.sweep_cells_failed))
+            .u64("sweep_retries", get(&self.sweep_retries))
+            .u64("sweep_stolen", get(&self.sweep_stolen))
             .raw("latency", &lat_json)
             .u64("runs_with_swaps", runs_with_swaps)
             .raw("controller_totals", &sim_json)
@@ -197,41 +221,11 @@ pub struct GaugeSample<'a> {
     pub _marker: std::marker::PhantomData<&'a ()>,
 }
 
-/// Render merged `ControllerStats` with stable field names.
-pub fn controller_json(s: &ControllerStats) -> String {
-    JsonObject::new()
-        .u64("demand_on_lines", s.demand_on_lines)
-        .u64("demand_off_lines", s.demand_off_lines)
-        .u64("migration_on_lines", s.migration_on_lines)
-        .u64("migration_off_lines", s.migration_off_lines)
-        .u64("stall_cycles", s.stall_cycles)
-        .u64("epochs", s.epochs)
-        .u64("rejected_triggers", s.rejected_triggers)
-        .u64("transfer_retries", s.transfer_retries)
-        .u64("transfers_dropped", s.transfers_dropped)
-        .u64("transfers_timed_out", s.transfers_timed_out)
-        .u64("transfers_ecc_failed", s.transfers_ecc_failed)
-        .u64("abandoned_sub_blocks", s.abandoned_sub_blocks)
-        .u64("row_corruptions", s.row_corruptions)
-        .u64("slots_quarantined", s.slots_quarantined)
-        .finish()
-}
-
-/// Render merged `SwapStats` with stable field names.
-pub fn swaps_json(s: &SwapStats) -> String {
-    JsonObject::new()
-        .u64("triggered", s.triggered)
-        .u64("completed", s.completed)
-        .u64("case_a", s.case_counts[0])
-        .u64("case_b", s.case_counts[1])
-        .u64("case_c", s.case_counts[2])
-        .u64("case_d", s.case_counts[3])
-        .u64("sub_blocks_copied", s.sub_blocks_copied)
-        .u64("aborted", s.aborted)
-        .u64("rolled_back_sub_blocks", s.rolled_back_sub_blocks)
-        .u64("quarantine_drains", s.quarantine_drains)
-        .finish()
-}
+// The stat renderers moved to `hmm_sweep::aggregate` so the sweep
+// aggregator and this document provably share one field vocabulary
+// (the aggregate side also parses them back exactly); re-exported here
+// for the existing callers.
+pub use hmm_sweep::aggregate::{controller_json, swaps_json};
 
 #[cfg(test)]
 mod tests {

@@ -9,13 +9,33 @@
 //! is admitted, but [`JobQueue::pop`] keeps handing out already-queued
 //! jobs until the queue is empty, so every admitted request is answered
 //! before the workers exit.
+//!
+//! Two service disciplines are available. The default is strict FIFO.
+//! [`Discipline::Sjf`] (shortest job first, `hmm-serve --sjf`) orders
+//! by the caller-supplied cost estimate instead — for simulations the
+//! requested `accesses` count, which trace-driven runtime is linear in
+//! — so a sweep's small cells are not starved behind its big ones.
+//! Ties (and all jobs under FIFO) fall back to arrival order, so equal
+//! costs keep FIFO fairness and nothing is ever reordered gratuitously.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// How [`JobQueue::pop`] picks among queued jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// Arrival order (the default).
+    #[default]
+    Fifo,
+    /// Smallest cost estimate first; arrival order breaks ties.
+    Sjf,
+}
+
 #[derive(Debug)]
 struct Inner<T> {
-    items: VecDeque<T>,
+    /// `(arrival sequence, cost estimate, job)`.
+    items: VecDeque<(u64, u64, T)>,
+    next_seq: u64,
     shutdown: bool,
 }
 
@@ -28,27 +48,44 @@ pub enum PushError {
     ShuttingDown,
 }
 
-/// A bounded multi-producer multi-consumer FIFO queue.
+/// A bounded multi-producer multi-consumer queue with a configurable
+/// service discipline.
 #[derive(Debug)]
 pub struct JobQueue<T> {
     inner: Mutex<Inner<T>>,
     nonempty: Condvar,
     cap: usize,
+    discipline: Discipline,
 }
 
 impl<T> JobQueue<T> {
-    /// A queue admitting at most `cap` outstanding jobs.
+    /// A FIFO queue admitting at most `cap` outstanding jobs.
     pub fn new(cap: usize) -> Self {
+        Self::with_discipline(cap, Discipline::Fifo)
+    }
+
+    /// A queue with an explicit service discipline.
+    pub fn with_discipline(cap: usize, discipline: Discipline) -> Self {
         JobQueue {
-            inner: Mutex::new(Inner { items: VecDeque::with_capacity(cap), shutdown: false }),
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap),
+                next_seq: 0,
+                shutdown: false,
+            }),
             nonempty: Condvar::new(),
             cap,
+            discipline,
         }
     }
 
     /// The configured bound.
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// The configured service discipline.
+    pub fn discipline(&self) -> Discipline {
+        self.discipline
     }
 
     /// Jobs currently queued (racy by nature; for metrics only).
@@ -61,8 +98,14 @@ impl<T> JobQueue<T> {
         self.len() == 0
     }
 
-    /// Admit one job, or refuse without blocking.
+    /// Admit one job with a cost estimate of zero (FIFO callers).
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        self.try_push_cost(item, 0)
+    }
+
+    /// Admit one job, or refuse without blocking. `cost` orders jobs
+    /// under [`Discipline::Sjf`] and is ignored under FIFO.
+    pub fn try_push_cost(&self, item: T, cost: u64) -> Result<(), PushError> {
         let mut inner = self.inner.lock().unwrap();
         if inner.shutdown {
             return Err(PushError::ShuttingDown);
@@ -70,19 +113,33 @@ impl<T> JobQueue<T> {
         if inner.items.len() >= self.cap {
             return Err(PushError::Full);
         }
-        inner.items.push_back(item);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.items.push_back((seq, cost, item));
         drop(inner);
         self.nonempty.notify_one();
         Ok(())
     }
 
-    /// Take the oldest job, blocking while the queue is empty. Returns
-    /// `None` only once the queue is shut down *and* drained — the
-    /// worker's signal to exit.
+    /// Take the next job per the discipline, blocking while the queue
+    /// is empty. Returns `None` only once the queue is shut down *and*
+    /// drained — the worker's signal to exit.
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(item) = inner.items.pop_front() {
+            if !inner.items.is_empty() {
+                let idx = match self.discipline {
+                    Discipline::Fifo => 0,
+                    // O(queue depth) scan; the bound is tens of jobs.
+                    Discipline::Sjf => inner
+                        .items
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(seq, cost, _))| (cost, seq))
+                        .map(|(i, _)| i)
+                        .unwrap(),
+                };
+                let (_, _, item) = inner.items.remove(idx).unwrap();
                 return Some(item);
             }
             if inner.shutdown {
@@ -119,6 +176,30 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn fifo_ignores_costs() {
+        let q = JobQueue::new(4);
+        q.try_push_cost("big", 1_000_000).unwrap();
+        q.try_push_cost("small", 1).unwrap();
+        assert_eq!(q.pop(), Some("big"), "FIFO must not reorder by cost");
+    }
+
+    #[test]
+    fn sjf_prefers_small_jobs_and_breaks_ties_by_arrival() {
+        let q = JobQueue::with_discipline(8, Discipline::Sjf);
+        q.try_push_cost("big", 2_000_000).unwrap();
+        q.try_push_cost("mid-a", 60_000).unwrap();
+        q.try_push_cost("small", 5_000).unwrap();
+        q.try_push_cost("mid-b", 60_000).unwrap();
+        assert_eq!(q.pop(), Some("small"));
+        assert_eq!(q.pop(), Some("mid-a"), "equal costs keep arrival order");
+        assert_eq!(q.pop(), Some("mid-b"));
+        // A small late arrival overtakes the big job that was first in.
+        q.try_push_cost("late-small", 1).unwrap();
+        assert_eq!(q.pop(), Some("late-small"));
+        assert_eq!(q.pop(), Some("big"));
     }
 
     #[test]

@@ -16,26 +16,37 @@
 //! with a structured `400` rather than ignored — a typo like
 //! `"intreval"` must not silently simulate something else.
 //!
-//! **Canonicalisation.** The cache key is `fxhash64` over a canonical
-//! JSON rendering of the *resolved* [`RunConfig`] — every default
-//! filled in, sizes reduced to shifts and byte counts, workload and mode
-//! reduced to their canonical tokens, fault specs reduced to the parsed
-//! [`FaultPlan`]. Requests that differ in whitespace, field order, or
-//! alias spelling (`"jbb"` vs `"specjbb"`) therefore share a cache
-//! entry, while any field that changes simulated behaviour changes the
-//! key. `timeout_ms` is deliberately *excluded*: it shapes how long the
-//! client waits, not what is simulated.
+//! **Canonicalisation.** The cache key is `fxhash64` over the canonical
+//! JSON rendering of the *resolved* [`RunConfig`]
+//! ([`hmm_simulator::wire::canonical_json`]) — every default filled in,
+//! sizes reduced to shifts and byte counts, workload and mode reduced to
+//! their canonical tokens, fault specs reduced to a structural rendering
+//! of the parsed [`FaultPlan`]. Requests that differ in whitespace,
+//! field order, or alias spelling (`"jbb"` vs `"specjbb"`) therefore
+//! share a cache entry, while any field that changes simulated behaviour
+//! changes the key. `timeout_ms` is deliberately *excluded*: it shapes
+//! how long the client waits, not what is simulated.
+//!
+//! The parser also accepts the canonical spelling itself — `page_shift`
+//! / `sub_block_shift` instead of sizes, `total`, `os_assisted`, and a
+//! structural `faults` object — so a canonical rendering is a valid
+//! request body. That closes the loop the sweep coordinator relies on:
+//! it ships a cell's canonical text verbatim as a peer's
+//! `POST /v1/simulate` body, and the peer re-derives the same canonical
+//! form, hence the same cache key, on its side of the wire.
 
 use hmm_core::Mode;
-use hmm_dram::SchedPolicy;
 use hmm_fault::FaultPlan;
 use hmm_sim_base::config::{parse_size, SimScale};
-use hmm_sim_base::FxHasher;
 use hmm_simulator::driver::RunConfig;
+use hmm_simulator::wire;
 use hmm_telemetry::jsonin::{self, Json};
-use hmm_telemetry::JsonObject;
 use hmm_workloads::WorkloadId;
-use std::hash::Hasher;
+
+// The canonical rendering and its hash live in `hmm_simulator::wire` so
+// the sweep subsystem and the coordinator share one definition; they are
+// re-exported here because they *are* this module's cache-key contract.
+pub use hmm_simulator::wire::{canonical_json, fxhash64};
 
 /// Admission limits enforced while parsing, before anything is queued.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +91,15 @@ fn field_size(v: &Json, name: &str) -> Result<u64, String> {
     }
 }
 
+/// A log2 field (the canonical spelling of a size): must fit a shift.
+fn field_shift(v: &Json, name: &str) -> Result<u32, String> {
+    let n = field_u64(v, name)?;
+    if n >= 64 {
+        return Err(format!("field '{name}' must be below 64, got {n}"));
+    }
+    Ok(n as u32)
+}
+
 /// Parse one request body into a resolved, validated [`SimRequest`].
 pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
     let doc = jsonin::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -90,13 +110,16 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
     let mut workload: Option<WorkloadId> = None;
     let mut mode: Option<Mode> = None;
     let mut page = 64u64 << 10;
+    let mut sub_block: Option<u64> = None;
     let mut interval = 1_000u64;
     let mut accesses = 400_000u64;
     let mut warmup: Option<u64> = None;
     let mut scale = 8u64;
     let mut seed = 42u64;
     let mut on_package = 512u64 << 20;
-    let mut policy = SchedPolicy::FrFcfs;
+    let mut total: Option<u64> = None;
+    let mut os_assisted: Option<bool> = None;
+    let mut policy = hmm_dram::SchedPolicy::FrFcfs;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
     let mut timeout_ms: Option<u64> = None;
@@ -109,21 +132,29 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
             "workload" => workload = Some(as_str()?.parse()?),
             "mode" => mode = Some(as_str()?.parse()?),
             "page" => page = field_size(value, name)?,
+            "page_shift" => page = 1u64 << field_shift(value, name)?,
+            "sub_block" => sub_block = Some(field_size(value, name)?),
+            "sub_block_shift" => sub_block = Some(1u64 << field_shift(value, name)?),
             "interval" => interval = field_u64(value, name)?,
             "accesses" => accesses = field_u64(value, name)?,
             "warmup" => warmup = Some(field_u64(value, name)?),
             "scale" => scale = field_u64(value, name)?.max(1),
             "seed" => seed = field_u64(value, name)?,
             "on_package" => on_package = field_size(value, name)?,
-            "policy" => {
-                policy = match as_str()?.to_ascii_lowercase().as_str() {
-                    "frfcfs" | "fr-fcfs" => SchedPolicy::FrFcfs,
-                    "fcfs" => SchedPolicy::Fcfs,
-                    other => return Err(format!("unknown policy '{other}'")),
-                };
+            "total" => total = Some(field_size(value, name)?),
+            "os_assisted" => {
+                os_assisted = Some(
+                    value.as_bool().ok_or_else(|| format!("field '{name}' must be a boolean"))?,
+                )
             }
+            "policy" => policy = wire::policy_from_token(as_str()?)?,
             "faults" => {
-                faults = Some(FaultPlan::parse(as_str()?).map_err(|e| format!("faults: {e}"))?)
+                faults = Some(match value {
+                    // The canonical structural form...
+                    Json::Obj(_) => wire::fault_plan_from_json(value)?,
+                    // ...or the CLI's compact spec string.
+                    _ => FaultPlan::parse(as_str()?).map_err(|e| format!("faults: {e}"))?,
+                })
             }
             "fault_seed" => fault_seed = Some(field_u64(value, name)?),
             "timeout_ms" => timeout_ms = Some(field_u64(value, name)?),
@@ -135,6 +166,11 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
     let mode = mode.ok_or("field 'mode' is required")?;
     if !page.is_power_of_two() {
         return Err(format!("'page' must be a power of two, got {page}"));
+    }
+    if let Some(sb) = sub_block {
+        if !sb.is_power_of_two() {
+            return Err(format!("'sub_block' must be a power of two, got {sb}"));
+        }
     }
     if interval == 0 {
         return Err("'interval' must be at least 1".into());
@@ -158,66 +194,27 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
         _ => {}
     }
 
+    let base = RunConfig::paper(workload, mode);
     let cfg = RunConfig {
         workload,
         mode,
         page_shift: page.trailing_zeros(),
+        sub_block_shift: sub_block.map_or(base.sub_block_shift, |sb| sb.trailing_zeros()),
         swap_interval: interval,
         on_package_bytes: on_package,
+        total_bytes: total.unwrap_or(base.total_bytes),
         scale: SimScale { divisor: scale },
         accesses,
         warmup,
         seed,
+        os_assisted,
         policy,
         faults,
-        ..RunConfig::paper(workload, mode)
     };
     cfg.geometry().validate().map_err(|e| format!("invalid memory geometry: {e}"))?;
 
     let canonical = canonical_json(&cfg);
     Ok(SimRequest { key: fxhash64(canonical.as_bytes()), cfg, canonical, timeout_ms })
-}
-
-/// Render the resolved configuration in a fixed field order with
-/// canonical value spellings. Equal configurations — and only equal
-/// configurations — produce equal strings.
-pub fn canonical_json(cfg: &RunConfig) -> String {
-    let mut obj = JsonObject::new()
-        .str("workload", cfg.workload.token())
-        .str("mode", cfg.mode.token())
-        .u64("page_shift", cfg.page_shift as u64)
-        .u64("sub_block_shift", cfg.sub_block_shift as u64)
-        .u64("interval", cfg.swap_interval)
-        .u64("accesses", cfg.accesses)
-        .u64("warmup", cfg.warmup)
-        .u64("scale", cfg.scale.divisor)
-        .u64("seed", cfg.seed)
-        .u64("on_package", cfg.on_package_bytes)
-        .u64("total", cfg.total_bytes)
-        .str(
-            "policy",
-            match cfg.policy {
-                SchedPolicy::FrFcfs => "frfcfs",
-                SchedPolicy::Fcfs => "fcfs",
-            },
-        );
-    match cfg.os_assisted {
-        None => {}
-        Some(v) => obj = obj.bool("os_assisted", v),
-    }
-    if let Some(plan) = &cfg.faults {
-        // The parsed plan's Debug form names every field with exact
-        // values, so equivalent spec spellings canonicalise identically.
-        obj = obj.str("faults", &format!("{plan:?}"));
-    }
-    obj.finish()
-}
-
-/// The workspace's deterministic 64-bit hash over a byte string.
-pub fn fxhash64(bytes: &[u8]) -> u64 {
-    let mut h = FxHasher::default();
-    h.write(bytes);
-    h.finish()
 }
 
 #[cfg(test)]
@@ -267,6 +264,9 @@ mod tests {
             r#"{"workload":"pgbench","mode":"live","on_package":"256M"}"#,
             r#"{"workload":"pgbench","mode":"live","policy":"fcfs"}"#,
             r#"{"workload":"pgbench","mode":"live","faults":"flip=1e-4"}"#,
+            r#"{"workload":"pgbench","mode":"live","sub_block":"8K"}"#,
+            r#"{"workload":"pgbench","mode":"live","total":"8G"}"#,
+            r#"{"workload":"pgbench","mode":"live","os_assisted":true}"#,
         ] {
             let v = parse_body(variant, &Limits::default()).unwrap();
             assert_ne!(v.key, base.key, "{variant} must change the cache key");
@@ -298,6 +298,40 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.key, b.key, "spec spelling must not leak into the key");
+    }
+
+    #[test]
+    fn canonical_text_is_a_valid_request_body() {
+        // The coordinator ships a cell's canonical rendering verbatim as
+        // a peer's request body; the peer must resolve it to the same
+        // canonical form and hence the same cache key.
+        let body = r#"{"workload":"pgbench","mode":"live","page":"128K","sub_block":"8K",
+                       "interval":1500,"accesses":50000,"warmup":5000,"scale":64,"seed":7,
+                       "os_assisted":false,"faults":"flip=1e-4,drop=0.001","fault_seed":3}"#;
+        let r = parse_body(body, &Limits::default()).unwrap();
+        let echoed = parse_body(&r.canonical, &Limits::default()).unwrap();
+        assert_eq!(echoed.canonical, r.canonical);
+        assert_eq!(echoed.key, r.key);
+        assert_eq!(echoed.cfg.faults, r.cfg.faults);
+    }
+
+    #[test]
+    fn structural_and_spec_faults_share_a_key() {
+        let spec = parse_body(
+            r#"{"workload":"pgbench","mode":"live","faults":"flip=1e-4,seed=9"}"#,
+            &Limits::default(),
+        )
+        .unwrap();
+        // Extract the structural rendering from the canonical text and
+        // feed it back as an object-valued `faults` field.
+        let plan = spec.cfg.faults.unwrap();
+        let body = format!(
+            r#"{{"workload":"pgbench","mode":"live","faults":{}}}"#,
+            hmm_simulator::wire::fault_plan_to_json(&plan)
+        );
+        let structural = parse_body(&body, &Limits::default()).unwrap();
+        assert_eq!(structural.key, spec.key);
+        assert_eq!(structural.cfg.faults, Some(plan));
     }
 
     #[test]

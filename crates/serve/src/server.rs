@@ -28,9 +28,10 @@ use crate::cache::LruCache;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::jobs::{Job, JobRegistry, JobState};
 use crate::metrics::{GaugeSample, ServerMetrics};
-use crate::queue::{JobQueue, PushError};
+use crate::queue::{Discipline, JobQueue, PushError};
 use crate::request::{parse_body, Limits, SimRequest};
 use crate::response::{error_body, job_status, render_run};
+use crate::sweeps::{self, SweepRegistry};
 use hmm_sim_base::FxHashMap;
 use hmm_simulator::driver::run;
 use hmm_telemetry::JsonObject;
@@ -66,6 +67,16 @@ pub struct ServerConfig {
     pub sync_timeout: Duration,
     /// Finished jobs kept queryable by id.
     pub job_retention: usize,
+    /// Order queued jobs shortest-first (by requested `accesses`)
+    /// instead of FIFO, so a sweep's small cells are not starved behind
+    /// its big ones.
+    pub sjf: bool,
+    /// Peer `host:port` addresses for coordinator mode. When non-empty,
+    /// sweep cells are sharded across these peers by consistent hashing
+    /// instead of running on the local worker pool.
+    pub peers: Vec<String>,
+    /// Largest grid `POST /v1/sweeps` will expand.
+    pub max_sweep_cells: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +92,9 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             sync_timeout: Duration::from_secs(30),
             job_retention: 1024,
+            sjf: false,
+            peers: Vec::new(),
+            max_sweep_cells: 1024,
         }
     }
 }
@@ -94,18 +108,21 @@ struct AdmitState {
 }
 
 #[derive(Debug)]
-struct Shared {
-    cfg: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
     queue: JobQueue<Arc<Job>>,
     registry: JobRegistry,
     admit: Mutex<AdmitState>,
-    metrics: ServerMetrics,
-    draining: AtomicBool,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) draining: AtomicBool,
     next_job_id: AtomicU64,
+    pub(crate) sweeps: SweepRegistry,
+    /// Sweep runner threads, joined on shutdown.
+    pub(crate) runners: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// How an admission attempt resolved.
-enum Admitted {
+pub(crate) enum Admitted {
     /// Cache hit; here is the body.
     Cached(Arc<String>),
     /// Joined or started a job; wait on it.
@@ -115,8 +132,9 @@ enum Admitted {
 }
 
 impl Shared {
-    /// The single admission decision for both simulate endpoints.
-    fn admit(&self, req: &SimRequest) -> Admitted {
+    /// The single admission decision for the simulate endpoints and the
+    /// sweep runner.
+    pub(crate) fn admit(&self, req: &SimRequest) -> Admitted {
         let mut admit = self.admit.lock().unwrap();
         if let Some(body) = admit.cache.get(req.key) {
             self.metrics.inc(&self.metrics.accepted);
@@ -131,7 +149,7 @@ impl Shared {
         }
         let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
         let job = Job::new(id, req.key, req.canonical.clone(), req.cfg);
-        match self.queue.try_push(Arc::clone(&job)) {
+        match self.queue.try_push_cost(Arc::clone(&job), req.cfg.accesses) {
             Ok(()) => {
                 admit.inflight.insert(req.key, Arc::clone(&job));
                 self.registry.insert(Arc::clone(&job));
@@ -201,8 +219,9 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let discipline = if cfg.sjf { Discipline::Sjf } else { Discipline::Fifo };
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(cfg.queue_depth),
+            queue: JobQueue::with_discipline(cfg.queue_depth, discipline),
             registry: JobRegistry::new(cfg.job_retention),
             admit: Mutex::new(AdmitState {
                 cache: LruCache::new(cfg.cache_entries),
@@ -211,6 +230,8 @@ impl Server {
             metrics: ServerMetrics::default(),
             draining: AtomicBool::new(false),
             next_job_id: AtomicU64::new(1),
+            sweeps: SweepRegistry::new(),
+            runners: Mutex::new(Vec::new()),
             cfg,
         });
 
@@ -263,11 +284,18 @@ impl Server {
         for a in self.acceptors {
             let _ = a.join();
         }
+        // Sweep runners observe the drain (admission refuses, the
+        // draining flag stops peer dispatch) and conclude every cell, so
+        // these joins terminate.
+        let runners = std::mem::take(&mut *self.shared.runners.lock().unwrap());
+        for r in runners {
+            let _ = r.join();
+        }
         self.shared.metrics_doc()
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener) {
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             return;
@@ -288,7 +316,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
     let response = match read_request(&mut stream, shared.cfg.max_body_bytes) {
@@ -306,7 +334,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = write_response(&mut stream, &response);
 }
 
-fn dispatch(shared: &Shared, req: &Request) -> Response {
+fn dispatch(shared: &Arc<Shared>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(
             200,
@@ -320,13 +348,17 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
         ("POST", "/v1/jobs") => submit_job(shared, req),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_get(shared, path),
         ("DELETE", path) if path.starts_with("/v1/jobs/") => job_cancel(shared, path),
+        ("POST", "/v1/sweeps") => sweeps::submit(shared, &req.body),
+        ("GET", path) if path.starts_with("/v1/sweeps/") => sweeps::get(shared, path),
         ("POST", "/admin/shutdown") => {
             shared.start_drain();
             Response::json(200, JsonObject::new().bool("draining", true).finish())
         }
-        (_, "/healthz" | "/metrics" | "/v1/simulate" | "/v1/jobs" | "/admin/shutdown") => {
-            bad(shared, 405, &format!("method {} not allowed here", req.method))
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/simulate" | "/v1/jobs" | "/v1/sweeps"
+            | "/admin/shutdown",
+        ) => bad(shared, 405, &format!("method {} not allowed here", req.method)),
         _ => bad(shared, 404, &format!("no such endpoint '{}'", req.path)),
     }
 }

@@ -31,6 +31,13 @@ fn hmm_serve_rejects_invalid_input_with_one_line() {
     assert_one_line_exit2(&run(bin, &["--workers", "lots"]), "lots");
     assert_one_line_exit2(&run(bin, &["--queue-depth"]), "--queue-depth");
     assert_one_line_exit2(&run(bin, &["--addr", "not-an-addr"]), "failed to bind");
+    assert_one_line_exit2(&run(bin, &["--max-sweep-cells", "many"]), "many");
+    assert_one_line_exit2(&run(bin, &["--coordinator"]), "requires --peers");
+    assert_one_line_exit2(&run(bin, &["--peers", "127.0.0.1:9000"]), "--coordinator");
+    assert_one_line_exit2(
+        &run(bin, &["--coordinator", "--peers", "nowhere"]),
+        "invalid peer address",
+    );
 }
 
 #[test]
@@ -45,6 +52,27 @@ fn hmm_loadgen_rejects_invalid_input_with_one_line() {
         "warehouse",
     );
     assert_one_line_exit2(&run(bin, &["--addr", "127.0.0.1:1", "--modes", "turbo"]), "turbo");
+    assert_one_line_exit2(&run(bin, &["--addr", "127.0.0.1:1", "--sweep"]), "--sweep");
+    assert_one_line_exit2(
+        &run(bin, &["--addr", "127.0.0.1:1", "--figures-out", "f.json"]),
+        "--figures-out only makes sense with --sweep",
+    );
+}
+
+/// Sweep-mode failures (spec file missing, unparsable spec) are runtime
+/// errors, not usage errors: exit 1, one line, naming the cause.
+#[test]
+fn hmm_loadgen_sweep_mode_reports_runtime_errors() {
+    let bin = env!("CARGO_BIN_EXE_hmm-loadgen");
+    for (arg, needle) in
+        [("@/nonexistent/spec.json", "reading sweep spec"), ("not json", "sweep failed")]
+    {
+        let out = run(bin, &["--addr", "127.0.0.1:1", "--sweep", arg]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+        assert_eq!(stderr.trim_end().lines().count(), 1, "one line, got: {stderr:?}");
+        assert!(stderr.contains(needle), "wanted '{needle}' in: {stderr}");
+    }
 }
 
 /// Boot the real server process, hit it over TCP, drain it via the admin

@@ -383,6 +383,23 @@ impl ToJson for Fig16Row {
     }
 }
 
+/// Run an explicit list of configurations in parallel and fold their
+/// counters, preserving input order in the returned results.
+///
+/// This is the in-process twin of an `hmm-serve` sweep: the serving
+/// layer expands a grid spec into exactly such a list of resolved
+/// [`RunConfig`]s, and the sweep e2e suite asserts its aggregate is
+/// bit-identical to this function's, so both paths must fold the same
+/// per-cell results in the same (input) order.
+pub fn run_grid(cfgs: &[RunConfig]) -> (Vec<RunResult>, SweepTotals) {
+    let results = par_map(cfgs.to_vec(), |cfg| run(&cfg));
+    let mut totals = SweepTotals::default();
+    for r in &results {
+        totals.absorb(r);
+    }
+    (results, totals)
+}
+
 /// Convenience: rerun one cell and report its full [`RunResult`]
 /// (used by the ablation benches).
 pub fn run_cell(
@@ -504,6 +521,29 @@ mod tests {
             );
             assert_eq!(a.on_fraction.to_bits(), b.on_fraction.to_bits());
         }
+    }
+
+    #[test]
+    fn run_grid_preserves_order_and_totals() {
+        let g = GridConfig::quick();
+        let cfgs = vec![
+            RunConfig { page_shift: 14, ..g.base_run(WorkloadId::Pgbench, Mode::Static) },
+            RunConfig {
+                page_shift: 16,
+                ..g.base_run(WorkloadId::Pgbench, Mode::Dynamic(MigrationDesign::LiveMigration))
+            },
+        ];
+        let (results, totals) = run_grid(&cfgs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].geometry.page_shift, 14, "results must keep input order");
+        assert_eq!(results[1].geometry.page_shift, 16);
+        assert_eq!(totals.cells, 2);
+        let mut seq = SweepTotals::default();
+        for r in &results {
+            seq.absorb(r);
+        }
+        assert_eq!(totals.controller, seq.controller);
+        assert_eq!(totals.swaps, seq.swaps);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod driver;
 pub mod experiments;
 pub mod ipc;
 pub mod missrate;
+pub mod wire;
 
 pub use driver::{run, RunConfig, RunResult};
 pub use experiments::{effectiveness_table, fig11_grid, fig15_capacity, fig16_power, Fig11Row};

@@ -1,0 +1,387 @@
+//! The canonical wire form of a [`RunConfig`] — one JSON spelling per
+//! configuration, shared by every component that names simulations over
+//! a byte boundary.
+//!
+//! `hmm-serve` hashes this rendering for its result-cache key, the sweep
+//! subsystem uses the same hash to deduplicate grid cells and to shard
+//! them across peers, and coordinator→peer RPC ships the canonical text
+//! itself as the `POST /v1/simulate` body. All of that is only sound if
+//! the mapping is *bijective on behaviour*: equal configurations — and
+//! only equal configurations — produce equal strings, and the string
+//! parses back to the exact configuration it came from.
+//!
+//! Fault plans are rendered *structurally* (every [`FaultPlan`] field as
+//! a nested JSON object) rather than through `Debug`, so the canonical
+//! text survives `Debug`-format churn and can be parsed back by
+//! [`config_from_canonical`] without a Rust compiler in the loop.
+//!
+//! One representational limit, inherited from the `jsonin` reader: JSON
+//! numbers travel as `f64`, so integers above 2^53 are not exactly
+//! representable on this wire. Every counter and knob the simulator
+//! exposes stays far below that; the ingestion layer (`hmm-serve`
+//! request parsing) already passes numbers through `f64`, so the
+//! canonical form is no lossier than the requests that feed it.
+
+use crate::driver::RunConfig;
+use hmm_core::Mode;
+use hmm_dram::SchedPolicy;
+use hmm_fault::{FaultPlan, FaultRegion, StuckBank, ThrottleSpec, MAX_STUCK_BANKS};
+use hmm_sim_base::FxHasher;
+use hmm_telemetry::jsonin::{self, Json};
+use hmm_telemetry::{JsonArray, JsonObject};
+use hmm_workloads::WorkloadId;
+use std::hash::Hasher;
+
+/// The workspace's deterministic 64-bit hash over a byte string: the
+/// result-cache key and the sweep-cell identity are both
+/// `fxhash64(canonical_json(cfg))`.
+pub fn fxhash64(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Canonical token of a scheduling policy (round-trips through
+/// [`policy_from_token`]).
+pub fn policy_token(p: SchedPolicy) -> &'static str {
+    match p {
+        SchedPolicy::FrFcfs => "frfcfs",
+        SchedPolicy::Fcfs => "fcfs",
+    }
+}
+
+/// Parse a policy token (accepts the `fr-fcfs` alias used by CLI flags).
+pub fn policy_from_token(s: &str) -> Result<SchedPolicy, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "frfcfs" | "fr-fcfs" => Ok(SchedPolicy::FrFcfs),
+        "fcfs" => Ok(SchedPolicy::Fcfs),
+        other => Err(format!("unknown policy '{other}'")),
+    }
+}
+
+fn region_token(r: FaultRegion) -> &'static str {
+    match r {
+        FaultRegion::On => "on",
+        FaultRegion::Off => "off",
+        FaultRegion::Both => "both",
+    }
+}
+
+fn region_from_token(s: &str) -> Result<FaultRegion, String> {
+    match s {
+        "on" => Ok(FaultRegion::On),
+        "off" => Ok(FaultRegion::Off),
+        "both" => Ok(FaultRegion::Both),
+        other => Err(format!("unknown fault region '{other}'")),
+    }
+}
+
+/// Render a fault plan as a self-contained JSON object, every field
+/// explicit. `stuck_banks` is compacted to its populated entries: plans
+/// that differ only in where the `None` holes sit behave identically
+/// (the fault hash iterates populated entries), so they canonicalise
+/// identically too.
+pub fn fault_plan_to_json(plan: &FaultPlan) -> String {
+    let mut banks = JsonArray::new();
+    for b in plan.stuck_banks.iter().flatten() {
+        banks = banks.raw(
+            &JsonObject::new()
+                .str("region", region_token(b.region))
+                .u64("channel", b.channel as u64)
+                .u64("bank", b.bank as u64)
+                .finish(),
+        );
+    }
+    let mut obj = JsonObject::new()
+        .u64("seed", plan.seed)
+        .f64("flip_rate", plan.flip_rate)
+        .f64("uflip_rate", plan.uflip_rate)
+        .f64("drop_rate", plan.drop_rate)
+        .f64("timeout_rate", plan.timeout_rate)
+        .f64("row_corrupt_rate", plan.row_corrupt_rate)
+        .raw("stuck_banks", &banks.finish());
+    if let Some(t) = &plan.throttle {
+        obj = obj.raw(
+            "throttle",
+            &JsonObject::new()
+                .str("region", region_token(t.region))
+                .u64("period", t.period)
+                .u64("duration", t.duration)
+                .finish(),
+        );
+    }
+    obj.u64("max_retries", plan.max_retries as u64)
+        .u64("retry_backoff_cycles", plan.retry_backoff_cycles)
+        .u64("quarantine_threshold", plan.quarantine_threshold as u64)
+        .u64("spare_slots", plan.spare_slots as u64)
+        .finish()
+}
+
+fn num_f64(v: &Json, name: &str) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| format!("field '{name}' must be a number"))
+}
+
+fn num_u64(v: &Json, name: &str) -> Result<u64, String> {
+    let n = num_f64(v, name)?;
+    if n.fract() != 0.0 || !(0.0..=(u64::MAX as f64)).contains(&n) {
+        return Err(format!("field '{name}' must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+fn num_u32(v: &Json, name: &str) -> Result<u32, String> {
+    let n = num_u64(v, name)?;
+    u32::try_from(n).map_err(|_| format!("field '{name}' exceeds u32 range"))
+}
+
+fn str_field<'a>(v: &'a Json, name: &str) -> Result<&'a str, String> {
+    v.as_str().ok_or_else(|| format!("field '{name}' must be a string"))
+}
+
+fn require<'a>(obj: &'a Json, name: &str) -> Result<&'a Json, String> {
+    obj.get(name).ok_or_else(|| format!("missing field '{name}'"))
+}
+
+/// Parse a fault plan back from its [`fault_plan_to_json`] form.
+pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, String> {
+    let Json::Obj(_) = v else {
+        return Err("'faults' must be an object".into());
+    };
+    let mut plan = FaultPlan {
+        seed: num_u64(require(v, "seed")?, "seed")?,
+        flip_rate: num_f64(require(v, "flip_rate")?, "flip_rate")?,
+        uflip_rate: num_f64(require(v, "uflip_rate")?, "uflip_rate")?,
+        drop_rate: num_f64(require(v, "drop_rate")?, "drop_rate")?,
+        timeout_rate: num_f64(require(v, "timeout_rate")?, "timeout_rate")?,
+        row_corrupt_rate: num_f64(require(v, "row_corrupt_rate")?, "row_corrupt_rate")?,
+        stuck_banks: [None; MAX_STUCK_BANKS],
+        throttle: None,
+        max_retries: num_u32(require(v, "max_retries")?, "max_retries")?,
+        retry_backoff_cycles: num_u64(require(v, "retry_backoff_cycles")?, "retry_backoff_cycles")?,
+        quarantine_threshold: num_u32(require(v, "quarantine_threshold")?, "quarantine_threshold")?,
+        spare_slots: num_u32(require(v, "spare_slots")?, "spare_slots")?,
+    };
+    let banks =
+        require(v, "stuck_banks")?.as_arr().ok_or("field 'stuck_banks' must be an array")?;
+    if banks.len() > MAX_STUCK_BANKS {
+        return Err(format!("at most {MAX_STUCK_BANKS} stuck banks"));
+    }
+    for (slot, b) in plan.stuck_banks.iter_mut().zip(banks) {
+        *slot = Some(StuckBank {
+            region: region_from_token(str_field(require(b, "region")?, "region")?)?,
+            channel: num_u32(require(b, "channel")?, "channel")?,
+            bank: num_u32(require(b, "bank")?, "bank")?,
+        });
+    }
+    if let Some(t) = v.get("throttle") {
+        plan.throttle = Some(ThrottleSpec {
+            region: region_from_token(str_field(require(t, "region")?, "region")?)?,
+            period: num_u64(require(t, "period")?, "period")?,
+            duration: num_u64(require(t, "duration")?, "duration")?,
+        });
+    }
+    Ok(plan)
+}
+
+/// Render a resolved configuration in a fixed field order with canonical
+/// value spellings. Equal configurations — and only equal configurations
+/// — produce equal strings (modulo `stuck_banks` hole placement, which
+/// does not change behaviour).
+pub fn canonical_json(cfg: &RunConfig) -> String {
+    let mut obj = JsonObject::new()
+        .str("workload", cfg.workload.token())
+        .str("mode", cfg.mode.token())
+        .u64("page_shift", cfg.page_shift as u64)
+        .u64("sub_block_shift", cfg.sub_block_shift as u64)
+        .u64("interval", cfg.swap_interval)
+        .u64("accesses", cfg.accesses)
+        .u64("warmup", cfg.warmup)
+        .u64("scale", cfg.scale.divisor)
+        .u64("seed", cfg.seed)
+        .u64("on_package", cfg.on_package_bytes)
+        .u64("total", cfg.total_bytes)
+        .str("policy", policy_token(cfg.policy));
+    if let Some(v) = cfg.os_assisted {
+        obj = obj.bool("os_assisted", v);
+    }
+    if let Some(plan) = &cfg.faults {
+        obj = obj.raw("faults", &fault_plan_to_json(plan));
+    }
+    obj.finish()
+}
+
+/// Parse a canonical (or canonical-shaped) rendering back into the
+/// [`RunConfig`] it came from. This is the strict inverse of
+/// [`canonical_json`] — every field the renderer emits is required
+/// except the optional `os_assisted`/`faults`, unknown fields are
+/// rejected, and `canonical_json(config_from_canonical(s)?) == s` for
+/// any `s` the renderer produced.
+pub fn config_from_canonical(text: &str) -> Result<RunConfig, String> {
+    let doc = jsonin::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(fields) = &doc else {
+        return Err("canonical config must be a JSON object".into());
+    };
+    const KNOWN: [&str; 14] = [
+        "workload",
+        "mode",
+        "page_shift",
+        "sub_block_shift",
+        "interval",
+        "accesses",
+        "warmup",
+        "scale",
+        "seed",
+        "on_package",
+        "total",
+        "policy",
+        "os_assisted",
+        "faults",
+    ];
+    for (name, _) in fields {
+        if !KNOWN.contains(&name.as_str()) {
+            return Err(format!("unknown field '{name}'"));
+        }
+    }
+    let workload: WorkloadId = str_field(require(&doc, "workload")?, "workload")?.parse()?;
+    let mode: Mode = str_field(require(&doc, "mode")?, "mode")?.parse()?;
+    let os_assisted = match doc.get("os_assisted") {
+        None => None,
+        Some(v) => Some(v.as_bool().ok_or("field 'os_assisted' must be a boolean")?),
+    };
+    let faults = match doc.get("faults") {
+        None => None,
+        Some(v) => Some(fault_plan_from_json(v)?),
+    };
+    Ok(RunConfig {
+        workload,
+        mode,
+        page_shift: num_u32(require(&doc, "page_shift")?, "page_shift")?,
+        sub_block_shift: num_u32(require(&doc, "sub_block_shift")?, "sub_block_shift")?,
+        swap_interval: num_u64(require(&doc, "interval")?, "interval")?,
+        on_package_bytes: num_u64(require(&doc, "on_package")?, "on_package")?,
+        total_bytes: num_u64(require(&doc, "total")?, "total")?,
+        scale: hmm_sim_base::config::SimScale {
+            divisor: num_u64(require(&doc, "scale")?, "scale")?.max(1),
+        },
+        accesses: num_u64(require(&doc, "accesses")?, "accesses")?,
+        warmup: num_u64(require(&doc, "warmup")?, "warmup")?,
+        seed: num_u64(require(&doc, "seed")?, "seed")?,
+        os_assisted,
+        policy: policy_from_token(str_field(require(&doc, "policy")?, "policy")?)?,
+        faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_core::MigrationDesign;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 9,
+            flip_rate: 1e-4,
+            uflip_rate: 2.5e-7,
+            drop_rate: 0.001,
+            timeout_rate: 0.0005,
+            row_corrupt_rate: 1e-3,
+            stuck_banks: [
+                Some(StuckBank { region: FaultRegion::On, channel: 1, bank: 3 }),
+                Some(StuckBank { region: FaultRegion::Both, channel: 0, bank: 7 }),
+                None,
+                None,
+            ],
+            throttle: Some(ThrottleSpec {
+                region: FaultRegion::Off,
+                period: 10_000,
+                duration: 500,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn fault_plan_round_trips_structurally() {
+        let plan = sample_plan();
+        let text = fault_plan_to_json(&plan);
+        let parsed = fault_plan_from_json(&jsonin::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(fault_plan_to_json(&parsed), text, "render must be a fixed point");
+    }
+
+    #[test]
+    fn stuck_bank_holes_do_not_change_the_canonical_form() {
+        let mut a = sample_plan();
+        let mut b = sample_plan();
+        // Same populated banks, different hole placement: behaviourally
+        // identical, so the canonical text must coincide.
+        a.stuck_banks = [a.stuck_banks[0], None, a.stuck_banks[1], None];
+        b.stuck_banks = [None, b.stuck_banks[0], None, b.stuck_banks[1]];
+        assert_eq!(fault_plan_to_json(&a), fault_plan_to_json(&b));
+    }
+
+    #[test]
+    fn canonical_config_round_trips() {
+        let mut cfg =
+            RunConfig::quick(WorkloadId::Pgbench, Mode::Dynamic(MigrationDesign::LiveMigration));
+        cfg.os_assisted = Some(true);
+        cfg.faults = Some(sample_plan());
+        let text = canonical_json(&cfg);
+        let back = config_from_canonical(&text).unwrap();
+        assert_eq!(canonical_json(&back), text);
+        assert_eq!(back.workload, cfg.workload);
+        assert_eq!(back.mode, cfg.mode);
+        assert_eq!(back.faults, cfg.faults);
+        assert_eq!(back.os_assisted, cfg.os_assisted);
+        assert_eq!(fxhash64(text.as_bytes()), fxhash64(canonical_json(&back).as_bytes()));
+    }
+
+    #[test]
+    fn canonical_config_without_options_round_trips() {
+        let cfg = RunConfig::quick(WorkloadId::Mg, Mode::Static);
+        let text = canonical_json(&cfg);
+        assert!(!text.contains("faults"));
+        assert!(!text.contains("os_assisted"));
+        let back = config_from_canonical(&text).unwrap();
+        assert_eq!(canonical_json(&back), text);
+        assert_eq!(back.faults, None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_canonical_text() {
+        let good = canonical_json(&RunConfig::quick(WorkloadId::Ft, Mode::Static));
+        for (mutation, why) in [
+            (good.replace("\"seed\"", "\"sede\""), "unknown field"),
+            (good.replace("\"ft\"", "\"nope\""), "unknown workload"),
+            (good.replace("\"static\"", "\"turbo\""), "unknown mode"),
+            (good.replace("\"frfcfs\"", "\"elevator\""), "unknown policy"),
+            ("[]".to_string(), "must be a JSON object"),
+            ("{\"workload\":\"ft\"}".to_string(), "missing field"),
+        ] {
+            let err = config_from_canonical(&mutation).unwrap_err();
+            assert!(err.contains(why), "{mutation}: got '{err}', wanted '{why}'");
+        }
+    }
+
+    #[test]
+    fn distinct_plans_get_distinct_canonical_text() {
+        let base = sample_plan();
+        let mut variants = Vec::new();
+        for f in [
+            |p: &mut FaultPlan| p.seed += 1,
+            |p: &mut FaultPlan| p.flip_rate *= 2.0,
+            |p: &mut FaultPlan| p.max_retries += 1,
+            |p: &mut FaultPlan| p.throttle = None,
+            |p: &mut FaultPlan| p.stuck_banks[1] = None,
+            |p: &mut FaultPlan| p.spare_slots += 1,
+        ] {
+            let mut v = base;
+            f(&mut v);
+            variants.push(fault_plan_to_json(&v));
+        }
+        let canonical = fault_plan_to_json(&base);
+        for v in variants {
+            assert_ne!(v, canonical);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Sweep orchestration for the paper's parameter grids (Figs. 11–16).
+//!
+//! The headline results of the SC'10 paper are *sweeps*: cross products
+//! over migration granularity, swap interval, workload and mode. This
+//! crate turns a compact grid spec into concrete work and turns the
+//! work's results back into one exact figures document:
+//!
+//! * [`spec`] — expand a JSON grid spec (lists per request field) into a
+//!   deterministic list of per-cell request bodies,
+//! * [`ring`] — consistent hashing of cells onto peer servers for the
+//!   coordinator topology,
+//! * [`status`] — per-cell state and the sweep accounting identities,
+//! * [`aggregate`] — fold `hmm-serve-sim-v1` result bodies into merged
+//!   `ControllerStats`/`SwapStats` and render the
+//!   `hmm-sweep-figures-v1` document.
+//!
+//! Everything here is pure data-in/data-out: no sockets, no threads, no
+//! clocks. The serving layer (`hmm-serve`) wires these pieces to its
+//! job queue, result cache and peer RPC client; `hmm-bench sweep` wires
+//! the very same pieces to in-process simulation, which is why the two
+//! paths can be compared byte for byte.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod ring;
+pub mod spec;
+pub mod status;
+
+pub use aggregate::{controller_json, swaps_json, Totals};
+pub use ring::Ring;
+pub use spec::expand;
+pub use status::{CellState, SweepCounts};

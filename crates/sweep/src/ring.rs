@@ -1,0 +1,146 @@
+//! Consistent hashing of sweep cells onto peer servers.
+//!
+//! The coordinator shards cells by their canonical config hash — the
+//! same 64-bit identity the result cache keys on — so one cell always
+//! lands on the same peer for a given peer set, and identical cells
+//! from different sweeps (or resubmissions) hit that peer's warm cache.
+//! Consistent hashing keeps the mapping stable under churn: when a peer
+//! dies, only the cells it owned move (to their next point on the
+//! ring); every other assignment is untouched, preserving cache
+//! locality across the failure.
+//!
+//! Each peer contributes a fixed number of virtual points, hashed from
+//! its address, so the mapping is a pure function of (peer set, key) —
+//! any process that knows the peer list computes the same shard, with
+//! no coordination traffic.
+
+use hmm_sim_base::FxHasher;
+use std::hash::Hasher;
+
+/// Virtual points per peer. 64 keeps the expected imbalance across a
+/// handful of peers within a few percent while the ring stays tiny.
+const VNODES: u32 = 64;
+
+/// splitmix64 finaliser. FxHash alone is too weak here: peer addresses
+/// differ in a digit or two, and its multiplicative mixing leaves their
+/// points clustered, which skews shard sizes badly. A full-avalanche
+/// finaliser spreads the points uniformly.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn hash_point(addr: &str, vnode: u32) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(addr.as_bytes());
+    h.write_u32(vnode);
+    mix(h.finish())
+}
+
+/// A consistent-hash ring over a fixed peer list.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    peers: Vec<String>,
+    /// `(point, peer index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Build the ring. The peer list order is irrelevant to the mapping
+    /// (points are hashed from addresses), but indices returned by
+    /// [`Ring::assign`] refer to this list.
+    pub fn new(peers: &[String]) -> Self {
+        let mut points: Vec<(u64, usize)> = peers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| (0..VNODES).map(move |v| (hash_point(p, v), i)))
+            .collect();
+        points.sort_unstable();
+        Ring { peers: peers.to_vec(), points }
+    }
+
+    /// The peer list the ring was built over.
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// The peer owning `key` when every peer is alive.
+    pub fn assign(&self, key: u64) -> usize {
+        self.assign_among(key, &vec![true; self.peers.len()])
+            .expect("ring must have at least one peer")
+    }
+
+    /// The peer owning `key` among the currently-alive subset: the
+    /// first alive peer at or after the key's point on the ring. Dead
+    /// peers' cells fall through to their successors; everyone else's
+    /// assignment is unchanged. Returns `None` if nothing is alive.
+    pub fn assign_among(&self, key: u64, alive: &[bool]) -> Option<usize> {
+        if self.points.is_empty() || !alive.iter().any(|&a| a) {
+            return None;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        (0..self.points.len())
+            .map(|off| self.points[(start + off) % self.points.len()].1)
+            .find(|&peer| alive.get(peer).copied().unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn mapping_is_deterministic_and_order_independent() {
+        let a = Ring::new(&peers(3));
+        let mut shuffled = peers(3);
+        shuffled.rotate_left(1);
+        let b = Ring::new(&shuffled);
+        for key in (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+            let pa = &a.peers()[a.assign(key)];
+            let pb = &b.peers()[b.assign(key)];
+            assert_eq!(pa, pb, "assignment must depend on addresses, not list order");
+        }
+    }
+
+    #[test]
+    fn death_moves_only_the_dead_peers_cells() {
+        let ring = Ring::new(&peers(3));
+        let alive_all = [true, true, true];
+        let alive_no1 = [true, false, true];
+        for key in (0..2000u64).map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95)) {
+            let before = ring.assign_among(key, &alive_all).unwrap();
+            let after = ring.assign_among(key, &alive_no1).unwrap();
+            if before != 1 {
+                assert_eq!(before, after, "surviving peers' cells must not move");
+            } else {
+                assert_ne!(after, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = Ring::new(&peers(3));
+        let mut counts = [0u64; 3];
+        let n = 30_000u64;
+        for key in (0..n).map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D)) {
+            counts[ring.assign(key)] += 1;
+        }
+        for &c in &counts {
+            let share = c as f64 / n as f64;
+            assert!((0.15..=0.55).contains(&share), "imbalanced shares {counts:?}");
+        }
+    }
+
+    #[test]
+    fn all_dead_yields_none() {
+        let ring = Ring::new(&peers(2));
+        assert_eq!(ring.assign_among(7, &[false, false]), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Grid-spec expansion: one compact JSON object in, one deterministic
+//! list of per-cell request bodies out.
+//!
+//! A sweep spec looks like a `POST /v1/simulate` body in which any
+//! field may be a *list* of values instead of a single value:
+//!
+//! ```json
+//! {"workload": ["pgbench", "mg"], "mode": "live",
+//!  "page": ["4K", "16K", "64K"], "interval": [1000, 10000],
+//!  "accesses": 60000, "scale": 64}
+//! ```
+//!
+//! Expansion takes the cross product of every list-valued field, in a
+//! fixed field order with the last-listed axis cycling fastest, so the
+//! cell order is a pure function of the spec. Each cell is rendered as
+//! a self-contained request body; resolving, validating and
+//! deduplicating cells (two spellings of one configuration share a
+//! canonical hash) is the caller's job, via the same request parser
+//! that guards `POST /v1/simulate`.
+//!
+//! The expander does not interpret values at all — it only arranges
+//! them — so it can never disagree with the request parser about what a
+//! size or a fault spec means.
+
+use hmm_telemetry::json::{f64_to_json, push_str_escaped};
+use hmm_telemetry::jsonin::{self, Json};
+use hmm_telemetry::{JsonArray, JsonObject};
+
+/// The request fields a sweep may set, in expansion order (the last
+/// field cycles fastest). `timeout_ms` is deliberately absent: a sweep
+/// is always asynchronous, so a per-cell wait deadline is meaningless.
+pub const FIELDS: [&str; 17] = [
+    "workload",
+    "mode",
+    "page",
+    "page_shift",
+    "sub_block",
+    "sub_block_shift",
+    "interval",
+    "accesses",
+    "warmup",
+    "scale",
+    "seed",
+    "on_package",
+    "total",
+    "os_assisted",
+    "policy",
+    "faults",
+    "fault_seed",
+];
+
+/// Render a parsed [`Json`] value back to text using the workspace's
+/// canonical spellings (shortest-round-trip floats, RFC 8259 string
+/// escapes). Objects keep their field order.
+pub fn render_json(v: &Json) -> String {
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(b) => if *b { "true" } else { "false" }.into(),
+        Json::Num(n) => f64_to_json(*n),
+        Json::Str(s) => {
+            let mut out = String::new();
+            push_str_escaped(&mut out, s);
+            out
+        }
+        Json::Arr(items) => {
+            let mut arr = JsonArray::new();
+            for item in items {
+                arr = arr.raw(&render_json(item));
+            }
+            arr.finish()
+        }
+        Json::Obj(fields) => {
+            let mut obj = JsonObject::new();
+            for (k, val) in fields {
+                obj = obj.raw(k, &render_json(val));
+            }
+            obj.finish()
+        }
+    }
+}
+
+/// Expand a grid spec into per-cell request bodies.
+///
+/// Errors on malformed JSON, unknown or repeated fields, empty axes and
+/// grids larger than `max_cells` (the size is computed before any cell
+/// is materialised, so a hostile spec cannot balloon memory).
+pub fn expand(spec_text: &str, max_cells: usize) -> Result<Vec<String>, String> {
+    let doc = jsonin::parse(spec_text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(fields) = &doc else {
+        return Err("sweep spec must be a JSON object".into());
+    };
+
+    // Reorder the spec's fields into expansion order, validating names.
+    let mut axes: Vec<(&str, Vec<&Json>)> = Vec::new();
+    for &name in &FIELDS {
+        let mut hits = fields.iter().filter(|(k, _)| k == name);
+        let Some((_, value)) = hits.next() else { continue };
+        if hits.next().is_some() {
+            return Err(format!("field '{name}' appears more than once"));
+        }
+        let values: Vec<&Json> = match value {
+            Json::Arr(items) => items.iter().collect(),
+            single => vec![single],
+        };
+        if values.is_empty() {
+            return Err(format!("field '{name}' is an empty list"));
+        }
+        axes.push((name, values));
+    }
+    for (name, _) in fields {
+        if !FIELDS.contains(&name.as_str()) {
+            return Err(format!("unknown sweep field '{name}'"));
+        }
+    }
+
+    let cells = axes
+        .iter()
+        .map(|(_, v)| v.len())
+        .try_fold(1usize, |acc, n| acc.checked_mul(n).filter(|&c| c <= max_cells));
+    let Some(cells) = cells else {
+        return Err(format!("grid exceeds the {max_cells}-cell limit"));
+    };
+
+    // Odometer over the axes, rightmost digit fastest.
+    let mut out = Vec::with_capacity(cells);
+    let mut digits = vec![0usize; axes.len()];
+    loop {
+        let mut body = JsonObject::new();
+        for ((name, values), &d) in axes.iter().zip(&digits) {
+            body = body.raw(name, &render_json(values[d]));
+        }
+        out.push(body.finish());
+        let mut pos = axes.len();
+        loop {
+            if pos == 0 {
+                return Ok(out);
+            }
+            pos -= 1;
+            digits[pos] += 1;
+            if digits[pos] < axes[pos].1.len() {
+                break;
+            }
+            digits[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_spec_expands_to_one_cell() {
+        let cells = expand(r#"{"workload":"pgbench","mode":"live"}"#, 10).unwrap();
+        assert_eq!(cells, vec![r#"{"workload":"pgbench","mode":"live"}"#.to_string()]);
+    }
+
+    #[test]
+    fn cross_product_order_is_deterministic() {
+        let cells =
+            expand(r#"{"mode":["live","n-1"],"workload":["pgbench"],"interval":[1000,2000]}"#, 10)
+                .unwrap();
+        // Fixed field order (workload before mode before interval), last
+        // axis fastest.
+        assert_eq!(
+            cells,
+            vec![
+                r#"{"workload":"pgbench","mode":"live","interval":1000}"#,
+                r#"{"workload":"pgbench","mode":"live","interval":2000}"#,
+                r#"{"workload":"pgbench","mode":"n-1","interval":1000}"#,
+                r#"{"workload":"pgbench","mode":"n-1","interval":2000}"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn values_pass_through_untouched() {
+        let cells = expand(
+            r#"{"workload":"pgbench","mode":"live","page":["64K",65536],
+                "os_assisted":true,"faults":{"seed":1},"scale":6.5}"#,
+            10,
+        )
+        .unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].contains(r#""page":"64K""#), "{}", cells[0]);
+        assert!(cells[1].contains(r#""page":65536"#), "{}", cells[1]);
+        for c in &cells {
+            assert!(c.contains(r#""os_assisted":true"#));
+            assert!(c.contains(r#""faults":{"seed":1}"#));
+            assert!(c.contains(r#""scale":6.5"#));
+        }
+    }
+
+    #[test]
+    fn enforces_the_cell_limit_before_materialising() {
+        let spec = r#"{"workload":["a","b","c","d"],"seed":[1,2,3,4],"interval":[1,2,3,4]}"#;
+        assert!(expand(spec, 64).is_ok());
+        let err = expand(spec, 63).unwrap_err();
+        assert!(err.contains("63-cell limit"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for (spec, why) in [
+            ("[", "invalid JSON"),
+            ("[1]", "must be a JSON object"),
+            (r#"{"workload":[]}"#, "empty list"),
+            (r#"{"workload":"a","intreval":1}"#, "unknown sweep field"),
+            (r#"{"workload":"a","timeout_ms":5}"#, "unknown sweep field"),
+            (r#"{"workload":"a","workload":"b"}"#, "more than once"),
+        ] {
+            let err = expand(spec, 10).unwrap_err();
+            assert!(err.contains(why), "{spec}: got '{err}', wanted '{why}'");
+        }
+    }
+
+    #[test]
+    fn render_json_round_trips() {
+        let text = r#"{"a":[1,2.5,"x\n",null,true],"b":{"c":false}}"#;
+        let v = jsonin::parse(text).unwrap();
+        assert_eq!(render_json(&v), text);
+    }
+}

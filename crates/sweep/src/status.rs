@@ -1,0 +1,226 @@
+//! Sweep accounting: per-cell states and the identities that must hold
+//! over them.
+//!
+//! The single-node serving layer already lives by counter identities
+//! (`accepted == cache_hits + cache_misses`); a sweep extends the same
+//! discipline across cells and, in coordinator mode, across peers. The
+//! ISSUE's informal identity — *cells == done + failed + stolen_retries
+//! − dupes* — is formalised here as three exact equations:
+//!
+//! * `expanded == unique + deduped` — every cross-product cell is
+//!   either tracked once or folded into an identical earlier cell;
+//! * `unique == pending + running + done + failed` — a tracked cell is
+//!   always in exactly one state;
+//! * at quiescence, `dispatched == done + failed + retries` — every
+//!   dispatch attempt concludes, and an attempt cut short by peer death
+//!   or work stealing is re-dispatched (counted in `retries`, with the
+//!   stolen subset broken out).
+//!
+//! `hmm-loadgen --check` re-verifies all three from the wire document.
+
+use hmm_telemetry::jsonin::Json;
+use hmm_telemetry::JsonObject;
+
+/// Lifecycle of one deduplicated sweep cell. Transitions only move
+/// forward (pending → running → done/failed), which is what makes the
+/// progress report monotonic; a retried cell re-enters `pending`
+/// without leaving the terminal states' counts (it was never in them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// Not yet dispatched (or re-queued after a failed dispatch).
+    Pending,
+    /// Dispatched to a worker or a peer.
+    Running,
+    /// Result body available.
+    Done,
+    /// Permanently failed (simulator panic, or retry budget exhausted).
+    Failed,
+}
+
+impl CellState {
+    /// Wire label of the state.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellState::Pending => "pending",
+            CellState::Running => "running",
+            CellState::Done => "done",
+            CellState::Failed => "failed",
+        }
+    }
+}
+
+/// Counter snapshot of one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepCounts {
+    /// Cells in the raw cross product of the spec.
+    pub expanded: u64,
+    /// Expanded cells folded into an identical earlier cell (same
+    /// canonical hash).
+    pub deduped: u64,
+    /// Distinct cells tracked (`expanded - deduped`).
+    pub unique: u64,
+    /// Unique cells not yet dispatched.
+    pub pending: u64,
+    /// Unique cells currently dispatched.
+    pub running: u64,
+    /// Unique cells with a result body.
+    pub done: u64,
+    /// Unique cells permanently failed.
+    pub failed: u64,
+    /// Dispatch attempts started (local enqueue or peer RPC).
+    pub dispatched: u64,
+    /// Dispatch attempts that ended without concluding their cell and
+    /// were re-queued (peer death, transport error, steal).
+    pub retries: u64,
+    /// The subset of `retries` due to work stealing from a straggler.
+    pub stolen: u64,
+}
+
+impl SweepCounts {
+    /// Verify the sweep identities. `quiescent` additionally asserts
+    /// the dispatch ledger balances, which only holds once nothing is
+    /// pending or running.
+    pub fn check(&self, quiescent: bool) -> Result<(), String> {
+        if self.expanded != self.unique + self.deduped {
+            return Err(format!(
+                "expanded ({}) != unique ({}) + deduped ({})",
+                self.expanded, self.unique, self.deduped
+            ));
+        }
+        let states = self.pending + self.running + self.done + self.failed;
+        if self.unique != states {
+            return Err(format!(
+                "unique ({}) != pending+running+done+failed ({states})",
+                self.unique
+            ));
+        }
+        if self.stolen > self.retries {
+            return Err(format!("stolen ({}) exceeds retries ({})", self.stolen, self.retries));
+        }
+        if quiescent {
+            if self.pending + self.running != 0 {
+                return Err(format!(
+                    "quiescent sweep still has {} pending / {} running",
+                    self.pending, self.running
+                ));
+            }
+            if self.dispatched != self.done + self.failed + self.retries {
+                return Err(format!(
+                    "dispatched ({}) != done ({}) + failed ({}) + retries ({})",
+                    self.dispatched, self.done, self.failed, self.retries
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the counts with stable field names.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("expanded", self.expanded)
+            .u64("deduped", self.deduped)
+            .u64("unique", self.unique)
+            .u64("pending", self.pending)
+            .u64("running", self.running)
+            .u64("done", self.done)
+            .u64("failed", self.failed)
+            .u64("dispatched", self.dispatched)
+            .u64("retries", self.retries)
+            .u64("stolen", self.stolen)
+            .finish()
+    }
+
+    /// Parse counts back from a status document's `counts` object.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let get = |name: &str| -> Result<u64, String> {
+            let f = v
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing sweep count '{name}'"))?;
+            if f.fract() != 0.0 || f < 0.0 {
+                return Err(format!("sweep count '{name}' is not a counter: {f}"));
+            }
+            Ok(f as u64)
+        };
+        Ok(SweepCounts {
+            expanded: get("expanded")?,
+            deduped: get("deduped")?,
+            unique: get("unique")?,
+            pending: get("pending")?,
+            running: get("running")?,
+            done: get("done")?,
+            failed: get("failed")?,
+            dispatched: get("dispatched")?,
+            retries: get("retries")?,
+            stolen: get("stolen")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_telemetry::jsonin;
+
+    fn finished() -> SweepCounts {
+        SweepCounts {
+            expanded: 12,
+            deduped: 2,
+            unique: 10,
+            pending: 0,
+            running: 0,
+            done: 9,
+            failed: 1,
+            dispatched: 13,
+            retries: 3,
+            stolen: 1,
+        }
+    }
+
+    #[test]
+    fn identities_hold_for_a_finished_sweep() {
+        finished().check(true).unwrap();
+    }
+
+    #[test]
+    fn mid_flight_counts_skip_the_dispatch_ledger() {
+        let mid =
+            SweepCounts { pending: 4, running: 2, done: 4, failed: 0, dispatched: 7, ..finished() };
+        mid.check(false).unwrap();
+        assert!(mid.check(true).is_err(), "not quiescent yet");
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let mut broken = finished();
+        broken.deduped += 1;
+        assert!(broken.check(false).unwrap_err().contains("expanded"));
+
+        let mut broken = finished();
+        broken.done -= 1;
+        assert!(broken.check(false).unwrap_err().contains("unique"));
+
+        let mut broken = finished();
+        broken.retries = 0;
+        assert!(broken.check(false).unwrap_err().contains("stolen"));
+
+        let mut broken = finished();
+        broken.dispatched += 1;
+        assert!(broken.check(true).unwrap_err().contains("dispatched"));
+    }
+
+    #[test]
+    fn counts_round_trip_the_wire() {
+        let c = finished();
+        let doc = jsonin::parse(&c.to_json()).unwrap();
+        assert_eq!(SweepCounts::from_json(&doc).unwrap(), c);
+    }
+
+    #[test]
+    fn state_labels_are_stable() {
+        assert_eq!(CellState::Pending.label(), "pending");
+        assert_eq!(CellState::Running.label(), "running");
+        assert_eq!(CellState::Done.label(), "done");
+        assert_eq!(CellState::Failed.label(), "failed");
+    }
+}

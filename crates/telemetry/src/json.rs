@@ -110,6 +110,69 @@ impl JsonObject {
     }
 }
 
+/// Incremental builder for one JSON array — the sibling of
+/// [`JsonObject`] for list-shaped payloads (sweep cell lists, stuck-bank
+/// arrays, figure rows). Elements are appended in call order.
+#[derive(Debug, Default)]
+pub struct JsonArray {
+    buf: String,
+    any: bool,
+}
+
+impl JsonArray {
+    /// Start a new array (`[`).
+    pub fn new() -> Self {
+        Self { buf: String::from("["), any: false }
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+    }
+
+    /// Append a string element.
+    pub fn str(mut self, v: &str) -> Self {
+        self.sep();
+        push_str_escaped(&mut self.buf, v);
+        self
+    }
+
+    /// Append an unsigned integer element.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Append a float element.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.sep();
+        self.buf.push_str(&f64_to_json(v));
+        self
+    }
+
+    /// Append an element that is already serialised JSON (nested object,
+    /// array, ...). The caller guarantees `raw` is well-formed.
+    pub fn raw(mut self, raw: &str) -> Self {
+        self.sep();
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// True if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        !self.any
+    }
+
+    /// Close the array and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
 /// Types that can render themselves as one JSON object. Implemented by the
 /// experiment row structs so the figure harness can dump machine-readable
 /// results next to the pretty tables.

@@ -36,7 +36,7 @@ pub use export::{
     count_kind, epoch_rows, event_to_json, write_chrome_trace, write_epoch_csv, write_jsonl,
     EpochRow,
 };
-pub use json::{JsonObject, ToJson};
+pub use json::{JsonArray, JsonObject, ToJson};
 pub use jsonin::Json;
 pub use recorder::{Counters, Recorder, RecorderConfig, TelemetryLevel};
 pub use ring::EventRing;
