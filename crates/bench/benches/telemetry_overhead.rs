@@ -31,7 +31,7 @@ fn config() -> ControllerConfig {
 
 /// Push `n` demand accesses through a controller wired to `sink` and
 /// return the latency sum (so the work cannot be optimised out).
-fn demand_path<S: TelemetrySink + Clone>(sink: S, n: u64) -> u64 {
+fn demand_path<S: TelemetrySink + Clone + Send>(sink: S, n: u64) -> u64 {
     let mut ctrl = HeteroController::with_sink(config(), sink);
     let mut rng = SimRng::new(17);
     let mut total = 0u64;

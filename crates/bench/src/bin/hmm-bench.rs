@@ -12,9 +12,16 @@
 //! ```text
 //! hmm-bench perf  [--quick] [--samples <k>] [--out <file>]
 //!                 [--baseline <file>] [--threshold <pct>]
+//!                 [--scenario <id>]...
+//! hmm-bench perf  --compare <new.json> <baseline.json> [--threshold <pct>]
 //! hmm-bench sweep (--spec <json|@file> | --doc <file>)
 //!                 [--max-cells <n>] [--out <file>]
 //! ```
+//!
+//! `--scenario` (repeatable) restricts the run to the named rows for
+//! local iteration; unknown ids are rejected. `--compare` diffs two
+//! existing reports offline — nothing is measured or written — and exits
+//! 1 if any scenario regressed beyond the threshold.
 //!
 //! Exit codes: 0 success, 1 runtime failure (regression vs baseline,
 //! unreadable input, failed sweep), 2 invalid usage.
@@ -27,7 +34,9 @@ use hmm_bench::{perf, sweep};
 fn usage() -> ! {
     eprintln!(
         "usage: hmm-bench perf [--quick] [--samples <k>] [--out <file>] \
-         [--baseline <file>] [--threshold <pct>]\n\
+         [--baseline <file>] [--threshold <pct>] [--scenario <id>]...\n\
+         \x20      hmm-bench perf --compare <new.json> <baseline.json> \
+         [--threshold <pct>]\n\
          \x20      hmm-bench sweep (--spec <json|@file> | --doc <file>) \
          [--max-cells <n>] [--out <file>]"
     );
@@ -46,16 +55,24 @@ struct PerfArgs {
     out: String,
     baseline: Option<String>,
     threshold: f64,
+    scenarios: Vec<String>,
+    compare: Option<(String, String)>,
 }
 
 fn parse_perf_args(args: &[String]) -> PerfArgs {
     let mut quick = false;
     let mut samples: Option<usize> = None;
-    let mut out = String::from("BENCH_4.json");
+    let mut out = String::from("BENCH_7.json");
     let mut baseline = None;
     let mut threshold = perf::DEFAULT_THRESHOLD;
+    let mut scenarios = Vec::new();
+    let mut compare = None;
+    let mut measure_flag_seen = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if matches!(arg.as_str(), "--quick" | "--samples" | "--out" | "--baseline" | "--scenario") {
+            measure_flag_seen = true;
+        }
         match arg.as_str() {
             "--quick" => quick = true,
             "--samples" => {
@@ -79,16 +96,64 @@ fn parse_perf_args(args: &[String]) -> PerfArgs {
                     _ => fail(&format!("invalid --threshold '{v}' (percent in 0..100)")),
                 };
             }
+            "--scenario" => {
+                scenarios.push(it.next().unwrap_or_else(|| fail("--scenario needs an id")).clone());
+            }
+            "--compare" => {
+                let new = it.next().unwrap_or_else(|| fail("--compare needs two paths")).clone();
+                let base = it.next().unwrap_or_else(|| fail("--compare needs two paths")).clone();
+                compare = Some((new, base));
+            }
             other => fail(&format!("unknown argument '{other}' for perf")),
         }
     }
+    if compare.is_some() && measure_flag_seen {
+        fail("--compare is an offline diff; it takes only --threshold");
+    }
     // Quick mode defaults to fewer samples so the CI gate stays fast.
     let samples = samples.unwrap_or(if quick { 3 } else { 5 });
-    PerfArgs { quick, samples, out, baseline, threshold }
+    PerfArgs { quick, samples, out, baseline, threshold, scenarios, compare }
+}
+
+/// Offline `--compare` mode: diff two existing reports, print the
+/// per-scenario lines, and exit 1 on any regression beyond the
+/// threshold. Nothing is measured and nothing is written.
+fn perf_compare_offline(new_path: &str, base_path: &str, threshold: f64) -> ! {
+    let read = |path: &str| {
+        fs::read_to_string(path).unwrap_or_else(|e| abort(&format!("reading {path}: {e}")))
+    };
+    let (new_json, base_json) = (read(new_path), read(base_path));
+    match perf::compare(&new_json, &base_json, threshold) {
+        Ok(cmp) => {
+            println!("comparing {new_path} vs {base_path} (threshold {:.0}%):", threshold * 100.0);
+            for line in &cmp.lines {
+                println!("  {line}");
+            }
+            if cmp.regressions.is_empty() {
+                println!("no regressions");
+                std::process::exit(0)
+            }
+            eprintln!(
+                "hmm-bench: {} scenario(s) regressed beyond {:.0}%: {}",
+                cmp.regressions.len(),
+                threshold * 100.0,
+                cmp.regressions.join(", ")
+            );
+            std::process::exit(1)
+        }
+        Err(e) => abort(&format!("compare failed: {e}")),
+    }
 }
 
 fn cmd_perf(args: &[String]) -> ! {
     let a = parse_perf_args(args);
+    if let Some((new_path, base_path)) = &a.compare {
+        perf_compare_offline(new_path, base_path, a.threshold);
+    }
+    let selected = match perf::filter_ids(&a.scenarios) {
+        Ok(ids) => ids,
+        Err(e) => fail(&e),
+    };
     // Snapshot the baseline before anything is written: `--out` defaults to
     // the committed baseline's path, so reading it only after the write
     // would silently compare the fresh report against itself (and the gate
@@ -100,13 +165,23 @@ fn cmd_perf(args: &[String]) -> ! {
             std::process::exit(1);
         }
     });
-    eprintln!(
-        "running pinned perf suite ({} sim scenarios + serve path, {} samples each{})...",
-        perf::suite().len(),
-        a.samples,
-        if a.quick { ", quick" } else { "" }
-    );
-    let rows = perf::measure_suite(a.quick, a.samples);
+    let rows = if selected.is_empty() {
+        eprintln!(
+            "running pinned perf suite ({} sim scenarios + serve path, {} samples each{})...",
+            perf::suite().len(),
+            a.samples,
+            if a.quick { ", quick" } else { "" }
+        );
+        perf::measure_suite(a.quick, a.samples)
+    } else {
+        eprintln!(
+            "running {} selected scenario(s), {} samples each{}...",
+            selected.len(),
+            a.samples,
+            if a.quick { ", quick" } else { "" }
+        );
+        perf::measure_suite_filtered(a.quick, a.samples, &selected)
+    };
 
     let table: Vec<Vec<String>> = rows
         .iter()

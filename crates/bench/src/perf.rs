@@ -185,6 +185,13 @@ pub struct ScenarioReport {
     pub wall_ns: Vec<u64>,
     /// Median wall-clock nanoseconds.
     pub wall_ns_p50: u64,
+    /// Fastest timed sample in nanoseconds. Recorded alongside the median
+    /// so a report shows how noisy the samples were, not just the spread
+    /// ratio — an A/B reader can tell "stable but slower" from "one
+    /// outlier dragged the spread".
+    pub wall_ns_min: u64,
+    /// Slowest timed sample in nanoseconds.
+    pub wall_ns_max: u64,
     /// Noise measure: (max - min) / p50 over the timed samples.
     pub spread: f64,
     /// Simulated accesses per wall-clock second at the median sample.
@@ -248,14 +255,19 @@ fn finish_report(
     let mut sorted = wall_ns.clone();
     sorted.sort_unstable();
     let p50 = median(&sorted);
-    let spread =
-        if p50 > 0 { (sorted[sorted.len() - 1] - sorted[0]) as f64 / p50 as f64 } else { 0.0 };
+    let (min, max) = match sorted.as_slice() {
+        [] => (0, 0),
+        s => (s[0], s[s.len() - 1]),
+    };
+    let spread = if p50 > 0 { (max - min) as f64 / p50 as f64 } else { 0.0 };
     let aps = if p50 > 0 { units as f64 * 1e9 / p50 as f64 } else { 0.0 };
     ScenarioReport {
         id: id.to_string(),
         accesses: units,
         wall_ns,
         wall_ns_p50: p50,
+        wall_ns_min: min,
+        wall_ns_max: max,
         spread,
         accesses_per_sec: aps,
         digest,
@@ -340,6 +352,39 @@ pub fn measure_suite(quick: bool, samples: usize) -> Vec<ScenarioReport> {
     rows
 }
 
+/// Validate a `--scenario` selection against the pinned suite (plus the
+/// serve-path row) and return it in canonical suite order, deduplicated.
+/// Unknown ids are an error listing what exists — a typo must not
+/// silently benchmark nothing.
+pub fn filter_ids(wanted: &[String]) -> Result<Vec<String>, String> {
+    let known: Vec<String> = suite()
+        .iter()
+        .map(|s| s.id.to_string())
+        .chain(std::iter::once(SERVE_SCENARIO_ID.to_string()))
+        .collect();
+    if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
+        return Err(format!("unknown scenario '{bad}'; valid ids: {}", known.join(", ")));
+    }
+    Ok(known.into_iter().filter(|k| wanted.contains(k)).collect())
+}
+
+/// [`measure_suite`] restricted to the given scenario ids (already
+/// validated by [`filter_ids`]). A filtered report is for local iteration
+/// — it still round-trips through [`report_json`]/[`compare`], which
+/// match rows by id and simply skip absent ones on the new side only when
+/// the caller gates with a matching filtered baseline.
+pub fn measure_suite_filtered(quick: bool, samples: usize, ids: &[String]) -> Vec<ScenarioReport> {
+    let mut rows: Vec<ScenarioReport> = suite()
+        .iter()
+        .filter(|s| ids.iter().any(|i| i == s.id))
+        .map(|s| measure_scenario(s, quick, samples))
+        .collect();
+    if ids.iter().any(|i| i == SERVE_SCENARIO_ID) {
+        rows.push(measure_serve_path(quick, samples));
+    }
+    rows
+}
+
 /// Render the full report as the stable `BENCH_*.json` document.
 pub fn report_json(quick: bool, samples: usize, rows: &[ScenarioReport]) -> String {
     let scenarios: Vec<String> = rows
@@ -349,6 +394,8 @@ pub fn report_json(quick: bool, samples: usize, rows: &[ScenarioReport]) -> Stri
                 .str("id", &r.id)
                 .u64("accesses", r.accesses)
                 .u64("wall_ns_p50", r.wall_ns_p50)
+                .u64("wall_ns_min", r.wall_ns_min)
+                .u64("wall_ns_max", r.wall_ns_max)
                 .f64("spread", r.spread)
                 .f64("accesses_per_sec", r.accesses_per_sec)
                 .str("digest", &Digest(r.digest).hex())
@@ -359,7 +406,7 @@ pub fn report_json(quick: bool, samples: usize, rows: &[ScenarioReport]) -> Stri
         .collect();
     JsonObject::new()
         .str("schema", SCHEMA)
-        .u64("bench_pr", 4)
+        .u64("bench_pr", 7)
         .bool("quick", quick)
         .u64("samples", samples as u64)
         .raw("scenarios", &format!("[{}]", scenarios.join(",")))
@@ -486,6 +533,8 @@ mod tests {
             accesses: 1000,
             wall_ns: vec![10, 20, 30],
             wall_ns_p50: 20,
+            wall_ns_min: 10,
+            wall_ns_max: 30,
             spread: 1.0,
             accesses_per_sec: 5.0e7,
             digest: 0xdead_beef,
@@ -499,6 +548,26 @@ mod tests {
         assert_eq!(sc[0].get("id").unwrap().as_str(), Some("live/pgbench"));
         assert_eq!(sc[0].get("digest").unwrap().as_str(), Some("00000000deadbeef"));
         assert_eq!(sc[0].get("accesses_per_sec").unwrap().as_f64(), Some(5.0e7));
+        assert_eq!(sc[0].get("wall_ns_min").unwrap().as_f64(), Some(10.0));
+        assert_eq!(sc[0].get("wall_ns_max").unwrap().as_f64(), Some(30.0));
+    }
+
+    #[test]
+    fn finish_report_records_sample_extremes() {
+        let r = finish_report("x", 100, vec![30, 10, 20], 1, 1.0, 0.5);
+        assert_eq!(r.wall_ns_p50, 20);
+        assert_eq!(r.wall_ns_min, 10);
+        assert_eq!(r.wall_ns_max, 30);
+        assert_eq!(r.spread, 1.0);
+    }
+
+    #[test]
+    fn filtered_suite_selects_and_rejects() {
+        let rows = filter_ids(&["n/mg".into(), SERVE_SCENARIO_ID.into()]).unwrap();
+        assert_eq!(rows, vec!["n/mg".to_string(), SERVE_SCENARIO_ID.to_string()]);
+        let err = filter_ids(&["n/mg".into(), "nope/bogus".into()]).unwrap_err();
+        assert!(err.contains("nope/bogus"), "{err}");
+        assert!(err.contains("n/pgbench"), "error must list valid ids: {err}");
     }
 
     #[test]
@@ -508,6 +577,8 @@ mod tests {
             accesses: 100,
             wall_ns: vec![1],
             wall_ns_p50: 1,
+            wall_ns_min: 1,
+            wall_ns_max: 1,
             spread: 0.0,
             accesses_per_sec: aps,
             digest: 1,

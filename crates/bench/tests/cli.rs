@@ -52,6 +52,84 @@ fn hmm_bench_rejects_invalid_input_with_one_line() {
     assert_one_line_exit2(&run(bin, &["sweep", "--spec", "{}", "--max-cells", "0"]), "0");
 }
 
+/// The `perf` flag surface added for local iteration: `--scenario`
+/// validates its id against the pinned suite, and `--compare` is an
+/// offline-only mode that admits no measurement flags.
+#[test]
+fn hmm_bench_perf_flag_validation() {
+    let bin = env!("CARGO_BIN_EXE_hmm-bench");
+    assert_one_line_exit2(&run(bin, &["perf", "--scenario"]), "--scenario");
+    let out = run(bin, &["perf", "--scenario", "nope/bogus"]);
+    assert_one_line_exit2(&out, "nope/bogus");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("n/pgbench"), "diagnostic must list valid ids: {stderr}");
+    assert_one_line_exit2(&run(bin, &["perf", "--compare"]), "--compare");
+    assert_one_line_exit2(&run(bin, &["perf", "--compare", "only-one.json"]), "--compare");
+    assert_one_line_exit2(
+        &run(bin, &["perf", "--compare", "a.json", "b.json", "--quick"]),
+        "offline diff",
+    );
+    for bad in ["0", "100", "-5", "abc"] {
+        let out = run(bin, &["perf", "--compare", "a", "b", "--threshold", bad]);
+        assert_one_line_exit2(&out, bad);
+    }
+}
+
+/// A minimal valid `hmm-bench-perf-v1` report with one scenario row.
+fn tiny_report(id: &str, aps: f64) -> String {
+    format!(
+        concat!(
+            r#"{{"schema":"hmm-bench-perf-v1","bench_pr":7,"quick":true,"samples":1,"#,
+            r#""scenarios":[{{"id":"{id}","accesses":100,"wall_ns_p50":10,"wall_ns_min":9,"#,
+            r#""wall_ns_max":11,"spread":0.2,"accesses_per_sec":{aps},"#,
+            r#""digest":"00000000deadbeef","mean_latency_cycles":50.0,"on_fraction":0.5}}]}}"#
+        ),
+        id = id,
+        aps = aps
+    )
+}
+
+/// Offline `--compare` exercises the full exit-code contract: 0 when
+/// clean, 1 on regression (or unreadable/malformed input), threshold
+/// tunable; nothing is measured or written.
+#[test]
+fn hmm_bench_perf_compare_offline() {
+    let bin = env!("CARGO_BIN_EXE_hmm-bench");
+    let dir = std::env::temp_dir().join(format!("hmm-bench-compare-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let save = |name: &str, text: &str| {
+        let p = dir.join(name);
+        std::fs::write(&p, text).unwrap();
+        p.to_str().unwrap().to_string()
+    };
+    let base = save("base.json", &tiny_report("n/mg", 100.0));
+    let same = save("same.json", &tiny_report("n/mg", 101.0));
+    let slow = save("slow.json", &tiny_report("n/mg", 10.0));
+    let junk = save("junk.json", "{ not json");
+
+    let ok = run(bin, &["perf", "--compare", &same, &base]);
+    assert_eq!(ok.status.code(), Some(0), "{}", String::from_utf8_lossy(&ok.stderr));
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("no regressions"), "{stdout}");
+
+    let bad = run(bin, &["perf", "--compare", &slow, &base]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("REGRESSION"));
+
+    // A 90% drop passes when the caller relaxes the threshold past it.
+    let lax = run(bin, &["perf", "--compare", &slow, &base, "--threshold", "95"]);
+    assert_eq!(lax.status.code(), Some(0), "{}", String::from_utf8_lossy(&lax.stderr));
+
+    let unread = run(bin, &["perf", "--compare", "/nonexistent/a.json", &base]);
+    assert_eq!(unread.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&unread.stderr).contains("reading /nonexistent/a.json"));
+
+    let malformed = run(bin, &["perf", "--compare", &junk, &base]);
+    assert_eq!(malformed.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&malformed.stderr).contains("compare failed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Runtime failures in `hmm-bench sweep` (missing files, failed runs)
 /// exit 1 with a one-line diagnostic, distinct from usage errors.
 #[test]

@@ -94,7 +94,7 @@ impl AdaptiveController {
     }
 }
 
-impl<S: TelemetrySink + Clone> AdaptiveController<S> {
+impl<S: TelemetrySink + Clone + Send> AdaptiveController<S> {
     /// Build the wrapper with a telemetry sink; granularity switches are
     /// reported as [`Event::GranularitySwitch`], and the sink is threaded
     /// into every rebuilt inner controller.

@@ -20,9 +20,9 @@ use crate::tcache::TranslationCache;
 use hmm_dram::{Completion, DeviceProfile, DramRegion, RegionStats, SchedPolicy, Transaction};
 use hmm_fault::{FaultPlan, MemFault, TransferFault};
 use hmm_sim_base::addr::{PhysAddr, LINE_BYTES};
+use hmm_sim_base::arena::Slab;
 use hmm_sim_base::config::MachineConfig;
 use hmm_sim_base::cycles::Cycle;
-use hmm_sim_base::fxhash::FxHashMap;
 use hmm_sim_base::stats::LatencyBreakdown;
 use hmm_telemetry::{Event, EventKind, FaultClass, NullSink, RegionKind, TelemetrySink};
 
@@ -226,34 +226,49 @@ struct DemandMeta {
     slot: Option<u32>,
 }
 
-/// Id-indexed in-flight demand metadata (hot path: one insert and one
-/// remove per demand access). Ids come from the controller's monotone
+/// What an in-flight transaction id resolves to when its DRAM completion
+/// arrives.
+#[derive(Debug, Clone)]
+enum MetaSlot {
+    /// Already consumed (or never issued — defensive only).
+    Empty,
+    /// A demand access with its latency-attribution metadata.
+    Demand(DemandMeta),
+    /// A migration copy leg: handle into the controller's leg arena.
+    Copy(u32),
+}
+
+/// Id-indexed in-flight transaction metadata (hot path: one insert and
+/// one remove per transaction). Ids come from the controller's monotone
 /// counter, so a deque indexed by `id - base` replaces a hash map — no
 /// hashing, O(1) amortised, memory bounded by the in-flight id span.
-/// Copy-leg ids draw from the same counter and occupy permanent `None`
-/// gap slots that are reclaimed when they reach the front.
+/// Demand and copy-leg ids draw from the same counter and share the ring:
+/// a copy id stores its leg-arena handle instead of occupying a permanent
+/// gap slot next to a separate id→token hash map (which is what the
+/// previous layout paid two hash operations per leg for).
 #[derive(Debug, Default)]
 struct MetaRing {
     base: u64,
-    slots: std::collections::VecDeque<Option<DemandMeta>>,
+    slots: std::collections::VecDeque<MetaSlot>,
 }
 
 impl MetaRing {
-    fn insert(&mut self, id: u64, meta: DemandMeta) {
+    fn insert(&mut self, id: u64, slot: MetaSlot) {
         if self.slots.is_empty() {
             self.base = id;
         }
         debug_assert!(id >= self.base + self.slots.len() as u64, "ids are monotone");
         while self.base + (self.slots.len() as u64) < id {
-            self.slots.push_back(None);
+            self.slots.push_back(MetaSlot::Empty);
         }
-        self.slots.push_back(Some(meta));
+        self.slots.push_back(slot);
     }
 
-    fn remove(&mut self, id: u64) -> Option<DemandMeta> {
-        let idx = id.checked_sub(self.base)?;
-        let meta = self.slots.get_mut(idx as usize)?.take();
-        while matches!(self.slots.front(), Some(None)) {
+    fn remove(&mut self, id: u64) -> MetaSlot {
+        let Some(idx) = id.checked_sub(self.base) else { return MetaSlot::Empty };
+        let Some(slot) = self.slots.get_mut(idx as usize) else { return MetaSlot::Empty };
+        let meta = std::mem::replace(slot, MetaSlot::Empty);
+        while matches!(self.slots.front(), Some(MetaSlot::Empty)) {
             self.slots.pop_front();
             self.base += 1;
         }
@@ -270,9 +285,11 @@ enum FailKind {
 }
 
 /// Bookkeeping for the in-flight line legs of one sub-block transfer,
-/// keyed by `(generation, engine token)` — the generation is bumped on
-/// every swap abort so legs issued for a dead swap are recognised and
-/// discarded when their DRAM completions eventually arrive.
+/// stored in the leg arena and reached directly through the handle each
+/// leg id carries in the [`MetaRing`] — no map lookup on completion. The
+/// generation is bumped on every swap abort so legs issued for a dead
+/// swap are recognised and discarded when their DRAM completions
+/// eventually arrive.
 #[derive(Debug, Clone, Copy)]
 struct LegState {
     remaining: u32,
@@ -282,6 +299,10 @@ struct LegState {
     kind: TransferKind,
     /// On-package slot the copy touches, for error attribution.
     slot: Option<u32>,
+    /// Transfer generation this leg was issued under.
+    gen: u64,
+    /// Engine token the last leg reports completion with.
+    token: u64,
 }
 
 /// Upper bound on buffered demand events between flushes, so a huge epoch
@@ -320,24 +341,32 @@ pub struct HeteroController<S: TelemetrySink = NullSink> {
     on_region: DramRegion<S>,
     off_region: DramRegion<S>,
     next_id: u64,
-    demand_meta: MetaRing,
-    /// Copy-leg id -> (generation, engine token).
-    copy_meta: FxHashMap<u64, (u64, u64)>,
-    /// (generation, engine token) -> in-flight leg state.
-    copy_legs: FxHashMap<(u64, u64), LegState>,
+    /// In-flight metadata for every transaction id (demand and copy legs
+    /// share the monotone id counter and this ring).
+    meta: MetaRing,
+    /// Arena of in-flight sub-block leg states; copy ids in the ring hold
+    /// handles into it, so a leg completion is two direct index
+    /// operations instead of two hash-map lookups.
+    copy_legs: Slab<LegState>,
+    /// Copy-leg ids currently in flight (ring occupancy of `Copy` slots);
+    /// drained-to-zero is the flush convergence condition.
+    copy_ids_live: u64,
     /// Current transfer generation; bumped when a swap aborts so stale
     /// legs are dropped instead of reported to the engine.
     copy_gen: u64,
     /// Monotone issue counter hashed by the fault plan to doom transfers.
     copy_seq: u64,
-    /// Uncorrectable-error counts per on-package slot.
-    slot_errors: FxHashMap<u32, u32>,
+    /// Uncorrectable-error counts per on-package slot, indexed by slot.
+    slot_errors: Vec<u32>,
     /// Slots over the quarantine threshold awaiting an idle engine.
     pending_quarantine: Vec<u32>,
     completed: Vec<DemandCompletion>,
     /// Reusable buffer for draining region completions (per-access path;
     /// reuse keeps it allocation-free after warm-up).
     comp_scratch: Vec<Completion>,
+    /// Reusable buffer for transfers taken from the engine in
+    /// [`HeteroController::advance`]'s copy pump.
+    transfer_scratch: Vec<Transfer>,
     /// Demand events buffered between epoch rollovers so the sink takes
     /// one lock per batch instead of one per access. Flushed at every
     /// rollover, at [`HeteroController::flush`], and at a size cap.
@@ -366,7 +395,7 @@ impl HeteroController {
     }
 }
 
-impl<S: TelemetrySink + Clone> HeteroController<S> {
+impl<S: TelemetrySink + Clone + Send> HeteroController<S> {
     /// Build a controller reporting events into `sink`. Panics on invalid
     /// configuration.
     pub fn with_sink(cfg: ControllerConfig, sink: S) -> Self {
@@ -413,15 +442,16 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             ),
             sink,
             next_id: 0,
-            demand_meta: MetaRing::default(),
-            copy_meta: FxHashMap::default(),
-            copy_legs: FxHashMap::default(),
+            meta: MetaRing::default(),
+            copy_legs: Slab::new(),
+            copy_ids_live: 0,
             copy_gen: 0,
             copy_seq: 0,
-            slot_errors: FxHashMap::default(),
+            slot_errors: vec![0; slots as usize],
             pending_quarantine: Vec::new(),
             completed: Vec::new(),
             comp_scratch: Vec::new(),
+            transfer_scratch: Vec::new(),
             demand_events: Vec::new(),
             accesses_in_epoch: 0,
             stall_until: 0,
@@ -554,9 +584,9 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
             + if on_pkg { lat.interposer_pin_each_way } else { lat.package_pin_each_way };
 
         let id = self.fresh_id();
-        self.demand_meta.insert(
+        self.meta.insert(
             id,
-            DemandMeta {
+            MetaSlot::Demand(DemandMeta {
                 issued_at: now,
                 stall,
                 controller,
@@ -565,7 +595,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                 is_write,
                 page: page.0,
                 slot: slot_attr,
-            },
+            }),
         );
         let local = self.region_local(machine_byte, on_pkg);
         let txn = Transaction::demand(id, effective + lead, local, is_write);
@@ -782,14 +812,15 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         if allowance == 0 {
             return;
         }
-        let mut transfers: Vec<Transfer> = Vec::new();
+        let mut transfers = std::mem::take(&mut self.transfer_scratch);
         engine.take_transfers(allowance, &mut transfers);
         if pace > 0 && !transfers.is_empty() {
             self.copy_release = self.copy_release.max(now) + pace * transfers.len() as u64;
         }
-        for t in transfers {
+        for t in transfers.drain(..) {
             self.enqueue_transfer(t, now);
         }
+        self.transfer_scratch = transfers;
     }
 
     /// Issue the per-line read and write legs of one sub-block transfer,
@@ -825,18 +856,24 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         let sub_off = t.sub as u64 * g.sub_block_bytes();
         let src_base = self.region_local(t.src.0 * g.page_bytes() + sub_off, src_on);
         let dst_base = self.region_local(t.dst.0 * g.page_bytes() + sub_off, dst_on);
-        // All legs of a sub-block share the engine token; the last leg
-        // to complete reports to the engine.
-        self.copy_legs.insert(
-            (self.copy_gen, t.token),
-            LegState { remaining: 2 * sub_lines, fail, kind: t.kind, slot },
-        );
+        // All legs of a sub-block share one arena entry (and the engine
+        // token inside it); the last leg to complete reports to the
+        // engine.
+        let leg = self.copy_legs.insert(LegState {
+            remaining: 2 * sub_lines,
+            fail,
+            kind: t.kind,
+            slot,
+            gen: self.copy_gen,
+            token: t.token,
+        });
         for k in 0..sub_lines as u64 {
             let off = k * LINE_BYTES;
             let read_id = self.fresh_id();
             let write_id = self.fresh_id();
-            self.copy_meta.insert(read_id, (self.copy_gen, t.token));
-            self.copy_meta.insert(write_id, (self.copy_gen, t.token));
+            self.meta.insert(read_id, MetaSlot::Copy(leg));
+            self.meta.insert(write_id, MetaSlot::Copy(leg));
+            self.copy_ids_live += 2;
             let read = Transaction::migration(read_id, arrival, src_base + off, false, 1);
             let write = Transaction::migration(write_id, arrival, dst_base + off, true, 1);
             if src_on {
@@ -865,8 +902,8 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         if self.engine.as_ref().is_some_and(|e| e.busy()) {
             self.pump_copies(now);
         }
-        self.on_region.advance(now);
-        self.off_region.advance(now);
+        self.on_region.advance_par(now);
+        self.off_region.advance_par(now);
         self.process_completions(now);
     }
 
@@ -874,11 +911,11 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
     pub fn flush(&mut self) {
         let mut guard = 0;
         loop {
-            self.on_region.flush();
-            self.off_region.flush();
+            self.on_region.flush_par();
+            self.off_region.flush_par();
             let had = self.process_completions(self.now);
             let busy = self.engine.as_ref().is_some_and(|e| e.busy());
-            if !had && !busy && self.copy_meta.is_empty() {
+            if !had && !busy && self.copy_ids_live == 0 {
                 break;
             }
             if !had && busy {
@@ -889,7 +926,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
                 self.cfg.copy_pace_cycles_per_line = 0;
                 self.pump_copies(self.now);
                 self.cfg.copy_pace_cycles_per_line = saved;
-                if self.copy_meta.is_empty() {
+                if self.copy_ids_live == 0 {
                     // Nothing issuable: abandon (trace ended mid-swap).
                     break;
                 }
@@ -913,78 +950,80 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         self.off_region.drain_completions_into(&mut completions);
         for c in completions.drain(..) {
             any = true;
-            if let Some(meta) = self.demand_meta.remove(c.id) {
-                // Uncorrectable demand reads count against the serving
-                // slot's quarantine budget.
-                if matches!(c.fault, Some(MemFault::Uncorrectable(_))) {
-                    if let Some(slot) = meta.slot {
-                        self.note_uncorrectable(slot);
+            match self.meta.remove(c.id) {
+                MetaSlot::Demand(meta) => {
+                    // Uncorrectable demand reads count against the serving
+                    // slot's quarantine budget.
+                    if matches!(c.fault, Some(MemFault::Uncorrectable(_))) {
+                        if let Some(slot) = meta.slot {
+                            self.note_uncorrectable(slot);
+                        }
                     }
-                }
-                // Response-side share of the fixed path.
-                let tail = lat.ctl_to_core_each_way
-                    + if meta.on_package {
-                        lat.interposer_pin_each_way + lat.intra_package_round_trip
-                    } else {
-                        lat.package_pin_each_way + lat.pcb_wire_round_trip
+                    // Response-side share of the fixed path.
+                    let tail = lat.ctl_to_core_each_way
+                        + if meta.on_package {
+                            lat.interposer_pin_each_way + lat.intra_package_round_trip
+                        } else {
+                            lat.package_pin_each_way + lat.pcb_wire_round_trip
+                        };
+                    let finish = c.finish + tail;
+                    let breakdown = LatencyBreakdown {
+                        dram_core: c.breakdown.dram_core,
+                        queuing: c.breakdown.queuing + meta.stall,
+                        controller: meta.controller,
+                        interconnect: meta.interconnect,
                     };
-                let finish = c.finish + tail;
-                let breakdown = LatencyBreakdown {
-                    dram_core: c.breakdown.dram_core,
-                    queuing: c.breakdown.queuing + meta.stall,
-                    controller: meta.controller,
-                    interconnect: meta.interconnect,
-                };
-                debug_assert_eq!(
-                    breakdown.total(),
-                    finish - meta.issued_at,
-                    "latency components must sum to end-to-end latency"
-                );
-                if self.sink.enabled(EventKind::Demand) {
-                    self.demand_events.push(Event::Demand {
-                        cycle: finish,
-                        page: meta.page,
+                    debug_assert_eq!(
+                        breakdown.total(),
+                        finish - meta.issued_at,
+                        "latency components must sum to end-to-end latency"
+                    );
+                    if self.sink.enabled(EventKind::Demand) {
+                        self.demand_events.push(Event::Demand {
+                            cycle: finish,
+                            page: meta.page,
+                            on_package: meta.on_package,
+                            is_write: meta.is_write,
+                            latency: breakdown.total(),
+                            queuing: breakdown.queuing,
+                        });
+                        if self.demand_events.len() >= DEMAND_BATCH_CAP {
+                            self.sink.emit_batch(&mut self.demand_events);
+                        }
+                    }
+                    self.completed.push(DemandCompletion {
+                        id: c.id,
+                        finish,
+                        breakdown,
                         on_package: meta.on_package,
                         is_write: meta.is_write,
-                        latency: breakdown.total(),
-                        queuing: breakdown.queuing,
                     });
-                    if self.demand_events.len() >= DEMAND_BATCH_CAP {
-                        self.sink.emit_batch(&mut self.demand_events);
-                    }
                 }
-                self.completed.push(DemandCompletion {
-                    id: c.id,
-                    finish,
-                    breakdown,
-                    on_package: meta.on_package,
-                    is_write: meta.is_write,
-                });
-            } else if let Some((gen, token)) = self.copy_meta.remove(&c.id) {
-                self.handle_copy_leg(gen, token, c.fault, now.max(c.finish));
+                MetaSlot::Copy(leg) => {
+                    self.copy_ids_live -= 1;
+                    self.handle_copy_leg(leg, c.fault, now.max(c.finish));
+                }
+                MetaSlot::Empty => {}
             }
         }
         self.comp_scratch = completions;
         any
     }
 
-    fn handle_copy_leg(&mut self, gen: u64, token: u64, fault: Option<MemFault>, now: Cycle) {
-        let key = (gen, token);
-        if gen != self.copy_gen {
+    fn handle_copy_leg(&mut self, handle: u32, fault: Option<MemFault>, now: Cycle) {
+        let leg = self.copy_legs.get_mut(handle).expect("legs tracked per handle");
+        if leg.gen != self.copy_gen {
             // A leg issued for a swap that has since aborted: its data is
             // discarded on arrival (the rollback owns those pages now).
-            if let Some(leg) = self.copy_legs.get_mut(&key) {
-                leg.remaining -= 1;
-                if leg.remaining == 0 {
-                    self.copy_legs.remove(&key);
-                    self.stats.abandoned_sub_blocks += 1;
-                }
+            leg.remaining -= 1;
+            if leg.remaining == 0 {
+                self.copy_legs.remove(handle);
+                self.stats.abandoned_sub_blocks += 1;
             }
             return;
         }
-        // All line read/write legs of a sub-block share the engine token;
+        // All line read/write legs of a sub-block share the arena entry;
         // the last one to complete reports to the engine.
-        let leg = self.copy_legs.get_mut(&key).expect("legs tracked per token");
         if leg.kind == TransferKind::Forward
             && leg.fail.is_none()
             && matches!(fault, Some(MemFault::Uncorrectable(_)))
@@ -995,7 +1034,8 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
         if leg.remaining > 0 {
             return;
         }
-        let leg = self.copy_legs.remove(&key).expect("checked above");
+        let leg = self.copy_legs.remove(handle);
+        let token = leg.token;
         self.outstanding_copies = self.outstanding_copies.saturating_sub(1);
         if let Some(kind) = leg.fail {
             match kind {
@@ -1156,7 +1196,7 @@ impl<S: TelemetrySink + Clone> HeteroController<S> {
     /// plan's threshold the slot is queued for quarantine.
     fn note_uncorrectable(&mut self, slot: u32) {
         let Some(plan) = self.cfg.faults else { return };
-        let count = self.slot_errors.entry(slot).or_insert(0);
+        let count = &mut self.slot_errors[slot as usize];
         *count += 1;
         if *count >= plan.quarantine_threshold
             && !self.pending_quarantine.contains(&slot)

@@ -156,6 +156,156 @@ impl Bank {
     }
 }
 
+/// Sentinel for "no open row" in [`BankArray`]'s packed row array. Row
+/// numbers come from physical-address decode and are bounded by the row
+/// count per bank (far below 2^64), so the sentinel can never collide
+/// with a real row.
+pub const NO_ROW: u64 = u64::MAX;
+
+/// Structure-of-arrays bank state for one channel.
+///
+/// Semantically identical to a `Vec<Bank>` — the update rules are the
+/// same integer arithmetic, verified by the SoA-vs-reference property
+/// test — but laid out as four parallel arrays so the FR-FCFS
+/// arbitration scan ([`Channel::pick`](crate::channel::Channel)) walks a
+/// dense `u64` row array instead of striding over 32-byte structs and
+/// unpacking an `Option` per candidate. The open-row array uses
+/// [`NO_ROW`] as the empty sentinel, turning the hot-path "is this
+/// request a row hit" check into one branchless `u64` compare.
+#[derive(Debug, Clone, Default)]
+pub struct BankArray {
+    /// Open row per bank, [`NO_ROW`] when closed. The only array the
+    /// arbitration scan touches.
+    open_row: Vec<u64>,
+    /// Earliest next-command cycle per bank.
+    ready_at: Vec<Cycle>,
+    /// Activate time of the open row per bank (tRAS gate).
+    activated_at: Vec<Cycle>,
+    /// Write-recovery horizon per bank (tWR gates precharge only).
+    write_recovery_until: Vec<Cycle>,
+}
+
+impl BankArray {
+    /// `n` idle banks with no open rows.
+    pub fn new(n: usize) -> Self {
+        Self {
+            open_row: vec![NO_ROW; n],
+            ready_at: vec![0; n],
+            activated_at: vec![0; n],
+            write_recovery_until: vec![0; n],
+        }
+    }
+
+    /// Number of banks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.open_row.len()
+    }
+
+    /// True when the array holds no banks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.open_row.is_empty()
+    }
+
+    /// Open row of bank `i` ([`NO_ROW`] when closed) — the raw sentinel
+    /// form the arbitration scan compares against.
+    #[inline]
+    pub fn open_row_raw(&self, i: usize) -> u64 {
+        self.open_row[i]
+    }
+
+    /// Open row of bank `i` as an `Option` (tests, reporting).
+    #[inline]
+    pub fn open_row(&self, i: usize) -> Option<u64> {
+        match self.open_row[i] {
+            NO_ROW => None,
+            r => Some(r),
+        }
+    }
+
+    /// Earliest next-command time of bank `i`.
+    #[inline]
+    pub fn ready_at(&self, i: usize) -> Cycle {
+        self.ready_at[i]
+    }
+
+    /// Force-close the open row of bank `i` (same rule as
+    /// [`Bank::close_row`]).
+    pub fn close_row(&mut self, i: usize, at: Cycle) {
+        if self.open_row[i] != NO_ROW {
+            self.open_row[i] = NO_ROW;
+            self.ready_at[i] = self.ready_at[i].max(at);
+        }
+    }
+
+    /// Force-close every open row in `lo..hi` (rank refresh). Walks the
+    /// dense row array once instead of dispatching per bank.
+    pub fn close_rows(&mut self, lo: usize, hi: usize, at: Cycle) {
+        for i in lo..hi {
+            if self.open_row[i] != NO_ROW {
+                self.open_row[i] = NO_ROW;
+                self.ready_at[i] = self.ready_at[i].max(at);
+            }
+        }
+    }
+
+    /// Service one access at bank `i` — the exact update rules of
+    /// [`Bank::service_with_policy`] on the packed layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn service_with_policy(
+        &mut self,
+        i: usize,
+        earliest: Cycle,
+        data_bus_free: Cycle,
+        row: u64,
+        is_write: bool,
+        lines: u32,
+        t: &TimingCpu,
+        auto_precharge: bool,
+    ) -> BankService {
+        debug_assert_ne!(row, NO_ROW, "row id collides with the empty sentinel");
+        let cmd_start = earliest.max(self.ready_at[i]);
+        let open = self.open_row[i];
+        let (prep, row_hit, activated, conflict) = if open == row {
+            (0, true, false, false)
+        } else if open != NO_ROW {
+            let pre_at =
+                cmd_start.max(self.activated_at[i] + t.t_ras).max(self.write_recovery_until[i]);
+            ((pre_at - cmd_start) + t.t_rp + t.t_rcd, false, true, true)
+        } else {
+            (t.t_rcd, false, true, false)
+        };
+        if activated {
+            self.activated_at[i] = cmd_start + prep - t.t_rcd;
+        }
+        self.open_row[i] = row;
+
+        let cas = if is_write { t.t_cwd } else { t.t_cl };
+        let burst = t.t_burst * lines as u64;
+        let data_start = (cmd_start + prep + cas).max(data_bus_free);
+        let finish = data_start + burst;
+
+        self.ready_at[i] = finish;
+        if is_write {
+            self.write_recovery_until[i] = finish + t.t_wr;
+        }
+        if auto_precharge {
+            self.open_row[i] = NO_ROW;
+            self.ready_at[i] = finish.max(finish + t.t_rp);
+        }
+
+        BankService {
+            cmd_start,
+            finish,
+            core_latency: prep + cas + burst,
+            row_hit,
+            activated,
+            conflict,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +448,56 @@ mod tests {
         assert_eq!(b.open_row(), None);
         let s = b.service(1_000, 0, 7, false, 1, &t);
         assert!(!s.row_hit);
+    }
+
+    /// Property test: the SoA layout is bit-identical to the per-object
+    /// reference under random schedules — every `BankService` field and
+    /// every piece of observable state (open row, ready time) matches at
+    /// every step, across both page policies, writes, multi-line bursts,
+    /// point closes, and ranged (refresh-style) closes.
+    #[test]
+    fn soa_matches_reference_bank_on_random_schedules() {
+        use hmm_sim_base::rng::SimRng;
+        let t = t();
+        let mut rng = SimRng::new(0xBA50_A501);
+        for case in 0..64u64 {
+            let n = 1 + rng.below(16) as usize;
+            let mut reference: Vec<Bank> = (0..n).map(|_| Bank::new()).collect();
+            let mut soa = BankArray::new(n);
+            let mut clock: Cycle = 0;
+            let mut bus: Cycle = 0;
+            for step in 0..200u64 {
+                let i = rng.below(n as u64) as usize;
+                clock += rng.below(400);
+                match rng.below(10) {
+                    0 => {
+                        reference[i].close_row(clock);
+                        soa.close_row(i, clock);
+                    }
+                    1 => {
+                        let lo = rng.below(n as u64) as usize;
+                        let hi = lo + rng.below((n - lo) as u64 + 1) as usize;
+                        for b in &mut reference[lo..hi] {
+                            b.close_row(clock);
+                        }
+                        soa.close_rows(lo, hi, clock);
+                    }
+                    _ => {
+                        let row = rng.below(8);
+                        let is_write = rng.chance(0.3);
+                        let lines = 1 + rng.below(4) as u32;
+                        let auto = rng.chance(0.25);
+                        let a = reference[i]
+                            .service_with_policy(clock, bus, row, is_write, lines, &t, auto);
+                        let b =
+                            soa.service_with_policy(i, clock, bus, row, is_write, lines, &t, auto);
+                        assert_eq!(a, b, "case {case} step {step} bank {i}");
+                        bus = a.finish;
+                    }
+                }
+                assert_eq!(reference[i].open_row(), soa.open_row(i), "case {case} step {step}");
+                assert_eq!(reference[i].ready_at(), soa.ready_at(i), "case {case} step {step}");
+            }
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! One DRAM channel: banks behind a shared command/data bus, a per-rank
 //! refresh schedule and tFAW window, and the FR-FCFS transaction queue.
 
-use crate::bank::Bank;
+use crate::bank::BankArray;
 use crate::device::{DeviceProfile, DramCoord};
 use crate::timing::TimingCpu;
 use crate::txn::{Completion, PagePolicy, SchedPolicy, Transaction};
@@ -73,7 +73,9 @@ pub struct Channel<S: TelemetrySink = NullSink> {
     region: RegionKind,
     /// Channel index within the region (telemetry labelling only).
     index: u32,
-    banks: Vec<Bank>,
+    /// Bank state in structure-of-arrays layout: the arbitration scan in
+    /// [`Channel::pick`] touches only the dense open-row array.
+    banks: BankArray,
     ranks: Vec<RankState>,
     data_bus_free: Cycle,
     /// Demand transactions awaiting FR-FCFS arbitration, kept in
@@ -141,7 +143,7 @@ impl<S: TelemetrySink> Channel<S> {
             sink,
             region,
             index,
-            banks: (0..total_banks).map(|_| Bank::new()).collect(),
+            banks: BankArray::new(total_banks),
             ranks,
             data_bus_free: 0,
             queue: VecDeque::new(),
@@ -275,8 +277,10 @@ impl<S: TelemetrySink> Channel<S> {
             }
             let row_hit = match policy {
                 SchedPolicy::FrFcfs => {
-                    let bank = &self.banks[q.coord.bank_in_channel(&self.profile)];
-                    bank.open_row() == Some(q.coord.row)
+                    // One u64 load + compare against the dense SoA row
+                    // array; `NO_ROW` never equals a decoded row, so the
+                    // closed-bank case needs no separate branch.
+                    self.banks.open_row_raw(q.coord.bank_in_channel(&self.profile)) == q.coord.row
                 }
                 SchedPolicy::Fcfs => false,
             };
@@ -335,7 +339,7 @@ impl<S: TelemetrySink> Channel<S> {
 
         // tFAW gate, applied only when this access will activate.
         let bank_idx = q.coord.bank_in_channel(&self.profile);
-        let needs_activate = self.banks[bank_idx].open_row() != Some(q.coord.row);
+        let needs_activate = self.banks.open_row_raw(bank_idx) != q.coord.row;
         if needs_activate {
             let window = &self.ranks[rank].recent_activates;
             if window.len() == 4 {
@@ -346,7 +350,8 @@ impl<S: TelemetrySink> Channel<S> {
             }
         }
 
-        let svc = self.banks[bank_idx].service_with_policy(
+        let svc = self.banks.service_with_policy(
+            bank_idx,
             earliest,
             self.data_bus_free,
             q.coord.row,
@@ -471,9 +476,7 @@ impl<S: TelemetrySink> Channel<S> {
         // Refresh closes every row in the rank.
         let lo = rank * self.profile.banks_per_rank as usize;
         let hi = lo + self.profile.banks_per_rank as usize;
-        for b in &mut self.banks[lo..hi] {
-            b.close_row(last_boundary);
-        }
+        self.banks.close_rows(lo, hi, last_boundary);
         earliest.max(last_boundary + t.t_rfc)
     }
 }

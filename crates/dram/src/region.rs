@@ -12,7 +12,16 @@ use crate::channel::{Channel, ChannelStats};
 use crate::device::DeviceProfile;
 use crate::txn::{Completion, PagePolicy, SchedPolicy, Transaction};
 use hmm_sim_base::cycles::{CpuClock, Cycle};
+use hmm_sim_base::{par_map, worker_threads};
 use hmm_telemetry::{NullSink, RegionKind, TelemetrySink};
+
+/// Queued-transaction floor before [`DramRegion::advance_par`] /
+/// [`DramRegion::flush_par`] fan the busy channels out across `par_map`
+/// workers. Below this the scoped-thread spawn costs more than the
+/// servicing; at or above it each busy channel has enough work to fill a
+/// worker. (On a single-core host the gate short-circuits on
+/// [`worker_threads`] and the fan-out path is never taken at all.)
+const PAR_SERVICE_MIN_QUEUED: usize = 512;
 
 /// Aggregated region statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +66,12 @@ pub struct DramRegion<S: TelemetrySink = NullSink> {
     /// Lets `advance` skip the whole channel sweep when the region is idle
     /// (the common case for the quiet region of a mostly-one-sided phase).
     queued: usize,
+    /// Per-channel share of `queued`, kept as a dense array so the
+    /// `advance` sweep skips idle channels off one cache line instead of
+    /// dereferencing every `Channel` to discover it has no work. Skipped
+    /// channels produce no completions, so the completion order (channel
+    /// index order) is unchanged.
+    chan_queued: Vec<u32>,
 }
 
 impl DramRegion {
@@ -94,7 +109,8 @@ impl<S: TelemetrySink + Clone> DramRegion<S> {
         let channels = (0..profile.channels)
             .map(|i| Channel::with_sink(profile, timing, page_policy, sink.clone(), kind, i))
             .collect();
-        Self { profile, channels, policy, completions: Vec::new(), queued: 0 }
+        let chan_queued = vec![0; profile.channels as usize];
+        Self { profile, channels, policy, completions: Vec::new(), queued: 0, chan_queued }
     }
 }
 
@@ -114,29 +130,45 @@ impl<S: TelemetrySink> DramRegion<S> {
     pub fn enqueue(&mut self, txn: Transaction) {
         let coord = self.profile.decode(txn.addr);
         self.queued += 1;
+        self.chan_queued[coord.channel as usize] += 1;
         self.channels[coord.channel as usize].enqueue(txn, coord);
     }
 
     /// Advance simulated time: service everything that has arrived by
-    /// `now` on every channel.
+    /// `now` on every channel that has work queued.
     pub fn advance(&mut self, now: Cycle) {
         if self.queued == 0 {
             return;
         }
-        let before = self.completions.len();
-        for ch in &mut self.channels {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            if self.chan_queued[i] == 0 {
+                continue;
+            }
+            let before = self.completions.len();
             ch.advance(now, self.policy, &mut self.completions);
+            let done = self.completions.len() - before;
+            self.chan_queued[i] -= done as u32;
+            self.queued -= done;
         }
-        self.queued -= self.completions.len() - before;
     }
 
     /// Service all remaining transactions (end of trace).
     pub fn flush(&mut self) {
-        let before = self.completions.len();
-        for ch in &mut self.channels {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            if self.chan_queued[i] == 0 {
+                continue;
+            }
+            let before = self.completions.len();
             ch.flush(self.policy, &mut self.completions);
+            let done = self.completions.len() - before;
+            self.chan_queued[i] -= done as u32;
+            self.queued -= done;
         }
-        self.queued -= self.completions.len() - before;
+    }
+
+    /// Channels with at least one queued transaction.
+    fn busy_channels(&self) -> usize {
+        self.chan_queued.iter().filter(|&&q| q != 0).count()
     }
 
     /// Take all completions accumulated since the last call.
@@ -177,6 +209,57 @@ impl<S: TelemetrySink> DramRegion<S> {
     pub fn set_faults(&mut self, plan: hmm_fault::FaultPlan) {
         for ch in &mut self.channels {
             ch.set_faults(plan);
+        }
+    }
+}
+
+impl<S: TelemetrySink + Send> DramRegion<S> {
+    /// [`DramRegion::advance`], fanning busy channels out across `par_map`
+    /// workers when the backlog is deep enough to pay for them.
+    ///
+    /// Bit-identical to the sequential sweep by construction: channels
+    /// share no state (each owns its banks, ranks, data bus, queue, and
+    /// fault plan), and per-channel completions are appended in channel
+    /// index order — exactly the order the sequential sweep produces.
+    pub fn advance_par(&mut self, now: Cycle) {
+        if worker_threads() <= 1 || self.queued < PAR_SERVICE_MIN_QUEUED || self.busy_channels() < 2
+        {
+            self.advance(now);
+        } else {
+            self.service_par(Some(now));
+        }
+    }
+
+    /// [`DramRegion::flush`] with the same channel fan-out as
+    /// [`DramRegion::advance_par`].
+    pub fn flush_par(&mut self) {
+        if worker_threads() <= 1 || self.queued < PAR_SERVICE_MIN_QUEUED || self.busy_channels() < 2
+        {
+            self.flush();
+        } else {
+            self.service_par(None);
+        }
+    }
+
+    /// Service every busy channel on `par_map` workers; `now` selects
+    /// between an advance-to-`now` and a full flush.
+    fn service_par(&mut self, now: Option<Cycle>) {
+        let policy = self.policy;
+        let chan_queued = &self.chan_queued;
+        let busy: Vec<(usize, &mut Channel<S>)> =
+            self.channels.iter_mut().enumerate().filter(|(i, _)| chan_queued[*i] != 0).collect();
+        let done: Vec<(usize, Vec<Completion>)> = par_map(busy, |(i, ch)| {
+            let mut out = Vec::new();
+            match now {
+                Some(t) => ch.advance(t, policy, &mut out),
+                None => ch.flush(policy, &mut out),
+            }
+            (i, out)
+        });
+        for (i, mut out) in done {
+            self.chan_queued[i] -= out.len() as u32;
+            self.queued -= out.len();
+            self.completions.append(&mut out);
         }
     }
 }
@@ -293,6 +376,49 @@ mod tests {
         }
         assert!(open.stats().row_hit_rate() > 0.9);
         assert_eq!(closed.stats().row_hits, 0, "closed-page never leaves a row open");
+    }
+
+    /// The tentpole guarantee behind `advance_par`/`flush_par`: fanning
+    /// channels across workers changes nothing observable — completions
+    /// (ids, finish cycles, latency breakdowns, fault annotations) and
+    /// aggregate stats are bit-identical to the sequential sweep.
+    #[test]
+    fn parallel_service_matches_sequential_exactly() {
+        let mut rng = hmm_sim_base::SimRng::new(99);
+        let txns: Vec<Transaction> = (0..2_000)
+            .map(|i| Transaction::demand(i, i * 17, rng.below(1 << 30) & !63, rng.chance(0.3)))
+            .collect();
+
+        // End-of-trace flush with a deep backlog (the path that engages
+        // the fan-out when worker threads exist).
+        let mut seq = mk(DeviceProfile::off_package_ddr3());
+        let mut par = mk(DeviceProfile::off_package_ddr3());
+        for t in &txns {
+            seq.enqueue(*t);
+            par.enqueue(*t);
+        }
+        seq.flush();
+        par.flush_par();
+        assert_eq!(seq.drain_completions(), par.drain_completions());
+        assert_eq!(seq.stats(), par.stats());
+
+        // Interleaved timed advances, mirroring the controller's
+        // per-access cadence.
+        let mut seq = mk(DeviceProfile::off_package_ddr3());
+        let mut par = mk(DeviceProfile::off_package_ddr3());
+        for (k, t) in txns.iter().enumerate() {
+            seq.enqueue(*t);
+            par.enqueue(*t);
+            if k % 64 == 63 {
+                let now = t.arrival + 500;
+                seq.advance(now);
+                par.advance_par(now);
+            }
+        }
+        seq.flush();
+        par.flush_par();
+        assert_eq!(seq.drain_completions(), par.drain_completions());
+        assert_eq!(seq.stats(), par.stats());
     }
 
     #[test]

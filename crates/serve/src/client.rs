@@ -41,12 +41,14 @@ pub fn request(
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let head = format!(
+    // Head and body in one write: a single syscall sends the whole
+    // request, so the server's first peek usually sees all of it.
+    let mut msg = format!(
         "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len(),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    msg.push_str(body);
+    stream.write_all(msg.as_bytes())?;
     stream.flush()?;
 
     let mut raw = Vec::new();

@@ -1,13 +1,15 @@
 //! The serving core: accept loop, request dispatch, worker pool, and
 //! graceful drain.
 //!
-//! Threading model: `conn_threads` handler threads share one
-//! non-blocking listener — each accepts a connection, serves exactly one
-//! request on it (the framing layer closes after every response), and
-//! goes back to accepting. `workers` worker threads block on the bounded
-//! job queue and run simulations. Synchronous requests park their
-//! handler thread on [`Job::wait_done`]; asynchronous ones return a job
-//! id immediately.
+//! Threading model: `conn_threads` handler threads share one *blocking*
+//! listener — each accepts a connection, serves exactly one request on
+//! it (the framing layer closes after every response), and goes back to
+//! accepting. Blocking accepts mean a request is picked up the moment it
+//! arrives (no poll interval on the request path); drain wakes the
+//! parked acceptors with short-lived loopback connections. `workers`
+//! worker threads block on the bounded job queue and run simulations.
+//! Synchronous requests park their handler thread on [`Job::wait_done`];
+//! asynchronous ones return a job id immediately.
 //!
 //! Admission is a single decision under one lock (`AdmitState` holds
 //! the result cache *and* the in-flight map together): cache hit → serve
@@ -38,7 +40,7 @@ use hmm_telemetry::JsonObject;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -115,6 +117,11 @@ pub(crate) struct Shared {
     admit: Mutex<AdmitState>,
     pub(crate) metrics: ServerMetrics,
     pub(crate) draining: AtomicBool,
+    /// Bound address, used by the drain waker to unblock parked accepts.
+    local_addr: SocketAddr,
+    /// Acceptor threads still in their accept loop; the drain waker keeps
+    /// poking the listener until this reaches zero.
+    live_acceptors: AtomicUsize,
     next_job_id: AtomicU64,
     pub(crate) sweeps: SweepRegistry,
     /// Sweep runner threads, joined on shutdown.
@@ -179,9 +186,27 @@ impl Shared {
         }
     }
 
-    fn start_drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+    /// Begin a drain: refuse new admissions, shut the queue down, and wake
+    /// every acceptor parked in a blocking `accept` with short-lived
+    /// loopback connections (an accepted wake connection reads as EOF and
+    /// the acceptor re-checks the draining flag). The waker is bounded: it
+    /// stops once every acceptor has exited or after a hard deadline.
+    fn start_drain(self: &Arc<Self>) {
+        let already = self.draining.swap(true, Ordering::SeqCst);
         self.queue.shutdown();
+        if already {
+            return;
+        }
+        let shared = Arc::clone(self);
+        let _ = thread::Builder::new().name("hmm-serve-drain-waker".into()).spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while shared.live_acceptors.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+                // Each wake connection unparks at most one acceptor; keep
+                // poking until the last one has observed the flag.
+                let _ = TcpStream::connect_timeout(&shared.local_addr, Duration::from_millis(100));
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
     }
 
     fn metrics_doc(&self) -> String {
@@ -217,7 +242,6 @@ impl Server {
     /// serving.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let discipline = if cfg.sjf { Discipline::Sjf } else { Discipline::Fifo };
         let shared = Arc::new(Shared {
@@ -229,6 +253,8 @@ impl Server {
             }),
             metrics: ServerMetrics::default(),
             draining: AtomicBool::new(false),
+            local_addr: addr,
+            live_acceptors: AtomicUsize::new(cfg.conn_threads.max(1)),
             next_job_id: AtomicU64::new(1),
             sweeps: SweepRegistry::new(),
             runners: Mutex::new(Vec::new()),
@@ -298,15 +324,15 @@ impl Server {
 fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     loop {
         if shared.draining.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                // A drain waker's connection closes without sending a
+                // request; `read_request` sees EOF and the handler
+                // returns, after which the loop re-checks the flag.
                 shared.metrics.inc(&shared.metrics.conns_accepted);
                 handle_connection(shared, stream);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             // Accept errors (EMFILE, aborted handshakes) are transient;
@@ -314,6 +340,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             Err(_) => thread::sleep(Duration::from_millis(10)),
         }
     }
+    shared.live_acceptors.fetch_sub(1, Ordering::SeqCst);
 }
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {

@@ -5,7 +5,7 @@
 //! drain.
 
 use hmm_serve::client::{request, HttpResponse};
-use hmm_serve::request::Limits;
+use hmm_serve::request::{parse_body, Limits};
 use hmm_serve::{Server, ServerConfig};
 use hmm_telemetry::jsonin::{self, Json};
 use std::net::SocketAddr;
@@ -416,4 +416,49 @@ fn admin_shutdown_starts_the_drain() {
         assert_eq!(late.status, 503, "{}", late.body);
     }
     server.shutdown();
+}
+
+/// Epoch-boundary determinism, pinned through the cache key: access
+/// counts landing one short of, exactly on, and one past a monitoring
+/// epoch (swap-interval) boundary each resolve to their own cache entry,
+/// and two independent server instances (separate caches, separate
+/// controller/arena state) answer each of them byte-identically. This is
+/// the serving-layer guard for the batched trace generation and
+/// epoch-scoped arenas: a stray access leaking across an epoch batch
+/// would diverge one server from the other or alias two entries.
+#[test]
+fn epoch_boundary_counts_are_distinct_and_deterministic() {
+    let bodies: Vec<String> = [3999u64, 4000, 4001]
+        .iter()
+        .map(|a| {
+            format!(
+                r#"{{"workload":"pgbench","mode":"live","interval":2000,"accesses":{a},"warmup":1000,"scale":64}}"#
+            )
+        })
+        .collect();
+
+    // Straddling the boundary must change the resolved config, hence the
+    // cache key — all three are distinct simulations.
+    let keys: Vec<u64> =
+        bodies.iter().map(|b| parse_body(b, &Limits::default()).unwrap().key).collect();
+    assert_ne!(keys[0], keys[1]);
+    assert_ne!(keys[1], keys[2]);
+    assert_ne!(keys[0], keys[2]);
+
+    let server_a = small_server();
+    let server_b = small_server();
+    for body in &bodies {
+        let a = post(server_a.local_addr(), "/v1/simulate", body);
+        let b = post(server_b.local_addr(), "/v1/simulate", body);
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(b.status, 200, "{}", b.body);
+        assert_eq!(a.header("x-cache"), Some("miss"), "instances share no cache");
+        assert_eq!(a.body, b.body, "independent instances must agree byte-for-byte");
+    }
+
+    // Asking instance A again hits its cache and repeats the bytes.
+    let again = post(server_a.local_addr(), "/v1/simulate", &bodies[1]);
+    assert_eq!(again.header("x-cache"), Some("hit"));
+    server_a.shutdown();
+    server_b.shutdown();
 }

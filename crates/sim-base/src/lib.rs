@@ -17,6 +17,9 @@
 //!   reproducible across platforms and toolchain bumps.
 //! * [`fxhash`] — a deterministic integer-key hasher for the simulator's
 //!   hot-path bookkeeping maps (ids, tokens, slot indices).
+//! * [`arena`] — an index-handle [`arena::Slab`] arena replacing
+//!   hash maps for hot-path object lifetimes (in-flight migration legs),
+//!   with an epoch-reset that keeps the warm allocation.
 //! * [`par`] — a scoped-thread `par_map` for the embarrassingly parallel
 //!   experiment grids.
 //! * [`stats`] — running means, log-scaled histograms and latency-breakdown
@@ -26,6 +29,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
+pub mod arena;
 pub mod config;
 pub mod cycles;
 pub mod fxhash;
@@ -34,9 +38,10 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{LineAddr, MachineAddr, MacroPageId, PhysAddr, SlotId, SubBlockId};
+pub use arena::Slab;
 pub use config::{LatencyConfig, MemoryGeometry, SimScale};
 pub use cycles::Cycle;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
-pub use par::par_map;
+pub use par::{par_map, worker_threads};
 pub use rng::SimRng;
 pub use stats::{Histogram, LatencyBreakdown, RunningMean};

@@ -6,12 +6,24 @@
 //! external runtime. Results come back in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Chunks per worker thread: enough slack for dynamic balancing when cell
 /// costs are uneven (a paper-scale cell next to a quick one), few enough
 /// that per-chunk overhead stays negligible.
 const CHUNKS_PER_THREAD: usize = 4;
+
+/// Worker count [`par_map`] will use, probed once per process.
+/// `available_parallelism` is not a cheap query on Linux — it re-reads
+/// the cgroup cpu quota files every call — and `par_map` now sits on the
+/// simulator's per-advance hot path, so probing inline would turn every
+/// advance into filesystem traffic. Callers with a cheaper sequential
+/// code path (one that avoids even building the `Vec` of items) can
+/// check this and skip `par_map` entirely when it returns 1.
+pub fn worker_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
 
 /// Map `f` over `items` on up to `available_parallelism` threads,
 /// returning results in input order.
@@ -28,7 +40,7 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let threads = worker_threads().min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }

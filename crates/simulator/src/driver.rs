@@ -12,7 +12,7 @@ use hmm_fault::FaultPlan;
 use hmm_sim_base::config::{MachineConfig, MemoryGeometry, SimScale};
 use hmm_sim_base::stats::AccessStats;
 use hmm_telemetry::{NullSink, TelemetrySink};
-use hmm_workloads::{workload, WorkloadId};
+use hmm_workloads::{footprint_bytes, workload, WorkloadId};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +90,7 @@ impl RunConfig {
     /// everything is rounded to macro-page multiples.
     pub fn geometry(&self) -> MemoryGeometry {
         let page = 1u64 << self.page_shift;
-        let fp = workload(self.workload, &self.scale).footprint_bytes;
+        let fp = footprint_bytes(self.workload, &self.scale);
         let round_up = |v: u64| v.div_ceil(page) * page;
         let round_down = |v: u64| (v / page * page).max(page);
         // One extra page beyond the footprint keeps the reserved ghost
@@ -162,6 +162,11 @@ impl RunResult {
     }
 }
 
+/// Records per trace-generation block. The value only affects generator
+/// locality, never behaviour: records are still submitted and advanced
+/// one at a time, so any block size produces the identical run.
+const TRACE_BLOCK: usize = 4096;
+
 /// Execute one simulation run.
 pub fn run(cfg: &RunConfig) -> RunResult {
     run_with_sink(cfg, NullSink)
@@ -172,7 +177,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
 /// The sink is threaded through the controller into both DRAM regions, so
 /// a [`hmm_telemetry::Recorder`] handed in here observes the demand path,
 /// the migration engine, and every bank's row-buffer behaviour of the run.
-pub fn run_with_sink<S: TelemetrySink + Clone>(cfg: &RunConfig, sink: S) -> RunResult {
+pub fn run_with_sink<S: TelemetrySink + Clone + Send>(cfg: &RunConfig, sink: S) -> RunResult {
     let w = workload(cfg.workload, &cfg.scale);
     let geometry = cfg.geometry();
     let machine = MachineConfig { geometry, ..MachineConfig::default() };
@@ -199,23 +204,40 @@ pub fn run_with_sink<S: TelemetrySink + Clone>(cfg: &RunConfig, sink: S) -> RunR
     let mut warmup_boundary_id = if cfg.warmup == 0 { Some(0u64) } else { None };
     let mut stash: Vec<hmm_core::controller::DemandCompletion> = Vec::new();
     let mut submitted = 0u64;
-    for rec in w.iter(cfg.seed).take(cfg.accesses as usize) {
-        let id = ctrl.access(rec.tick, rec.addr, rec.is_write);
-        submitted += 1;
-        if submitted == cfg.warmup {
-            warmup_boundary_id = Some(id);
-        }
-        ctrl.advance(rec.tick);
-        if submitted.is_multiple_of(64) {
-            match warmup_boundary_id {
-                Some(b) => {
-                    for c in ctrl.drain_completed() {
-                        if c.id > b {
-                            access.record(&c.breakdown, c.is_write, c.on_package);
+    // Trace records are generated in blocks (amortising the generator's
+    // per-record draw setup and keeping generator and simulator code out
+    // of each other's instruction stream), but submitted to the
+    // controller one at a time on the exact per-record advance cadence —
+    // the controller's stall/copy interactions are cadence-sensitive, so
+    // coarsening `advance` would not be bit-identical. Block size is
+    // behaviour-invariant: `next_block` reproduces the iterator exactly
+    // for any partition (proven by the block-size-invariance test in
+    // `hmm_workloads::trace`).
+    let mut trace = w.iter(cfg.seed);
+    let mut block = Vec::new();
+    let mut remaining = cfg.accesses as usize;
+    while remaining > 0 {
+        let n = remaining.min(TRACE_BLOCK);
+        trace.next_block(&mut block, n);
+        remaining -= n;
+        for rec in &block {
+            let id = ctrl.access(rec.tick, rec.addr, rec.is_write);
+            submitted += 1;
+            if submitted == cfg.warmup {
+                warmup_boundary_id = Some(id);
+            }
+            ctrl.advance(rec.tick);
+            if submitted.is_multiple_of(64) {
+                match warmup_boundary_id {
+                    Some(b) => {
+                        for c in ctrl.drain_completed() {
+                            if c.id > b {
+                                access.record(&c.breakdown, c.is_write, c.on_package);
+                            }
                         }
                     }
+                    None => stash.extend(ctrl.drain_completed()),
                 }
-                None => stash.extend(ctrl.drain_completed()),
             }
         }
     }

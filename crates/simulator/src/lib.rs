@@ -21,7 +21,7 @@ pub mod ipc;
 pub mod missrate;
 pub mod wire;
 
-pub use driver::{run, RunConfig, RunResult};
+pub use driver::{run, run_with_sink, RunConfig, RunResult};
 pub use experiments::{effectiveness_table, fig11_grid, fig15_capacity, fig16_power, Fig11Row};
 pub use ipc::{ipc_for, Fig5Option, IpcResult};
 pub use missrate::l3_miss_rates;

@@ -1,0 +1,58 @@
+//! E2E reconciliation of the recorder's keyed counter families against
+//! the simulator's flat counters.
+//!
+//! The keyed families (`demand_classes`, `bank_accesses`) are derived on
+//! the recorder's hot path from the same event stream the flat counters
+//! come from, but through a completely different code path (integer-key
+//! interning vs. struct fields). If the two ever disagree, one of them is
+//! dropping or double-counting traffic — so a full simulated run must
+//! reconcile *exactly*, not approximately.
+
+use hmm_core::{MigrationDesign, Mode};
+use hmm_simulator::{run_with_sink, RunConfig};
+use hmm_telemetry::{demand_class_key, EventKind, Recorder, TelemetryLevel};
+use hmm_workloads::WorkloadId;
+
+#[test]
+fn keyed_families_reconcile_with_controller_stats() {
+    let cfg = RunConfig::quick(WorkloadId::Pgbench, Mode::Dynamic(MigrationDesign::LiveMigration));
+    let rec = Recorder::with_level(TelemetryLevel::Counters);
+    let result = run_with_sink(&cfg, rec.clone());
+    let c = rec.counters();
+
+    // Every demand line the controller enqueued completed by the end of
+    // the run and produced exactly one Demand event, keyed by its service
+    // class — so the per-region sums equal the controller's counters.
+    let on = c.demand_classes.get(demand_class_key(true, false))
+        + c.demand_classes.get(demand_class_key(true, true));
+    let off = c.demand_classes.get(demand_class_key(false, false))
+        + c.demand_classes.get(demand_class_key(false, true));
+    assert_eq!(on, result.controller.demand_on_lines, "on-package demand");
+    assert_eq!(off, result.controller.demand_off_lines, "off-package demand");
+    assert_eq!(c.demand_classes.total(), c.get(EventKind::Demand));
+    assert!(on > 0 && off > 0, "a live run drives both regions");
+
+    // Every DRAM column access produced one bank-keyed count and one
+    // row-outcome count; the family total must equal the outcome total.
+    let outcomes =
+        c.get(EventKind::RowHit) + c.get(EventKind::RowMiss) + c.get(EventKind::BankConflict);
+    assert_eq!(c.bank_accesses.total(), outcomes, "bank family vs row outcomes");
+
+    // Region split: keyed counts with the region bit set sum to the
+    // on-package region's serviced transactions (demand + migration),
+    // ditto off-package. `bank_key` packs the region into bit 49.
+    let (mut on_banks, mut off_banks) = (0u64, 0u64);
+    for (key, count) in c.bank_accesses.sorted() {
+        if key >> 49 & 1 != 0 {
+            on_banks += count;
+        } else {
+            off_banks += count;
+        }
+    }
+    assert_eq!(on_banks, result.on_region.serviced, "on-region serviced");
+    assert_eq!(off_banks, result.off_region.serviced, "off-region serviced");
+
+    // A live-migration run spreads traffic over many banks; the keyed
+    // family must actually fan out rather than lump everything together.
+    assert!(c.bank_accesses.len() > 8, "expected many bank series, got {}", c.bank_accesses.len());
+}

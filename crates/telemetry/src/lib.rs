@@ -38,6 +38,9 @@ pub use export::{
 };
 pub use json::{JsonArray, JsonObject, ToJson};
 pub use jsonin::Json;
-pub use recorder::{Counters, Recorder, RecorderConfig, TelemetryLevel};
+pub use recorder::{
+    bank_key, bank_label, demand_class_key, demand_class_label, Counters, KeyedCounters, Recorder,
+    RecorderConfig, TelemetryLevel,
+};
 pub use ring::EventRing;
 pub use sink::{NullSink, TelemetrySink};

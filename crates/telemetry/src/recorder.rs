@@ -4,9 +4,9 @@ use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use hmm_sim_base::{Histogram, RunningMean};
+use hmm_sim_base::{FxHashMap, Histogram, RunningMean};
 
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, RegionKind};
 use crate::ring::EventRing;
 use crate::sink::TelemetrySink;
 
@@ -48,6 +48,109 @@ impl FromStr for TelemetryLevel {
     }
 }
 
+/// One family of labelled counters keyed by *pre-interned integer keys*.
+///
+/// The hot path never formats a label: callers pack whatever identifies a
+/// series (region bit, channel, bank, read/write class) into a `u64` with
+/// the `*_key` functions below, and [`KeyedCounters::add`] is an integer
+/// hash probe plus a dense-slot increment. Labels are materialised only on
+/// the read side ([`demand_class_label`] / [`bank_label`]), where exporters
+/// can afford string work.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedCounters {
+    /// Packed key → dense slot index.
+    index: FxHashMap<u64, u32>,
+    /// `(packed key, count)` in first-seen order; the key rides along so
+    /// reads and merges never consult the map.
+    slots: Vec<(u64, u64)>,
+}
+
+impl KeyedCounters {
+    /// Add `n` to the series identified by `key`, creating it on first use.
+    #[inline]
+    pub fn add(&mut self, key: u64, n: u64) {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.slots[*e.get() as usize].1 += n;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.slots.len() as u32);
+                self.slots.push((key, n));
+            }
+        }
+    }
+
+    /// Count for `key`; 0 for a series never touched.
+    pub fn get(&self, key: u64) -> u64 {
+        self.index.get(&key).map_or(0, |&i| self.slots[i as usize].1)
+    }
+
+    /// Number of distinct series seen.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no series was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Sum over every series.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// `(key, count)` pairs sorted by key — the deterministic order
+    /// exporters and tests want, independent of first-seen order (which
+    /// differs between sharded and single-threaded runs).
+    pub fn sorted(&self) -> Vec<(u64, u64)> {
+        let mut out = self.slots.clone();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Fold another family into this one.
+    pub fn merge(&mut self, other: &KeyedCounters) {
+        for &(key, count) in &other.slots {
+            self.add(key, count);
+        }
+    }
+}
+
+/// Pre-interned key for a demand service class: region bit 0, write bit 1.
+#[inline]
+pub fn demand_class_key(on_package: bool, is_write: bool) -> u64 {
+    (on_package as u64) | ((is_write as u64) << 1)
+}
+
+/// Read-side label for a [`demand_class_key`], e.g. `on/read`.
+pub fn demand_class_label(key: u64) -> String {
+    let region = if key & 1 != 0 { "on" } else { "off" };
+    let rw = if key & 2 != 0 { "write" } else { "read" };
+    format!("{region}/{rw}")
+}
+
+/// Pre-interned key for one bank's traffic: bank in bits 0..32, channel in
+/// 32..48, demand/background in 48, region in 49. The ordering makes
+/// [`KeyedCounters::sorted`] group by region, then traffic class, then
+/// channel, then bank.
+#[inline]
+pub fn bank_key(region: RegionKind, channel: u32, bank: u32, background: bool) -> u64 {
+    (((region == RegionKind::OnPackage) as u64) << 49)
+        | ((background as u64) << 48)
+        | ((channel as u64) << 32)
+        | bank as u64
+}
+
+/// Read-side label for a [`bank_key`], e.g. `on/ch0/b3/demand`.
+pub fn bank_label(key: u64) -> String {
+    let region = if key >> 49 & 1 != 0 { "on" } else { "off" };
+    let class = if key >> 48 & 1 != 0 { "background" } else { "demand" };
+    let channel = (key >> 32) as u16;
+    let bank = key as u32;
+    format!("{region}/ch{channel}/b{bank}/{class}")
+}
+
 /// Aggregated per-kind counts plus the demand-latency distribution.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
@@ -58,6 +161,11 @@ pub struct Counters {
     pub latency_hist: Histogram,
     /// Log2-bucketed demand queuing-delay distribution.
     pub queuing_hist: Histogram,
+    /// Demand completions keyed by [`demand_class_key`] (region × r/w).
+    pub demand_classes: KeyedCounters,
+    /// DRAM column accesses keyed by [`bank_key`] (region × class ×
+    /// channel × bank).
+    pub bank_accesses: KeyedCounters,
 }
 
 impl Counters {
@@ -73,10 +181,17 @@ impl Counters {
 
     fn record(&mut self, event: &Event) {
         self.counts[event.kind() as usize] += 1;
-        if let Event::Demand { latency, queuing, .. } = *event {
-            self.demand_latency.push(latency);
-            self.latency_hist.push(latency);
-            self.queuing_hist.push(queuing);
+        match *event {
+            Event::Demand { latency, queuing, on_package, is_write, .. } => {
+                self.demand_latency.push(latency);
+                self.latency_hist.push(latency);
+                self.queuing_hist.push(queuing);
+                self.demand_classes.add(demand_class_key(on_package, is_write), 1);
+            }
+            Event::DramAccess { region, channel, bank, background, .. } => {
+                self.bank_accesses.add(bank_key(region, channel, bank, background), 1);
+            }
+            _ => {}
         }
     }
 
@@ -89,6 +204,8 @@ impl Counters {
         self.demand_latency.merge(&other.demand_latency);
         self.latency_hist.merge(&other.latency_hist);
         self.queuing_hist.merge(&other.queuing_hist);
+        self.demand_classes.merge(&other.demand_classes);
+        self.bank_accesses.merge(&other.bank_accesses);
     }
 }
 
@@ -326,6 +443,74 @@ mod tests {
         );
         assert_eq!(one.counters().demand_latency.mean(), batched.counters().demand_latency.mean());
         assert_eq!(one.events().len(), batched.events().len());
+    }
+
+    #[test]
+    fn keyed_families_count_without_hot_path_strings() {
+        let rec = Recorder::with_level(TelemetryLevel::Counters);
+        rec.emit(Event::Demand {
+            cycle: 1,
+            page: 0,
+            on_package: true,
+            is_write: false,
+            latency: 10,
+            queuing: 1,
+        });
+        rec.emit(Event::Demand {
+            cycle: 2,
+            page: 0,
+            on_package: true,
+            is_write: true,
+            latency: 10,
+            queuing: 1,
+        });
+        rec.emit(Event::Demand {
+            cycle: 3,
+            page: 0,
+            on_package: false,
+            is_write: false,
+            latency: 10,
+            queuing: 1,
+        });
+        for bank in [3u32, 3, 7] {
+            rec.emit(Event::DramAccess {
+                cycle: 4,
+                region: RegionKind::OnPackage,
+                channel: 0,
+                bank,
+                outcome: crate::event::DramOutcome::RowHit,
+                background: bank == 7,
+            });
+        }
+        let c = rec.counters();
+        assert_eq!(c.demand_classes.get(demand_class_key(true, false)), 1);
+        assert_eq!(c.demand_classes.get(demand_class_key(true, true)), 1);
+        assert_eq!(c.demand_classes.get(demand_class_key(false, false)), 1);
+        assert_eq!(c.demand_classes.get(demand_class_key(false, true)), 0);
+        assert_eq!(c.demand_classes.total(), c.get(EventKind::Demand));
+        assert_eq!(c.bank_accesses.get(bank_key(RegionKind::OnPackage, 0, 3, false)), 2);
+        assert_eq!(c.bank_accesses.get(bank_key(RegionKind::OnPackage, 0, 7, true)), 1);
+        assert_eq!(c.bank_accesses.len(), 2);
+        assert_eq!(demand_class_label(demand_class_key(true, false)), "on/read");
+        assert_eq!(demand_class_label(demand_class_key(false, true)), "off/write");
+        assert_eq!(bank_label(bank_key(RegionKind::OnPackage, 0, 7, true)), "on/ch0/b7/background");
+        assert_eq!(bank_label(bank_key(RegionKind::OffPackage, 2, 1, false)), "off/ch2/b1/demand");
+    }
+
+    #[test]
+    fn keyed_families_merge_and_sort_deterministically() {
+        let mut a = KeyedCounters::default();
+        let mut b = KeyedCounters::default();
+        a.add(5, 2);
+        a.add(1, 1);
+        b.add(1, 10);
+        b.add(9, 4);
+        a.merge(&b);
+        assert_eq!(a.sorted(), vec![(1, 11), (5, 2), (9, 4)]);
+        assert_eq!(a.total(), 17);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.get(42), 0);
     }
 
     #[test]

@@ -171,12 +171,23 @@ fn part(fp: u64, at_num: u64, at_den: u64, num: u64, den: u64) -> (u64, u64) {
     (start, len)
 }
 
+/// Scaled footprint of `id` in bytes, without building the workload.
+///
+/// Exactly the value [`workload`] puts in [`Workload::footprint_bytes`].
+/// Geometry resolution (and the serving layer's request validation) only
+/// needs this number, and building the full pattern mixture costs
+/// milliseconds — the Zipf CDF tables alone do one `powf` per page rank —
+/// so callers that never generate records must use this instead.
+pub fn footprint_bytes(id: WorkloadId, scale: &SimScale) -> u64 {
+    scale.bytes(npb_footprint_mb(id) << 20).max(64 << 10)
+}
+
 /// Build one of the paper's workloads, scaled by `scale`.
 ///
 /// The returned [`Workload`] is a specification: call
 /// [`Workload::iter`] with a seed to obtain records.
 pub fn workload(id: WorkloadId, scale: &SimScale) -> Workload {
-    let fp = scale.bytes(npb_footprint_mb(id) << 20).max(64 << 10);
+    let fp = footprint_bytes(id, scale);
     let w = match id {
         WorkloadId::Bt | WorkloadId::Sp | WorkloadId::Lu => {
             // Structured-grid solvers: repeated array sweeps with a small,
@@ -509,6 +520,20 @@ mod tests {
             for div in [1u64, 16, 64, 256] {
                 let w = workload(id, &SimScale { divisor: div });
                 w.validate().unwrap_or_else(|e| panic!("{id:?} at /{div}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_footprint_matches_built_workload() {
+        for id in WorkloadId::npb_all().into_iter().chain(WorkloadId::trace_study()) {
+            for div in [1u64, 16, 64, 256] {
+                let scale = SimScale { divisor: div };
+                assert_eq!(
+                    footprint_bytes(id, &scale),
+                    workload(id, &scale).footprint_bytes,
+                    "{id:?} at /{div}"
+                );
             }
         }
     }

@@ -29,7 +29,7 @@ pub mod pattern;
 pub mod trace;
 pub mod trace_io;
 
-pub use catalog::{npb_footprint_mb, workload, WorkloadId};
+pub use catalog::{footprint_bytes, npb_footprint_mb, workload, WorkloadId};
 pub use pattern::Pattern;
 pub use trace::{TraceIter, TraceRecord, Workload};
 pub use trace_io::{read_text, write_binary, write_text, BinaryTraceReader};

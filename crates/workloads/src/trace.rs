@@ -129,18 +129,19 @@ pub struct TraceIter {
     mean_gap: Cycle,
 }
 
-impl Iterator for TraceIter {
-    type Item = TraceRecord;
-
-    fn next(&mut self) -> Option<TraceRecord> {
+impl TraceIter {
+    /// Generate one record. `lo`/`hi` are the (loop-invariant) jitter
+    /// bounds and `last` the highest stream index — hoisted by the block
+    /// path, recomputed per call by the `Iterator` path; the draw
+    /// sequence is identical either way.
+    #[inline]
+    fn gen_one(&mut self, lo: Cycle, hi: Cycle, last: usize) -> TraceRecord {
         // Uniform jitter around the mean keeps arrivals aperiodic without
         // the cost of exponential sampling.
-        let lo = (self.mean_gap / 2).max(1);
-        let hi = self.mean_gap * 3 / 2 + 1;
-        self.tick += self.rng.range(lo, hi.max(lo + 1));
+        self.tick += self.rng.range(lo, hi);
 
         let u = self.rng.unit_f64();
-        let si = self.cdf.partition_point(|&c| c <= u).min(self.streams.len() - 1);
+        let si = self.cdf.partition_point(|&c| c <= u).min(last);
         let stream = &mut self.streams[si];
 
         let pi = if stream.mix.len() == 1 {
@@ -161,7 +162,44 @@ impl Iterator for TraceIter {
         };
         let cpu = stream.cpu;
         let (offset, is_write) = stream.mix[pi].1.next(&mut self.rng);
-        Some(TraceRecord { tick: self.tick, cpu, addr: PhysAddr(offset), is_write })
+        TraceRecord { tick: self.tick, cpu, addr: PhysAddr(offset), is_write }
+    }
+
+    /// Jitter bounds and stream-index cap, shared by both generation
+    /// paths so they cannot drift apart.
+    #[inline]
+    fn gen_params(&self) -> (Cycle, Cycle, usize) {
+        let lo = (self.mean_gap / 2).max(1);
+        let hi = (self.mean_gap * 3 / 2 + 1).max(lo + 1);
+        (lo, hi, self.streams.len() - 1)
+    }
+
+    /// Refill `out` with the next `n` records (clearing any previous
+    /// contents but keeping the allocation).
+    ///
+    /// Produces exactly the records `n` successive [`Iterator::next`]
+    /// calls would — same RNG draw order, same ticks — but with the
+    /// jitter bounds and stream-count bound hoisted out of the loop and
+    /// no per-record `Option` plumbing, so the driver can stream blocks
+    /// into the simulator instead of ping-ponging between generator and
+    /// controller code every access.
+    pub fn next_block(&mut self, out: &mut Vec<TraceRecord>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        let (lo, hi, last) = self.gen_params();
+        for _ in 0..n {
+            let rec = self.gen_one(lo, hi, last);
+            out.push(rec);
+        }
+    }
+}
+
+impl Iterator for TraceIter {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let (lo, hi, last) = self.gen_params();
+        Some(self.gen_one(lo, hi, last))
     }
 }
 
@@ -219,6 +257,27 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         assert_eq!(toy().records(9, 1000), toy().records(9, 1000));
+    }
+
+    /// The batched path must reproduce the one-at-a-time iterator exactly,
+    /// for any block-size partition of the request — including ragged
+    /// tails and resumption across blocks.
+    #[test]
+    fn next_block_matches_iterator_for_any_block_size() {
+        let w = toy();
+        let reference: Vec<TraceRecord> = w.iter(11).take(5_000).collect();
+        for block_size in [1usize, 7, 64, 1000, 4096, 5_000, 9_999] {
+            let mut it = w.iter(11);
+            let mut got = Vec::new();
+            let mut block = Vec::new();
+            while got.len() < reference.len() {
+                let n = block_size.min(reference.len() - got.len());
+                it.next_block(&mut block, n);
+                assert_eq!(block.len(), n);
+                got.extend_from_slice(&block);
+            }
+            assert_eq!(got, reference, "block size {block_size}");
+        }
     }
 
     #[test]
