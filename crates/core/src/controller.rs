@@ -23,6 +23,7 @@ use hmm_sim_base::addr::{PhysAddr, LINE_BYTES};
 use hmm_sim_base::arena::Slab;
 use hmm_sim_base::config::MachineConfig;
 use hmm_sim_base::cycles::Cycle;
+use hmm_sim_base::snap::{SnapReader, SnapResult, SnapWriter};
 use hmm_sim_base::stats::LatencyBreakdown;
 use hmm_telemetry::{Event, EventKind, FaultClass, NullSink, RegionKind, TelemetrySink};
 
@@ -502,6 +503,270 @@ impl<S: TelemetrySink + Clone + Send> HeteroController<S> {
     /// DRAM region statistics: `(on_package, off_package)`.
     pub fn region_stats(&self) -> (RegionStats, RegionStats) {
         (self.on_region.stats(), self.off_region.stats())
+    }
+
+    /// Serialize the controller's full dynamic state (snapshot/resume
+    /// support): translation table, monitors, migration engine, both DRAM
+    /// regions, the in-flight transaction ring and leg arena, and every
+    /// counter. The translation cache is deliberately excluded — it is a
+    /// pure memo validated by the table's generation counter, so a resumed
+    /// run restarts it cold with identical results. Telemetry state cannot
+    /// be captured, so snapshots require a [`NullSink`] controller with
+    /// flushed event buffers (the driver's default run path).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.demand_events.is_empty(),
+            "snapshots require flushed telemetry buffers (NullSink run path)"
+        );
+        w.section(b"tabl");
+        self.table.save_state(w);
+        w.end_section();
+        w.section(b"moni");
+        self.lru.save_state(w);
+        self.mru.save_state(w);
+        w.end_section();
+        w.section(b"engn");
+        match &self.engine {
+            None => w.bool(false),
+            Some(e) => {
+                w.bool(true);
+                e.save_state(w);
+            }
+        }
+        w.end_section();
+        w.section(b"dram");
+        self.on_region.save_state(w);
+        self.off_region.save_state(w);
+        w.end_section();
+        w.section(b"ctrl");
+        w.u64(self.next_id);
+        w.u64(self.meta.base);
+        w.usize(self.meta.slots.len());
+        for slot in &self.meta.slots {
+            match slot {
+                MetaSlot::Empty => w.u8(0),
+                MetaSlot::Demand(m) => {
+                    w.u8(1);
+                    w.u64(m.issued_at);
+                    w.u64(m.stall);
+                    w.u64(m.controller);
+                    w.u64(m.interconnect);
+                    w.bool(m.on_package);
+                    w.bool(m.is_write);
+                    w.u64(m.page);
+                    match m.slot {
+                        None => w.bool(false),
+                        Some(s) => {
+                            w.bool(true);
+                            w.u32(s);
+                        }
+                    }
+                }
+                MetaSlot::Copy(handle) => {
+                    w.u8(2);
+                    w.u32(*handle);
+                }
+            }
+        }
+        self.copy_legs.save_state(w, |w, leg| {
+            w.u32(leg.remaining);
+            match leg.fail {
+                None => w.u8(0),
+                Some(FailKind::Dropped) => w.u8(1),
+                Some(FailKind::TimedOut) => w.u8(2),
+                Some(FailKind::Ecc) => w.u8(3),
+            }
+            w.u8(match leg.kind {
+                TransferKind::Forward => 0,
+                TransferKind::Rollback => 1,
+                TransferKind::Drain => 2,
+            });
+            match leg.slot {
+                None => w.bool(false),
+                Some(s) => {
+                    w.bool(true);
+                    w.u32(s);
+                }
+            }
+            w.u64(leg.gen);
+            w.u64(leg.token);
+        });
+        w.u64(self.copy_ids_live);
+        w.u64(self.copy_gen);
+        w.u64(self.copy_seq);
+        w.usize(self.slot_errors.len());
+        for &e in &self.slot_errors {
+            w.u32(e);
+        }
+        w.seq(&self.pending_quarantine, |w, &s| w.u32(s));
+        w.seq(&self.completed, |w, c| {
+            w.u64(c.id);
+            w.u64(c.finish);
+            w.u64(c.breakdown.dram_core);
+            w.u64(c.breakdown.queuing);
+            w.u64(c.breakdown.controller);
+            w.u64(c.breakdown.interconnect);
+            w.bool(c.on_package);
+            w.bool(c.is_write);
+        });
+        w.u64(self.accesses_in_epoch);
+        w.u64(self.stall_until);
+        w.u32(self.outstanding_copies);
+        w.u64(self.copy_release);
+        w.u64(self.now);
+        w.u64(self.stats.demand_on_lines);
+        w.u64(self.stats.demand_off_lines);
+        w.u64(self.stats.migration_on_lines);
+        w.u64(self.stats.migration_off_lines);
+        w.u64(self.stats.stall_cycles);
+        w.u64(self.stats.epochs);
+        w.u64(self.stats.rejected_triggers);
+        w.u64(self.stats.transfer_retries);
+        w.u64(self.stats.transfers_dropped);
+        w.u64(self.stats.transfers_timed_out);
+        w.u64(self.stats.transfers_ecc_failed);
+        w.u64(self.stats.abandoned_sub_blocks);
+        w.u64(self.stats.row_corruptions);
+        w.u64(self.stats.slots_quarantined);
+        w.u64(self.epoch_mark.demand_on);
+        w.u64(self.epoch_mark.demand_off);
+        w.u64(self.epoch_mark.migration);
+        w.u64(self.epoch_mark.stall);
+        w.u64(self.epoch_mark.swaps_completed);
+        w.u32(self.swap_steps_seen);
+        w.u64(self.swap_subs_mark);
+        w.end_section();
+    }
+
+    /// Restore controller state saved by [`HeteroController::save_state`]
+    /// onto a freshly constructed controller with the same configuration.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.section(b"tabl")?;
+        self.table.load_state(r)?;
+        r.end_section()?;
+        r.section(b"moni")?;
+        self.lru.load_state(r)?;
+        self.mru.load_state(r)?;
+        r.end_section()?;
+        r.section(b"engn")?;
+        let has_engine = r.bool()?;
+        if has_engine != self.engine.is_some() {
+            return Err("snapshot's migration mode disagrees with configuration".into());
+        }
+        if let Some(e) = &mut self.engine {
+            e.load_state(r)?;
+        }
+        r.end_section()?;
+        r.section(b"dram")?;
+        self.on_region.load_state(r)?;
+        self.off_region.load_state(r)?;
+        r.end_section()?;
+        r.section(b"ctrl")?;
+        self.next_id = r.u64()?;
+        self.meta.base = r.u64()?;
+        let n = r.seq_len(1)?;
+        self.meta.slots.clear();
+        for _ in 0..n {
+            let slot = match r.u8()? {
+                0 => MetaSlot::Empty,
+                1 => {
+                    let issued_at = r.u64()?;
+                    let stall = r.u64()?;
+                    let controller = r.u64()?;
+                    let interconnect = r.u64()?;
+                    let on_package = r.bool()?;
+                    let is_write = r.bool()?;
+                    let page = r.u64()?;
+                    let slot = if r.bool()? { Some(r.u32()?) } else { None };
+                    MetaSlot::Demand(DemandMeta {
+                        issued_at,
+                        stall,
+                        controller,
+                        interconnect,
+                        on_package,
+                        is_write,
+                        page,
+                        slot,
+                    })
+                }
+                2 => MetaSlot::Copy(r.u32()?),
+                t => return Err(format!("invalid meta-slot tag {t}")),
+            };
+            self.meta.slots.push_back(slot);
+        }
+        self.copy_legs.load_state(r, |r| {
+            let remaining = r.u32()?;
+            let fail = match r.u8()? {
+                0 => None,
+                1 => Some(FailKind::Dropped),
+                2 => Some(FailKind::TimedOut),
+                3 => Some(FailKind::Ecc),
+                t => return Err(format!("invalid fail-kind tag {t}")),
+            };
+            let kind = match r.u8()? {
+                0 => TransferKind::Forward,
+                1 => TransferKind::Rollback,
+                2 => TransferKind::Drain,
+                t => return Err(format!("invalid transfer-kind tag {t}")),
+            };
+            let slot = if r.bool()? { Some(r.u32()?) } else { None };
+            let gen = r.u64()?;
+            let token = r.u64()?;
+            Ok(LegState { remaining, fail, kind, slot, gen, token })
+        })?;
+        self.copy_ids_live = r.u64()?;
+        self.copy_gen = r.u64()?;
+        self.copy_seq = r.u64()?;
+        let n = r.usize()?;
+        if n != self.slot_errors.len() {
+            return Err(format!("slot count mismatch: expected {}", self.slot_errors.len()));
+        }
+        for e in &mut self.slot_errors {
+            *e = r.u32()?;
+        }
+        self.pending_quarantine = r.seq(|r| r.u32())?;
+        self.completed = r.seq(|r| {
+            Ok(DemandCompletion {
+                id: r.u64()?,
+                finish: r.u64()?,
+                breakdown: LatencyBreakdown {
+                    dram_core: r.u64()?,
+                    queuing: r.u64()?,
+                    controller: r.u64()?,
+                    interconnect: r.u64()?,
+                },
+                on_package: r.bool()?,
+                is_write: r.bool()?,
+            })
+        })?;
+        self.accesses_in_epoch = r.u64()?;
+        self.stall_until = r.u64()?;
+        self.outstanding_copies = r.u32()?;
+        self.copy_release = r.u64()?;
+        self.now = r.u64()?;
+        self.stats.demand_on_lines = r.u64()?;
+        self.stats.demand_off_lines = r.u64()?;
+        self.stats.migration_on_lines = r.u64()?;
+        self.stats.migration_off_lines = r.u64()?;
+        self.stats.stall_cycles = r.u64()?;
+        self.stats.epochs = r.u64()?;
+        self.stats.rejected_triggers = r.u64()?;
+        self.stats.transfer_retries = r.u64()?;
+        self.stats.transfers_dropped = r.u64()?;
+        self.stats.transfers_timed_out = r.u64()?;
+        self.stats.transfers_ecc_failed = r.u64()?;
+        self.stats.abandoned_sub_blocks = r.u64()?;
+        self.stats.row_corruptions = r.u64()?;
+        self.stats.slots_quarantined = r.u64()?;
+        self.epoch_mark.demand_on = r.u64()?;
+        self.epoch_mark.demand_off = r.u64()?;
+        self.epoch_mark.migration = r.u64()?;
+        self.epoch_mark.stall = r.u64()?;
+        self.epoch_mark.swaps_completed = r.u64()?;
+        self.swap_steps_seen = r.u32()?;
+        self.swap_subs_mark = r.u64()?;
+        r.end_section()?;
+        Ok(())
     }
 
     fn fresh_id(&mut self) -> u64 {

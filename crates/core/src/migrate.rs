@@ -253,6 +253,210 @@ impl MigrationEngine {
         self.design
     }
 
+    /// Serialize the engine's dynamic state (snapshot/resume support):
+    /// counters, the P/F log, and the full in-flight swap (steps with
+    /// their begin/end table-op scripts, progress cursors, mode, and
+    /// per-sub-block retry counts — written in sorted key order so the
+    /// same state always produces the same bytes).
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        let op = |w: &mut hmm_sim_base::snap::SnapWriter, o: &TableOp| match *o {
+            TableOp::SuppressCam(s) => {
+                w.u8(0);
+                w.u32(s);
+            }
+            TableOp::BeginFillEmpty { slot, page, source } => {
+                w.u8(1);
+                w.u32(slot);
+                w.u64(page);
+                w.u64(source.0);
+            }
+            TableOp::BeginRestoreOwn { slot, source } => {
+                w.u8(2);
+                w.u32(slot);
+                w.u64(source.0);
+            }
+            TableOp::ClearP(s) => {
+                w.u8(3);
+                w.u32(s);
+            }
+            TableOp::SetP(s) => {
+                w.u8(4);
+                w.u32(s);
+            }
+            TableOp::RetireToEmpty(s) => {
+                w.u8(5);
+                w.u32(s);
+            }
+            TableOp::SetSwapped { slot, page } => {
+                w.u8(6);
+                w.u32(slot);
+                w.u64(page);
+            }
+            TableOp::SetOwn(s) => {
+                w.u8(7);
+                w.u32(s);
+            }
+            TableOp::UnsuppressCam(s) => {
+                w.u8(8);
+                w.u32(s);
+            }
+            TableOp::AbortFillEmpty(s) => {
+                w.u8(9);
+                w.u32(s);
+            }
+            TableOp::AbortRestoreOwn { slot, partner } => {
+                w.u8(10);
+                w.u32(slot);
+                w.u64(partner);
+            }
+            TableOp::SetPParked { slot, spare } => {
+                w.u8(11);
+                w.u32(slot);
+                w.u64(spare);
+            }
+            TableOp::QuarantineRow { slot, spare } => {
+                w.u8(12);
+                w.u32(slot);
+                w.u64(spare);
+            }
+        };
+        w.u64(self.stats.triggered);
+        w.u64(self.stats.completed);
+        w.u64s(&self.stats.case_counts);
+        w.u64(self.stats.sub_blocks_copied);
+        w.u64(self.stats.aborted);
+        w.u64(self.stats.rolled_back_sub_blocks);
+        w.u64(self.stats.quarantine_drains);
+        w.seq(&self.pf_log, |w, c| {
+            w.u32(c.slot);
+            w.u8(match c.bit {
+                PfBit::P => 0,
+                PfBit::F => 1,
+            });
+            w.bool(c.set);
+        });
+        match &self.active {
+            None => w.bool(false),
+            Some(swap) => {
+                w.bool(true);
+                w.seq(&swap.steps, |w, s| {
+                    w.u64(s.src.0);
+                    w.u64(s.dst.0);
+                    w.seq(&s.begin, op);
+                    w.seq(&s.end, op);
+                    match s.fill_slot {
+                        None => w.bool(false),
+                        Some(fs) => {
+                            w.bool(true);
+                            w.u32(fs);
+                        }
+                    }
+                });
+                w.usize(swap.step);
+                w.u32(swap.issued);
+                w.u32(swap.done);
+                w.u32(swap.start_sub);
+                match swap.mode {
+                    SwapMode::Forward => w.u8(0),
+                    SwapMode::Rollback => w.u8(1),
+                    SwapMode::Drain { slot, parked } => {
+                        w.u8(2);
+                        w.u32(slot);
+                        w.u64(parked);
+                    }
+                }
+                let mut retries: Vec<(u32, u32)> =
+                    swap.retries.iter().map(|(&k, &v)| (k, v)).collect();
+                retries.sort_unstable();
+                w.usize(retries.len());
+                for (k, v) in retries {
+                    w.u32(k);
+                    w.u32(v);
+                }
+            }
+        }
+    }
+
+    /// Restore engine state saved by [`MigrationEngine::save_state`] onto
+    /// a freshly constructed engine for the same design.
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        let op = |r: &mut hmm_sim_base::snap::SnapReader<'_>| -> hmm_sim_base::snap::SnapResult<TableOp> {
+            Ok(match r.u8()? {
+                0 => TableOp::SuppressCam(r.u32()?),
+                1 => TableOp::BeginFillEmpty {
+                    slot: r.u32()?,
+                    page: r.u64()?,
+                    source: MachinePage(r.u64()?),
+                },
+                2 => TableOp::BeginRestoreOwn { slot: r.u32()?, source: MachinePage(r.u64()?) },
+                3 => TableOp::ClearP(r.u32()?),
+                4 => TableOp::SetP(r.u32()?),
+                5 => TableOp::RetireToEmpty(r.u32()?),
+                6 => TableOp::SetSwapped { slot: r.u32()?, page: r.u64()? },
+                7 => TableOp::SetOwn(r.u32()?),
+                8 => TableOp::UnsuppressCam(r.u32()?),
+                9 => TableOp::AbortFillEmpty(r.u32()?),
+                10 => TableOp::AbortRestoreOwn { slot: r.u32()?, partner: r.u64()? },
+                11 => TableOp::SetPParked { slot: r.u32()?, spare: r.u64()? },
+                12 => TableOp::QuarantineRow { slot: r.u32()?, spare: r.u64()? },
+                t => return Err(format!("invalid table-op tag {t}")),
+            })
+        };
+        self.stats.triggered = r.u64()?;
+        self.stats.completed = r.u64()?;
+        let cases = r.u64s()?;
+        self.stats.case_counts =
+            cases.try_into().map_err(|_| "case_counts must hold 4 entries".to_string())?;
+        self.stats.sub_blocks_copied = r.u64()?;
+        self.stats.aborted = r.u64()?;
+        self.stats.rolled_back_sub_blocks = r.u64()?;
+        self.stats.quarantine_drains = r.u64()?;
+        self.pf_log = r.seq(|r| {
+            let slot = r.u32()?;
+            let bit = match r.u8()? {
+                0 => PfBit::P,
+                1 => PfBit::F,
+                t => return Err(format!("invalid pf-bit tag {t}")),
+            };
+            let set = r.bool()?;
+            Ok(PfChange { slot, bit, set })
+        })?;
+        self.active = if r.bool()? {
+            let steps = r.seq(|r| {
+                let src = MachinePage(r.u64()?);
+                let dst = MachinePage(r.u64()?);
+                let begin = r.seq(op)?;
+                let end = r.seq(op)?;
+                let fill_slot = if r.bool()? { Some(r.u32()?) } else { None };
+                Ok(CopyStep { src, dst, begin, end, fill_slot })
+            })?;
+            let step = r.usize()?;
+            let issued = r.u32()?;
+            let done = r.u32()?;
+            let start_sub = r.u32()?;
+            let mode = match r.u8()? {
+                0 => SwapMode::Forward,
+                1 => SwapMode::Rollback,
+                2 => SwapMode::Drain { slot: r.u32()?, parked: r.u64()? },
+                t => return Err(format!("invalid swap-mode tag {t}")),
+            };
+            let n = r.seq_len(8)?;
+            let mut retries = FxHashMap::default();
+            for _ in 0..n {
+                let k = r.u32()?;
+                let v = r.u32()?;
+                retries.insert(k, v);
+            }
+            Some(ActiveSwap { steps, step, issued, done, start_sub, mode, retries })
+        } else {
+            None
+        };
+        Ok(())
+    }
+
     /// Is a swap in flight? ("The existence of P bit and F bit prevents
     /// triggering another swap if the previous swap is not complete yet.")
     pub fn busy(&self) -> bool {

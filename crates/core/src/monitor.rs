@@ -70,6 +70,40 @@ impl SlotClock {
     pub fn new_epoch(&mut self) {
         self.epoch_counts.fill(0);
     }
+
+    /// Serialize the clock state (snapshot/resume support).
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        w.usize(self.ref_bits.len());
+        for &b in &self.ref_bits {
+            w.bool(b);
+        }
+        for &c in &self.epoch_counts {
+            w.u32(c);
+        }
+        w.usize(self.hand);
+    }
+
+    /// Restore clock state saved by [`SlotClock::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        let n = r.usize()?;
+        if n != self.ref_bits.len() {
+            return Err(format!("slot count mismatch: expected {}", self.ref_bits.len()));
+        }
+        for b in &mut self.ref_bits {
+            *b = r.bool()?;
+        }
+        for c in &mut self.epoch_counts {
+            *c = r.u32()?;
+        }
+        self.hand = r.usize()?;
+        if self.hand >= n {
+            return Err(format!("clock hand {} out of range", self.hand));
+        }
+        Ok(())
+    }
 }
 
 /// One multi-queue entry.
@@ -177,6 +211,50 @@ impl MultiQueueMru {
                 e.epoch_count = 0;
             }
         }
+    }
+
+    /// Serialize the queue state in level-then-recency order
+    /// (snapshot/resume support). Ordering is behaviour-relevant — both
+    /// promotion and the hottest-candidate scan depend on it — so entries
+    /// are written and restored in exactly their stored order.
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        w.usize(self.levels.len());
+        for q in &self.levels {
+            w.usize(q.len());
+            for e in q {
+                w.u64(e.page);
+                w.u32(e.count);
+                w.u32(e.epoch_count);
+                w.u32(e.last_sub);
+            }
+        }
+    }
+
+    /// Restore queue state saved by [`MultiQueueMru::save_state`].
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        let n = r.usize()?;
+        if n != self.levels.len() {
+            return Err(format!("level count mismatch: expected {}", self.levels.len()));
+        }
+        for q in &mut self.levels {
+            let len = r.seq_len(20)?;
+            if len > self.entries_per_level {
+                return Err(format!("level holds {len} > {} entries", self.entries_per_level));
+            }
+            q.clear();
+            for _ in 0..len {
+                q.push(MqEntry {
+                    page: r.u64()?,
+                    count: r.u32()?,
+                    epoch_count: r.u32()?,
+                    last_sub: r.u32()?,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Total tracked pages (for tests).

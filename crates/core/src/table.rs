@@ -624,6 +624,92 @@ impl TranslationTable {
         row.parked = Some(spare.0);
     }
 
+    /// Serialize the table's dynamic state (snapshot/resume support).
+    /// Geometry (`slots`, `total_pages`, `ghost`, `spares_total`) is
+    /// rebuilt from configuration on load; the CAM is reconstructed from
+    /// the rows, restoring exactly the `check_invariants` relationship.
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        w.u32(self.next_spare);
+        w.u64(self.generation);
+        w.usize(self.rows.len());
+        for row in &self.rows {
+            match row.state {
+                RowState::Own => w.u8(0),
+                RowState::Swapped(m) => {
+                    w.u8(1);
+                    w.u64(m);
+                }
+                RowState::Empty => w.u8(2),
+            }
+            w.bool(row.p_bit);
+            match &row.fill {
+                None => w.bool(false),
+                Some(f) => {
+                    w.bool(true);
+                    w.u64(f.page);
+                    w.u64(f.source.0);
+                    w.u64s(&f.bitmap);
+                    w.u32(f.filled);
+                    w.u32(f.total);
+                }
+            }
+            w.bool(row.cam_suppressed);
+            match row.parked {
+                None => w.bool(false),
+                Some(p) => {
+                    w.bool(true);
+                    w.u64(p);
+                }
+            }
+            w.bool(row.quarantined);
+        }
+    }
+
+    /// Restore table state saved by [`TranslationTable::save_state`] onto
+    /// a freshly constructed table with the same geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        self.next_spare = r.u32()?;
+        self.generation = r.u64()?;
+        let n = r.usize()?;
+        if n != self.rows.len() {
+            return Err(format!("row count mismatch: expected {}", self.rows.len()));
+        }
+        for row in &mut self.rows {
+            row.state = match r.u8()? {
+                0 => RowState::Own,
+                1 => RowState::Swapped(r.u64()?),
+                2 => RowState::Empty,
+                t => return Err(format!("invalid row-state tag {t}")),
+            };
+            row.p_bit = r.bool()?;
+            row.fill = if r.bool()? {
+                let page = r.u64()?;
+                let source = MachinePage(r.u64()?);
+                let bitmap = r.u64s()?;
+                let filled = r.u32()?;
+                let total = r.u32()?;
+                Some(FillState { page, source, bitmap, filled, total })
+            } else {
+                None
+            };
+            row.cam_suppressed = r.bool()?;
+            row.parked = if r.bool()? { Some(r.u64()?) } else { None };
+            row.quarantined = r.bool()?;
+        }
+        self.cam.clear();
+        for (i, row) in self.rows.iter().enumerate() {
+            if let RowState::Swapped(m) = row.state {
+                if !row.cam_suppressed {
+                    self.cam.insert(m, i as u32);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Verify the paper's structural invariants; used by tests and
     /// property tests. `idle` additionally requires no in-flight migration
     /// state (no P/F bits) and, for N-1 tables, exactly one empty slot.

@@ -239,6 +239,36 @@ impl BankArray {
         }
     }
 
+    /// Serialize the full bank state (snapshot/resume support).
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        w.u64s(&self.open_row);
+        w.u64s(&self.ready_at);
+        w.u64s(&self.activated_at);
+        w.u64s(&self.write_recovery_until);
+    }
+
+    /// Restore bank state saved by [`BankArray::save_state`]. The bank
+    /// count must match the freshly constructed array (it is derived from
+    /// the device profile, not the snapshot).
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        let n = self.open_row.len();
+        self.open_row = r.u64s()?;
+        self.ready_at = r.u64s()?;
+        self.activated_at = r.u64s()?;
+        self.write_recovery_until = r.u64s()?;
+        if self.open_row.len() != n
+            || self.ready_at.len() != n
+            || self.activated_at.len() != n
+            || self.write_recovery_until.len() != n
+        {
+            return Err(format!("bank count mismatch: expected {n}"));
+        }
+        Ok(())
+    }
+
     /// Force-close every open row in `lo..hi` (rank refresh). Walks the
     /// dense row array once instead of dispatching per bank.
     pub fn close_rows(&mut self, lo: usize, hi: usize, at: Cycle) {

@@ -173,6 +173,111 @@ impl<S: TelemetrySink> Channel<S> {
         self.queue.len() + self.bg_queue.len()
     }
 
+    /// Serialize the channel's dynamic state (snapshot/resume support).
+    /// Configuration (profile, timing, policy, fault plan) is rebuilt from
+    /// the run configuration on load; queued transactions store only the
+    /// transaction itself — the DRAM coordinate is re-decoded from the
+    /// address, which is exactly how it was derived at enqueue.
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        let txn = |w: &mut hmm_sim_base::snap::SnapWriter, q: &Queued| {
+            w.u64(q.txn.id);
+            w.u64(q.txn.arrival);
+            w.u64(q.txn.addr);
+            w.bool(q.txn.is_write);
+            w.u32(q.txn.lines);
+            w.bool(q.txn.background);
+        };
+        self.banks.save_state(w);
+        w.usize(self.ranks.len());
+        for rank in &self.ranks {
+            w.u64(rank.next_refresh);
+            w.usize(rank.recent_activates.len());
+            for &t in &rank.recent_activates {
+                w.u64(t);
+            }
+        }
+        w.usize(self.queue.len());
+        for q in &self.queue {
+            txn(w, q);
+        }
+        w.usize(self.bg_queue.len());
+        for q in &self.bg_queue {
+            txn(w, q);
+        }
+        w.u64(self.data_bus_free);
+        w.u64(self.clock);
+        w.u32(self.bypasses);
+        w.u64(self.last_demand_arrival);
+        w.u64(self.stats.row_hits);
+        w.u64(self.stats.row_misses);
+        w.u64(self.stats.data_bus_busy);
+        w.u64(self.stats.serviced);
+        w.u64(self.stats.correctable_errors);
+        w.u64(self.stats.uncorrectable_errors);
+        w.u64(self.stats.throttle_events);
+        w.u64(self.stats.throttle_delay_cycles);
+    }
+
+    /// Restore channel state saved by [`Channel::save_state`] onto a
+    /// freshly constructed channel for the same profile.
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        let profile = self.profile;
+        let txn =
+            |r: &mut hmm_sim_base::snap::SnapReader<'_>| -> hmm_sim_base::snap::SnapResult<Queued> {
+                let txn = Transaction {
+                    id: r.u64()?,
+                    arrival: r.u64()?,
+                    addr: r.u64()?,
+                    is_write: r.bool()?,
+                    lines: r.u32()?,
+                    background: r.bool()?,
+                };
+                let coord = profile.decode(txn.addr);
+                Ok(Queued { txn, coord })
+            };
+        self.banks.load_state(r)?;
+        let ranks = r.usize()?;
+        if ranks != self.ranks.len() {
+            return Err(format!("rank count mismatch: expected {}", self.ranks.len()));
+        }
+        for rank in &mut self.ranks {
+            rank.next_refresh = r.u64()?;
+            let n = r.seq_len(8)?;
+            rank.recent_activates.clear();
+            for _ in 0..n {
+                rank.recent_activates.push_back(r.u64()?);
+            }
+        }
+        let n = r.seq_len(1)?;
+        self.queue.clear();
+        for _ in 0..n {
+            let q = txn(r)?;
+            self.queue.push_back(q);
+        }
+        let n = r.seq_len(1)?;
+        self.bg_queue.clear();
+        for _ in 0..n {
+            let q = txn(r)?;
+            self.bg_queue.push_back(q);
+        }
+        self.data_bus_free = r.u64()?;
+        self.clock = r.u64()?;
+        self.bypasses = r.u32()?;
+        self.last_demand_arrival = r.u64()?;
+        self.stats.row_hits = r.u64()?;
+        self.stats.row_misses = r.u64()?;
+        self.stats.data_bus_busy = r.u64()?;
+        self.stats.serviced = r.u64()?;
+        self.stats.correctable_errors = r.u64()?;
+        self.stats.uncorrectable_errors = r.u64()?;
+        self.stats.throttle_events = r.u64()?;
+        self.stats.throttle_delay_cycles = r.u64()?;
+        Ok(())
+    }
+
     /// Add a transaction (already decoded to this channel).
     pub fn enqueue(&mut self, txn: Transaction, coord: DramCoord) {
         debug_assert!(txn.lines >= 1);

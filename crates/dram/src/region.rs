@@ -211,6 +211,81 @@ impl<S: TelemetrySink> DramRegion<S> {
             ch.set_faults(plan);
         }
     }
+
+    /// Serialize the region's dynamic state (snapshot/resume support):
+    /// every channel plus any completions accumulated but not yet drained.
+    /// The `queued`/`chan_queued` accelerators are recomputed on load.
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        w.usize(self.channels.len());
+        for ch in &self.channels {
+            ch.save_state(w);
+        }
+        w.usize(self.completions.len());
+        for c in &self.completions {
+            w.u64(c.id);
+            w.u64(c.finish);
+            w.u64(c.breakdown.dram_core);
+            w.u64(c.breakdown.queuing);
+            w.u64(c.breakdown.controller);
+            w.u64(c.breakdown.interconnect);
+            w.bool(c.row_hit);
+            match c.fault {
+                None => w.u8(0),
+                Some(hmm_fault::MemFault::Corrected) => w.u8(1),
+                Some(hmm_fault::MemFault::Uncorrectable(
+                    hmm_fault::UncorrectableCause::DoubleBit,
+                )) => w.u8(2),
+                Some(hmm_fault::MemFault::Uncorrectable(
+                    hmm_fault::UncorrectableCause::StuckBank,
+                )) => w.u8(3),
+            }
+        }
+    }
+
+    /// Restore region state saved by [`DramRegion::save_state`] onto a
+    /// freshly constructed region for the same profile.
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        let n = r.usize()?;
+        if n != self.channels.len() {
+            return Err(format!("channel count mismatch: expected {}", self.channels.len()));
+        }
+        for ch in &mut self.channels {
+            ch.load_state(r)?;
+        }
+        let n = r.seq_len(1)?;
+        self.completions.clear();
+        for _ in 0..n {
+            let id = r.u64()?;
+            let finish = r.u64()?;
+            let breakdown = hmm_sim_base::stats::LatencyBreakdown {
+                dram_core: r.u64()?,
+                queuing: r.u64()?,
+                controller: r.u64()?,
+                interconnect: r.u64()?,
+            };
+            let row_hit = r.bool()?;
+            let fault = match r.u8()? {
+                0 => None,
+                1 => Some(hmm_fault::MemFault::Corrected),
+                2 => Some(hmm_fault::MemFault::Uncorrectable(
+                    hmm_fault::UncorrectableCause::DoubleBit,
+                )),
+                3 => Some(hmm_fault::MemFault::Uncorrectable(
+                    hmm_fault::UncorrectableCause::StuckBank,
+                )),
+                t => return Err(format!("invalid fault tag {t}")),
+            };
+            self.completions.push(Completion { id, finish, breakdown, row_hit, fault });
+        }
+        for (i, ch) in self.channels.iter().enumerate() {
+            self.chan_queued[i] = ch.pending() as u32;
+        }
+        self.queued = self.chan_queued.iter().map(|&q| q as usize).sum();
+        Ok(())
+    }
 }
 
 impl<S: TelemetrySink + Send> DramRegion<S> {

@@ -5,6 +5,8 @@
 //!           [--queue-depth 32] [--cache-entries 256]
 //!           [--max-accesses 2000000] [--sync-timeout-ms 30000]
 //!           [--sjf] [--max-sweep-cells 1024]
+//!           [--store-dir path] [--store-max-bytes 256M]
+//!           [--snapshot-every 500000]
 //!           [--coordinator --peers host:port,host:port,...]
 //! ```
 //!
@@ -25,6 +27,7 @@ fn usage() -> ! {
         "usage: hmm-serve [--addr <host:port>] [--workers <n>] [--conn-threads <n>] \
          [--queue-depth <n>] [--cache-entries <n>] [--max-accesses <n>] \
          [--sync-timeout-ms <n>] [--sjf] [--max-sweep-cells <n>] \
+         [--store-dir <path>] [--store-max-bytes <n[K|M|G]>] [--snapshot-every <n>] \
          [--coordinator --peers <host:port,...>]"
     );
     std::process::exit(2)
@@ -90,6 +93,29 @@ fn main() {
             "--max-sweep-cells" => {
                 cfg.max_sweep_cells = num("--max-sweep-cells", val()).max(1) as usize
             }
+            "--store-dir" => {
+                let dir = val();
+                if dir.is_empty() {
+                    fail("--store-dir requires a non-empty path");
+                }
+                cfg.store_dir = Some(dir.into());
+            }
+            "--store-max-bytes" => {
+                let v = val();
+                match hmm_sim_base::config::parse_size(&v) {
+                    Some(bytes) if bytes > 0 => cfg.store_max_bytes = bytes,
+                    _ => fail(&format!(
+                        "invalid size for --store-max-bytes: '{v}' (want e.g. 1048576, 64M, 2G)"
+                    )),
+                }
+            }
+            "--snapshot-every" => {
+                let n = num("--snapshot-every", val());
+                if n == 0 {
+                    fail("--snapshot-every must be at least 1 access");
+                }
+                cfg.snapshot_every = n;
+            }
             "--coordinator" => coordinator = true,
             "--peers" => {
                 cfg.peers = val().split(',').map(|p| p.trim().to_string()).collect();
@@ -109,9 +135,17 @@ fn main() {
     if !coordinator && !cfg.peers.is_empty() {
         fail("--peers only makes sense with --coordinator");
     }
+    if cfg.store_dir.is_none() {
+        if cfg.store_max_bytes != 0 {
+            fail("--store-max-bytes only makes sense with --store-dir");
+        }
+        if cfg.snapshot_every != 0 {
+            fail("--snapshot-every only makes sense with --store-dir");
+        }
+    }
 
     install_signal_handlers();
-    let server = Server::start(cfg).unwrap_or_else(|e| fail(&format!("failed to bind: {e}")));
+    let server = Server::start(cfg).unwrap_or_else(|e| fail(&format!("failed to start: {e}")));
     println!("hmm-serve listening on {}", server.local_addr());
     // Line-buffer stdout may hold the line back when piped; scripts wait
     // on it, so push it out now.

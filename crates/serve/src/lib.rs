@@ -29,6 +29,10 @@
 //! * **[`server`]** — the accept loop, connection handlers, the fixed
 //!   worker pool running simulations, and graceful drain: a shutdown
 //!   request stops admission, finishes every queued job, then exits.
+//! * **[`store`]** — the durable result store behind `--store-dir`: a
+//!   content-addressed on-disk mirror of the result cache plus job
+//!   checkpoints, written atomically and verified on every read, so a
+//!   SIGKILL'd server restarts warm and resumes in-flight jobs.
 //! * **[`client`]** — a tiny blocking HTTP client shared by
 //!   `hmm-loadgen`, the coordinator's peer RPC, and the end-to-end
 //!   tests.
@@ -57,6 +61,7 @@ pub mod queue;
 pub mod request;
 pub mod response;
 pub mod server;
+pub mod store;
 pub mod sweeps;
 
 pub use cache::LruCache;
@@ -65,3 +70,4 @@ pub use metrics::ServerMetrics;
 pub use queue::JobQueue;
 pub use request::SimRequest;
 pub use server::{Server, ServerConfig};
+pub use store::Store;

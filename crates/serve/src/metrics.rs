@@ -80,6 +80,14 @@ pub struct ServerMetrics {
     pub sweep_retries: AtomicU64,
     /// The stolen subset of `sweep_retries`.
     pub sweep_stolen: AtomicU64,
+    /// Job checkpoints written to the durable store.
+    pub snapshots_written: AtomicU64,
+    /// Jobs resumed from a checkpoint instead of starting from scratch.
+    pub resumed_jobs: AtomicU64,
+    /// Store files that failed verification and were quarantined.
+    pub store_corrupt_quarantined: AtomicU64,
+    /// Store I/O failures absorbed by memory-only degradation.
+    pub store_io_errors: AtomicU64,
     latency: Mutex<Latency>,
     sim: Mutex<SimTotals>,
 }
@@ -108,6 +116,10 @@ impl Default for ServerMetrics {
             sweep_cells_failed: AtomicU64::new(0),
             sweep_retries: AtomicU64::new(0),
             sweep_stolen: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            resumed_jobs: AtomicU64::new(0),
+            store_corrupt_quarantined: AtomicU64::new(0),
+            store_io_errors: AtomicU64::new(0),
             latency: Mutex::new(Latency::default()),
             sim: Mutex::new(SimTotals::default()),
         }
@@ -191,6 +203,13 @@ impl ServerMetrics {
             .u64("sweep_cells_failed", get(&self.sweep_cells_failed))
             .u64("sweep_retries", get(&self.sweep_retries))
             .u64("sweep_stolen", get(&self.sweep_stolen))
+            .bool("store_configured", sample.store_configured)
+            .u64("store_entries", sample.store_entries as u64)
+            .u64("store_bytes", sample.store_bytes)
+            .u64("snapshots_written", get(&self.snapshots_written))
+            .u64("resumed_jobs", get(&self.resumed_jobs))
+            .u64("store_corrupt_quarantined", get(&self.store_corrupt_quarantined))
+            .u64("store_io_errors", get(&self.store_io_errors))
             .raw("latency", &lat_json)
             .u64("runs_with_swaps", runs_with_swaps)
             .raw("controller_totals", &sim_json)
@@ -217,6 +236,12 @@ pub struct GaugeSample<'a> {
     pub cache_evictions: u64,
     /// True once a drain has been requested.
     pub draining: bool,
+    /// True when a durable store backs the cache (`--store-dir`).
+    pub store_configured: bool,
+    /// Result entries on disk (0 without a store).
+    pub store_entries: usize,
+    /// Result-body bytes on disk (0 without a store).
+    pub store_bytes: u64,
     /// Unused lifetime anchor so future samples can borrow.
     pub _marker: std::marker::PhantomData<&'a ()>,
 }
@@ -241,6 +266,9 @@ mod tests {
             cache_len: 2,
             cache_evictions: 0,
             draining: false,
+            store_configured: false,
+            store_entries: 0,
+            store_bytes: 0,
             _marker: std::marker::PhantomData,
         }
     }

@@ -33,13 +33,15 @@ use crate::metrics::{GaugeSample, ServerMetrics};
 use crate::queue::{Discipline, JobQueue, PushError};
 use crate::request::{parse_body, Limits, SimRequest};
 use crate::response::{error_body, job_status, render_run};
+use crate::store::Store;
 use crate::sweeps::{self, SweepRegistry};
 use hmm_sim_base::FxHashMap;
-use hmm_simulator::driver::run;
+use hmm_simulator::driver::{run, run_resumable, RunResult, SnapshotCtl};
 use hmm_telemetry::JsonObject;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -79,6 +81,15 @@ pub struct ServerConfig {
     pub peers: Vec<String>,
     /// Largest grid `POST /v1/sweeps` will expand.
     pub max_sweep_cells: usize,
+    /// Root of the durable result store (`--store-dir`); `None` serves
+    /// memory-only.
+    pub store_dir: Option<PathBuf>,
+    /// Byte budget for stored result bodies (`--store-max-bytes`);
+    /// 0 = unbounded.
+    pub store_max_bytes: u64,
+    /// Checkpoint running jobs every this many submitted accesses
+    /// (`--snapshot-every`); 0 disables checkpointing.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +108,9 @@ impl Default for ServerConfig {
             sjf: false,
             peers: Vec::new(),
             max_sweep_cells: 1024,
+            store_dir: None,
+            store_max_bytes: 0,
+            snapshot_every: 0,
         }
     }
 }
@@ -123,6 +137,9 @@ pub(crate) struct Shared {
     /// poking the listener until this reaches zero.
     live_acceptors: AtomicUsize,
     next_job_id: AtomicU64,
+    /// Durable mirror of the result cache plus the checkpoint shelf;
+    /// `None` when `--store-dir` was not given.
+    store: Option<Store>,
     pub(crate) sweeps: SweepRegistry,
     /// Sweep runner threads, joined on shutdown.
     pub(crate) runners: Mutex<Vec<JoinHandle<()>>>,
@@ -147,6 +164,19 @@ impl Shared {
             self.metrics.inc(&self.metrics.accepted);
             self.metrics.inc(&self.metrics.cache_hits);
             return Admitted::Cached(body);
+        }
+        // Memory miss: a result evicted from the in-memory cache may
+        // still be on disk. The read happens under the admission lock so
+        // the promotion back into the cache stays atomic with the
+        // single-flight check; store reads are small and local.
+        if let Some(store) = &self.store {
+            if let Some(body) = store.get(req.key, &self.metrics) {
+                let body = Arc::new(body);
+                admit.cache.insert(req.key, Arc::clone(&body));
+                self.metrics.inc(&self.metrics.accepted);
+                self.metrics.inc(&self.metrics.cache_hits);
+                return Admitted::Cached(body);
+            }
         }
         if let Some(job) = admit.inflight.get(&req.key) {
             self.metrics.inc(&self.metrics.accepted);
@@ -222,6 +252,9 @@ impl Shared {
             cache_len,
             cache_evictions,
             draining: self.draining.load(Ordering::SeqCst),
+            store_configured: self.store.is_some(),
+            store_entries: self.store.as_ref().map_or(0, Store::entries),
+            store_bytes: self.store.as_ref().map_or(0, Store::bytes),
             _marker: std::marker::PhantomData,
         })
     }
@@ -244,6 +277,13 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let discipline = if cfg.sjf { Discipline::Sjf } else { Discipline::Fifo };
+        // A store that cannot even be opened is a configuration error
+        // (bad path, permissions) and fails startup; I/O trouble *after*
+        // this point only degrades to memory-only serving.
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(Store::open(dir, cfg.store_max_bytes)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::with_discipline(cfg.queue_depth, discipline),
             registry: JobRegistry::new(cfg.job_retention),
@@ -256,10 +296,52 @@ impl Server {
             local_addr: addr,
             live_acceptors: AtomicUsize::new(cfg.conn_threads.max(1)),
             next_job_id: AtomicU64::new(1),
+            store,
             sweeps: SweepRegistry::new(),
             runners: Mutex::new(Vec::new()),
             cfg,
         });
+
+        // Warm up from disk before any thread serves: finished results
+        // go back into the cache, and every resumable checkpoint is
+        // re-admitted so the (not yet started) workers pick the jobs up
+        // from where the previous process was killed.
+        if let Some(store) = &shared.store {
+            let restored = {
+                let mut admit = shared.admit.lock().unwrap();
+                store.rehydrate(&mut admit.cache, &shared.metrics)
+            };
+            let mut readmitted = 0usize;
+            for key in store.checkpoint_keys() {
+                if shared.admit.lock().unwrap().cache.get(key).is_some() {
+                    // The result made it to disk before the crash; the
+                    // checkpoint is moot.
+                    store.remove_checkpoint(key);
+                    continue;
+                }
+                let Some((canonical, _)) = store.read_checkpoint(key, &shared.metrics) else {
+                    continue;
+                };
+                match parse_body(&canonical, &shared.cfg.limits) {
+                    Ok(sim) if sim.key == key => {
+                        if matches!(shared.admit(&sim), Admitted::Pending(_)) {
+                            readmitted += 1;
+                        }
+                        // A refused re-admission (full queue) leaves the
+                        // checkpoint on the shelf for the next restart.
+                    }
+                    // The embedded config no longer parses or hashes to
+                    // its key: not resumable by this build.
+                    _ => store.remove_checkpoint(key),
+                }
+            }
+            if restored > 0 || readmitted > 0 {
+                eprintln!(
+                    "hmm-serve: store restored {restored} cached results, \
+                     re-admitted {readmitted} checkpointed jobs"
+                );
+            }
+        }
 
         let workers = (0..shared.cfg.workers.max(1))
             .map(|i| {
@@ -514,12 +596,20 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
         shared.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-        let outcome = catch_unwind(AssertUnwindSafe(|| run(&job.cfg)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job)));
         match outcome {
             Ok(result) => {
                 shared.metrics.inc(&shared.metrics.sim_runs);
                 shared.metrics.record_run(&result);
                 let body = Arc::new(render_run(&job.canonical, &result));
+                if let Some(store) = &shared.store {
+                    // Write-through before publication: a crash after
+                    // this line still answers this request from disk on
+                    // restart. (A crash before it re-runs the job from
+                    // its last checkpoint — both end bit-identical.)
+                    store.put(job.key, body.as_str(), &shared.metrics);
+                    store.remove_checkpoint(job.key);
+                }
                 {
                     // Publish atomically: once the key leaves the
                     // in-flight map, the cache already has the body.
@@ -540,4 +630,45 @@ fn worker_loop(shared: &Shared) {
         shared.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         shared.registry.retire(job.id);
     }
+}
+
+/// Run one job, checkpointing and resuming through the durable store
+/// when one is configured. `run_resumable` is proven bit-identical to
+/// `run` (the `snapshot_resume` property tests), so which path a job
+/// takes never changes its answer.
+fn run_job(shared: &Shared, job: &Job) -> RunResult {
+    let every = shared.cfg.snapshot_every;
+    let store = match &shared.store {
+        Some(store) if every > 0 => store,
+        _ => return run(&job.cfg),
+    };
+    if let Some((_, snap)) = store.read_checkpoint(job.key, &shared.metrics) {
+        let mut sink = |_submitted: u64, bytes: Vec<u8>| {
+            store.write_checkpoint(job.key, &job.canonical, &bytes, &shared.metrics);
+        };
+        match run_resumable(
+            &job.cfg,
+            SnapshotCtl { resume_from: Some(&snap), every, sink: Some(&mut sink) },
+        ) {
+            Ok(result) => {
+                shared.metrics.inc(&shared.metrics.resumed_jobs);
+                return result;
+            }
+            Err(e) => {
+                // The snapshot container refused the resume (foreign
+                // engine stamp, config mismatch, failed checksum).
+                // Restarting from scratch gives the same final answer.
+                eprintln!(
+                    "hmm-serve: checkpoint for job {} not resumable ({e}); restarting fresh",
+                    job.id
+                );
+                store.remove_checkpoint(job.key);
+            }
+        }
+    }
+    let mut sink = |_submitted: u64, bytes: Vec<u8>| {
+        store.write_checkpoint(job.key, &job.canonical, &bytes, &shared.metrics);
+    };
+    run_resumable(&job.cfg, SnapshotCtl { resume_from: None, every, sink: Some(&mut sink) })
+        .expect("a fresh capture run has no resume input and cannot fail")
 }

@@ -547,8 +547,18 @@ impl<'a> Cluster<'a> {
         let attempts = cell.attempts.load(Ordering::SeqCst);
         if attempts > 0 {
             // Doubling backoff before each re-dispatch, mirroring the
-            // fault layer's transfer retry discipline.
-            thread::sleep(RETRY_BACKOFF * (1u32 << (attempts.min(4) as u32 - 1)));
+            // fault layer's transfer retry discipline — plus bounded
+            // jitter in [0, base/2) so the cells a dead peer strands all
+            // at once fan back out instead of re-dispatching in
+            // lockstep. The jitter is a pure hash of (cell key,
+            // attempt): deterministic for replay, decorrelated across
+            // cells, and invisible to the retry-budget ledger.
+            let base = RETRY_BACKOFF * (1u32 << (attempts.min(4) as u32 - 1));
+            let mut seed = [0u8; 16];
+            seed[..8].copy_from_slice(&cell.sim.key.to_le_bytes());
+            seed[8..].copy_from_slice(&attempts.to_le_bytes());
+            let jitter_ns = hmm_sim_base::snap::snap_hash(&seed) % (base.as_nanos() as u64 / 2);
+            thread::sleep(base + Duration::from_nanos(jitter_ns));
         }
         *cell.slot.lock().unwrap() = Slot::Remote;
         loop {

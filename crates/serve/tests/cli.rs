@@ -30,13 +30,46 @@ fn hmm_serve_rejects_invalid_input_with_one_line() {
     assert_one_line_exit2(&run(bin, &["--bogus"]), "--bogus");
     assert_one_line_exit2(&run(bin, &["--workers", "lots"]), "lots");
     assert_one_line_exit2(&run(bin, &["--queue-depth"]), "--queue-depth");
-    assert_one_line_exit2(&run(bin, &["--addr", "not-an-addr"]), "failed to bind");
+    assert_one_line_exit2(&run(bin, &["--addr", "not-an-addr"]), "failed to start");
     assert_one_line_exit2(&run(bin, &["--max-sweep-cells", "many"]), "many");
     assert_one_line_exit2(&run(bin, &["--coordinator"]), "requires --peers");
     assert_one_line_exit2(&run(bin, &["--peers", "127.0.0.1:9000"]), "--coordinator");
     assert_one_line_exit2(
         &run(bin, &["--coordinator", "--peers", "nowhere"]),
         "invalid peer address",
+    );
+}
+
+#[test]
+fn hmm_serve_rejects_invalid_store_flags_with_one_line() {
+    let bin = env!("CARGO_BIN_EXE_hmm-serve");
+    assert_one_line_exit2(&run(bin, &["--store-dir"]), "--store-dir");
+    assert_one_line_exit2(&run(bin, &["--store-dir", ""]), "non-empty path");
+    assert_one_line_exit2(
+        &run(bin, &["--store-dir", "/tmp/s", "--store-max-bytes", "lots"]),
+        "invalid size for --store-max-bytes",
+    );
+    assert_one_line_exit2(
+        &run(bin, &["--store-dir", "/tmp/s", "--store-max-bytes", "0"]),
+        "invalid size for --store-max-bytes",
+    );
+    assert_one_line_exit2(
+        &run(bin, &["--store-dir", "/tmp/s", "--snapshot-every", "0"]),
+        "at least 1",
+    );
+    assert_one_line_exit2(
+        &run(bin, &["--store-max-bytes", "64M"]),
+        "--store-max-bytes only makes sense with --store-dir",
+    );
+    assert_one_line_exit2(
+        &run(bin, &["--snapshot-every", "1000"]),
+        "--snapshot-every only makes sense with --store-dir",
+    );
+    // A store rooted somewhere unwritable is a startup failure, not a
+    // silent degradation.
+    assert_one_line_exit2(
+        &run(bin, &["--addr", "127.0.0.1:0", "--store-dir", "/proc/no-store-here"]),
+        "failed to start",
     );
 }
 

@@ -127,6 +127,55 @@ impl<T> Slab<T> {
         self.free_head = NIL;
         self.len = 0;
     }
+
+    /// Serialize the slab, preserving the exact slot layout and free list:
+    /// handles held elsewhere stay valid across a save/load round trip.
+    /// `f` encodes one live entry.
+    pub fn save_state(
+        &self,
+        w: &mut crate::snap::SnapWriter,
+        mut f: impl FnMut(&mut crate::snap::SnapWriter, &T),
+    ) {
+        w.u32(self.free_head);
+        w.usize(self.len);
+        w.seq(&self.entries, |w, e| match e {
+            Entry::Occupied(v) => {
+                w.u8(1);
+                f(w, v);
+            }
+            Entry::Free(next) => {
+                w.u8(0);
+                w.u32(*next);
+            }
+        });
+    }
+
+    /// Restore a slab saved by [`Slab::save_state`]; `f` decodes one live
+    /// entry.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+        mut f: impl FnMut(&mut crate::snap::SnapReader<'_>) -> crate::snap::SnapResult<T>,
+    ) -> crate::snap::SnapResult<()> {
+        self.free_head = r.u32()?;
+        self.len = r.usize()?;
+        let n = r.seq_len(1)?;
+        self.entries.clear();
+        self.entries.reserve(n);
+        for _ in 0..n {
+            let e = match r.u8()? {
+                1 => Entry::Occupied(f(r)?),
+                0 => Entry::Free(r.u32()?),
+                t => return Err(format!("invalid slab entry tag {t}")),
+            };
+            self.entries.push(e);
+        }
+        let live = self.entries.iter().filter(|e| matches!(e, Entry::Occupied(_))).count();
+        if live != self.len {
+            return Err(format!("slab len {} disagrees with {live} live entries", self.len));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@
 //!   experiment grids.
 //! * [`stats`] — running means, log-scaled histograms and latency-breakdown
 //!   accumulators used by the simulator and the figure harness.
+//! * [`snap`] — byte-level [`snap::SnapWriter`]/[`snap::SnapReader`]
+//!   primitives for the deterministic snapshot/resume format (tagged,
+//!   length-prefixed, bounds-checked sections).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +38,7 @@ pub mod cycles;
 pub mod fxhash;
 pub mod par;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 
 pub use addr::{LineAddr, MachineAddr, MacroPageId, PhysAddr, SlotId, SubBlockId};
@@ -44,4 +48,5 @@ pub use cycles::Cycle;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use par::{par_map, worker_threads};
 pub use rng::SimRng;
+pub use snap::{SnapReader, SnapResult, SnapWriter};
 pub use stats::{Histogram, LatencyBreakdown, RunningMean};

@@ -73,6 +73,24 @@ impl SimRng {
         self.unit_f64() < p
     }
 
+    /// Serialize the generator state (snapshot/resume support).
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        for &s in &self.s {
+            w.u64(s);
+        }
+    }
+
+    /// Restore a previously saved generator state.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> crate::snap::SnapResult<()> {
+        for s in &mut self.s {
+            *s = r.u64()?;
+        }
+        Ok(())
+    }
+
     /// Fork a child generator that is decorrelated from `self` but fully
     /// determined by (parent seed, label). Used to give each workload stream
     /// its own independent sequence.

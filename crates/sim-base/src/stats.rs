@@ -51,6 +51,22 @@ impl RunningMean {
         self.count += other.count;
         self.total += other.total;
     }
+
+    /// Serialize the accumulator (snapshot/resume support).
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.count);
+        w.u128(self.total);
+    }
+
+    /// Restore a previously saved accumulator.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> crate::snap::SnapResult<()> {
+        self.count = r.u64()?;
+        self.total = r.u128()?;
+        Ok(())
+    }
 }
 
 /// Power-of-two bucketed histogram for latency distributions. Bucket `i`
@@ -114,6 +130,24 @@ impl Histogram {
         self.count += other.count;
         self.max_seen = self.max_seen.max(other.max_seen);
     }
+
+    /// Serialize the histogram (snapshot/resume support).
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64s(&self.buckets);
+        w.u64(self.count);
+        w.u64(self.max_seen);
+    }
+
+    /// Restore a previously saved histogram.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> crate::snap::SnapResult<()> {
+        self.buckets = r.u64s()?;
+        self.count = r.u64()?;
+        self.max_seen = r.u64()?;
+        Ok(())
+    }
 }
 
 impl Default for Histogram {
@@ -145,7 +179,7 @@ impl LatencyBreakdown {
 }
 
 /// Aggregated statistics for one simulated region or run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Latency of every access (total cycles).
     pub latency: RunningMean,
@@ -190,6 +224,36 @@ impl AccessStats {
         if on_package {
             self.on_package_hits += 1;
         }
+    }
+
+    /// Serialize the accumulated statistics (snapshot/resume support).
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        self.latency.save_state(w);
+        self.histogram.save_state(w);
+        self.dram_core.save_state(w);
+        self.queuing.save_state(w);
+        self.controller.save_state(w);
+        self.interconnect.save_state(w);
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.on_package_hits);
+    }
+
+    /// Restore previously saved statistics.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> crate::snap::SnapResult<()> {
+        self.latency.load_state(r)?;
+        self.histogram.load_state(r)?;
+        self.dram_core.load_state(r)?;
+        self.queuing.load_state(r)?;
+        self.controller.load_state(r)?;
+        self.interconnect.load_state(r)?;
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.on_package_hits = r.u64()?;
+        Ok(())
     }
 
     /// Total accesses recorded.

@@ -6,11 +6,15 @@
 //! exclude a configurable warm-up prefix, mirroring the paper's
 //! warm-up-then-measure protocol (Table II).
 
+use crate::snapshot;
+use crate::wire::{canonical_json, fxhash64};
+use hmm_core::controller::DemandCompletion;
 use hmm_core::{ControllerConfig, ControllerStats, HeteroController, Mode, SwapStats};
 use hmm_dram::{DeviceProfile, RegionStats, SchedPolicy};
 use hmm_fault::FaultPlan;
 use hmm_sim_base::config::{MachineConfig, MemoryGeometry, SimScale};
-use hmm_sim_base::stats::AccessStats;
+use hmm_sim_base::snap::{SnapReader, SnapWriter};
+use hmm_sim_base::stats::{AccessStats, LatencyBreakdown};
 use hmm_telemetry::{NullSink, TelemetrySink};
 use hmm_workloads::{footprint_bytes, workload, WorkloadId};
 
@@ -114,8 +118,9 @@ impl RunConfig {
     }
 }
 
-/// Results of one run.
-#[derive(Debug, Clone)]
+/// Results of one run. Equality is exact (every counter and histogram
+/// bucket), which is what the snapshot/resume property tests compare.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload display name.
     pub workload: String,
@@ -259,6 +264,184 @@ pub fn run_with_sink<S: TelemetrySink + Clone + Send>(cfg: &RunConfig, sink: S) 
         off_region,
         geometry,
     }
+}
+
+/// Snapshot control for [`run_resumable`]: where to resume from, how
+/// often to capture, and where captured snapshots go.
+#[derive(Default)]
+pub struct SnapshotCtl<'a> {
+    /// Sealed snapshot bytes (from an earlier run's `sink`) to resume
+    /// from; `None` starts from the beginning.
+    pub resume_from: Option<&'a [u8]>,
+    /// Capture cadence in submitted accesses; 0 disables capture.
+    pub every: u64,
+    /// Receives `(submitted, sealed snapshot bytes)` at each capture.
+    pub sink: Option<&'a mut dyn FnMut(u64, Vec<u8>)>,
+}
+
+impl SnapshotCtl<'_> {
+    /// Neither resuming nor capturing: [`run_resumable`] behaves exactly
+    /// like [`run`].
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Execute one simulation run with snapshot capture and resume.
+///
+/// A run resumed from any snapshot is bit-identical to the uninterrupted
+/// run: the snapshot serializes every piece of dynamic state the loop
+/// touches (controller, DRAM timing, migration engine, trace generator
+/// RNG and cursors, warm-up bookkeeping, undrained completions), and the
+/// loop below replays the identical per-record cadence as [`run`]. Trace
+/// records are generated in blocks aligned to snapshot boundaries; block
+/// partitioning is behaviour-invariant (proven by the
+/// block-size-invariance test in `hmm_workloads::trace`), so the
+/// alignment changes generator locality only, never the record stream.
+///
+/// Snapshots capture at every multiple of `ctl.every` submitted accesses
+/// — including mid-migration, mid-stall, and pre-warm-up points — so any
+/// cadence is safe; no "quiescent point" is required.
+pub fn run_resumable(cfg: &RunConfig, mut ctl: SnapshotCtl<'_>) -> Result<RunResult, String> {
+    let w = workload(cfg.workload, &cfg.scale);
+    let geometry = cfg.geometry();
+    let machine = MachineConfig { geometry, ..MachineConfig::default() };
+    let mut ctrl = HeteroController::with_sink(
+        ControllerConfig {
+            machine,
+            mode: cfg.mode,
+            swap_interval: cfg.swap_interval,
+            os_assisted: cfg.os_assisted,
+            max_outstanding_copies: 16,
+            copy_pace_cycles_per_line: 20,
+            policy: cfg.policy,
+            on_profile: DeviceProfile::on_package(),
+            off_profile: DeviceProfile::off_package_ddr3(),
+            faults: cfg.faults,
+        },
+        NullSink,
+    );
+
+    let mut access = AccessStats::new();
+    let mut warmup_boundary_id = if cfg.warmup == 0 { Some(0u64) } else { None };
+    let mut stash: Vec<DemandCompletion> = Vec::new();
+    let mut submitted = 0u64;
+    let mut trace = w.iter(cfg.seed);
+    let config_hash = fxhash64(canonical_json(cfg).as_bytes());
+
+    if let Some(bytes) = ctl.resume_from {
+        let (meta, payload) = snapshot::open(bytes, config_hash)?;
+        if meta.submitted > cfg.accesses {
+            return Err(format!(
+                "snapshot is {} accesses in, past the run's {}",
+                meta.submitted, cfg.accesses
+            ));
+        }
+        let mut r = SnapReader::new(payload);
+        r.section(b"drvr")?;
+        submitted = r.u64()?;
+        if submitted != meta.submitted {
+            return Err("snapshot header disagrees with payload".into());
+        }
+        warmup_boundary_id = if r.bool()? { Some(r.u64()?) } else { None };
+        stash = r.seq(|r| {
+            Ok(DemandCompletion {
+                id: r.u64()?,
+                finish: r.u64()?,
+                breakdown: LatencyBreakdown {
+                    dram_core: r.u64()?,
+                    queuing: r.u64()?,
+                    controller: r.u64()?,
+                    interconnect: r.u64()?,
+                },
+                on_package: r.bool()?,
+                is_write: r.bool()?,
+            })
+        })?;
+        r.end_section()?;
+        access.load_state(&mut r)?;
+        trace.load_state(&mut r)?;
+        ctrl.load_state(&mut r)?;
+        r.finish()?;
+    }
+
+    let mut block = Vec::new();
+    let mut remaining = (cfg.accesses - submitted) as usize;
+    while remaining > 0 {
+        let mut n = remaining.min(TRACE_BLOCK);
+        if ctl.every != 0 {
+            n = n.min((ctl.every - submitted % ctl.every) as usize);
+        }
+        trace.next_block(&mut block, n);
+        remaining -= n;
+        for rec in &block {
+            let id = ctrl.access(rec.tick, rec.addr, rec.is_write);
+            submitted += 1;
+            if submitted == cfg.warmup {
+                warmup_boundary_id = Some(id);
+            }
+            ctrl.advance(rec.tick);
+            if submitted.is_multiple_of(64) {
+                match warmup_boundary_id {
+                    Some(b) => {
+                        for c in ctrl.drain_completed() {
+                            if c.id > b {
+                                access.record(&c.breakdown, c.is_write, c.on_package);
+                            }
+                        }
+                    }
+                    None => stash.extend(ctrl.drain_completed()),
+                }
+            }
+        }
+        if ctl.every != 0 && submitted.is_multiple_of(ctl.every) && remaining > 0 {
+            if let Some(sink) = ctl.sink.as_deref_mut() {
+                let mut pw = SnapWriter::new();
+                pw.section(b"drvr");
+                pw.u64(submitted);
+                match warmup_boundary_id {
+                    None => pw.bool(false),
+                    Some(b) => {
+                        pw.bool(true);
+                        pw.u64(b);
+                    }
+                }
+                pw.seq(&stash, |pw, c| {
+                    pw.u64(c.id);
+                    pw.u64(c.finish);
+                    pw.u64(c.breakdown.dram_core);
+                    pw.u64(c.breakdown.queuing);
+                    pw.u64(c.breakdown.controller);
+                    pw.u64(c.breakdown.interconnect);
+                    pw.bool(c.on_package);
+                    pw.bool(c.is_write);
+                });
+                pw.end_section();
+                access.save_state(&mut pw);
+                trace.save_state(&mut pw);
+                ctrl.save_state(&mut pw);
+                sink(submitted, snapshot::seal(config_hash, submitted, &pw.into_bytes()));
+            }
+        }
+    }
+    ctrl.flush();
+    let boundary = warmup_boundary_id.unwrap_or(u64::MAX);
+    for c in stash.into_iter().chain(ctrl.drain()) {
+        if c.id > boundary {
+            access.record(&c.breakdown, c.is_write, c.on_package);
+        }
+    }
+
+    let (on_region, off_region) = ctrl.region_stats();
+    Ok(RunResult {
+        workload: w.name,
+        access,
+        controller: ctrl.stats(),
+        swaps: ctrl.swap_stats(),
+        on_region,
+        off_region,
+        geometry,
+    })
 }
 
 #[cfg(test)]

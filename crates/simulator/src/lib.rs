@@ -11,6 +11,8 @@
 //! * [`experiments`] — parameter grids for every table and figure of the
 //!   evaluation, parallelised with rayon (each grid point is an
 //!   independent simulation).
+//! * [`snapshot`] — the versioned, checksummed snapshot container behind
+//!   [`driver::run_resumable`]'s crash-safe capture/resume.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -19,9 +21,11 @@ pub mod driver;
 pub mod experiments;
 pub mod ipc;
 pub mod missrate;
+pub mod snapshot;
 pub mod wire;
 
-pub use driver::{run, run_with_sink, RunConfig, RunResult};
+pub use driver::{run, run_resumable, run_with_sink, RunConfig, RunResult, SnapshotCtl};
 pub use experiments::{effectiveness_table, fig11_grid, fig15_capacity, fig16_power, Fig11Row};
 pub use ipc::{ipc_for, Fig5Option, IpcResult};
 pub use missrate::l3_miss_rates;
+pub use snapshot::{SnapshotMeta, ENGINE_VERSION};

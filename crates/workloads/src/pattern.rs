@@ -6,6 +6,7 @@
 //! from the caller-supplied [`SimRng`], keeping traces reproducible.
 
 use hmm_sim_base::rng::{SimRng, Zipf};
+use hmm_sim_base::snap::{SnapReader, SnapResult, SnapWriter};
 
 /// Application-level page used by the locality patterns (independent of
 /// the migration macro-page size).
@@ -319,6 +320,64 @@ impl Pattern {
                 (addr, rng.chance(*write_ratio))
             }
         }
+    }
+
+    /// Serialize the pattern's cursor (snapshot/resume support). The
+    /// pattern's structure — regions, strides, samplers — is rebuilt from
+    /// the workload definition on resume; only the position state that
+    /// advances per access is recorded.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            Pattern::Sweep { pos, .. } => {
+                w.u8(0);
+                w.u64(*pos);
+            }
+            Pattern::ZipfPages { .. } => w.u8(1),
+            Pattern::Uniform { .. } => w.u8(2),
+            Pattern::Chase { pos, .. } => {
+                w.u8(3);
+                w.u64(*pos);
+            }
+            Pattern::WindowedSweep { win, pass, pos, .. } => {
+                w.u8(4);
+                w.u64(*win);
+                w.u32(*pass);
+                w.u64(*pos);
+            }
+            Pattern::VCycle { level, descending, pos, .. } => {
+                w.u8(5);
+                w.usize(*level);
+                w.bool(*descending);
+                w.u64(*pos);
+            }
+        }
+    }
+
+    /// Restore a cursor saved by [`Pattern::save_state`] onto a freshly
+    /// built pattern of the same kind.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, Pattern::Sweep { pos, .. }) => *pos = r.u64()?,
+            (1, Pattern::ZipfPages { .. }) | (2, Pattern::Uniform { .. }) => {}
+            (3, Pattern::Chase { pos, .. }) => *pos = r.u64()?,
+            (4, Pattern::WindowedSweep { win, pass, pos, .. }) => {
+                *win = r.u64()?;
+                *pass = r.u32()?;
+                *pos = r.u64()?;
+            }
+            (5, Pattern::VCycle { level, descending, pos, levels, .. }) => {
+                let lv = r.usize()?;
+                if lv >= levels.len() {
+                    return Err(format!("v-cycle level {lv} out of range"));
+                }
+                *level = lv;
+                *descending = r.bool()?;
+                *pos = r.u64()?;
+            }
+            (t, _) => return Err(format!("pattern kind mismatch (snapshot tag {t})")),
+        }
+        Ok(())
     }
 
     /// Highest byte offset this pattern can emit (exclusive), used to

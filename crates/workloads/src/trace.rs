@@ -8,6 +8,7 @@ use crate::pattern::Pattern;
 use hmm_sim_base::addr::PhysAddr;
 use hmm_sim_base::cycles::Cycle;
 use hmm_sim_base::rng::SimRng;
+use hmm_sim_base::snap::{SnapReader, SnapResult, SnapWriter};
 
 /// One main-memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +173,46 @@ impl TraceIter {
         let lo = (self.mean_gap / 2).max(1);
         let hi = (self.mean_gap * 3 / 2 + 1).max(lo + 1);
         (lo, hi, self.streams.len() - 1)
+    }
+
+    /// Serialize the generator's dynamic state (snapshot/resume support):
+    /// the RNG stream, the current timestamp, and every pattern cursor.
+    /// The workload structure (streams, mixtures, CDF) is rebuilt from the
+    /// run configuration on resume via [`Workload::iter`].
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section(b"trce");
+        self.rng.save_state(w);
+        w.u64(self.tick);
+        w.usize(self.streams.len());
+        for s in &self.streams {
+            w.usize(s.mix.len());
+            for (_, p) in &s.mix {
+                p.save_state(w);
+            }
+        }
+        w.end_section();
+    }
+
+    /// Restore state saved by [`TraceIter::save_state`] onto a freshly
+    /// built iterator over the same workload.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.section(b"trce")?;
+        self.rng.load_state(r)?;
+        self.tick = r.u64()?;
+        let n = r.usize()?;
+        if n != self.streams.len() {
+            return Err(format!("stream count mismatch: expected {}", self.streams.len()));
+        }
+        for s in &mut self.streams {
+            let m = r.usize()?;
+            if m != s.mix.len() {
+                return Err(format!("mixture size mismatch: expected {}", s.mix.len()));
+            }
+            for (_, p) in &mut s.mix {
+                p.load_state(r)?;
+            }
+        }
+        r.end_section()
     }
 
     /// Refill `out` with the next `n` records (clearing any previous
