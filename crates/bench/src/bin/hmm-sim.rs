@@ -3,6 +3,7 @@
 //! ```text
 //! hmm-sim --workload pgbench --mode live --page 64K --interval 1000 \
 //!         --accesses 400000 --scale 8 [--seed 42] [--on-package 512M] \
+//!         [--scheme hetero|l4cache|pcm] [--policy hotcold|mlq] \
 //!         [--faults stress] [--fault-seed 7] \
 //!         [--telemetry off|counters|full] [--trace-out t.json] \
 //!         [--metrics-out m.csv] [--events-out e.jsonl]
@@ -10,6 +11,14 @@
 //! modes: off | on | static | n | n-1 | live | adaptive
 //! workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb
 //! ```
+//!
+//! `--scheme` selects the placement scheme (default `hetero`, the
+//! paper's controller; `l4cache` is the tags-in-DRAM L4 baseline and
+//! composes only with `--mode off`; `pcm` swaps the off-package region
+//! for a PCM profile and adds an endurance report line). `--policy`
+//! selects the migration policy (`hotcold` default, `mlq` multi-queue
+//! promotion). The default scheme's report is byte-identical to the
+//! pre-scheme binary — new lines appear only for non-default schemes.
 //!
 //! Prints a latency/traffic report for the run; exit code 2 on bad usage
 //! (invalid flags and invalid values get a one-line error, never a panic).
@@ -28,7 +37,7 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use hmm_bench::{f1, f2, human_bytes};
-use hmm_core::Mode;
+use hmm_core::{validate_scheme, MigrationPolicy, Mode, SchemeId};
 use hmm_dram::SchedPolicy;
 use hmm_fault::FaultPlan;
 use hmm_power::{normalized_power, EnergyParams};
@@ -46,6 +55,7 @@ fn usage() -> ! {
         "usage: hmm-sim --workload <name> --mode <mode> [--page <size>] \
          [--interval <accesses>] [--accesses <n>] [--warmup <n>] \
          [--scale <divisor>] [--seed <n>] [--on-package <size>] [--fcfs] \
+         [--scheme hetero|l4cache|pcm] [--policy hotcold|mlq] \
          [--faults <spec>] [--fault-seed <n>] \
          [--telemetry off|counters|full] [--trace-out <file>] \
          [--metrics-out <file>] [--events-out <file>]\n\
@@ -76,6 +86,8 @@ fn main() {
     let mut seed = 42u64;
     let mut on_package = 512u64 << 20;
     let mut policy = SchedPolicy::FrFcfs;
+    let mut scheme = SchemeId::Hetero;
+    let mut migration = MigrationPolicy::HotCold;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
     let mut telemetry: Option<TelemetryLevel> = None;
@@ -108,6 +120,8 @@ fn main() {
             "--seed" => seed = num("--seed", val()),
             "--on-package" => on_package = size("--on-package", val()),
             "--fcfs" => policy = SchedPolicy::Fcfs,
+            "--scheme" => scheme = val().parse().unwrap_or_else(|e: String| fail(&e)),
+            "--policy" => migration = val().parse().unwrap_or_else(|e: String| fail(&e)),
             "--faults" | "-f" => {
                 let v = val();
                 faults = Some(
@@ -162,6 +176,9 @@ fn main() {
         None => TelemetryLevel::Off,
     };
     let (Some(workload), Some(mode)) = (workload, mode) else { usage() };
+    if let Err(e) = validate_scheme(scheme, mode, migration) {
+        fail(&e)
+    }
     if !page.is_power_of_two() {
         fail(&format!("--page must be a power of two, got {page}"))
     }
@@ -184,6 +201,8 @@ fn main() {
         seed,
         policy,
         faults,
+        scheme,
+        migration,
         ..RunConfig::paper(workload, mode)
     };
     if let Err(e) = cfg.geometry().validate() {
@@ -207,6 +226,11 @@ fn main() {
     };
     println!("workload          : {}", r.workload);
     println!("mode              : {mode:?}");
+    // Only printed off the default path: hetero/hotcold output must stay
+    // byte-identical to the pre-scheme report (the goldens pin it).
+    if scheme != SchemeId::Hetero || migration != MigrationPolicy::HotCold {
+        println!("scheme            : {} (migration policy {})", scheme.token(), migration.token());
+    }
     println!(
         "geometry          : {} total, {} on-package, {} pages, {} sub-blocks",
         human_bytes(r.geometry.total_bytes),
@@ -233,6 +257,15 @@ fn main() {
         if let Some(p) = normalized_power(&EnergyParams::default(), &r.traffic()) {
             println!("normalized power  : {}x of off-package-only", f2(p));
         }
+    }
+    if let Some(w) = &r.wear {
+        println!(
+            "endurance         : {} lines written, hottest bank {} ({} banks, imbalance {})",
+            w.write_lines,
+            w.max_bank_writes,
+            w.banks,
+            f2(w.imbalance()),
+        );
     }
     if let Some(plan) = cfg.faults {
         let s = &r.controller;

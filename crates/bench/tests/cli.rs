@@ -41,6 +41,75 @@ fn hmm_sim_rejects_invalid_input_with_one_line() {
     assert_one_line_exit2(&run(bin, &with(&base, &["--faults", "bogus=1"])), "bogus");
 }
 
+/// `--scheme`/`--policy` validation: unknown tokens, scheme/mode
+/// conflicts and no-effect policies all answer with the same one-line
+/// exit-2 convention before any simulation state is built.
+#[test]
+fn hmm_sim_rejects_scheme_misuse_with_one_line() {
+    let bin = env!("CARGO_BIN_EXE_hmm-sim");
+    let base = ["--workload", "pgbench"];
+    fn with<'a>(base: &[&'a str], extra: &[&'a str]) -> Vec<&'a str> {
+        let mut args = base.to_vec();
+        args.extend_from_slice(extra);
+        args
+    }
+    assert_one_line_exit2(&run(bin, &with(&base, &["--mode", "live", "--scheme", "l5"])), "l5");
+    assert_one_line_exit2(&run(bin, &with(&base, &["--mode", "live", "--policy", "fifo"])), "fifo");
+    // The L4-cache baseline manages placement itself: any migration mode
+    // is a contradiction, caught before the run starts.
+    for mode in ["on", "static", "n", "n-1", "live"] {
+        assert_one_line_exit2(
+            &run(bin, &with(&base, &["--mode", mode, "--scheme", "l4cache"])),
+            "only composes with mode 'off'",
+        );
+    }
+    // A migration policy without a migration engine is silently dead
+    // configuration; refuse it loudly instead.
+    assert_one_line_exit2(
+        &run(bin, &with(&base, &["--mode", "off", "--scheme", "l4cache", "--policy", "mlq"])),
+        "no effect",
+    );
+    assert_one_line_exit2(&run(bin, &with(&base, &["--mode", "live", "--scheme"])), "--scheme");
+}
+
+/// The positive side of the same surface: each scheme actually runs, and
+/// only non-default schemes add report lines (the hetero report is
+/// pinned byte-for-byte by the goldens).
+#[test]
+fn hmm_sim_runs_every_scheme() {
+    let bin = env!("CARGO_BIN_EXE_hmm-sim");
+    let quick = ["--accesses", "4000", "--warmup", "1000", "--scale", "64"];
+    fn with<'a>(extra: &[&'a str], quick: &[&'a str]) -> Vec<&'a str> {
+        let mut args = extra.to_vec();
+        args.extend_from_slice(quick);
+        args
+    }
+    let hetero = run(bin, &with(&["--workload", "pgbench", "--mode", "live"], &quick));
+    assert!(hetero.status.success());
+    let text = String::from_utf8_lossy(&hetero.stdout).to_string();
+    assert!(!text.contains("scheme"), "default report must not name a scheme:\n{text}");
+    assert!(!text.contains("endurance"), "hetero must not report wear:\n{text}");
+
+    let l4 =
+        run(bin, &with(&["--workload", "pgbench", "--mode", "off", "--scheme", "l4cache"], &quick));
+    assert!(l4.status.success(), "stderr: {}", String::from_utf8_lossy(&l4.stderr));
+    let text = String::from_utf8_lossy(&l4.stdout).to_string();
+    assert!(text.contains("scheme            : l4cache"), "{text}");
+
+    let pcm =
+        run(bin, &with(&["--workload", "pgbench", "--mode", "live", "--scheme", "pcm"], &quick));
+    assert!(pcm.status.success(), "stderr: {}", String::from_utf8_lossy(&pcm.stderr));
+    let text = String::from_utf8_lossy(&pcm.stdout).to_string();
+    assert!(text.contains("scheme            : pcm"), "{text}");
+    assert!(text.contains("endurance"), "pcm must report wear counters:\n{text}");
+
+    let mlq =
+        run(bin, &with(&["--workload", "pgbench", "--mode", "live", "--policy", "mlq"], &quick));
+    assert!(mlq.status.success(), "stderr: {}", String::from_utf8_lossy(&mlq.stderr));
+    let text = String::from_utf8_lossy(&mlq.stdout).to_string();
+    assert!(text.contains("migration policy mlq"), "{text}");
+}
+
 #[test]
 fn hmm_bench_rejects_invalid_input_with_one_line() {
     let bin = env!("CARGO_BIN_EXE_hmm-bench");
@@ -139,6 +208,12 @@ fn hmm_bench_sweep_reports_runtime_errors() {
         (vec!["sweep", "--spec", "@/nonexistent/spec.json"], "reading sweep spec"),
         (vec!["sweep", "--doc", "/nonexistent/figures.json"], "reading figures document"),
         (vec!["sweep", "--spec", "not json"], "sweep failed"),
+        // A scheme axis with a bogus value expands fine but fails cell
+        // validation — same runtime-error surface, same one line.
+        (
+            vec!["sweep", "--spec", r#"{"workload":"pgbench","mode":"live","scheme":"l5"}"#],
+            "sweep failed",
+        ),
     ] {
         let out = run(bin, &args);
         let stderr = String::from_utf8_lossy(&out.stderr);

@@ -1,0 +1,139 @@
+//! Bit-determinism regression gate for the scheme framework.
+//!
+//! The `PlacementScheme` refactor routed every run through trait-object
+//! dispatch; these tests pin that the default path did not move by a
+//! single byte. Two layers:
+//!
+//! * the 18 stdout goldens in `tests/goldens/` — `hmm-sim` report text
+//!   for every workload × mode combination at the quick golden scale,
+//!   compared byte-for-byte (the default scheme must not even gain a
+//!   report line);
+//! * the perf suite's sim-stat digests, pinned to the values the suite
+//!   produced *before* the refactor — a digest is FNV-1a over the exact
+//!   simulated counters, so any behavioural drift (not just formatting)
+//!   trips it.
+//!
+//! If a change legitimately alters simulated behaviour, re-capture the
+//! goldens with the commands in `tests/goldens/` CI job and update the
+//! pinned digests here — in the same commit, with the reason in its
+//! message.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use hmm_bench::perf::{scenario_digest, suite};
+
+const WORKLOADS: [&str; 3] = ["pgbench", "specjbb", "mg"];
+const MODES: [&str; 6] = ["off", "on", "static", "n", "n-1", "live"];
+
+/// The quick golden configuration: small enough for CI, large enough to
+/// exercise warm-up, epochs and migration.
+const GOLDEN_ARGS: [&str; 10] = [
+    "--page",
+    "64K",
+    "--interval",
+    "2000",
+    "--accesses",
+    "60000",
+    "--warmup",
+    "10000",
+    "--scale",
+    "64",
+];
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+fn sim_stdout(args: &[&str]) -> String {
+    let bin = env!("CARGO_BIN_EXE_hmm-sim");
+    let out = Command::new(bin).args(args).output().unwrap_or_else(|e| panic!("spawn: {e}"));
+    assert!(
+        out.status.success(),
+        "hmm-sim {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("report must be UTF-8")
+}
+
+#[test]
+fn hetero_stdout_matches_all_18_goldens() {
+    for wl in WORKLOADS {
+        for mode in MODES {
+            let golden_path = goldens_dir().join(format!("hetero_{wl}_{mode}.txt"));
+            let golden = std::fs::read_to_string(&golden_path)
+                .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+            let mut args = vec!["--workload", wl, "--mode", mode];
+            args.extend_from_slice(&GOLDEN_ARGS);
+            let got = sim_stdout(&args);
+            assert_eq!(
+                got,
+                golden,
+                "stdout drifted from {} — the default scheme must stay bit-identical",
+                golden_path.display()
+            );
+        }
+    }
+}
+
+/// Spelling the default scheme out loud must not change anything either:
+/// `--scheme hetero` and no `--scheme` are the same configuration, not
+/// two configurations that happen to agree.
+#[test]
+fn explicit_default_scheme_is_the_default() {
+    for (wl, mode) in [("pgbench", "live"), ("mg", "n")] {
+        let mut implicit = vec!["--workload", wl, "--mode", mode];
+        implicit.extend_from_slice(&GOLDEN_ARGS);
+        let mut explicit = implicit.clone();
+        explicit.extend_from_slice(&["--scheme", "hetero", "--policy", "hotcold"]);
+        assert_eq!(sim_stdout(&implicit), sim_stdout(&explicit), "{wl}/{mode}");
+    }
+}
+
+/// The non-default goldens pin the new schemes the same way — they may
+/// only change together with a commit that explains why.
+#[test]
+fn scheme_stdout_matches_goldens() {
+    for wl in WORKLOADS {
+        for (golden, extra) in [
+            (format!("l4cache_{wl}_off.txt"), vec!["--mode", "off", "--scheme", "l4cache"]),
+            (format!("pcm_{wl}_live.txt"), vec!["--mode", "live", "--scheme", "pcm"]),
+            (format!("mlq_{wl}_live.txt"), vec!["--mode", "live", "--policy", "mlq"]),
+        ] {
+            let golden_path = goldens_dir().join(&golden);
+            let want = std::fs::read_to_string(&golden_path)
+                .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+            let mut args = vec!["--workload", wl];
+            args.extend(extra);
+            args.extend_from_slice(&GOLDEN_ARGS);
+            assert_eq!(sim_stdout(&args), want, "stdout drifted from {}", golden_path.display());
+        }
+    }
+}
+
+/// Digests the perf suite produced at the commit *before* the scheme
+/// framework landed. `scenario_digest` hashes exact simulated counters,
+/// so this catches behavioural drift that formatting-level goldens
+/// cannot (and vice versa).
+const PINNED_QUICK_DIGESTS: [(&str, u64); 9] = [
+    ("n/pgbench", 0xf70153371ccf09d2),
+    ("n/specjbb", 0x04421fab8de99841),
+    ("n/mg", 0x32e8f2e81aa76ae2),
+    ("n1/pgbench", 0xb8d9f134ba6b6927),
+    ("n1/specjbb", 0x34b4c4ffe67ecb29),
+    ("n1/mg", 0x7408f860572b2758),
+    ("live/pgbench", 0x6023177b129c24c3),
+    ("live/specjbb", 0x4f426585f9a8c123),
+    ("live/mg", 0x36c9eb005f866bff),
+];
+
+#[test]
+fn perf_suite_digests_match_pre_refactor_values() {
+    let scenarios = suite();
+    assert_eq!(scenarios.len(), PINNED_QUICK_DIGESTS.len(), "suite shape changed");
+    for (s, (id, want)) in scenarios.iter().zip(PINNED_QUICK_DIGESTS) {
+        assert_eq!(s.id, id, "suite order changed");
+        let got = scenario_digest(s, true);
+        assert_eq!(got, want, "digest for {id} drifted: got {got:#018x}, pinned {want:#018x}",);
+    }
+}

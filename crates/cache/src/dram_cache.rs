@@ -122,6 +122,20 @@ impl DramCache {
     pub fn reset_stats(&mut self) {
         self.inner.reset_stats();
     }
+
+    /// Serialize the tag/data array state for snapshot/resume.
+    pub fn save_state(&self, w: &mut hmm_sim_base::snap::SnapWriter) {
+        self.inner.save_state(w);
+    }
+
+    /// Restore state saved by [`DramCache::save_state`] onto a freshly
+    /// constructed cache with the same configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut hmm_sim_base::snap::SnapReader<'_>,
+    ) -> hmm_sim_base::snap::SnapResult<()> {
+        self.inner.load_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use crate::migrate::{
     FailureAction, MigrationDesign, MigrationEngine, SwapStats, Transfer, TransferKind,
 };
 use crate::monitor::{MultiQueueMru, SlotClock};
+use crate::scheme::MigrationPolicy;
 use crate::table::{RowState, TranslationTable};
 use crate::tcache::TranslationCache;
 use hmm_dram::{Completion, DeviceProfile, DramRegion, RegionStats, SchedPolicy, Transaction};
@@ -386,6 +387,11 @@ pub struct HeteroController<S: TelemetrySink = NullSink> {
     swap_steps_seen: u32,
     /// `sub_blocks_copied` at the start of the in-flight swap.
     swap_subs_mark: u64,
+    /// Which swap-trigger rule `swap_decision` applies. Pure configuration
+    /// (not dynamic state), so it is set once after construction and never
+    /// snapshotted; the default reproduces the paper's hottest-vs-coldest
+    /// comparison bit-for-bit.
+    migration: MigrationPolicy,
 }
 
 impl HeteroController {
@@ -464,6 +470,7 @@ impl<S: TelemetrySink + Clone + Send> HeteroController<S> {
             epoch_mark: EpochMark::default(),
             swap_steps_seen: 0,
             swap_subs_mark: 0,
+            migration: MigrationPolicy::HotCold,
         };
         if let Some(plan) = faults {
             this.on_region.set_faults(plan);
@@ -488,6 +495,17 @@ impl<S: TelemetrySink + Clone + Send> HeteroController<S> {
     pub fn inject_stall(&mut self, cycles: Cycle) {
         self.stall_until = self.stall_until.max(self.now + cycles);
         self.stats.stall_cycles += 0; // accounted per-access as usual
+    }
+
+    /// Select the swap-trigger rule (default: the paper's comparative
+    /// hottest-vs-coldest trigger). Applies from the next epoch boundary.
+    pub fn set_migration_policy(&mut self, policy: MigrationPolicy) {
+        self.migration = policy;
+    }
+
+    /// The active swap-trigger rule.
+    pub fn migration_policy(&self) -> MigrationPolicy {
+        self.migration
     }
 
     /// Swap statistics, if migration is enabled.
@@ -965,21 +983,31 @@ impl<S: TelemetrySink + Clone + Send> HeteroController<S> {
         let table = &self.table;
         let n = table.slots();
         // Skip pages that are already fast or not migratable.
-        let hot_candidate = self.mru.hottest(|p| {
+        let hot_candidate = self.mru.hottest_with_level(|p| {
             if p >= n {
                 table.cam_lookup(p).is_some() || table.is_reserved(p)
             } else {
                 !matches!(table.row_state(p as u32), RowState::Swapped(_))
             }
         });
-        if let Some((hot, hot_count, hot_sub)) = hot_candidate {
+        if let Some((hot, hot_count, hot_sub, hot_level)) = hot_candidate {
             let empty = table.empty_slot();
             let cold = self.lru.coldest(|s| {
                 Some(s) == empty || (hot < n && s as u64 == hot) || table.is_quarantined(s)
             });
             if let Some(cold_slot) = cold {
                 let cold_count = self.lru.epoch_count(cold_slot);
-                if hot_count > cold_count {
+                // HotCold is the paper's comparative trigger. The MLQ rule
+                // ("Efficient Page Migration in Hybrid Memory Systems")
+                // promotes on multi-queue level: a page that climbed past
+                // level 0 has demonstrated sustained reuse and migrates
+                // even when the victim happens to be warm this epoch;
+                // level-0 pages still face the comparative trigger.
+                let trigger = match self.migration {
+                    MigrationPolicy::HotCold => hot_count > cold_count,
+                    MigrationPolicy::Mlq => hot_level > 0 || hot_count > cold_count,
+                };
+                if trigger {
                     let cases_before = engine.stats().case_counts;
                     if engine.start_swap(&mut self.table, hot, cold_slot, hot_sub) {
                         self.mru.remove(hot);
@@ -1522,6 +1550,19 @@ impl<S: TelemetrySink + Clone + Send> HeteroController<S> {
     /// [`HeteroController::drain`] for tight polling loops.
     pub fn drain_completed(&mut self) -> std::vec::Drain<'_, DemandCompletion> {
         self.completed.drain(..)
+    }
+
+    /// Append accumulated demand completions to `out` (same values and
+    /// order as [`HeteroController::drain_completed`]), the object-safe
+    /// spelling used through the [`crate::scheme::PlacementScheme`] trait.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<DemandCompletion>) {
+        out.append(&mut self.completed);
+    }
+
+    /// Endurance/wear counters of the off-package region (meaningful for
+    /// write-limited backends such as the PCM profile).
+    pub fn off_region_wear(&self) -> hmm_dram::WearStats {
+        self.off_region.wear()
     }
 }
 

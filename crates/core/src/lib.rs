@@ -34,6 +34,7 @@ pub mod controller;
 pub mod migrate;
 pub mod monitor;
 pub mod overhead;
+pub mod scheme;
 pub mod table;
 pub mod tcache;
 
@@ -42,5 +43,9 @@ pub use controller::{ControllerConfig, ControllerStats, HeteroController, Mode};
 pub use migrate::{MigrationDesign, MigrationEngine, SwapStats};
 pub use monitor::{MultiQueueMru, SlotClock};
 pub use overhead::{hardware_bits, HardwareOverhead, OS_ASSIST_THRESHOLD_BYTES};
+pub use scheme::{
+    build_scheme, validate_scheme, L4CacheScheme, MigrationPolicy, PcmScheme, PlacementScheme,
+    SchemeId,
+};
 pub use table::{MachinePage, RowState, TranslationTable};
 pub use tcache::TranslationCache;

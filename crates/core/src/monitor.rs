@@ -184,10 +184,19 @@ impl MultiQueueMru {
     /// highest occupied level, with its epoch access count and last-touched
     /// sub-block. `skip` filters pages that cannot be migrated right now.
     pub fn hottest<F: Fn(u64) -> bool>(&self, skip: F) -> Option<(u64, u32, u32)> {
-        for q in self.levels.iter().rev() {
+        self.hottest_with_level(skip).map(|(p, c, s, _)| (p, c, s))
+    }
+
+    /// Like [`MultiQueueMru::hottest`], additionally reporting which queue
+    /// level the candidate currently sits in. Promotion level is the
+    /// multi-queue's long-term hotness signal (the epoch count is only the
+    /// current epoch's), which is what the MLQ promotion-based migration
+    /// trigger keys on.
+    pub fn hottest_with_level<F: Fn(u64) -> bool>(&self, skip: F) -> Option<(u64, u32, u32, u32)> {
+        for (k, q) in self.levels.iter().enumerate().rev() {
             for e in q.iter().rev() {
                 if !skip(e.page) {
-                    return Some((e.page, e.epoch_count, e.last_sub));
+                    return Some((e.page, e.epoch_count, e.last_sub, k as u32));
                 }
             }
         }

@@ -76,6 +76,11 @@ pub struct Channel<S: TelemetrySink = NullSink> {
     /// Bank state in structure-of-arrays layout: the arbitration scan in
     /// [`Channel::pick`] touches only the dense open-row array.
     banks: BankArray,
+    /// Lines written per bank over the channel's lifetime — the endurance
+    /// (wear) counter write-limited backends such as PCM care about.
+    /// Always maintained (one add on the write path), aggregated by
+    /// [`crate::DramRegion::wear`].
+    writes_per_bank: Vec<u64>,
     ranks: Vec<RankState>,
     data_bus_free: Cycle,
     /// Demand transactions awaiting FR-FCFS arbitration, kept in
@@ -144,6 +149,7 @@ impl<S: TelemetrySink> Channel<S> {
             region,
             index,
             banks: BankArray::new(total_banks),
+            writes_per_bank: vec![0; total_banks],
             ranks,
             data_bus_free: 0,
             queue: VecDeque::new(),
@@ -166,6 +172,12 @@ impl<S: TelemetrySink> Channel<S> {
     /// Current statistics snapshot.
     pub fn stats(&self) -> ChannelStats {
         self.stats
+    }
+
+    /// Lines written per bank so far (endurance/wear counters), indexed by
+    /// the channel-local bank index.
+    pub fn writes_per_bank(&self) -> &[u64] {
+        &self.writes_per_bank
     }
 
     /// Number of transactions waiting.
@@ -216,6 +228,10 @@ impl<S: TelemetrySink> Channel<S> {
         w.u64(self.stats.uncorrectable_errors);
         w.u64(self.stats.throttle_events);
         w.u64(self.stats.throttle_delay_cycles);
+        w.usize(self.writes_per_bank.len());
+        for &v in &self.writes_per_bank {
+            w.u64(v);
+        }
     }
 
     /// Restore channel state saved by [`Channel::save_state`] onto a
@@ -275,6 +291,13 @@ impl<S: TelemetrySink> Channel<S> {
         self.stats.uncorrectable_errors = r.u64()?;
         self.stats.throttle_events = r.u64()?;
         self.stats.throttle_delay_cycles = r.u64()?;
+        let n = r.usize()?;
+        if n != self.writes_per_bank.len() {
+            return Err(format!("bank count mismatch: expected {}", self.writes_per_bank.len()));
+        }
+        for v in &mut self.writes_per_bank {
+            *v = r.u64()?;
+        }
         Ok(())
     }
 
@@ -478,6 +501,9 @@ impl<S: TelemetrySink> Channel<S> {
         let burst = t.t_burst * q.txn.lines as u64;
         self.stats.data_bus_busy += burst;
         self.stats.serviced += 1;
+        if q.txn.is_write {
+            self.writes_per_bank[bank_idx] += q.txn.lines as u64;
+        }
         if svc.row_hit {
             self.stats.row_hits += 1;
         } else {
@@ -504,6 +530,7 @@ impl<S: TelemetrySink> Channel<S> {
                 bank: bank_idx as u32,
                 outcome,
                 background: q.txn.background,
+                is_write: q.txn.is_write,
             });
         }
 

@@ -58,6 +58,19 @@ impl DeviceProfile {
         }
     }
 
+    /// Off-package PCM: same DIMM-style geometry as the DDR3 channels
+    /// (the scheme swaps media, not topology) but with the asymmetric
+    /// [`DramTiming::pcm`] parameter set and no refresh.
+    pub fn pcm() -> Self {
+        Self {
+            channels: 4,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            row_bytes: 8 * 1024,
+            timing: DramTiming::pcm(),
+        }
+    }
+
     /// Total banks across the region (the paper quotes this number).
     pub fn total_banks(&self) -> u32 {
         self.channels * self.ranks_per_channel * self.banks_per_rank
@@ -151,6 +164,7 @@ mod tests {
     fn profiles_validate() {
         DeviceProfile::off_package_ddr3().validate().unwrap();
         DeviceProfile::on_package().validate().unwrap();
+        DeviceProfile::pcm().validate().unwrap();
     }
 
     #[test]

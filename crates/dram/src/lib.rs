@@ -32,6 +32,6 @@ pub mod timing;
 pub mod txn;
 
 pub use device::{DeviceProfile, DramCoord};
-pub use region::{DramRegion, RegionStats};
+pub use region::{DramRegion, RegionStats, WearStats};
 pub use timing::{DramTiming, TimingCpu};
 pub use txn::{Completion, PagePolicy, SchedPolicy, Transaction};

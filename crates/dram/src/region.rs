@@ -55,6 +55,30 @@ impl RegionStats {
     }
 }
 
+/// Endurance summary for a write-limited region (PCM), aggregated from
+/// the per-bank write counters every [`Channel`] maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WearStats {
+    /// Total cache lines written across the region.
+    pub write_lines: u64,
+    /// Lines written to the most-written bank (the wear-leveling hot spot).
+    pub max_bank_writes: u64,
+    /// Number of banks in the region.
+    pub banks: u64,
+}
+
+impl WearStats {
+    /// Wear imbalance: hottest bank's writes over the perfectly-leveled
+    /// share (`write_lines / banks`). 1.0 is ideal leveling; 0 when idle.
+    pub fn imbalance(&self) -> f64 {
+        if self.write_lines == 0 || self.banks == 0 {
+            0.0
+        } else {
+            self.max_bank_writes as f64 / (self.write_lines as f64 / self.banks as f64)
+        }
+    }
+}
+
 /// One memory region with its channels and scheduler.
 #[derive(Debug)]
 pub struct DramRegion<S: TelemetrySink = NullSink> {
@@ -201,6 +225,19 @@ impl<S: TelemetrySink> DramRegion<S> {
             s.uncorrectable_errors += cs.uncorrectable_errors;
             s.throttle_events += cs.throttle_events;
             s.throttle_delay_cycles += cs.throttle_delay_cycles;
+        }
+        s
+    }
+
+    /// Aggregate the per-bank endurance counters over all channels.
+    pub fn wear(&self) -> WearStats {
+        let mut s = WearStats::default();
+        for ch in &self.channels {
+            for &w in ch.writes_per_bank() {
+                s.write_lines += w;
+                s.max_bank_writes = s.max_bank_writes.max(w);
+                s.banks += 1;
+            }
         }
         s
     }
@@ -494,6 +531,20 @@ mod tests {
         par.flush_par();
         assert_eq!(seq.drain_completions(), par.drain_completions());
         assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn wear_counts_only_write_lines() {
+        let mut r = mk(DeviceProfile::pcm());
+        for i in 0..64u64 {
+            r.enqueue(Transaction::demand(i, 0, i * 64, i % 2 == 0));
+        }
+        r.flush();
+        let w = r.wear();
+        assert_eq!(w.write_lines, 32);
+        assert_eq!(w.banks, DeviceProfile::pcm().total_banks() as u64);
+        assert!(w.max_bank_writes >= 1);
+        assert!(w.imbalance() >= 1.0);
     }
 
     #[test]

@@ -71,6 +71,29 @@ impl DramTiming {
         Self { t_burst: 2, t_ccd: 2, ..Self::ddr3_1333() }
     }
 
+    /// Phase-change memory modelled through the DDR3 command interface
+    /// (LPDDR2-N style). Reads pay a long array sense (tRCD ~4x DRAM),
+    /// writes pay an even longer program time (tWR ~8x DRAM), and the cell
+    /// array is non-volatile so refresh is disabled entirely (tREFI = 0).
+    pub fn pcm() -> Self {
+        Self {
+            t_cl: 9,
+            t_rcd: 36,
+            t_rp: 9,
+            t_ras: 60,
+            t_wr: 80,
+            t_wtr: 5,
+            t_rtp: 5,
+            t_ccd: 4,
+            t_rrd: 4,
+            t_faw: 20,
+            t_burst: 4,
+            t_cwd: 7,
+            t_refi: 0, // non-volatile: no refresh
+            t_rfc: 0,
+        }
+    }
+
     /// Convert all parameters to CPU cycles for use in the hot timing loop.
     pub fn to_cpu(&self, clock: &CpuClock) -> TimingCpu {
         let c = |d| clock.dram_to_cpu(d);
@@ -156,6 +179,16 @@ mod tests {
     fn ddr3_defaults_validate() {
         DramTiming::ddr3_1333().validate().unwrap();
         DramTiming::on_package().validate().unwrap();
+        DramTiming::pcm().validate().unwrap();
+    }
+
+    #[test]
+    fn pcm_is_read_write_asymmetric_and_refresh_free() {
+        let pcm = DramTiming::pcm();
+        let ddr = DramTiming::ddr3_1333();
+        assert!(pcm.t_rcd > ddr.t_rcd);
+        assert!(pcm.t_wr > pcm.t_rcd); // writes slower than reads
+        assert_eq!(pcm.t_refi, 0);
     }
 
     #[test]

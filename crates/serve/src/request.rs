@@ -35,7 +35,7 @@
 //! `POST /v1/simulate` body, and the peer re-derives the same canonical
 //! form, hence the same cache key, on its side of the wire.
 
-use hmm_core::Mode;
+use hmm_core::{validate_scheme, MigrationPolicy, Mode, SchemeId};
 use hmm_fault::FaultPlan;
 use hmm_sim_base::config::{parse_size, SimScale};
 use hmm_simulator::driver::RunConfig;
@@ -120,6 +120,8 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
     let mut total: Option<u64> = None;
     let mut os_assisted: Option<bool> = None;
     let mut policy = hmm_dram::SchedPolicy::FrFcfs;
+    let mut scheme = SchemeId::Hetero;
+    let mut migration = MigrationPolicy::HotCold;
     let mut faults: Option<FaultPlan> = None;
     let mut fault_seed: Option<u64> = None;
     let mut timeout_ms: Option<u64> = None;
@@ -148,6 +150,8 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
                 )
             }
             "policy" => policy = wire::policy_from_token(as_str()?)?,
+            "scheme" => scheme = as_str()?.parse()?,
+            "migration" => migration = as_str()?.parse()?,
             "faults" => {
                 faults = Some(match value {
                     // The canonical structural form...
@@ -193,6 +197,7 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
         (None, Some(_)) => return Err("'fault_seed' requires 'faults'".into()),
         _ => {}
     }
+    validate_scheme(scheme, mode, migration)?;
 
     let base = RunConfig::paper(workload, mode);
     let cfg = RunConfig {
@@ -210,6 +215,8 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
         os_assisted,
         policy,
         faults,
+        scheme,
+        migration,
     };
     cfg.geometry().validate().map_err(|e| format!("invalid memory geometry: {e}"))?;
 
@@ -267,6 +274,9 @@ mod tests {
             r#"{"workload":"pgbench","mode":"live","sub_block":"8K"}"#,
             r#"{"workload":"pgbench","mode":"live","total":"8G"}"#,
             r#"{"workload":"pgbench","mode":"live","os_assisted":true}"#,
+            r#"{"workload":"pgbench","mode":"off","scheme":"l4cache"}"#,
+            r#"{"workload":"pgbench","mode":"live","scheme":"pcm"}"#,
+            r#"{"workload":"pgbench","mode":"live","migration":"mlq"}"#,
         ] {
             let v = parse_body(variant, &Limits::default()).unwrap();
             assert_ne!(v.key, base.key, "{variant} must change the cache key");
@@ -352,6 +362,13 @@ mod tests {
             (r#"{"workload":"pgbench","mode":"live","fault_seed":1}"#, "requires 'faults'"),
             (r#"{"workload":"pgbench","mode":"live","faults":"bogus=1"}"#, "faults:"),
             (r#"{"workload":"pgbench","mode":"live","policy":"elevator"}"#, "unknown policy"),
+            (r#"{"workload":"pgbench","mode":"live","scheme":"l5"}"#, "unknown scheme"),
+            (r#"{"workload":"pgbench","mode":"live","migration":"fifo"}"#, "unknown migration"),
+            (r#"{"workload":"pgbench","mode":"live","scheme":"l4cache"}"#, "only composes"),
+            (
+                r#"{"workload":"pgbench","mode":"off","scheme":"l4cache","migration":"mlq"}"#,
+                "no effect under scheme 'l4cache'",
+            ),
             (r#"{"workload":7,"mode":"live"}"#, "must be a string"),
         ];
         for (body, want) in cases {

@@ -51,6 +51,18 @@ pub fn render_run(canonical: &str, result: &RunResult) -> String {
         Some(p) => out.f64("normalized_power", p),
         None => out.raw("normalized_power", "null"),
     };
+    // Endurance-tracking schemes (PCM) report wear; the field is absent —
+    // not null — otherwise, so pre-existing scheme bodies stay
+    // byte-identical.
+    if let Some(w) = &result.wear {
+        let wear = JsonObject::new()
+            .u64("write_lines", w.write_lines)
+            .u64("max_bank_writes", w.max_bank_writes)
+            .u64("banks", w.banks)
+            .f64("imbalance", w.imbalance())
+            .finish();
+        out = out.raw("wear", &wear);
+    }
     out.u64("digest", digest(result)).finish()
 }
 

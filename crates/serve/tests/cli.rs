@@ -145,6 +145,31 @@ fn hmm_serve_process_boots_serves_and_drains() {
     .expect("simulate");
     assert_eq!(sim.status, 200, "{}", sim.body);
 
+    // Scheme selection rides the same wire: a PCM run answers with the
+    // wear object, and a contradictory scheme/mode combination is a
+    // structured 400, not a queued failure.
+    let pcm = request(
+        addr,
+        "POST",
+        "/v1/simulate",
+        r#"{"workload":"pgbench","mode":"static","scheme":"pcm","accesses":3000,"scale":64}"#,
+        timeout,
+    )
+    .expect("pcm simulate");
+    assert_eq!(pcm.status, 200, "{}", pcm.body);
+    assert!(pcm.body.contains(r#""wear":{"write_lines":"#), "{}", pcm.body);
+    assert!(!sim.body.contains(r#""wear""#), "default scheme must not grow a wear field");
+    let bad = request(
+        addr,
+        "POST",
+        "/v1/simulate",
+        r#"{"workload":"pgbench","mode":"static","scheme":"l4cache","accesses":3000}"#,
+        timeout,
+    )
+    .expect("bad scheme combo");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    assert!(bad.body.contains("only composes with mode 'off'"), "{}", bad.body);
+
     let drain = request(addr, "POST", "/admin/shutdown", "", timeout).expect("shutdown");
     assert_eq!(drain.status, 200);
 

@@ -9,8 +9,10 @@
 use crate::snapshot;
 use crate::wire::{canonical_json, fxhash64};
 use hmm_core::controller::DemandCompletion;
-use hmm_core::{ControllerConfig, ControllerStats, HeteroController, Mode, SwapStats};
-use hmm_dram::{DeviceProfile, RegionStats, SchedPolicy};
+use hmm_core::{
+    build_scheme, ControllerConfig, ControllerStats, MigrationPolicy, Mode, SchemeId, SwapStats,
+};
+use hmm_dram::{DeviceProfile, RegionStats, SchedPolicy, WearStats};
 use hmm_fault::FaultPlan;
 use hmm_sim_base::config::{MachineConfig, MemoryGeometry, SimScale};
 use hmm_sim_base::snap::{SnapReader, SnapWriter};
@@ -53,6 +55,13 @@ pub struct RunConfig {
     /// Fault-injection plan; `None` runs the fault-free fast path and is
     /// bit-identical to a build without the fault subsystem.
     pub faults: Option<FaultPlan>,
+    /// Memory-management scheme. The default ([`SchemeId::Hetero`]) is the
+    /// paper's migrating controller and reproduces pre-scheme outputs
+    /// bit-for-bit.
+    pub scheme: SchemeId,
+    /// Swap-trigger rule for the migrating schemes. The default
+    /// ([`MigrationPolicy::HotCold`]) is the paper's comparative trigger.
+    pub migration: MigrationPolicy,
 }
 
 impl RunConfig {
@@ -74,6 +83,8 @@ impl RunConfig {
             os_assisted: None,
             policy: SchedPolicy::FrFcfs,
             faults: None,
+            scheme: SchemeId::Hetero,
+            migration: MigrationPolicy::HotCold,
         }
     }
 
@@ -137,6 +148,9 @@ pub struct RunResult {
     pub off_region: RegionStats,
     /// The geometry that was simulated.
     pub geometry: MemoryGeometry,
+    /// Endurance counters for write-limited off-package media; `Some`
+    /// only under schemes with an endurance surface (PCM).
+    pub wear: Option<WearStats>,
 }
 
 impl RunResult {
@@ -172,6 +186,23 @@ impl RunResult {
 /// one at a time, so any block size produces the identical run.
 const TRACE_BLOCK: usize = 4096;
 
+/// The shared [`ControllerConfig`] for a run: everything but the scheme
+/// choice itself (the PCM scheme overrides `off_profile` internally).
+fn controller_config(cfg: &RunConfig, machine: MachineConfig) -> ControllerConfig {
+    ControllerConfig {
+        machine,
+        mode: cfg.mode,
+        swap_interval: cfg.swap_interval,
+        os_assisted: cfg.os_assisted,
+        max_outstanding_copies: 16,
+        copy_pace_cycles_per_line: 20,
+        policy: cfg.policy,
+        on_profile: DeviceProfile::on_package(),
+        off_profile: DeviceProfile::off_package_ddr3(),
+        faults: cfg.faults,
+    }
+}
+
 /// Execute one simulation run.
 pub fn run(cfg: &RunConfig) -> RunResult {
     run_with_sink(cfg, NullSink)
@@ -182,25 +213,14 @@ pub fn run(cfg: &RunConfig) -> RunResult {
 /// The sink is threaded through the controller into both DRAM regions, so
 /// a [`hmm_telemetry::Recorder`] handed in here observes the demand path,
 /// the migration engine, and every bank's row-buffer behaviour of the run.
-pub fn run_with_sink<S: TelemetrySink + Clone + Send>(cfg: &RunConfig, sink: S) -> RunResult {
+pub fn run_with_sink<S: TelemetrySink + Clone + Send + 'static>(
+    cfg: &RunConfig,
+    sink: S,
+) -> RunResult {
     let w = workload(cfg.workload, &cfg.scale);
     let geometry = cfg.geometry();
     let machine = MachineConfig { geometry, ..MachineConfig::default() };
-    let mut ctrl = HeteroController::with_sink(
-        ControllerConfig {
-            machine,
-            mode: cfg.mode,
-            swap_interval: cfg.swap_interval,
-            os_assisted: cfg.os_assisted,
-            max_outstanding_copies: 16,
-            copy_pace_cycles_per_line: 20,
-            policy: cfg.policy,
-            on_profile: DeviceProfile::on_package(),
-            off_profile: DeviceProfile::off_package_ddr3(),
-            faults: cfg.faults,
-        },
-        sink,
-    );
+    let mut ctrl = build_scheme(cfg.scheme, controller_config(cfg, machine), cfg.migration, sink);
 
     let mut access = AccessStats::new();
     // Completions drained before the warm-up boundary id is known are
@@ -208,6 +228,9 @@ pub fn run_with_sink<S: TelemetrySink + Clone + Send>(cfg: &RunConfig, sink: S) 
     // submission order, so `id <= boundary` identifies warm-up accesses).
     let mut warmup_boundary_id = if cfg.warmup == 0 { Some(0u64) } else { None };
     let mut stash: Vec<hmm_core::controller::DemandCompletion> = Vec::new();
+    // Reusable buffer for the periodic post-warm-up drains (the
+    // allocation-free object-safe replacement for the old Drain iterator).
+    let mut drained: Vec<hmm_core::controller::DemandCompletion> = Vec::new();
     let mut submitted = 0u64;
     // Trace records are generated in blocks (amortising the generator's
     // per-record draw setup and keeping generator and simulator code out
@@ -235,20 +258,22 @@ pub fn run_with_sink<S: TelemetrySink + Clone + Send>(cfg: &RunConfig, sink: S) 
             if submitted.is_multiple_of(64) {
                 match warmup_boundary_id {
                     Some(b) => {
-                        for c in ctrl.drain_completed() {
+                        ctrl.drain_completed_into(&mut drained);
+                        for c in drained.drain(..) {
                             if c.id > b {
                                 access.record(&c.breakdown, c.is_write, c.on_package);
                             }
                         }
                     }
-                    None => stash.extend(ctrl.drain_completed()),
+                    None => ctrl.drain_completed_into(&mut stash),
                 }
             }
         }
     }
     ctrl.flush();
+    ctrl.drain_completed_into(&mut stash);
     let boundary = warmup_boundary_id.unwrap_or(u64::MAX);
-    for c in stash.into_iter().chain(ctrl.drain()) {
+    for c in stash {
         if c.id > boundary {
             access.record(&c.breakdown, c.is_write, c.on_package);
         }
@@ -263,6 +288,7 @@ pub fn run_with_sink<S: TelemetrySink + Clone + Send>(cfg: &RunConfig, sink: S) 
         on_region,
         off_region,
         geometry,
+        wear: ctrl.wear(),
     }
 }
 
@@ -306,25 +332,13 @@ pub fn run_resumable(cfg: &RunConfig, mut ctl: SnapshotCtl<'_>) -> Result<RunRes
     let w = workload(cfg.workload, &cfg.scale);
     let geometry = cfg.geometry();
     let machine = MachineConfig { geometry, ..MachineConfig::default() };
-    let mut ctrl = HeteroController::with_sink(
-        ControllerConfig {
-            machine,
-            mode: cfg.mode,
-            swap_interval: cfg.swap_interval,
-            os_assisted: cfg.os_assisted,
-            max_outstanding_copies: 16,
-            copy_pace_cycles_per_line: 20,
-            policy: cfg.policy,
-            on_profile: DeviceProfile::on_package(),
-            off_profile: DeviceProfile::off_package_ddr3(),
-            faults: cfg.faults,
-        },
-        NullSink,
-    );
+    let mut ctrl =
+        build_scheme(cfg.scheme, controller_config(cfg, machine), cfg.migration, NullSink);
 
     let mut access = AccessStats::new();
     let mut warmup_boundary_id = if cfg.warmup == 0 { Some(0u64) } else { None };
     let mut stash: Vec<DemandCompletion> = Vec::new();
+    let mut drained: Vec<DemandCompletion> = Vec::new();
     let mut submitted = 0u64;
     let mut trace = w.iter(cfg.seed);
     let config_hash = fxhash64(canonical_json(cfg).as_bytes());
@@ -384,13 +398,14 @@ pub fn run_resumable(cfg: &RunConfig, mut ctl: SnapshotCtl<'_>) -> Result<RunRes
             if submitted.is_multiple_of(64) {
                 match warmup_boundary_id {
                     Some(b) => {
-                        for c in ctrl.drain_completed() {
+                        ctrl.drain_completed_into(&mut drained);
+                        for c in drained.drain(..) {
                             if c.id > b {
                                 access.record(&c.breakdown, c.is_write, c.on_package);
                             }
                         }
                     }
-                    None => stash.extend(ctrl.drain_completed()),
+                    None => ctrl.drain_completed_into(&mut stash),
                 }
             }
         }
@@ -425,8 +440,9 @@ pub fn run_resumable(cfg: &RunConfig, mut ctl: SnapshotCtl<'_>) -> Result<RunRes
         }
     }
     ctrl.flush();
+    ctrl.drain_completed_into(&mut stash);
     let boundary = warmup_boundary_id.unwrap_or(u64::MAX);
-    for c in stash.into_iter().chain(ctrl.drain()) {
+    for c in stash {
         if c.id > boundary {
             access.record(&c.breakdown, c.is_write, c.on_package);
         }
@@ -441,6 +457,7 @@ pub fn run_resumable(cfg: &RunConfig, mut ctl: SnapshotCtl<'_>) -> Result<RunRes
         on_region,
         off_region,
         geometry,
+        wear: ctrl.wear(),
     })
 }
 

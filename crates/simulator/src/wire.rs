@@ -23,7 +23,7 @@
 //! canonical form is no lossier than the requests that feed it.
 
 use crate::driver::RunConfig;
-use hmm_core::Mode;
+use hmm_core::{validate_scheme, MigrationPolicy, Mode, SchemeId};
 use hmm_dram::SchedPolicy;
 use hmm_fault::{FaultPlan, FaultRegion, StuckBank, ThrottleSpec, MAX_STUCK_BANKS};
 use hmm_sim_base::FxHasher;
@@ -201,6 +201,16 @@ pub fn canonical_json(cfg: &RunConfig) -> String {
         .u64("on_package", cfg.on_package_bytes)
         .u64("total", cfg.total_bytes)
         .str("policy", policy_token(cfg.policy));
+    // Scheme and migration-policy fields are emitted only when they differ
+    // from the defaults: every pre-scheme configuration keeps its exact
+    // canonical text, so result-cache keys, sweep-cell identities and
+    // snapshot config hashes are all unchanged for existing runs.
+    if cfg.scheme != SchemeId::Hetero {
+        obj = obj.str("scheme", cfg.scheme.token());
+    }
+    if cfg.migration != MigrationPolicy::HotCold {
+        obj = obj.str("migration", cfg.migration.token());
+    }
     if let Some(v) = cfg.os_assisted {
         obj = obj.bool("os_assisted", v);
     }
@@ -221,7 +231,7 @@ pub fn config_from_canonical(text: &str) -> Result<RunConfig, String> {
     let Json::Obj(fields) = &doc else {
         return Err("canonical config must be a JSON object".into());
     };
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 16] = [
         "workload",
         "mode",
         "page_shift",
@@ -234,6 +244,8 @@ pub fn config_from_canonical(text: &str) -> Result<RunConfig, String> {
         "on_package",
         "total",
         "policy",
+        "scheme",
+        "migration",
         "os_assisted",
         "faults",
     ];
@@ -252,6 +264,15 @@ pub fn config_from_canonical(text: &str) -> Result<RunConfig, String> {
         None => None,
         Some(v) => Some(fault_plan_from_json(v)?),
     };
+    let scheme: SchemeId = match doc.get("scheme") {
+        None => SchemeId::Hetero,
+        Some(v) => str_field(v, "scheme")?.parse()?,
+    };
+    let migration: MigrationPolicy = match doc.get("migration") {
+        None => MigrationPolicy::HotCold,
+        Some(v) => str_field(v, "migration")?.parse()?,
+    };
+    validate_scheme(scheme, mode, migration)?;
     Ok(RunConfig {
         workload,
         mode,
@@ -269,6 +290,8 @@ pub fn config_from_canonical(text: &str) -> Result<RunConfig, String> {
         os_assisted,
         policy: policy_from_token(str_field(require(&doc, "policy")?, "policy")?)?,
         faults,
+        scheme,
+        migration,
     })
 }
 

@@ -4,7 +4,7 @@
 //! serving sound: a job killed and resumed elsewhere reports exactly the
 //! figures the unkilled job would have.
 
-use hmm_core::{MigrationDesign, Mode};
+use hmm_core::{MigrationDesign, MigrationPolicy, Mode, SchemeId};
 use hmm_fault::FaultPlan;
 use hmm_simulator::driver::{run, run_resumable, RunConfig, SnapshotCtl};
 use hmm_simulator::snapshot;
@@ -101,6 +101,54 @@ fn pre_warmup_snapshot_resumes_identically() {
     let mut cfg = small(WorkloadId::Pgbench, Mode::Dynamic(MigrationDesign::LiveMigration));
     cfg.warmup = 1_000;
     assert_resume_identical(&cfg, 250);
+}
+
+#[test]
+fn l4cache_scheme_resumes_identically_at_every_boundary() {
+    // The L4 scheme snapshots a different state vector entirely (tag
+    // array + in-flight slot queue instead of translation table +
+    // migration engine); the same every-boundary property must hold.
+    let mut cfg = small(WorkloadId::Pgbench, Mode::AllOffPackage);
+    cfg.scheme = SchemeId::L4Cache;
+    assert_resume_identical(&cfg, 256);
+}
+
+#[test]
+fn pcm_scheme_resumes_identically_at_every_boundary() {
+    // PCM rides the hetero state vector but adds per-bank wear counters
+    // inside the DRAM sections; they must survive capture too (the
+    // resumed RunResult embeds the wear report).
+    let mut cfg = small(WorkloadId::SpecJbb, Mode::Dynamic(MigrationDesign::LiveMigration));
+    cfg.scheme = SchemeId::Pcm;
+    assert_resume_identical(&cfg, 256);
+}
+
+#[test]
+fn mlq_policy_resumes_identically_at_every_boundary() {
+    // The MLQ policy changes *which* pages the engine promotes; the
+    // monitor state it reads is already snapshotted, so resume must not
+    // perturb its decisions either.
+    let mut cfg = small(WorkloadId::Mg, Mode::Dynamic(MigrationDesign::LiveMigration));
+    cfg.migration = MigrationPolicy::Mlq;
+    assert_resume_identical(&cfg, 256);
+}
+
+#[test]
+fn resume_refuses_foreign_scheme_snapshot() {
+    // A hetero snapshot opened under `--scheme l4cache` is a different
+    // configuration, hence a different config hash: the sealed container
+    // refuses it before any scheme state is deserialised.
+    let cfg = small(WorkloadId::Pgbench, Mode::AllOffPackage);
+    let mut snaps = Vec::new();
+    let mut sink = |_: u64, bytes: Vec<u8>| snaps.push(bytes);
+    run_resumable(&cfg, SnapshotCtl { resume_from: None, every: 1000, sink: Some(&mut sink) })
+        .unwrap();
+    let mut other = cfg;
+    other.scheme = SchemeId::L4Cache;
+    let err =
+        run_resumable(&other, SnapshotCtl { resume_from: Some(&snaps[0]), every: 0, sink: None })
+            .unwrap_err();
+    assert!(err.contains("different configuration"), "{err}");
 }
 
 #[test]

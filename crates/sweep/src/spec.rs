@@ -29,7 +29,7 @@ use hmm_telemetry::{JsonArray, JsonObject};
 /// The request fields a sweep may set, in expansion order (the last
 /// field cycles fastest). `timeout_ms` is deliberately absent: a sweep
 /// is always asynchronous, so a per-cell wait deadline is meaningless.
-pub const FIELDS: [&str; 17] = [
+pub const FIELDS: [&str; 19] = [
     "workload",
     "mode",
     "page",
@@ -45,6 +45,8 @@ pub const FIELDS: [&str; 17] = [
     "total",
     "os_assisted",
     "policy",
+    "scheme",
+    "migration",
     "faults",
     "fault_seed",
 ];
@@ -189,6 +191,22 @@ mod tests {
             assert!(c.contains(r#""faults":{"seed":1}"#));
             assert!(c.contains(r#""scale":6.5"#));
         }
+    }
+
+    #[test]
+    fn scheme_and_migration_axes_expand_like_any_other() {
+        let cells = expand(
+            r#"{"workload":"pgbench","mode":"live","scheme":["hetero","pcm"],"migration":"mlq"}"#,
+            10,
+        )
+        .unwrap();
+        assert_eq!(
+            cells,
+            vec![
+                r#"{"workload":"pgbench","mode":"live","scheme":"hetero","migration":"mlq"}"#,
+                r#"{"workload":"pgbench","mode":"live","scheme":"pcm","migration":"mlq"}"#,
+            ]
+        );
     }
 
     #[test]

@@ -277,6 +277,9 @@ pub enum Event {
         outcome: DramOutcome,
         /// Whether this was background (migration) traffic.
         background: bool,
+        /// Whether data moved toward the device (a write burst) — the
+        /// endurance-relevant direction for write-limited media like PCM.
+        is_write: bool,
     },
     /// The adaptive controller committed a new migration granularity.
     GranularitySwitch {

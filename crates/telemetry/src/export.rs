@@ -48,7 +48,7 @@ pub fn event_to_json(event: &Event) -> String {
         Event::PfTransition { slot, bit, set, .. } => {
             obj.u64("slot", slot as u64).str("bit", bit.label()).bool("set", set).finish()
         }
-        Event::DramAccess { region, channel, bank, outcome, background, .. } => obj
+        Event::DramAccess { region, channel, bank, outcome, background, is_write, .. } => obj
             .str("region", region.label())
             .u64("channel", channel as u64)
             .u64("bank", bank as u64)
@@ -61,6 +61,7 @@ pub fn event_to_json(event: &Event) -> String {
                 },
             )
             .bool("background", background)
+            .bool("is_write", is_write)
             .finish(),
         Event::GranularitySwitch { from_shift, to_shift, .. } => {
             obj.u64("from_shift", from_shift as u64).u64("to_shift", to_shift as u64).finish()

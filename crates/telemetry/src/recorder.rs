@@ -166,6 +166,9 @@ pub struct Counters {
     /// DRAM column accesses keyed by [`bank_key`] (region × class ×
     /// channel × bank).
     pub bank_accesses: KeyedCounters,
+    /// DRAM *write* accesses keyed by [`bank_key`] — the per-bank
+    /// endurance (wear) view write-limited backends such as PCM expose.
+    pub bank_writes: KeyedCounters,
 }
 
 impl Counters {
@@ -188,8 +191,11 @@ impl Counters {
                 self.queuing_hist.push(queuing);
                 self.demand_classes.add(demand_class_key(on_package, is_write), 1);
             }
-            Event::DramAccess { region, channel, bank, background, .. } => {
+            Event::DramAccess { region, channel, bank, background, is_write, .. } => {
                 self.bank_accesses.add(bank_key(region, channel, bank, background), 1);
+                if is_write {
+                    self.bank_writes.add(bank_key(region, channel, bank, background), 1);
+                }
             }
             _ => {}
         }
@@ -206,6 +212,7 @@ impl Counters {
         self.queuing_hist.merge(&other.queuing_hist);
         self.demand_classes.merge(&other.demand_classes);
         self.bank_accesses.merge(&other.bank_accesses);
+        self.bank_writes.merge(&other.bank_writes);
     }
 }
 
@@ -480,6 +487,7 @@ mod tests {
                 bank,
                 outcome: crate::event::DramOutcome::RowHit,
                 background: bank == 7,
+                is_write: bank == 3,
             });
         }
         let c = rec.counters();
@@ -491,6 +499,8 @@ mod tests {
         assert_eq!(c.bank_accesses.get(bank_key(RegionKind::OnPackage, 0, 3, false)), 2);
         assert_eq!(c.bank_accesses.get(bank_key(RegionKind::OnPackage, 0, 7, true)), 1);
         assert_eq!(c.bank_accesses.len(), 2);
+        assert_eq!(c.bank_writes.get(bank_key(RegionKind::OnPackage, 0, 3, false)), 2);
+        assert_eq!(c.bank_writes.len(), 1);
         assert_eq!(demand_class_label(demand_class_key(true, false)), "on/read");
         assert_eq!(demand_class_label(demand_class_key(false, true)), "off/write");
         assert_eq!(bank_label(bank_key(RegionKind::OnPackage, 0, 7, true)), "on/ch0/b7/background");
