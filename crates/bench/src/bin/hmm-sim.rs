@@ -5,7 +5,9 @@
 //!         --accesses 400000 --scale 8 [--seed 42] [--on-package 512M] \
 //!         [--scheme hetero|l4cache|pcm] [--policy hotcold|mlq] \
 //!         [--faults stress] [--fault-seed 7] \
-//!         [--telemetry off|counters|full] [--trace-out t.json] \
+//!         [--trace-out t.hmt] [--trace-in <id|path>] [--trace-dir dir] \
+//!         [--body-out body.json] \
+//!         [--telemetry off|counters|full] [--chrome-out t.json] \
 //!         [--metrics-out m.csv] [--events-out e.jsonl]
 //!
 //! modes: off | on | static | n | n-1 | live | adaptive
@@ -27,8 +29,20 @@
 //! `stuck=on:0:5`, `throttle=off:300000:3000`, ... — see
 //! `hmm_fault::FaultPlan::parse`), and the report gains a fault/recovery
 //! section reconciled against the DRAM regions' ECC counters.
+//!
+//! `--trace-out` records the run's access stream as an `HMT1` binary
+//! trace (uploadable via `POST /v1/traces` and replayable here), and
+//! `--trace-in` replays one: a path is decoded directly, a 16-hex id is
+//! resolved against the registry directory named by `--trace-dir` (an
+//! `hmm-serve --store-dir`'s `traces/` subdirectory). A replay takes the
+//! workload slot, so `--workload`/`--seed`/`--scale` are not needed.
+//! `--body-out` writes the serving layer's rendered response body for
+//! the run, byte-identical to what `POST /v1/simulate` returns for the
+//! equivalent request — the hook the CI smoke test uses to `cmp` an
+//! HTTP simulate-by-id against a local replay.
+//!
 //! With `--telemetry full` the run streams cross-layer events into a
-//! recorder: `--trace-out` writes a Chrome `trace_event` file for
+//! recorder: `--chrome-out` writes a Chrome `trace_event` file for
 //! `ui.perfetto.dev`, `--metrics-out` a per-epoch CSV, `--events-out` a
 //! raw JSONL dump, and the report gains a counter summary that is
 //! reconciled against the controller's own statistics.
@@ -43,12 +57,15 @@ use hmm_fault::FaultPlan;
 use hmm_power::{normalized_power, EnergyParams};
 use hmm_sim_base::config::{parse_size, SimScale};
 use hmm_sim_base::cycles::CpuClock;
-use hmm_simulator::driver::{run_with_sink, RunConfig};
+use hmm_simulator::driver::{run_with_sink, RunConfig, TraceRef};
+use hmm_simulator::wire::canonical_json;
 use hmm_telemetry::{
     count_kind, epoch_rows, write_chrome_trace, write_epoch_csv, write_jsonl, EventKind, Recorder,
     RecorderConfig, TelemetryLevel,
 };
-use hmm_workloads::WorkloadId;
+use hmm_workloads::{replay, write_binary, WorkloadId};
+use std::path::Path;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -57,7 +74,9 @@ fn usage() -> ! {
          [--scale <divisor>] [--seed <n>] [--on-package <size>] [--fcfs] \
          [--scheme hetero|l4cache|pcm] [--policy hotcold|mlq] \
          [--faults <spec>] [--fault-seed <n>] \
-         [--telemetry off|counters|full] [--trace-out <file>] \
+         [--trace-out <file>] [--trace-in <id|path>] [--trace-dir <dir>] \
+         [--body-out <file>] \
+         [--telemetry off|counters|full] [--chrome-out <file>] \
          [--metrics-out <file>] [--events-out <file>]\n\
          modes: off on static n n-1 live\n\
          workloads: bt cg dc ep ft is lu mg sp ua spec2006 pgbench indexer specjbb\n\
@@ -72,6 +91,31 @@ fn usage() -> ! {
 fn fail(msg: &str) -> ! {
     eprintln!("hmm-sim: {msg}");
     std::process::exit(2)
+}
+
+/// Resolve `--trace-in`: a 16-hex id against the `--trace-dir` registry,
+/// anything else as a path to an `HMT1` file. Either way the trace ends
+/// up registered for replay and identified by its content hash.
+fn resolve_trace(spec: &str, dir: Option<&str>) -> TraceRef {
+    if let Some(hash) = replay::parse_trace_id(spec) {
+        let Some(dir) = dir else {
+            fail("--trace-in with a trace id requires --trace-dir <registry dir>")
+        };
+        let (registry, _restored) = hmm_ingest::TraceRegistry::open(Path::new(dir))
+            .unwrap_or_else(|e| fail(&format!("cannot open trace registry {dir}: {e}")));
+        let summary = registry
+            .get(hash)
+            .unwrap_or_else(|| fail(&format!("unknown trace '{spec}' in registry {dir}")));
+        TraceRef::from_summary(&summary)
+    } else {
+        let bytes = std::fs::read(spec)
+            .unwrap_or_else(|e| fail(&format!("cannot read trace file {spec}: {e}")));
+        let data =
+            replay::decode(&bytes).unwrap_or_else(|e| fail(&format!("invalid trace {spec}: {e}")));
+        let summary = data.summary;
+        replay::register(Arc::new(data));
+        TraceRef::from_summary(&summary)
+    }
 }
 
 fn main() {
@@ -92,6 +136,10 @@ fn main() {
     let mut fault_seed: Option<u64> = None;
     let mut telemetry: Option<TelemetryLevel> = None;
     let mut trace_out: Option<String> = None;
+    let mut trace_in: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut body_out: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut events_out: Option<String> = None;
 
@@ -132,6 +180,10 @@ fn main() {
             "--fault-seed" => fault_seed = Some(num("--fault-seed", val())),
             "--telemetry" => telemetry = Some(val().parse().unwrap_or_else(|e: String| fail(&e))),
             "--trace-out" => trace_out = Some(val()),
+            "--trace-in" => trace_in = Some(val()),
+            "--trace-dir" => trace_dir = Some(val()),
+            "--body-out" => body_out = Some(val()),
+            "--chrome-out" => chrome_out = Some(val()),
             "--metrics-out" => metrics_out = Some(val()),
             "--events-out" => events_out = Some(val()),
             "--help" | "-h" => usage(),
@@ -161,8 +213,9 @@ fn main() {
         _ => {}
     }
     // Any export flag implies full capture: the exporters need the event
-    // stream, not just counters.
-    let exports_requested = trace_out.is_some() || metrics_out.is_some() || events_out.is_some();
+    // stream, not just counters. (`--trace-out` records the access
+    // stream, not telemetry events, so it does not count.)
+    let exports_requested = chrome_out.is_some() || metrics_out.is_some() || events_out.is_some();
     let telemetry = match telemetry {
         Some(level) => {
             if exports_requested && level != TelemetryLevel::Full {
@@ -175,7 +228,18 @@ fn main() {
         None if exports_requested => TelemetryLevel::Full,
         None => TelemetryLevel::Off,
     };
-    let (Some(workload), Some(mode)) = (workload, mode) else { usage() };
+    if trace_in.is_some() && trace_out.is_some() {
+        fail("--trace-out cannot be combined with --trace-in (a replay would only copy the file)")
+    }
+    let trace = trace_in.as_deref().map(|spec| resolve_trace(spec, trace_dir.as_deref()));
+    // A replayed trace takes the workload slot; the workload id is then
+    // an inert placeholder (exactly as in the serving layer).
+    let workload = match (&trace, workload) {
+        (Some(_), _) => WorkloadId::Pgbench,
+        (None, Some(w)) => w,
+        (None, None) => usage(),
+    };
+    let Some(mode) = mode else { usage() };
     if let Err(e) = validate_scheme(scheme, mode, migration) {
         fail(&e)
     }
@@ -203,10 +267,28 @@ fn main() {
         faults,
         scheme,
         migration,
+        trace,
         ..RunConfig::paper(workload, mode)
     };
     if let Err(e) = cfg.geometry().validate() {
         fail(&format!("invalid memory geometry: {e}"))
+    }
+
+    // Record before running: the trace is a pure function of the
+    // workload generator, so a crash mid-simulation still leaves a
+    // usable recording.
+    if let Some(path) = &trace_out {
+        let recs =
+            hmm_workloads::workload(workload, &cfg.scale).records(cfg.seed, cfg.accesses as usize);
+        let mut bytes = Vec::new();
+        let written = write_binary(&mut bytes, recs)
+            .unwrap_or_else(|e| fail(&format!("encoding trace: {e}")));
+        let id = format!("{:016x}", hmm_sim_base::snap::snap_hash(&bytes));
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("error: writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("trace recorded    : {path} ({written} records, id {id})");
     }
 
     let recorder = (telemetry != TelemetryLevel::Off).then(|| {
@@ -302,6 +384,19 @@ fn main() {
         }
     }
 
+    // The serving layer's rendered body for this exact run: `render_run`
+    // is a pure function of (canonical config, result), so this file is
+    // byte-identical to what `POST /v1/simulate` returns for the
+    // equivalent request — CI `cmp`s the two.
+    if let Some(path) = &body_out {
+        let body = hmm_serve::response::render_run(&canonical_json(&cfg), &r);
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("error: writing body to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("body written      : {path}");
+    }
+
     let Some(recorder) = recorder else { return };
     let counters = recorder.counters();
     println!(
@@ -390,9 +485,9 @@ fn main() {
                 }
             }
         };
-        if let Some(path) = &trace_out {
+        if let Some(path) = &chrome_out {
             let mhz = CpuClock::default().cpu_mhz;
-            write(path, "trace ", &|w| write_chrome_trace(w, &events, mhz));
+            write(path, "chrome", &|w| write_chrome_trace(w, &events, mhz));
         }
         if let Some(path) = &metrics_out {
             write(path, "csv   ", &|w| write_epoch_csv(w, &rows));

@@ -69,9 +69,13 @@ pub fn render_figures(doc_text: &str) -> Result<String, String> {
             Some(Json::Num(p)) => format!("{p:.3}"),
             _ => "-".into(),
         };
+        // Documents aggregated before the scheme axis existed lack the
+        // field; they were all implicitly the paper's controller.
+        let scheme = row.get("scheme").and_then(Json::as_str).unwrap_or("hetero");
         table.push(cells([
             need_str(row, "workload")?.to_string(),
             need_str(row, "mode")?.to_string(),
+            scheme.to_string(),
             format!("{:.0}", need_f64(row, "page_bytes")?),
             format!("{:.0}", need_f64(row, "interval")?),
             format!("{:.0}", need_f64(row, "seed")?),
@@ -83,7 +87,10 @@ pub fn render_figures(doc_text: &str) -> Result<String, String> {
     }
     let mut out = render_table(
         "sweep figures",
-        &["workload", "mode", "page B", "interval", "seed", "mean lat", "p99 lat", "on%", "power"],
+        &[
+            "workload", "mode", "scheme", "page B", "interval", "seed", "mean lat", "p99 lat",
+            "on%", "power",
+        ],
         &table,
     );
 
@@ -150,6 +157,30 @@ mod tests {
             "scale":64,"page":["64K",65536]}"#;
         let doc = jsonin::parse(&figures_from_spec(spec, 16).unwrap()).unwrap();
         assert_eq!(doc.get("cells").unwrap().as_f64(), Some(1.0), "two spellings, one cell");
+    }
+
+    #[test]
+    fn scheme_column_renders_in_figure_tables() {
+        let spec = r#"{"workload":"pgbench","mode":"live","accesses":3000,
+            "scale":64,"seed":7,"scheme":["hetero","pcm"]}"#;
+        let doc_text = figures_from_spec(spec, 16).unwrap();
+        let doc = jsonin::parse(&doc_text).unwrap();
+        let rows = doc.get("figure_rows").unwrap().as_arr().unwrap();
+        let schemes: Vec<&str> =
+            rows.iter().map(|r| r.get("scheme").unwrap().as_str().unwrap()).collect();
+        assert_eq!(schemes, ["hetero", "pcm"], "one row per scheme, in cell order");
+
+        let text = render_figures(&doc_text).unwrap();
+        let header = text.lines().find(|l| l.contains("workload")).unwrap();
+        assert!(header.contains("scheme"), "missing scheme column: {header}");
+        assert!(text.lines().any(|l| l.contains("pcm")), "{text}");
+        // A pre-scheme document (rows without the field) still renders,
+        // defaulting to the paper's controller.
+        let legacy =
+            doc_text.replace(r#","scheme":"pcm""#, "").replace(r#","scheme":"hetero""#, "");
+        let text = render_figures(&legacy).unwrap();
+        assert!(!text.contains("pcm"), "{text}");
+        assert!(text.lines().filter(|l| l.contains("hetero")).count() >= 2, "{text}");
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! `hmm-ingest` — the content-addressed, durable trace registry.
+//!
+//! The paper's methodology is trace-driven; this crate is how traces get
+//! *into* the system from outside: raw `HMT1` blobs are validated by a
+//! full decode, keyed by the content hash of their bytes, kept hot in the
+//! process-global replay registry (`hmm_workloads::replay`) for the
+//! simulation driver, and — when a directory is configured — persisted
+//! with the same discipline as the serving layer's result store:
+//!
+//! ```text
+//! <dir>/entries/<id>      validated HMT1 blobs, framed with a header
+//! <dir>/quarantine/<id>.N bad files moved aside, never served
+//! <dir>/tmp/              staging for atomic writes
+//! ```
+//!
+//! Every write goes temp-file-then-rename; every read (including boot
+//! rehydration) re-verifies the header — id, length, checksum — *and*
+//! re-decodes the `HMT1` payload, so a blob that cannot replay exactly
+//! as uploaded is quarantined rather than served. There is no engine
+//! stamp: a trace is input data, versioned by its own `HMT1` magic, and
+//! stays valid across engine releases.
+//!
+//! Disk failures degrade, never break, ingestion: a trace whose write
+//! failed is still registered for replay (memory-only, like the result
+//! store's degraded mode), the first failure logs one line, and every
+//! failure is counted.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use hmm_sim_base::snap::snap_hash;
+use hmm_workloads::replay::{self, TraceSummary};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Magic token of the on-disk entry framing.
+const TRACE_MAGIC: &str = "hmm-trace-v1";
+
+#[derive(Debug)]
+struct Dirs {
+    entries: PathBuf,
+    quarantine: PathBuf,
+    tmp: PathBuf,
+}
+
+/// The durable trace registry. All methods take `&self`; the registry is
+/// shared across the serving layer's connection threads.
+#[derive(Debug)]
+pub struct TraceRegistry {
+    dirs: Option<Dirs>,
+    /// id → summary, ordered so listings are deterministic.
+    metas: Mutex<BTreeMap<u64, TraceSummary>>,
+    /// Monotone name disambiguator for temp and quarantine files.
+    seq: AtomicU64,
+    quarantined: AtomicU64,
+    io_errors: AtomicU64,
+    io_error_logged: AtomicBool,
+}
+
+fn entry_name(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+impl TraceRegistry {
+    /// An in-memory registry (no durability); used when the server runs
+    /// without `--store-dir`.
+    pub fn memory() -> Self {
+        Self {
+            dirs: None,
+            metas: Mutex::new(BTreeMap::new()),
+            seq: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            io_error_logged: AtomicBool::new(false),
+        }
+    }
+
+    /// Open (creating if needed) a durable registry rooted at `dir`, and
+    /// rehydrate every verifiable entry into the replay registry.
+    /// Returns the registry and how many traces were restored.
+    pub fn open(dir: &Path) -> std::io::Result<(Self, usize)> {
+        let dirs = Dirs {
+            entries: dir.join("entries"),
+            quarantine: dir.join("quarantine"),
+            tmp: dir.join("tmp"),
+        };
+        for d in [&dirs.entries, &dirs.quarantine, &dirs.tmp] {
+            fs::create_dir_all(d)?;
+        }
+        // Stray temp files are crash leftovers; no live path refers to
+        // them.
+        if let Ok(rd) = fs::read_dir(&dirs.tmp) {
+            for f in rd.flatten() {
+                let _ = fs::remove_file(f.path());
+            }
+        }
+        let reg = Self { dirs: Some(dirs), ..Self::memory() };
+        let restored = reg.rehydrate();
+        Ok((reg, restored))
+    }
+
+    /// Traces moved to quarantine over this registry's lifetime.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Disk I/O failures (ingestion degraded to memory-only for those).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Registered trace count.
+    pub fn len(&self) -> usize {
+        self.metas.lock().unwrap().len()
+    }
+
+    /// Whether no traces are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn io_error(&self, what: &str, e: &std::io::Error) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        if !self.io_error_logged.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "hmm-ingest: trace {what} failed ({e}); continuing memory-only \
+                 (further trace I/O errors are counted, not logged)"
+            );
+        }
+    }
+
+    fn write_atomic(&self, dirs: &Dirs, path: &Path, frame: &[&[u8]]) -> std::io::Result<()> {
+        let staged = dirs.tmp.join(format!(
+            "{}.{}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("trace"),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = fs::File::create(&staged)?;
+        for part in frame {
+            f.write_all(part)?;
+        }
+        f.sync_all()?;
+        drop(f);
+        match fs::rename(&staged, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&staged);
+                Err(e)
+            }
+        }
+    }
+
+    fn quarantine_file(&self, dirs: &Dirs, path: &Path, why: &str) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("trace");
+        let dest =
+            dirs.quarantine.join(format!("{name}.{}", self.seq.fetch_add(1, Ordering::Relaxed)));
+        eprintln!("hmm-ingest: trace entry {name} {why}; quarantined to {}", dest.display());
+        if fs::rename(path, &dest).is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    /// Validate and register one uploaded trace. Idempotent: the content
+    /// hash is the identity, so re-uploading the same bytes returns the
+    /// same summary. Errors are malformed-input diagnostics ("not an
+    /// HMT1 trace", "truncated varint", ...); disk trouble degrades to
+    /// memory-only registration instead of failing the upload.
+    pub fn put(&self, bytes: &[u8]) -> Result<TraceSummary, String> {
+        let data = replay::decode(bytes)?;
+        let summary = data.summary;
+        replay::register(Arc::new(data));
+        if let Some(dirs) = &self.dirs {
+            let path = dirs.entries.join(entry_name(summary.hash));
+            let header = format!("{TRACE_MAGIC} {:016x} {}\n", summary.hash, bytes.len());
+            if let Err(e) = self.write_atomic(dirs, &path, &[header.as_bytes(), bytes]) {
+                self.io_error("write", &e);
+            }
+        }
+        self.metas.lock().unwrap().insert(summary.hash, summary);
+        Ok(summary)
+    }
+
+    /// Summary of a registered trace.
+    pub fn get(&self, hash: u64) -> Option<TraceSummary> {
+        self.metas.lock().unwrap().get(&hash).copied()
+    }
+
+    /// All registered summaries, in id order.
+    pub fn list(&self) -> Vec<TraceSummary> {
+        self.metas.lock().unwrap().values().copied().collect()
+    }
+
+    /// Remove a trace: forget its summary, unregister it from the replay
+    /// registry, and delete its blob. Returns whether it existed. Runs
+    /// already holding the decoded records are unaffected.
+    pub fn delete(&self, hash: u64) -> bool {
+        let existed = self.metas.lock().unwrap().remove(&hash).is_some();
+        if existed {
+            replay::unregister(hash);
+            if let Some(dirs) = &self.dirs {
+                let path = dirs.entries.join(entry_name(hash));
+                match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => self.io_error("delete", &e),
+                }
+            }
+        }
+        existed
+    }
+
+    /// Scan `entries/`, verify every blob end to end (framing, checksum,
+    /// full `HMT1` decode), register the good ones and quarantine the
+    /// rest. Called once from `open`.
+    fn rehydrate(&self) -> usize {
+        let Some(dirs) = &self.dirs else { return 0 };
+        let Ok(rd) = fs::read_dir(&dirs.entries) else { return 0 };
+        let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+        for f in rd.flatten() {
+            let path = f.path();
+            let Some(hash) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| (n.len() == 16).then(|| u64::from_str_radix(n, 16).ok()).flatten())
+            else {
+                // Not one of ours; leave it alone.
+                continue;
+            };
+            paths.push((hash, path));
+        }
+        paths.sort();
+        let mut restored = 0;
+        for (hash, path) in paths {
+            let raw = match fs::read(&path) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    self.io_error("read", &e);
+                    continue;
+                }
+            };
+            match parse_entry(hash, &raw) {
+                Ok(data) => {
+                    let summary = data.summary;
+                    replay::register(Arc::new(data));
+                    self.metas.lock().unwrap().insert(hash, summary);
+                    restored += 1;
+                }
+                Err(why) => self.quarantine_file(dirs, &path, &why),
+            }
+        }
+        restored
+    }
+}
+
+/// Verify one stored blob end to end and decode it. Any failure is a
+/// corruption diagnostic (there is no "stale" arm — traces are
+/// engine-independent input data).
+fn parse_entry(hash: u64, raw: &[u8]) -> Result<replay::TraceData, String> {
+    let nl = raw.iter().position(|&b| b == b'\n').ok_or("has no header line")?;
+    let header = std::str::from_utf8(&raw[..nl]).map_err(|_| "header not UTF-8")?;
+    let fields: Vec<&str> = header.split(' ').collect();
+    let [magic, hkey, len] = fields[..] else {
+        return Err(format!("header has {} fields, want 3", fields.len()));
+    };
+    if magic != TRACE_MAGIC {
+        return Err(format!("bad magic '{magic}'"));
+    }
+    if u64::from_str_radix(hkey, 16) != Ok(hash) {
+        return Err(format!("header id {hkey} disagrees with file name"));
+    }
+    let len: usize = len.parse().map_err(|_| "unparsable body length")?;
+    let body = &raw[nl + 1..];
+    if body.len() != len {
+        return Err(format!("body is {} bytes, header says {len}", body.len()));
+    }
+    if snap_hash(body) != hash {
+        return Err("fails its content hash".into());
+    }
+    let data = replay::decode(body).map_err(|e| format!("does not decode: {e}"))?;
+    debug_assert_eq!(data.summary.hash, hash);
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_sim_base::config::SimScale;
+    use hmm_workloads::{workload, write_binary, WorkloadId};
+
+    fn sample_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let recs = workload(WorkloadId::Pgbench, &SimScale { divisor: 256 }).records(seed, n);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, recs).unwrap();
+        buf
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hmm-ingest-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_put_get_list_delete() {
+        let reg = TraceRegistry::memory();
+        let a = reg.put(&sample_bytes(500, 1)).unwrap();
+        let b = reg.put(&sample_bytes(500, 2)).unwrap();
+        assert_ne!(a.hash, b.hash);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(a.hash), Some(a));
+        let ids: Vec<u64> = reg.list().iter().map(|s| s.hash).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "listing is id-ordered");
+        assert!(replay::lookup(a.hash).is_some(), "put registers for replay");
+        assert!(reg.delete(a.hash));
+        assert!(!reg.delete(a.hash), "second delete is a miss");
+        assert!(reg.get(a.hash).is_none());
+        assert!(replay::lookup(a.hash).is_none(), "delete unregisters replay");
+        reg.delete(b.hash);
+    }
+
+    #[test]
+    fn put_is_idempotent_by_content() {
+        let reg = TraceRegistry::memory();
+        let bytes = sample_bytes(300, 3);
+        let a = reg.put(&bytes).unwrap();
+        let b = reg.put(&bytes).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        reg.delete(a.hash);
+    }
+
+    #[test]
+    fn rejects_malformed_uploads() {
+        let reg = TraceRegistry::memory();
+        assert!(reg.put(b"NOPE").unwrap_err().contains("not an HMT1 trace"));
+        let mut truncated = sample_bytes(50, 4);
+        truncated.truncate(truncated.len() - 1);
+        assert!(reg.put(&truncated).is_err());
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn durable_round_trip_survives_reopen() {
+        let dir = tmpdir("reopen");
+        let bytes = sample_bytes(400, 5);
+        let summary = {
+            let (reg, restored) = TraceRegistry::open(&dir).unwrap();
+            assert_eq!(restored, 0);
+            reg.put(&bytes).unwrap()
+        };
+        replay::unregister(summary.hash); // simulate process death
+        let (reg, restored) = TraceRegistry::open(&dir).unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(reg.get(summary.hash), Some(summary));
+        assert!(replay::lookup(summary.hash).is_some(), "rehydration re-registers replay");
+        reg.delete(summary.hash);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blob_is_quarantined_never_served() {
+        let dir = tmpdir("corrupt");
+        let bytes = sample_bytes(200, 6);
+        let summary = {
+            let (reg, _) = TraceRegistry::open(&dir).unwrap();
+            reg.put(&bytes).unwrap()
+        };
+        replay::unregister(summary.hash);
+        // Flip one payload byte on disk.
+        let path = dir.join("entries").join(entry_name(summary.hash));
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+
+        let (reg, restored) = TraceRegistry::open(&dir).unwrap();
+        assert_eq!(restored, 0);
+        assert_eq!(reg.quarantined(), 1);
+        assert!(reg.get(summary.hash).is_none(), "corrupt blob must never be served");
+        assert!(replay::lookup(summary.hash).is_none());
+        assert!(!path.exists(), "bad blob left the live path");
+        assert_eq!(fs::read_dir(dir.join("quarantine")).unwrap().count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_blob_is_quarantined() {
+        let dir = tmpdir("torn");
+        let summary = {
+            let (reg, _) = TraceRegistry::open(&dir).unwrap();
+            reg.put(&sample_bytes(200, 7)).unwrap()
+        };
+        replay::unregister(summary.hash);
+        let path = dir.join("entries").join(entry_name(summary.hash));
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let (reg, restored) = TraceRegistry::open(&dir).unwrap();
+        assert_eq!(restored, 0);
+        assert_eq!(reg.quarantined(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_removes_the_blob_from_disk() {
+        let dir = tmpdir("delete");
+        let (reg, _) = TraceRegistry::open(&dir).unwrap();
+        let summary = reg.put(&sample_bytes(150, 8)).unwrap();
+        let path = dir.join("entries").join(entry_name(summary.hash));
+        assert!(path.exists());
+        assert!(reg.delete(summary.hash));
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_leftovers_are_cleared_on_open() {
+        let dir = tmpdir("leftover");
+        fs::create_dir_all(dir.join("tmp")).unwrap();
+        fs::write(dir.join("tmp").join("trace.0"), b"half-written").unwrap();
+        let _ = TraceRegistry::open(&dir).unwrap();
+        assert_eq!(fs::read_dir(dir.join("tmp")).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

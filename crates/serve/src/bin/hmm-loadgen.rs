@@ -7,6 +7,8 @@
 //!             [--timeout-ms 30000] [--check]
 //! hmm-loadgen --addr <host:port> --sweep <spec-json|@file> [--timeout-ms <n>]
 //!             [--check] [--figures-out <file>]
+//! hmm-loadgen --addr <host:port> --traces <n> [--accesses <n>] [--seed <n>]
+//!             [--timeout-ms <n>] [--check]
 //! ```
 //!
 //! Spawns `--concurrency` client threads, each issuing
@@ -34,6 +36,15 @@
 //! bodies, which must reconcile byte-for-byte. `--figures-out` saves
 //! the aggregated figures document, byte-identical to what the server
 //! rendered, for offline comparison or `hmm-bench sweep --doc`.
+//!
+//! `--traces` switches to trace-ingest traffic: each round generates a
+//! distinct `HMT1` trace, uploads it (`POST /v1/traces`), submits an
+//! async simulate-by-id job, and tails `GET /v1/jobs/<id>/events` to
+//! its EOF, asserting the epoch frames are monotone and the stream ends
+//! cleanly exactly when the job turns terminal. With `--check` the
+//! `/metrics` deltas for `traces_uploaded`, `trace_sim_runs`,
+//! `event_subscribers`, and `event_frames_dropped` must equal what this
+//! client counted.
 
 use hmm_core::Mode;
 use hmm_serve::client::request;
@@ -51,7 +62,9 @@ fn usage() -> ! {
          [--requests <n>] [--workloads <w,...>] [--modes <m,...>] [--accesses <n>] \
          [--scale <divisor>] [--seed <n>] [--unique] [--timeout-ms <n>] [--check]\n\
          \x20      hmm-loadgen --addr <host:port> --sweep <spec-json|@file> \
-         [--timeout-ms <n>] [--check] [--figures-out <file>]"
+         [--timeout-ms <n>] [--check] [--figures-out <file>]\n\
+         \x20      hmm-loadgen --addr <host:port> --traces <n> [--accesses <n>] \
+         [--seed <n>] [--timeout-ms <n>] [--check]"
     );
     std::process::exit(2)
 }
@@ -385,6 +398,141 @@ fn run_sweep(
     Ok(())
 }
 
+/// Trace-ingest traffic mode: generate → upload → simulate-by-id →
+/// tail the event stream, `count` times, then reconcile the `/metrics`
+/// deltas against the client-side tallies.
+///
+/// Every round's trace has a distinct record count, so each upload is a
+/// distinct content hash and each job a distinct cache key within one
+/// invocation; re-running with the same `--seed` against a warm server
+/// legitimately cache-hits, which is why fresh simulations are counted
+/// from the `X-Cache: miss` submit responses rather than assumed.
+fn run_traces(
+    addr: SocketAddr,
+    count: u64,
+    accesses: u64,
+    seed: u64,
+    timeout: Duration,
+    check: bool,
+) -> Result<(), String> {
+    use hmm_serve::client::{request_bytes, stream_lines};
+    use hmm_sim_base::config::SimScale;
+
+    let fetch_metrics = || -> Result<String, String> {
+        let resp = request(addr, "GET", "/metrics", "", timeout)
+            .map_err(|e| format!("fetching /metrics failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("/metrics answered {}", resp.status));
+        }
+        Ok(resp.body)
+    };
+    let metrics_field = |body: &str, name: &str| -> Result<u64, String> {
+        let doc = jsonin::parse(body).map_err(|e| format!("/metrics body: {e}"))?;
+        doc.get(name)
+            .and_then(|v| v.as_f64())
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("/metrics is missing '{name}'"))
+    };
+    let before = fetch_metrics()?;
+
+    let (mut uploaded, mut fresh, mut subscribed) = (0u64, 0u64, 0u64);
+    let (mut frames_total, mut dropped_seen) = (0u64, 0u64);
+    for i in 0..count {
+        let recs = hmm_workloads::workload(WorkloadId::Pgbench, &SimScale { divisor: 256 })
+            .records(seed.wrapping_add(i), (1_000 + 17 * i) as usize);
+        let mut bytes = Vec::new();
+        hmm_workloads::write_binary(&mut bytes, recs)
+            .map_err(|e| format!("encoding trace {i}: {e}"))?;
+        let resp = request_bytes(addr, "POST", "/v1/traces", &bytes, timeout)
+            .map_err(|e| format!("uploading trace {i} failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("POST /v1/traces answered {}: {}", resp.status, resp.body));
+        }
+        uploaded += 1;
+        let doc = jsonin::parse(&resp.body).map_err(|e| format!("upload response: {e}"))?;
+        let id =
+            doc.get("id").and_then(|v| v.as_str()).ok_or("upload response lacks 'id'")?.to_string();
+
+        let body = format!(
+            "{{\"workload\":{{\"trace\":\"{id}\"}},\"mode\":\"live\",\"accesses\":{accesses}}}"
+        );
+        let resp = request(addr, "POST", "/v1/jobs", &body, timeout)
+            .map_err(|e| format!("submitting job for trace {id} failed: {e}"))?;
+        if resp.status != 202 {
+            return Err(format!("POST /v1/jobs answered {}: {}", resp.status, resp.body));
+        }
+        if resp.header("x-cache") == Some("miss") {
+            fresh += 1;
+        }
+        let doc = jsonin::parse(&resp.body).map_err(|e| format!("job submit response: {e}"))?;
+        let job =
+            doc.get("id").and_then(|v| v.as_f64()).ok_or("job submit response lacks 'id'")? as u64;
+
+        let stream = stream_lines(addr, &format!("/v1/jobs/{job}/events"), timeout, |_| ())
+            .map_err(|e| format!("event stream for job {job} failed: {e}"))?;
+        subscribed += 1;
+        if stream.status != 200 {
+            return Err(format!("GET /v1/jobs/{job}/events answered {}", stream.status));
+        }
+        if !stream.clean_eof {
+            return Err(format!("event stream for job {job} ended without a clean EOF"));
+        }
+        let mut last_epoch: Option<u64> = None;
+        for line in &stream.lines {
+            let doc = jsonin::parse(line).map_err(|e| format!("event frame '{line}': {e}"))?;
+            if let Some(n) = doc.get("dropped").and_then(|v| v.as_f64()) {
+                dropped_seen += n as u64;
+                continue;
+            }
+            let epoch =
+                doc.get("epoch")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("frame lacks 'epoch': {line}"))? as u64;
+            if last_epoch.is_some_and(|last| epoch <= last) {
+                return Err(format!("epoch frames not monotone: {epoch} after {last_epoch:?}"));
+            }
+            last_epoch = Some(epoch);
+            frames_total += 1;
+        }
+        if last_epoch.is_none() {
+            return Err(format!("event stream for job {job} carried no epoch frames"));
+        }
+        // EOF fires exactly at the terminal transition, so the job must
+        // already be terminal — and successfully so.
+        let resp = request(addr, "GET", &format!("/v1/jobs/{job}"), "", timeout)
+            .map_err(|e| format!("polling job {job} failed: {e}"))?;
+        let doc = jsonin::parse(&resp.body).map_err(|e| format!("job status body: {e}"))?;
+        match doc.get("status").and_then(|v| v.as_str()) {
+            Some("done") => {}
+            other => return Err(format!("job {job} is {other:?} after its event stream EOF")),
+        }
+    }
+    println!(
+        "hmm-loadgen: trace phase: {uploaded} uploaded, {fresh} simulated fresh, \
+         {subscribed} event streams ({frames_total} epoch frames, {dropped_seen} dropped)"
+    );
+
+    if !check {
+        return Ok(());
+    }
+    let after = fetch_metrics()?;
+    for (name, want) in [
+        ("traces_uploaded", uploaded),
+        ("trace_sim_runs", fresh),
+        ("event_subscribers", subscribed),
+        ("event_frames_dropped", dropped_seen),
+    ] {
+        let delta = metrics_field(&after, name)?
+            .checked_sub(metrics_field(&before, name)?)
+            .ok_or_else(|| format!("'{name}' went backwards across the run"))?;
+        if delta != want {
+            return Err(format!("'{name}' moved by {delta}, but this client counted {want}"));
+        }
+    }
+    println!("  check: trace/event counters reconcile with client counts");
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<SocketAddr> = None;
@@ -401,6 +549,7 @@ fn main() {
     let mut check = false;
     let mut sweep: Option<String> = None;
     let mut figures_out: Option<String> = None;
+    let mut traces: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -437,6 +586,7 @@ fn main() {
             "--check" => check = true,
             "--sweep" => sweep = Some(val()),
             "--figures-out" => figures_out = Some(val()),
+            "--traces" => traces = Some(num("--traces", val()).max(1)),
             "--help" | "-h" => usage(),
             other => fail(&format!("unknown flag '{other}' (try --help)")),
         }
@@ -448,6 +598,19 @@ fn main() {
 
     if figures_out.is_some() && sweep.is_none() {
         fail("--figures-out only makes sense with --sweep");
+    }
+    if traces.is_some() && sweep.is_some() {
+        fail("--traces and --sweep are separate traffic modes; pick one");
+    }
+    if let Some(count) = traces {
+        let timeout = Duration::from_millis(timeout_ms);
+        match run_traces(addr, count, accesses, seed, timeout, check) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("hmm-loadgen: trace phase failed: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(spec) = sweep {
         let timeout = Duration::from_millis(timeout_ms);

@@ -4,7 +4,7 @@
 //! hmm-serve [--addr 127.0.0.1:0] [--workers 4] [--conn-threads 16]
 //!           [--queue-depth 32] [--cache-entries 256]
 //!           [--max-accesses 2000000] [--sync-timeout-ms 30000]
-//!           [--sjf] [--max-sweep-cells 1024]
+//!           [--sjf] [--max-sweep-cells 1024] [--max-trace-bytes 8M]
 //!           [--store-dir path] [--store-max-bytes 256M]
 //!           [--snapshot-every 500000]
 //!           [--coordinator --peers host:port,host:port,...]
@@ -27,6 +27,7 @@ fn usage() -> ! {
         "usage: hmm-serve [--addr <host:port>] [--workers <n>] [--conn-threads <n>] \
          [--queue-depth <n>] [--cache-entries <n>] [--max-accesses <n>] \
          [--sync-timeout-ms <n>] [--sjf] [--max-sweep-cells <n>] \
+         [--max-trace-bytes <n[K|M|G]>] \
          [--store-dir <path>] [--store-max-bytes <n[K|M|G]>] [--snapshot-every <n>] \
          [--coordinator --peers <host:port,...>]"
     );
@@ -92,6 +93,15 @@ fn main() {
             "--sjf" => cfg.sjf = true,
             "--max-sweep-cells" => {
                 cfg.max_sweep_cells = num("--max-sweep-cells", val()).max(1) as usize
+            }
+            "--max-trace-bytes" => {
+                let v = val();
+                match hmm_sim_base::config::parse_size(&v) {
+                    Some(bytes) if bytes > 0 => cfg.max_trace_bytes = bytes as usize,
+                    _ => fail(&format!(
+                        "invalid size for --max-trace-bytes: '{v}' (want e.g. 1048576, 8M)"
+                    )),
+                }
             }
             "--store-dir" => {
                 let dir = val();

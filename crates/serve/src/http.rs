@@ -7,7 +7,18 @@
 //! keeps the drain path fast — a handler thread is never parked on an
 //! idle keep-alive connection — at the cost of one TCP handshake per
 //! request, which is noise on the loopback paths this server is built
-//! for. Chunked transfer encoding is intentionally rejected (`501`).
+//! for. Chunked transfer encoding is rejected on *requests* (`501`);
+//! on responses it is used by exactly one endpoint, the live job event
+//! stream, via [`write_chunked_head`] / [`write_chunk`] /
+//! [`finish_chunked`].
+//!
+//! Bodies are read as raw bytes: trace uploads are binary, so the UTF-8
+//! requirement lives with the JSON routes ([`Request::body_str`]), not
+//! the framing layer. The body limit is decided *per route* — the head
+//! is parsed first, then [`read_request_with`] asks the caller how many
+//! body bytes this particular method/path may carry, and a
+//! `Content-Length` beyond that answers `413` before a single body byte
+//! is read.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -24,8 +35,8 @@ pub struct Request {
     pub path: String,
     /// Header name/value pairs, names lowercased.
     pub headers: Vec<(String, String)>,
-    /// Decoded UTF-8 body (empty when no `Content-Length`).
-    pub body: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -33,6 +44,11 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         let name = name.to_ascii_lowercase();
         self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text, for the JSON routes.
+    pub fn body_str(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())
     }
 }
 
@@ -48,9 +64,21 @@ pub enum ReadError {
     Bad(u16, String),
 }
 
+/// Read one request with a single body limit for every route.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    read_request_with(stream, |_| max_body)
+}
+
 /// Read one request from the stream. The stream's read timeout (set by
 /// the caller) bounds how long a slow client can hold the handler.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+/// `limit_for` sees the parsed head (method, path, headers — body still
+/// empty) and returns the body limit for that route; a declared
+/// `Content-Length` above it is refused with `413` without reading the
+/// body.
+pub fn read_request_with(
+    stream: &mut TcpStream,
+    limit_for: impl FnOnce(&Request) -> usize,
+) -> Result<Request, ReadError> {
     let head = read_head(stream)?;
     let head_text = String::from_utf8(head)
         .map_err(|_| ReadError::Bad(400, "request head is not UTF-8".into()))?;
@@ -80,7 +108,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         method: method.to_ascii_uppercase(),
         path: path.to_string(),
         headers,
-        body: String::new(),
+        body: Vec::new(),
     };
 
     if req.header("transfer-encoding").is_some() {
@@ -92,6 +120,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             .parse::<usize>()
             .map_err(|_| ReadError::Bad(400, format!("invalid content-length '{v}'")))?,
     };
+    let max_body = limit_for(&req);
     if content_length > max_body {
         return Err(ReadError::Bad(
             413,
@@ -100,8 +129,6 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body).map_err(map_io)?;
-    let body =
-        String::from_utf8(body).map_err(|_| ReadError::Bad(400, "body is not UTF-8".into()))?;
     Ok(Request { body, ..req })
 }
 
@@ -210,6 +237,40 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Resul
     stream.flush()
 }
 
+/// Start a chunked response: status line plus `Transfer-Encoding:
+/// chunked`, no `Content-Length`. The caller then streams
+/// [`write_chunk`]s and ends with [`finish_chunked`]; a client seeing
+/// the terminating zero chunk knows the stream ended on purpose, while
+/// a connection that dies earlier is a visibly truncated body.
+pub fn write_chunked_head(stream: &mut TcpStream, status: u16) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+        status,
+        status_text(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Send one chunk (hex size line, payload, CRLF). Empty payloads are
+/// skipped — a zero-size chunk would terminate the stream.
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    let mut msg = format!("{:x}\r\n", data.len()).into_bytes();
+    msg.extend_from_slice(data);
+    msg.extend_from_slice(b"\r\n");
+    stream.write_all(&msg)?;
+    stream.flush()
+}
+
+/// Terminate a chunked response cleanly.
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 /// Reason phrase for the status codes this server emits.
 pub fn status_text(status: u16) -> &'static str {
     match status {
@@ -260,14 +321,79 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/simulate");
         assert_eq!(req.header("host"), Some("x"));
-        assert_eq!(req.body, "abcd");
+        assert_eq!(req.body_str().unwrap(), "abcd");
     }
 
     #[test]
     fn parses_get_without_body() {
         let req = parse_raw(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
-        assert_eq!(req.body, "");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn binary_bodies_survive_and_utf8_is_a_route_concern() {
+        let req =
+            parse_raw(b"POST /v1/traces HTTP/1.1\r\nContent-Length: 4\r\n\r\n\x00\xff\x01\x02")
+                .unwrap();
+        assert_eq!(req.body, vec![0x00, 0xff, 0x01, 0x02]);
+        assert!(req.body_str().is_err(), "JSON routes still reject non-UTF-8");
+    }
+
+    #[test]
+    fn body_limit_is_decided_per_route() {
+        // Same Content-Length, two routes, two limits: the raised limit
+        // accepts what the default refuses, and the refusal is a 413
+        // issued from the framing layer before any body byte is read.
+        let run =
+            |raw: &'static [u8]| {
+                let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                let addr = listener.local_addr().unwrap();
+                let writer = thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.write_all(raw).unwrap();
+                });
+                let (mut stream, _) = listener.accept().unwrap();
+                let r = read_request_with(&mut stream, |head| {
+                    if head.path == "/v1/traces" {
+                        1 << 20
+                    } else {
+                        8
+                    }
+                });
+                writer.join().unwrap();
+                r
+            };
+        let ok = run(b"POST /v1/traces HTTP/1.1\r\nContent-Length: 16\r\n\r\nzzzzzzzzzzzzzzzz");
+        assert_eq!(ok.unwrap().body.len(), 16);
+        match run(b"POST /v1/simulate HTTP/1.1\r\nContent-Length: 16\r\n\r\nzzzzzzzzzzzzzzzz") {
+            Err(ReadError::Bad(413, msg)) => assert!(msg.contains("8-byte limit"), "{msg}"),
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_response_frames_and_terminates() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_chunked_head(&mut stream, 200).unwrap();
+        write_chunk(&mut stream, b"{\"epoch\":0}\n").unwrap();
+        write_chunk(&mut stream, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut stream, b"{\"epoch\":1}\n").unwrap();
+        finish_chunked(&mut stream).unwrap();
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("c\r\n{\"epoch\":0}\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "clean terminator: {text}");
     }
 
     #[test]

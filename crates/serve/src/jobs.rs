@@ -16,9 +16,15 @@
 
 use hmm_sim_base::FxHashMap;
 use hmm_simulator::driver::RunConfig;
+use hmm_telemetry::FrameHub;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Epoch frames retained per job for late event-stream subscribers. A
+/// subscriber further behind than this receives an explicit `dropped`
+/// frame instead of silently missing data.
+pub const EVENT_FRAME_CAPACITY: usize = 512;
 
 /// Monotonically increasing job identifier.
 pub type JobId = u64;
@@ -67,6 +73,10 @@ pub struct Job {
     pub canonical: String,
     /// The configuration a worker will run.
     pub cfg: RunConfig,
+    /// Live per-epoch progress frames for `GET /v1/jobs/<id>/events`.
+    /// The worker feeds it while running; any terminal transition closes
+    /// it, so subscribers always reach a clean EOF.
+    pub hub: Arc<FrameHub>,
     state: Mutex<JobState>,
     done: Condvar,
 }
@@ -79,6 +89,7 @@ impl Job {
             key,
             canonical,
             cfg,
+            hub: Arc::new(FrameHub::new(EVENT_FRAME_CAPACITY)),
             state: Mutex::new(JobState::Queued),
             done: Condvar::new(),
         })
@@ -107,6 +118,9 @@ impl Job {
         debug_assert!(!state.is_terminal(), "job {} finished twice", self.id);
         *state = next;
         drop(state);
+        // Close the event stream exactly when the job turns terminal:
+        // subscribers drain whatever frames remain, then see EOF.
+        self.hub.close();
         self.done.notify_all();
     }
 
@@ -128,6 +142,7 @@ impl Job {
             JobState::Queued => {
                 *state = JobState::Cancelled;
                 drop(state);
+                self.hub.close();
                 self.done.notify_all();
                 true
             }

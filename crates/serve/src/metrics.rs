@@ -88,6 +88,15 @@ pub struct ServerMetrics {
     pub store_corrupt_quarantined: AtomicU64,
     /// Store I/O failures absorbed by memory-only degradation.
     pub store_io_errors: AtomicU64,
+    /// Traces accepted by `POST /v1/traces` (validated and registered).
+    pub traces_uploaded: AtomicU64,
+    /// Simulations executed against an uploaded trace.
+    pub trace_sim_runs: AtomicU64,
+    /// Event-stream subscriptions served (`GET /v1/jobs/<id>/events`).
+    pub event_subscribers: AtomicU64,
+    /// Event frames subscribers lost to bounded lag (the sum of every
+    /// `dropped` frame the server sent).
+    pub event_frames_dropped: AtomicU64,
     latency: Mutex<Latency>,
     sim: Mutex<SimTotals>,
 }
@@ -120,6 +129,10 @@ impl Default for ServerMetrics {
             resumed_jobs: AtomicU64::new(0),
             store_corrupt_quarantined: AtomicU64::new(0),
             store_io_errors: AtomicU64::new(0),
+            traces_uploaded: AtomicU64::new(0),
+            trace_sim_runs: AtomicU64::new(0),
+            event_subscribers: AtomicU64::new(0),
+            event_frames_dropped: AtomicU64::new(0),
             latency: Mutex::new(Latency::default()),
             sim: Mutex::new(SimTotals::default()),
         }
@@ -210,6 +223,11 @@ impl ServerMetrics {
             .u64("resumed_jobs", get(&self.resumed_jobs))
             .u64("store_corrupt_quarantined", get(&self.store_corrupt_quarantined))
             .u64("store_io_errors", get(&self.store_io_errors))
+            .u64("traces_stored", sample.traces_stored as u64)
+            .u64("traces_uploaded", get(&self.traces_uploaded))
+            .u64("trace_sim_runs", get(&self.trace_sim_runs))
+            .u64("event_subscribers", get(&self.event_subscribers))
+            .u64("event_frames_dropped", get(&self.event_frames_dropped))
             .raw("latency", &lat_json)
             .u64("runs_with_swaps", runs_with_swaps)
             .raw("controller_totals", &sim_json)
@@ -242,6 +260,8 @@ pub struct GaugeSample<'a> {
     pub store_entries: usize,
     /// Result-body bytes on disk (0 without a store).
     pub store_bytes: u64,
+    /// Traces currently registered in the trace registry.
+    pub traces_stored: usize,
     /// Unused lifetime anchor so future samples can borrow.
     pub _marker: std::marker::PhantomData<&'a ()>,
 }
@@ -269,6 +289,7 @@ mod tests {
             store_configured: false,
             store_entries: 0,
             store_bytes: 0,
+            traces_stored: 0,
             _marker: std::marker::PhantomData,
         }
     }

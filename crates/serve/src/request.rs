@@ -38,10 +38,10 @@
 use hmm_core::{validate_scheme, MigrationPolicy, Mode, SchemeId};
 use hmm_fault::FaultPlan;
 use hmm_sim_base::config::{parse_size, SimScale};
-use hmm_simulator::driver::RunConfig;
+use hmm_simulator::driver::{RunConfig, TraceRef};
 use hmm_simulator::wire;
 use hmm_telemetry::jsonin::{self, Json};
-use hmm_workloads::WorkloadId;
+use hmm_workloads::{replay, WorkloadId};
 
 // The canonical rendering and its hash live in `hmm_simulator::wire` so
 // the sweep subsystem and the coordinator share one definition; they are
@@ -100,6 +100,48 @@ fn field_shift(v: &Json, name: &str) -> Result<u32, String> {
     Ok(n as u32)
 }
 
+/// Resolve an object-valued `workload` — `{"trace": "<id>", ...}` — to
+/// a [`TraceRef`] against the process-global replay registry.
+///
+/// The bare form `{"trace": "<id>"}` is what clients write; the
+/// canonical rendering additionally carries the summary fields
+/// (`records`, `ticks`, `max_line`), and when those are present they
+/// must *agree* with the registered trace — an inline summary is an
+/// integrity claim, never an override, so a forged summary cannot mint
+/// a cache key for a simulation that was not run.
+fn trace_from_request(v: &Json) -> Result<TraceRef, String> {
+    let Json::Obj(fields) = v else {
+        return Err("field 'workload' must be a string or a trace object".into());
+    };
+    for (name, _) in fields {
+        if !["trace", "records", "ticks", "max_line"].contains(&name.as_str()) {
+            return Err(format!("unknown trace field '{name}'"));
+        }
+    }
+    let id = v
+        .get("trace")
+        .ok_or("trace object requires field 'trace'")?
+        .as_str()
+        .ok_or("field 'trace' must be a string")?;
+    let hash = replay::parse_trace_id(id)
+        .ok_or_else(|| format!("invalid trace id '{id}' (want 16 hex digits)"))?;
+    let Some(summary) = replay::summary(hash) else {
+        return Err(format!("unknown trace '{id}' (upload it first via POST /v1/traces)"));
+    };
+    let t = TraceRef::from_summary(&summary);
+    for (name, want) in [("records", t.records), ("ticks", t.last_tick), ("max_line", t.max_line)] {
+        if let Some(val) = v.get(name) {
+            let got = field_u64(val, name)?;
+            if got != want {
+                return Err(format!(
+                    "trace '{name}' of {got} disagrees with the registered trace ({want})"
+                ));
+            }
+        }
+    }
+    Ok(t)
+}
+
 /// Parse one request body into a resolved, validated [`SimRequest`].
 pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
     let doc = jsonin::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -108,6 +150,7 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
     };
 
     let mut workload: Option<WorkloadId> = None;
+    let mut trace: Option<TraceRef> = None;
     let mut mode: Option<Mode> = None;
     let mut page = 64u64 << 10;
     let mut sub_block: Option<u64> = None;
@@ -131,7 +174,10 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
             value.as_str().ok_or_else(|| format!("field '{name}' must be a string")).map(str::trim)
         };
         match name.as_str() {
-            "workload" => workload = Some(as_str()?.parse()?),
+            "workload" => match value {
+                Json::Obj(_) => trace = Some(trace_from_request(value)?),
+                _ => workload = Some(as_str()?.parse()?),
+            },
             "mode" => mode = Some(as_str()?.parse()?),
             "page" => page = field_size(value, name)?,
             "page_shift" => page = 1u64 << field_shift(value, name)?,
@@ -166,7 +212,13 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
         }
     }
 
-    let workload = workload.ok_or("field 'workload' is required")?;
+    // A trace replay fills the workload slot; the synthetic id becomes
+    // an inert placeholder (the canonical form renders neither it nor
+    // the seed, so they cannot split cache keys).
+    let workload = match &trace {
+        Some(_) => WorkloadId::Pgbench,
+        None => workload.ok_or("field 'workload' is required")?,
+    };
     let mode = mode.ok_or("field 'mode' is required")?;
     if !page.is_power_of_two() {
         return Err(format!("'page' must be a power of two, got {page}"));
@@ -217,6 +269,7 @@ pub fn parse_body(body: &str, limits: &Limits) -> Result<SimRequest, String> {
         faults,
         scheme,
         migration,
+        trace,
     };
     cfg.geometry().validate().map_err(|e| format!("invalid memory geometry: {e}"))?;
 
@@ -281,6 +334,61 @@ mod tests {
             let v = parse_body(variant, &Limits::default()).unwrap();
             assert_ne!(v.key, base.key, "{variant} must change the cache key");
         }
+    }
+
+    #[test]
+    fn trace_requests_resolve_against_the_replay_registry() {
+        use hmm_sim_base::config::SimScale;
+        use std::sync::Arc;
+        // Register a real trace; its id becomes addressable in requests.
+        let recs = hmm_workloads::workload(WorkloadId::Pgbench, &SimScale { divisor: 256 })
+            .records(0x7e57_0001, 300);
+        let mut bytes = Vec::new();
+        hmm_workloads::write_binary(&mut bytes, recs).unwrap();
+        let data = replay::decode(&bytes).unwrap();
+        let summary = data.summary;
+        replay::register(Arc::new(data));
+        let id = summary.id();
+
+        let bare = format!(r#"{{"workload":{{"trace":"{id}"}},"mode":"live"}}"#);
+        let r = parse_body(&bare, &Limits::default()).unwrap();
+        assert_eq!(r.cfg.trace, Some(TraceRef::from_summary(&summary)));
+        assert!(r.canonical.contains(&id), "{}", r.canonical);
+        assert!(r.canonical.contains(r#""seed":0"#), "seed is inert under replay");
+
+        // The canonical (summary-carrying) spelling maps to the same key,
+        // and the seed — which only feeds the synthetic generator — is
+        // inert. (`scale` stays live: it scales the geometry either way.)
+        let full = format!(
+            r#"{{"workload":{{"trace":"{id}","records":{},"ticks":{},"max_line":{}}},
+                "mode":"live","seed":99}}"#,
+            summary.records, summary.last_tick, summary.max_line
+        );
+        let f = parse_body(&full, &Limits::default()).unwrap();
+        assert_eq!(f.key, r.key, "summary spelling and the seed must not change the key");
+
+        // A forged summary is an integrity failure, not an override.
+        let forged = format!(r#"{{"workload":{{"trace":"{id}","records":7}},"mode":"live"}}"#);
+        let err = parse_body(&forged, &Limits::default()).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+
+        // Unknown ids, malformed ids, and junk fields are rejected.
+        for (body, want) in [
+            (
+                r#"{"workload":{"trace":"00000000000000aa"},"mode":"live"}"#.to_string(),
+                "unknown trace",
+            ),
+            (r#"{"workload":{"trace":"xyz"},"mode":"live"}"#.to_string(), "invalid trace id"),
+            (
+                format!(r#"{{"workload":{{"trace":"{id}","evil":1}},"mode":"live"}}"#),
+                "unknown trace field",
+            ),
+            (r#"{"workload":{},"mode":"live"}"#.to_string(), "requires field 'trace'"),
+        ] {
+            let err = parse_body(&body, &Limits::default()).unwrap_err();
+            assert!(err.contains(want), "{body} -> {err}");
+        }
+        replay::unregister(summary.hash);
     }
 
     #[test]

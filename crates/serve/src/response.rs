@@ -101,6 +101,18 @@ pub fn error_body(message: &str) -> String {
     JsonObject::new().str("error", message).finish()
 }
 
+/// Render one trace-registry entry (`POST`/`GET /v1/traces`).
+pub fn trace_summary_json(s: &hmm_workloads::TraceSummary) -> String {
+    JsonObject::new()
+        .str("id", &s.id())
+        .u64("records", s.records)
+        .u64("ticks", s.last_tick)
+        .u64("max_line", s.max_line)
+        .u64("footprint_bytes", s.footprint_bytes())
+        .f64("read_fraction", s.read_fraction())
+        .finish()
+}
+
 /// Render the status document for a job (`GET /v1/jobs/<id>`). The
 /// `body` of a done job is embedded raw under `result`.
 pub fn job_status(id: u64, state: &crate::jobs::JobState) -> String {

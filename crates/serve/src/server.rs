@@ -27,18 +27,23 @@
 //! answer.
 
 use crate::cache::LruCache;
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::http::{
+    finish_chunked, read_request_with, write_chunk, write_chunked_head, write_response, ReadError,
+    Request, Response,
+};
 use crate::jobs::{Job, JobRegistry, JobState};
 use crate::metrics::{GaugeSample, ServerMetrics};
 use crate::queue::{Discipline, JobQueue, PushError};
 use crate::request::{parse_body, Limits, SimRequest};
-use crate::response::{error_body, job_status, render_run};
+use crate::response::{error_body, job_status, render_run, trace_summary_json};
 use crate::store::Store;
 use crate::sweeps::{self, SweepRegistry};
+use hmm_ingest::TraceRegistry;
 use hmm_sim_base::FxHashMap;
-use hmm_simulator::driver::{run, run_resumable, RunResult, SnapshotCtl};
-use hmm_telemetry::JsonObject;
-use std::io::ErrorKind;
+use hmm_simulator::driver::{run_resumable_with_sink, run_with_sink, RunResult, SnapshotCtl};
+use hmm_telemetry::{EpochFrameSink, Frame, JsonObject};
+use hmm_workloads::replay;
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -62,8 +67,11 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Admission limits applied while parsing request bodies.
     pub limits: Limits,
-    /// Largest accepted request body.
+    /// Largest accepted request body on the JSON routes.
     pub max_body_bytes: usize,
+    /// Largest accepted trace upload (`POST /v1/traces` only; binary
+    /// traces are legitimately much bigger than any JSON body).
+    pub max_trace_bytes: usize,
     /// Socket read/write deadline — a slow client cannot hold a handler
     /// longer than this per direction.
     pub io_timeout: Duration,
@@ -102,6 +110,7 @@ impl Default for ServerConfig {
             cache_entries: 256,
             limits: Limits::default(),
             max_body_bytes: 64 << 10,
+            max_trace_bytes: 8 << 20,
             io_timeout: Duration::from_secs(10),
             sync_timeout: Duration::from_secs(30),
             job_retention: 1024,
@@ -140,6 +149,9 @@ pub(crate) struct Shared {
     /// Durable mirror of the result cache plus the checkpoint shelf;
     /// `None` when `--store-dir` was not given.
     store: Option<Store>,
+    /// The uploaded-trace registry (durable under `store_dir/traces`
+    /// when a store is configured, memory-only otherwise).
+    pub(crate) traces: TraceRegistry,
     pub(crate) sweeps: SweepRegistry,
     /// Sweep runner threads, joined on shutdown.
     pub(crate) runners: Mutex<Vec<JoinHandle<()>>>,
@@ -255,6 +267,7 @@ impl Shared {
             store_configured: self.store.is_some(),
             store_entries: self.store.as_ref().map_or(0, Store::entries),
             store_bytes: self.store.as_ref().map_or(0, Store::bytes),
+            traces_stored: self.traces.len(),
             _marker: std::marker::PhantomData,
         })
     }
@@ -284,6 +297,19 @@ impl Server {
             Some(dir) => Some(Store::open(dir, cfg.store_max_bytes)?),
             None => None,
         };
+        // The trace registry rehydrates *before* checkpoint re-admission
+        // below: a checkpointed trace-replay job can only re-parse once
+        // its trace is back in the replay registry.
+        let traces = match &cfg.store_dir {
+            Some(dir) => {
+                let (traces, restored) = TraceRegistry::open(&dir.join("traces"))?;
+                if restored > 0 {
+                    eprintln!("hmm-serve: trace registry restored {restored} traces");
+                }
+                traces
+            }
+            None => TraceRegistry::memory(),
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::with_discipline(cfg.queue_depth, discipline),
             registry: JobRegistry::new(cfg.job_retention),
@@ -297,6 +323,7 @@ impl Server {
             live_acceptors: AtomicUsize::new(cfg.conn_threads.max(1)),
             next_job_id: AtomicU64::new(1),
             store,
+            traces,
             sweeps: SweepRegistry::new(),
             runners: Mutex::new(Vec::new()),
             cfg,
@@ -428,19 +455,57 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.cfg.io_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.io_timeout));
-    let response = match read_request(&mut stream, shared.cfg.max_body_bytes) {
-        Ok(req) => {
-            shared.metrics.inc(&shared.metrics.requests);
-            dispatch(shared, &req)
+    // The body limit is per route: trace uploads are binary and big, so
+    // only `POST /v1/traces` gets the raised budget; everything else
+    // keeps the tight JSON limit (and its `413`).
+    let req = match read_request_with(&mut stream, |head| {
+        if head.method == "POST" && head.path == "/v1/traces" {
+            shared.cfg.max_trace_bytes
+        } else {
+            shared.cfg.max_body_bytes
         }
-        Err(ReadError::Eof) => return,
-        Err(ReadError::Io(_)) => return,
+    }) {
+        Ok(req) => req,
+        Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
         Err(ReadError::Bad(status, msg)) => {
             shared.metrics.inc(&shared.metrics.bad_requests);
-            Response::json(status, error_body(&msg))
+            let _ = write_response(&mut stream, &Response::json(status, error_body(&msg)));
+            // Lingering close: a 413 answers before the client finished
+            // sending its body. Closing with unread bytes in the receive
+            // buffer sends RST, which destroys the response in flight —
+            // drain briefly so a plain blocking client actually sees it.
+            if status == 413 {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                let mut scratch = [0u8; 16 * 1024];
+                for _ in 0..4096 {
+                    match stream.read(&mut scratch) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+            }
+            return;
         }
     };
+    shared.metrics.inc(&shared.metrics.requests);
+    // The event stream takes the socket over (chunked transfer until
+    // the job completes); every other route answers one framed body.
+    if req.method == "GET" && req.path.starts_with("/v1/jobs/") && req.path.ends_with("/events") {
+        stream_events(shared, &mut stream, &req.path);
+        return;
+    }
+    let response = dispatch(shared, &req);
     let _ = write_response(&mut stream, &response);
+}
+
+/// Parse the body of a JSON route, or answer 400 on non-UTF-8 bytes.
+macro_rules! utf8_body {
+    ($shared:expr, $req:expr) => {
+        match $req.body_str() {
+            Ok(s) => s,
+            Err(msg) => return bad($shared, 400, &msg),
+        }
+    };
 }
 
 fn dispatch(shared: &Arc<Shared>, req: &Request) -> Response {
@@ -457,18 +522,142 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Response {
         ("POST", "/v1/jobs") => submit_job(shared, req),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_get(shared, path),
         ("DELETE", path) if path.starts_with("/v1/jobs/") => job_cancel(shared, path),
-        ("POST", "/v1/sweeps") => sweeps::submit(shared, &req.body),
+        ("POST", "/v1/sweeps") => sweeps::submit(shared, utf8_body!(shared, req)),
         ("GET", path) if path.starts_with("/v1/sweeps/") => sweeps::get(shared, path),
+        ("POST", "/v1/traces") => trace_upload(shared, req),
+        ("GET", "/v1/traces") => trace_list(shared),
+        ("GET", path) if path.starts_with("/v1/traces/") => trace_get(shared, path),
+        ("DELETE", path) if path.starts_with("/v1/traces/") => trace_delete(shared, path),
         ("POST", "/admin/shutdown") => {
             shared.start_drain();
             Response::json(200, JsonObject::new().bool("draining", true).finish())
         }
         (
             _,
-            "/healthz" | "/metrics" | "/v1/simulate" | "/v1/jobs" | "/v1/sweeps"
+            "/healthz" | "/metrics" | "/v1/simulate" | "/v1/jobs" | "/v1/sweeps" | "/v1/traces"
             | "/admin/shutdown",
         ) => bad(shared, 405, &format!("method {} not allowed here", req.method)),
         _ => bad(shared, 404, &format!("no such endpoint '{}'", req.path)),
+    }
+}
+
+/// `POST /v1/traces`: validate the raw HMT1 body, register it, answer
+/// its summary. Content-addressing makes the route idempotent.
+fn trace_upload(shared: &Shared, req: &Request) -> Response {
+    if req.body.is_empty() {
+        return bad(shared, 400, "trace upload body is empty");
+    }
+    match shared.traces.put(&req.body) {
+        Ok(summary) => {
+            shared.metrics.inc(&shared.metrics.traces_uploaded);
+            Response::json(200, trace_summary_json(&summary))
+        }
+        Err(msg) => bad(shared, 400, &format!("invalid trace: {msg}")),
+    }
+}
+
+fn trace_list(shared: &Shared) -> Response {
+    let mut arr = hmm_telemetry::JsonArray::new();
+    for s in shared.traces.list() {
+        arr = arr.raw(&trace_summary_json(&s));
+    }
+    Response::json(200, JsonObject::new().raw("traces", &arr.finish()).finish())
+}
+
+fn trace_id_from(shared: &Shared, path: &str) -> Result<u64, Response> {
+    let id = path.strip_prefix("/v1/traces/").unwrap_or_default();
+    replay::parse_trace_id(id)
+        .ok_or_else(|| bad(shared, 404, &format!("malformed trace id '{id}' (want 16 hex digits)")))
+}
+
+fn trace_get(shared: &Shared, path: &str) -> Response {
+    let hash = match trace_id_from(shared, path) {
+        Ok(hash) => hash,
+        Err(resp) => return resp,
+    };
+    match shared.traces.get(hash) {
+        Some(s) => Response::json(200, trace_summary_json(&s)),
+        None => bad(shared, 404, &format!("unknown trace '{hash:016x}'")),
+    }
+}
+
+fn trace_delete(shared: &Shared, path: &str) -> Response {
+    let hash = match trace_id_from(shared, path) {
+        Ok(hash) => hash,
+        Err(resp) => return resp,
+    };
+    if shared.traces.delete(hash) {
+        Response::json(
+            200,
+            JsonObject::new().str("id", &format!("{hash:016x}")).bool("deleted", true).finish(),
+        )
+    } else {
+        bad(shared, 404, &format!("unknown trace '{hash:016x}'"))
+    }
+}
+
+fn job_events_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/v1/jobs/")?.strip_suffix("/events")?.parse().ok()
+}
+
+/// `GET /v1/jobs/<id>/events`: stream the job's epoch frames as chunked
+/// JSONL until the job completes. Each subscriber holds its own cursor;
+/// one that lags past the hub's retention gets an explicit
+/// `{"dropped":N}` frame. The terminating zero chunk is written exactly
+/// when the job turns terminal.
+fn stream_events(shared: &Arc<Shared>, stream: &mut TcpStream, path: &str) {
+    let Some(id) = job_events_id(path) else {
+        let resp = bad(shared, 404, &format!("malformed job id in '{path}'"));
+        let _ = write_response(stream, &resp);
+        return;
+    };
+    let Some(job) = shared.registry.get(id) else {
+        let resp = bad(shared, 404, &format!("no such job {id} (expired or never existed)"));
+        let _ = write_response(stream, &resp);
+        return;
+    };
+    shared.metrics.inc(&shared.metrics.event_subscribers);
+    if write_chunked_head(stream, 200).is_err() {
+        return;
+    }
+    // Nothing more is expected *from* the client; a short read timeout
+    // turns the liveness probe below into a non-blocking peek.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+    let mut cursor = 0u64;
+    loop {
+        match job.hub.next(&mut cursor, Duration::from_millis(250)) {
+            Frame::Data(line) => {
+                let mut msg = line.into_bytes();
+                msg.push(b'\n');
+                if write_chunk(stream, &msg).is_err() {
+                    return;
+                }
+            }
+            Frame::Dropped(n) => {
+                shared.metrics.event_frames_dropped.fetch_add(n, Ordering::Relaxed);
+                let mut msg = JsonObject::new().u64("dropped", n).finish().into_bytes();
+                msg.push(b'\n');
+                if write_chunk(stream, &msg).is_err() {
+                    return;
+                }
+            }
+            Frame::Eof => {
+                let _ = finish_chunked(stream);
+                return;
+            }
+            Frame::Pending => {
+                // A disconnected subscriber must not park this handler
+                // for the job's whole runtime: a closed peer peeks as
+                // `Ok(0)`, a live quiet one as a timeout.
+                let mut probe = [0u8; 1];
+                match stream.peek(&mut probe) {
+                    Ok(0) => return,
+                    Ok(_) => {}
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                    Err(_) => return,
+                }
+            }
+        }
     }
 }
 
@@ -479,7 +668,7 @@ fn bad(shared: &Shared, status: u16, msg: &str) -> Response {
 
 /// `POST /v1/simulate`: admit, wait for the result, answer in-line.
 fn simulate_sync(shared: &Shared, req: &Request) -> Response {
-    let sim = match parse_body(&req.body, &shared.cfg.limits) {
+    let sim = match parse_body(utf8_body!(shared, req), &shared.cfg.limits) {
         Ok(sim) => sim,
         Err(msg) => return bad(shared, 400, &msg),
     };
@@ -526,7 +715,7 @@ fn simulate_sync(shared: &Shared, req: &Request) -> Response {
 /// A cache hit manufactures an already-done job so the client's polling
 /// flow is uniform.
 fn submit_job(shared: &Shared, req: &Request) -> Response {
-    let sim = match parse_body(&req.body, &shared.cfg.limits) {
+    let sim = match parse_body(utf8_body!(shared, req), &shared.cfg.limits) {
         Ok(sim) => sim,
         Err(msg) => return bad(shared, 400, &msg),
     };
@@ -600,6 +789,9 @@ fn worker_loop(shared: &Shared) {
         match outcome {
             Ok(result) => {
                 shared.metrics.inc(&shared.metrics.sim_runs);
+                if job.cfg.trace.is_some() {
+                    shared.metrics.inc(&shared.metrics.trace_sim_runs);
+                }
                 shared.metrics.record_run(&result);
                 let body = Arc::new(render_run(&job.canonical, &result));
                 if let Some(store) = &shared.store {
@@ -637,18 +829,23 @@ fn worker_loop(shared: &Shared) {
 /// `run` (the `snapshot_resume` property tests), so which path a job
 /// takes never changes its answer.
 fn run_job(shared: &Shared, job: &Job) -> RunResult {
+    // The frame sink is a pure observer feeding the job's event stream:
+    // results, counters, and snapshot bytes are identical with or
+    // without a subscriber, so cached and streamed runs agree.
+    let frames = EpochFrameSink::new(Arc::clone(&job.hub));
     let every = shared.cfg.snapshot_every;
     let store = match &shared.store {
         Some(store) if every > 0 => store,
-        _ => return run(&job.cfg),
+        _ => return run_with_sink(&job.cfg, frames),
     };
     if let Some((_, snap)) = store.read_checkpoint(job.key, &shared.metrics) {
         let mut sink = |_submitted: u64, bytes: Vec<u8>| {
             store.write_checkpoint(job.key, &job.canonical, &bytes, &shared.metrics);
         };
-        match run_resumable(
+        match run_resumable_with_sink(
             &job.cfg,
             SnapshotCtl { resume_from: Some(&snap), every, sink: Some(&mut sink) },
+            frames.clone(),
         ) {
             Ok(result) => {
                 shared.metrics.inc(&shared.metrics.resumed_jobs);
@@ -669,6 +866,10 @@ fn run_job(shared: &Shared, job: &Job) -> RunResult {
     let mut sink = |_submitted: u64, bytes: Vec<u8>| {
         store.write_checkpoint(job.key, &job.canonical, &bytes, &shared.metrics);
     };
-    run_resumable(&job.cfg, SnapshotCtl { resume_from: None, every, sink: Some(&mut sink) })
-        .expect("a fresh capture run has no resume input and cannot fail")
+    run_resumable_with_sink(
+        &job.cfg,
+        SnapshotCtl { resume_from: None, every, sink: Some(&mut sink) },
+        frames,
+    )
+    .expect("a fresh capture run has no resume input and cannot fail")
 }

@@ -1,7 +1,8 @@
 //! One trace-driven simulation run (the Section IV methodology).
 //!
 //! The driver streams a synthetic workload trace into a
-//! [`HeteroController`], advancing simulated time with each record's
+//! [`HeteroController`](hmm_core::controller::HeteroController),
+//! advancing simulated time with each record's
 //! timestamp, and aggregates post-warm-up latency statistics. Statistics
 //! exclude a configurable warm-up prefix, mirroring the paper's
 //! warm-up-then-measure protocol (Table II).
@@ -18,7 +19,38 @@ use hmm_sim_base::config::{MachineConfig, MemoryGeometry, SimScale};
 use hmm_sim_base::snap::{SnapReader, SnapWriter};
 use hmm_sim_base::stats::{AccessStats, LatencyBreakdown};
 use hmm_telemetry::{NullSink, TelemetrySink};
-use hmm_workloads::{footprint_bytes, workload, WorkloadId};
+use hmm_workloads::replay::{self, ReplayIter};
+use hmm_workloads::{footprint_bytes, workload, TraceSource, WorkloadId};
+
+/// A recorded trace to replay instead of the synthetic generator,
+/// identified by the content hash of its `HMT1` bytes. The summary
+/// fields are carried inline so the run geometry and the canonical wire
+/// form are pure functions of the config — no registry lookup — while
+/// the records themselves are fetched from the process-global replay
+/// registry (`hmm_workloads::replay`) when the run starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRef {
+    /// `snap_hash` of the raw trace bytes (the trace id).
+    pub hash: u64,
+    /// Number of records in the trace.
+    pub records: u64,
+    /// Timestamp of the last record.
+    pub last_tick: u64,
+    /// Highest line address; the footprint is `(max_line + 1) << 6`.
+    pub max_line: u64,
+}
+
+impl TraceRef {
+    /// Borrow the behaviour-relevant facts from a registry summary.
+    pub fn from_summary(s: &replay::TraceSummary) -> Self {
+        Self { hash: s.hash, records: s.records, last_tick: s.last_tick, max_line: s.max_line }
+    }
+
+    /// The canonical 16-hex-digit spelling of the trace id.
+    pub fn id(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +94,11 @@ pub struct RunConfig {
     /// Swap-trigger rule for the migrating schemes. The default
     /// ([`MigrationPolicy::HotCold`]) is the paper's comparative trigger.
     pub migration: MigrationPolicy,
+    /// Replay a recorded trace instead of generating `workload`'s
+    /// synthetic stream. When set, `workload` and `seed` are inert (the
+    /// canonical wire form normalises them), and the footprint comes
+    /// from the trace's own addresses.
+    pub trace: Option<TraceRef>,
 }
 
 impl RunConfig {
@@ -85,6 +122,7 @@ impl RunConfig {
             faults: None,
             scheme: SchemeId::Hetero,
             migration: MigrationPolicy::HotCold,
+            trace: None,
         }
     }
 
@@ -105,7 +143,13 @@ impl RunConfig {
     /// everything is rounded to macro-page multiples.
     pub fn geometry(&self) -> MemoryGeometry {
         let page = 1u64 << self.page_shift;
-        let fp = footprint_bytes(self.workload, &self.scale);
+        // A replayed trace's footprint is fixed by its own addresses
+        // (never scaled — the addresses are the workload); synthetic
+        // footprints scale with the run.
+        let fp = match &self.trace {
+            Some(t) => (t.max_line + 1) << 6,
+            None => footprint_bytes(self.workload, &self.scale),
+        };
         let round_up = |v: u64| v.div_ceil(page) * page;
         let round_down = |v: u64| (v / page * page).max(page);
         // One extra page beyond the footprint keeps the reserved ghost
@@ -203,6 +247,25 @@ fn controller_config(cfg: &RunConfig, machine: MachineConfig) -> ControllerConfi
     }
 }
 
+/// Resolve the run's record source and display name. Replay runs panic
+/// if the trace is no longer registered (a `DELETE` racing an
+/// already-parsed job); the serving layer's `catch_unwind` turns that
+/// into a failed job rather than a wrong result.
+fn trace_source(cfg: &RunConfig) -> (String, TraceSource) {
+    match &cfg.trace {
+        Some(t) => {
+            let data = replay::lookup(t.hash)
+                .unwrap_or_else(|| panic!("trace {} is not registered for replay", t.id()));
+            (format!("trace:{}", t.id()), TraceSource::Replay(ReplayIter::new(data)))
+        }
+        None => {
+            let w = workload(cfg.workload, &cfg.scale);
+            let name = w.name.clone();
+            (name, TraceSource::Synthetic(w.iter(cfg.seed)))
+        }
+    }
+}
+
 /// Execute one simulation run.
 pub fn run(cfg: &RunConfig) -> RunResult {
     run_with_sink(cfg, NullSink)
@@ -217,7 +280,7 @@ pub fn run_with_sink<S: TelemetrySink + Clone + Send + 'static>(
     cfg: &RunConfig,
     sink: S,
 ) -> RunResult {
-    let w = workload(cfg.workload, &cfg.scale);
+    let (workload_name, mut trace) = trace_source(cfg);
     let geometry = cfg.geometry();
     let machine = MachineConfig { geometry, ..MachineConfig::default() };
     let mut ctrl = build_scheme(cfg.scheme, controller_config(cfg, machine), cfg.migration, sink);
@@ -241,7 +304,6 @@ pub fn run_with_sink<S: TelemetrySink + Clone + Send + 'static>(
     // behaviour-invariant: `next_block` reproduces the iterator exactly
     // for any partition (proven by the block-size-invariance test in
     // `hmm_workloads::trace`).
-    let mut trace = w.iter(cfg.seed);
     let mut block = Vec::new();
     let mut remaining = cfg.accesses as usize;
     while remaining > 0 {
@@ -281,7 +343,7 @@ pub fn run_with_sink<S: TelemetrySink + Clone + Send + 'static>(
 
     let (on_region, off_region) = ctrl.region_stats();
     RunResult {
-        workload: w.name,
+        workload: workload_name,
         access,
         controller: ctrl.stats(),
         swaps: ctrl.swap_stats(),
@@ -328,19 +390,29 @@ impl SnapshotCtl<'_> {
 /// Snapshots capture at every multiple of `ctl.every` submitted accesses
 /// — including mid-migration, mid-stall, and pre-warm-up points — so any
 /// cadence is safe; no "quiescent point" is required.
-pub fn run_resumable(cfg: &RunConfig, mut ctl: SnapshotCtl<'_>) -> Result<RunResult, String> {
-    let w = workload(cfg.workload, &cfg.scale);
+pub fn run_resumable(cfg: &RunConfig, ctl: SnapshotCtl<'_>) -> Result<RunResult, String> {
+    run_resumable_with_sink(cfg, ctl, NullSink)
+}
+
+/// [`run_resumable`] with telemetry: the sink observes the run exactly
+/// as [`run_with_sink`]'s does, and — because sinks are pure observers —
+/// the result and every captured snapshot are byte-identical to the
+/// sink-free run.
+pub fn run_resumable_with_sink<S: TelemetrySink + Clone + Send + 'static>(
+    cfg: &RunConfig,
+    mut ctl: SnapshotCtl<'_>,
+    sink: S,
+) -> Result<RunResult, String> {
+    let (workload_name, mut trace) = trace_source(cfg);
     let geometry = cfg.geometry();
     let machine = MachineConfig { geometry, ..MachineConfig::default() };
-    let mut ctrl =
-        build_scheme(cfg.scheme, controller_config(cfg, machine), cfg.migration, NullSink);
+    let mut ctrl = build_scheme(cfg.scheme, controller_config(cfg, machine), cfg.migration, sink);
 
     let mut access = AccessStats::new();
     let mut warmup_boundary_id = if cfg.warmup == 0 { Some(0u64) } else { None };
     let mut stash: Vec<DemandCompletion> = Vec::new();
     let mut drained: Vec<DemandCompletion> = Vec::new();
     let mut submitted = 0u64;
-    let mut trace = w.iter(cfg.seed);
     let config_hash = fxhash64(canonical_json(cfg).as_bytes());
 
     if let Some(bytes) = ctl.resume_from {
@@ -450,7 +522,7 @@ pub fn run_resumable(cfg: &RunConfig, mut ctl: SnapshotCtl<'_>) -> Result<RunRes
 
     let (on_region, off_region) = ctrl.region_stats();
     Ok(RunResult {
-        workload: w.name,
+        workload: workload_name,
         access,
         controller: ctrl.stats(),
         swaps: ctrl.swap_stats(),

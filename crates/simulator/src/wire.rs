@@ -22,7 +22,7 @@
 //! request parsing) already passes numbers through `f64`, so the
 //! canonical form is no lossier than the requests that feed it.
 
-use crate::driver::RunConfig;
+use crate::driver::{RunConfig, TraceRef};
 use hmm_core::{validate_scheme, MigrationPolicy, Mode, SchemeId};
 use hmm_dram::SchedPolicy;
 use hmm_fault::{FaultPlan, FaultRegion, StuckBank, ThrottleSpec, MAX_STUCK_BANKS};
@@ -142,6 +142,44 @@ fn require<'a>(obj: &'a Json, name: &str) -> Result<&'a Json, String> {
     obj.get(name).ok_or_else(|| format!("missing field '{name}'"))
 }
 
+/// Render a [`TraceRef`] as the canonical workload-slot object.
+pub fn trace_ref_to_json(t: &TraceRef) -> String {
+    JsonObject::new()
+        .str("trace", &t.id())
+        .u64("records", t.records)
+        .u64("ticks", t.last_tick)
+        .u64("max_line", t.max_line)
+        .finish()
+}
+
+/// Parse the canonical workload-slot trace object back to a
+/// [`TraceRef`]. Unknown fields are rejected; a bare `{"trace": id}`
+/// (no summary) is reported distinctly so callers with a registry can
+/// resolve it themselves.
+pub fn trace_ref_from_json(v: &Json) -> Result<TraceRef, String> {
+    let Json::Obj(fields) = v else {
+        return Err("trace workload must be an object".into());
+    };
+    for (name, _) in fields {
+        if !["trace", "records", "ticks", "max_line"].contains(&name.as_str()) {
+            return Err(format!("unknown trace field '{name}'"));
+        }
+    }
+    let id = str_field(require(v, "trace")?, "trace")?;
+    let hash = hmm_workloads::replay::parse_trace_id(id)
+        .ok_or_else(|| format!("invalid trace id '{id}' (want 16 hex digits)"))?;
+    let t = TraceRef {
+        hash,
+        records: num_u64(require(v, "records")?, "records")?,
+        last_tick: num_u64(require(v, "ticks")?, "ticks")?,
+        max_line: num_u64(require(v, "max_line")?, "max_line")?,
+    };
+    if t.records == 0 {
+        return Err("trace 'records' must be at least 1".into());
+    }
+    Ok(t)
+}
+
 /// Parse a fault plan back from its [`fault_plan_to_json`] form.
 pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, String> {
     let Json::Obj(_) = v else {
@@ -188,8 +226,18 @@ pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, String> {
 /// — produce equal strings (modulo `stuck_banks` hole placement, which
 /// does not change behaviour).
 pub fn canonical_json(cfg: &RunConfig) -> String {
-    let mut obj = JsonObject::new()
-        .str("workload", cfg.workload.token())
+    // A replayed trace takes the workload slot as a self-contained
+    // object: the content hash is the identity and the summary fields
+    // make geometry (and hence behaviour) a pure function of the text.
+    // The synthetic-only knobs a replay ignores (`workload` token,
+    // `seed`) are normalised away so two requests that replay the same
+    // trace can never canonicalise differently.
+    let mut obj = JsonObject::new();
+    obj = match &cfg.trace {
+        Some(t) => obj.raw("workload", &trace_ref_to_json(t)),
+        None => obj.str("workload", cfg.workload.token()),
+    };
+    obj = obj
         .str("mode", cfg.mode.token())
         .u64("page_shift", cfg.page_shift as u64)
         .u64("sub_block_shift", cfg.sub_block_shift as u64)
@@ -197,7 +245,7 @@ pub fn canonical_json(cfg: &RunConfig) -> String {
         .u64("accesses", cfg.accesses)
         .u64("warmup", cfg.warmup)
         .u64("scale", cfg.scale.divisor)
-        .u64("seed", cfg.seed)
+        .u64("seed", if cfg.trace.is_some() { 0 } else { cfg.seed })
         .u64("on_package", cfg.on_package_bytes)
         .u64("total", cfg.total_bytes)
         .str("policy", policy_token(cfg.policy));
@@ -254,7 +302,15 @@ pub fn config_from_canonical(text: &str) -> Result<RunConfig, String> {
             return Err(format!("unknown field '{name}'"));
         }
     }
-    let workload: WorkloadId = str_field(require(&doc, "workload")?, "workload")?.parse()?;
+    let (workload, trace) = match require(&doc, "workload")? {
+        v @ Json::Obj(_) => {
+            // The workload token is inert under replay; the canonical
+            // placeholder keeps `RunConfig` total without a registry
+            // lookup.
+            (WorkloadId::Pgbench, Some(trace_ref_from_json(v)?))
+        }
+        v => (str_field(v, "workload")?.parse::<WorkloadId>()?, None),
+    };
     let mode: Mode = str_field(require(&doc, "mode")?, "mode")?.parse()?;
     let os_assisted = match doc.get("os_assisted") {
         None => None,
@@ -292,6 +348,7 @@ pub fn config_from_canonical(text: &str) -> Result<RunConfig, String> {
         faults,
         scheme,
         migration,
+        trace,
     })
 }
 
@@ -383,6 +440,55 @@ mod tests {
         ] {
             let err = config_from_canonical(&mutation).unwrap_err();
             assert!(err.contains(why), "{mutation}: got '{err}', wanted '{why}'");
+        }
+    }
+
+    #[test]
+    fn trace_canonical_round_trips_and_normalises_synthetic_knobs() {
+        let t = TraceRef {
+            hash: 0x0123456789abcdef,
+            records: 5_000,
+            last_tick: 99_000,
+            max_line: 1 << 18,
+        };
+        let mut cfg = RunConfig::quick(WorkloadId::Pgbench, Mode::Static);
+        cfg.trace = Some(t);
+        cfg.seed = 77; // inert under replay; must not leak into the text
+        let text = canonical_json(&cfg);
+        assert!(text.starts_with(r#"{"workload":{"trace":"0123456789abcdef""#), "{text}");
+        assert!(text.contains(r#""seed":0"#), "{text}");
+        let back = config_from_canonical(&text).unwrap();
+        assert_eq!(back.trace, Some(t));
+        assert_eq!(canonical_json(&back), text, "round trip is a fixed point");
+
+        // Same trace, different inert knobs: identical canonical text.
+        let mut other = cfg;
+        other.seed = 123;
+        other.workload = WorkloadId::Mg;
+        // (workload token is also normalised away under replay)
+        let mut other_text = canonical_json(&other);
+        // `workload` only affects the synthetic arm; under replay both
+        // configs must share one canonical spelling.
+        assert_eq!(other_text, text);
+        // A different trace hash must change the text.
+        other.trace = Some(TraceRef { hash: 1, ..t });
+        other_text = canonical_json(&other);
+        assert_ne!(other_text, text);
+    }
+
+    #[test]
+    fn trace_object_rejects_malformed_forms() {
+        for (body, why) in [
+            (r#"{"trace":"xyz","records":1,"ticks":1,"max_line":1}"#, "invalid trace id"),
+            (r#"{"trace":"0123456789abcdef","records":1,"ticks":1}"#, "missing field 'max_line'"),
+            (r#"{"trace":"0123456789abcdef","records":0,"ticks":1,"max_line":1}"#, "at least 1"),
+            (
+                r#"{"trace":"0123456789abcdef","records":1,"ticks":1,"max_line":1,"x":1}"#,
+                "unknown trace field",
+            ),
+        ] {
+            let err = trace_ref_from_json(&jsonin::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(why), "{body}: got '{err}', wanted '{why}'");
         }
     }
 

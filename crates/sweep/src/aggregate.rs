@@ -159,9 +159,17 @@ fn figure_row(body: &Json) -> Result<String, String> {
     let need_f64 =
         |v: &Json, n: &str| v.get(n).and_then(Json::as_f64).ok_or(format!("missing '{n}'"));
     let page_shift = counter(config, "page_shift")?;
+    // The canonical config omits the default scheme, so the row spells
+    // it out: scheme is a sweep axis, and rows from different schemes
+    // must stay distinguishable once condensed.
+    let scheme = match config.get("scheme") {
+        Some(v) => v.as_str().ok_or("'scheme' is not a string")?.to_string(),
+        None => "hetero".to_string(),
+    };
     let mut row = JsonObject::new()
         .str("workload", &need_str(body, "workload")?)
         .str("mode", &need_str(config, "mode")?)
+        .str("scheme", &scheme)
         .u64("page_bytes", 1u64 << page_shift.min(63))
         .u64("interval", counter(config, "interval")?)
         .u64("seed", counter(config, "seed")?)

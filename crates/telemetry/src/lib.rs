@@ -30,6 +30,7 @@ pub mod jsonin;
 pub mod recorder;
 pub mod ring;
 pub mod sink;
+pub mod stream;
 
 pub use event::{DramOutcome, Event, EventKind, FaultClass, PfBit, PfChange, RegionKind};
 pub use export::{
@@ -44,3 +45,4 @@ pub use recorder::{
 };
 pub use ring::EventRing;
 pub use sink::{NullSink, TelemetrySink};
+pub use stream::{epoch_frame, EpochFrameSink, Frame, FrameHub};

@@ -20,16 +20,20 @@
 //!   footprints and pattern mixtures.
 //! * [`trace_io`] — trace-file export/import (compact binary and plain
 //!   text), matching the paper's trace-driven methodology.
+//! * [`replay`] — decoded-trace registry and the replay cursor that
+//!   streams recorded traces back through the simulation driver.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
 pub mod pattern;
+pub mod replay;
 pub mod trace;
 pub mod trace_io;
 
 pub use catalog::{footprint_bytes, npb_footprint_mb, workload, WorkloadId};
 pub use pattern::Pattern;
+pub use replay::{ReplayIter, TraceData, TraceSource, TraceSummary};
 pub use trace::{TraceIter, TraceRecord, Workload};
 pub use trace_io::{read_text, write_binary, write_text, BinaryTraceReader};

@@ -1,0 +1,365 @@
+//! Trace replay: feeding a recorded access stream back into the driver.
+//!
+//! The paper's methodology is trace-driven; [`crate::trace_io`] gives the
+//! workspace the `HMT1` on-disk format, and this module gives it the
+//! runtime half — a decoded, content-addressed trace that the simulation
+//! driver can stream exactly the way it streams a synthetic
+//! [`TraceIter`]:
+//!
+//! * [`decode`] validates raw `HMT1` bytes into a [`TraceData`] (records
+//!   plus a [`TraceSummary`] of the behaviour-relevant facts: content
+//!   hash, record count, tick span, highest line address, read count).
+//! * A process-global registry ([`register`]/[`lookup`]/[`unregister`])
+//!   maps content hashes to decoded traces, so a `RunConfig` can name a
+//!   trace by hash alone and stay `Copy`.
+//! * [`ReplayIter`] streams a registered trace in driver-sized blocks,
+//!   wrapping around with rebased ticks when the requested access count
+//!   exceeds the trace length, and serializes its cursor for
+//!   snapshot/resume.
+//! * [`TraceSource`] unifies the synthetic and replay paths behind the
+//!   one interface the driver loop uses (`next_block` +
+//!   `save_state`/`load_state`); the synthetic arm delegates verbatim so
+//!   existing snapshots stay byte-identical.
+
+use crate::trace::{TraceIter, TraceRecord};
+use crate::trace_io::BinaryTraceReader;
+use hmm_sim_base::snap::{snap_hash, SnapReader, SnapResult, SnapWriter};
+use hmm_sim_base::FxHashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The behaviour-relevant facts about a decoded trace. Everything the
+/// canonical wire form and the run geometry need — nothing more — so two
+/// uploads of the same bytes always agree field-for-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Content hash (`snap_hash`) of the raw `HMT1` bytes; the trace's
+    /// identity everywhere (registry key, wire id, cache-key input).
+    pub hash: u64,
+    /// Number of records.
+    pub records: u64,
+    /// Timestamp of the last record (ticks are non-decreasing).
+    pub last_tick: u64,
+    /// Highest line address (`addr >> 6`) in the trace; the footprint is
+    /// `(max_line + 1) << 6`.
+    pub max_line: u64,
+    /// Number of read records (the rest are writes).
+    pub reads: u64,
+}
+
+impl TraceSummary {
+    /// The canonical 16-hex-digit spelling of the trace id.
+    pub fn id(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+
+    /// Program-visible footprint implied by the trace's addresses.
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.max_line + 1) << 6
+    }
+
+    /// Fraction of records that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.reads as f64 / self.records as f64
+        }
+    }
+}
+
+/// A decoded trace: the summary plus the records themselves.
+#[derive(Debug)]
+pub struct TraceData {
+    /// Behaviour-relevant facts (identity, counts, span).
+    pub summary: TraceSummary,
+    /// The decoded records, in file order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Parse a 16-hex-digit trace id back to its hash.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Decode and validate raw `HMT1` bytes. Errors carry the underlying
+/// format diagnostic ("not an HMT1 trace", "truncated varint", ...).
+pub fn decode(bytes: &[u8]) -> Result<TraceData, String> {
+    let mut records = Vec::new();
+    for rec in BinaryTraceReader::new(bytes) {
+        records.push(rec.map_err(|e| e.to_string())?);
+    }
+    if records.is_empty() {
+        return Err("trace contains no records".into());
+    }
+    let mut max_line = 0u64;
+    let mut reads = 0u64;
+    for r in &records {
+        max_line = max_line.max(r.addr.0 >> 6);
+        if !r.is_write {
+            reads += 1;
+        }
+    }
+    let summary = TraceSummary {
+        hash: snap_hash(bytes),
+        records: records.len() as u64,
+        last_tick: records.last().map_or(0, |r| r.tick),
+        max_line,
+        reads,
+    };
+    Ok(TraceData { summary, records })
+}
+
+fn registry() -> &'static Mutex<FxHashMap<u64, Arc<TraceData>>> {
+    static REGISTRY: OnceLock<Mutex<FxHashMap<u64, Arc<TraceData>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Make a decoded trace available for replay by hash. Idempotent: the
+/// content hash is the key, so re-registering the same trace is a no-op.
+pub fn register(data: Arc<TraceData>) {
+    registry().lock().unwrap().insert(data.summary.hash, data);
+}
+
+/// Look up a registered trace by content hash.
+pub fn lookup(hash: u64) -> Option<Arc<TraceData>> {
+    registry().lock().unwrap().get(&hash).cloned()
+}
+
+/// Summary of a registered trace, if present.
+pub fn summary(hash: u64) -> Option<TraceSummary> {
+    registry().lock().unwrap().get(&hash).map(|d| d.summary)
+}
+
+/// Remove a trace from the replay registry. Runs already holding an
+/// `Arc` to the data are unaffected.
+pub fn unregister(hash: u64) {
+    registry().lock().unwrap().remove(&hash);
+}
+
+/// Streaming cursor over a registered trace, with wrap-around.
+///
+/// When the driver asks for more records than the trace holds, the
+/// cursor wraps to the start and rebases ticks by `last_tick + 1`, so
+/// the stream's timestamps stay strictly increasing across laps (the
+/// controller's advance cadence requires monotone time).
+#[derive(Debug, Clone)]
+pub struct ReplayIter {
+    data: Arc<TraceData>,
+    /// Next record index within the trace.
+    pos: usize,
+    /// Tick offset accumulated by completed laps.
+    tick_base: u64,
+}
+
+impl ReplayIter {
+    /// Start a cursor at the beginning of `data`.
+    pub fn new(data: Arc<TraceData>) -> Self {
+        Self { data, pos: 0, tick_base: 0 }
+    }
+
+    /// Refill `out` with the next `n` records (same contract as
+    /// [`TraceIter::next_block`]).
+    pub fn next_block(&mut self, out: &mut Vec<TraceRecord>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        let recs = &self.data.records;
+        for _ in 0..n {
+            if self.pos == recs.len() {
+                self.pos = 0;
+                self.tick_base += self.data.summary.last_tick + 1;
+            }
+            let mut rec = recs[self.pos];
+            rec.tick += self.tick_base;
+            out.push(rec);
+            self.pos += 1;
+        }
+    }
+
+    /// Serialize the cursor (snapshot/resume support). The records are
+    /// rebuilt from the registered trace on resume, exactly as the
+    /// synthetic generator rebuilds its patterns from the config.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.section(b"trcr");
+        w.usize(self.pos);
+        w.u64(self.tick_base);
+        w.end_section();
+    }
+
+    /// Restore a cursor saved by [`ReplayIter::save_state`].
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        r.section(b"trcr")?;
+        let pos = r.usize()?;
+        if pos > self.data.records.len() {
+            return Err(format!(
+                "replay cursor {pos} is past the trace's {} records",
+                self.data.records.len()
+            ));
+        }
+        self.pos = pos;
+        self.tick_base = r.u64()?;
+        r.end_section()
+    }
+}
+
+/// The driver's record source: a synthetic generator or a replay cursor.
+///
+/// Both arms share the `next_block` contract, and `save_state` delegates
+/// verbatim — the synthetic arm writes exactly the bytes [`TraceIter`]
+/// always wrote (`trce` section), so pre-existing snapshots keep their
+/// byte-identical layout; replay snapshots use their own `trcr` section.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// Records generated by the synthetic workload catalog.
+    Synthetic(TraceIter),
+    /// Records replayed from a registered trace.
+    Replay(ReplayIter),
+}
+
+impl TraceSource {
+    /// Refill `out` with the next `n` records.
+    pub fn next_block(&mut self, out: &mut Vec<TraceRecord>, n: usize) {
+        match self {
+            TraceSource::Synthetic(it) => it.next_block(out, n),
+            TraceSource::Replay(it) => it.next_block(out, n),
+        }
+    }
+
+    /// Serialize the source's dynamic state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            TraceSource::Synthetic(it) => it.save_state(w),
+            TraceSource::Replay(it) => it.save_state(w),
+        }
+    }
+
+    /// Restore state saved by [`TraceSource::save_state`] onto a freshly
+    /// built source over the same workload or trace.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> SnapResult<()> {
+        match self {
+            TraceSource::Synthetic(it) => it.load_state(r),
+            TraceSource::Replay(it) => it.load_state(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{workload, WorkloadId};
+    use crate::trace_io::write_binary;
+    use hmm_sim_base::config::SimScale;
+
+    fn sample_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let recs = workload(WorkloadId::Pgbench, &SimScale { divisor: 256 }).records(seed, n);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, recs).unwrap();
+        buf
+    }
+
+    #[test]
+    fn decode_builds_an_exact_summary() {
+        let bytes = sample_bytes(2_000, 7);
+        let data = decode(&bytes).unwrap();
+        assert_eq!(data.summary.hash, snap_hash(&bytes));
+        assert_eq!(data.summary.records, 2_000);
+        assert_eq!(data.summary.last_tick, data.records.last().unwrap().tick);
+        let max = data.records.iter().map(|r| r.addr.0 >> 6).max().unwrap();
+        assert_eq!(data.summary.max_line, max);
+        let reads = data.records.iter().filter(|r| !r.is_write).count() as u64;
+        assert_eq!(data.summary.reads, reads);
+        assert!(data.summary.footprint_bytes() > 0);
+        assert!((0.0..=1.0).contains(&data.summary.read_fraction()));
+    }
+
+    #[test]
+    fn decode_rejects_bad_inputs() {
+        assert!(decode(b"NOPE").unwrap_err().contains("not an HMT1 trace"));
+        assert!(decode(b"HMT1").unwrap_err().contains("no records"));
+        let mut bytes = sample_bytes(50, 1);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn trace_id_round_trips() {
+        let bytes = sample_bytes(100, 3);
+        let s = decode(&bytes).unwrap().summary;
+        assert_eq!(parse_trace_id(&s.id()), Some(s.hash));
+        assert_eq!(parse_trace_id("xyz"), None);
+        assert_eq!(parse_trace_id("0123456789abcde"), None, "15 digits");
+        assert_eq!(parse_trace_id("0123456789abcdef"), Some(0x0123456789abcdef));
+    }
+
+    #[test]
+    fn registry_round_trips_and_unregisters() {
+        let bytes = sample_bytes(64, 9);
+        let data = Arc::new(decode(&bytes).unwrap());
+        let hash = data.summary.hash;
+        register(data.clone());
+        assert_eq!(summary(hash), Some(data.summary));
+        assert_eq!(lookup(hash).unwrap().summary, data.summary);
+        unregister(hash);
+        assert!(lookup(hash).is_none());
+    }
+
+    #[test]
+    fn replay_wraps_with_strictly_increasing_ticks() {
+        let bytes = sample_bytes(100, 5);
+        let data = Arc::new(decode(&bytes).unwrap());
+        let mut it = ReplayIter::new(data.clone());
+        let mut block = Vec::new();
+        it.next_block(&mut block, 350);
+        assert_eq!(block.len(), 350);
+        for w in block.windows(2) {
+            assert!(w[1].tick > w[0].tick, "{} then {}", w[0].tick, w[1].tick);
+        }
+        // Lap 2 replays the same addresses.
+        assert_eq!(block[100].addr, block[0].addr);
+        assert_eq!(block[100].is_write, block[0].is_write);
+    }
+
+    #[test]
+    fn replay_blocks_are_partition_invariant() {
+        let bytes = sample_bytes(300, 11);
+        let data = Arc::new(decode(&bytes).unwrap());
+        let mut reference = Vec::new();
+        ReplayIter::new(data.clone()).next_block(&mut reference, 1_000);
+        for block_size in [1usize, 7, 64, 300, 999] {
+            let mut it = ReplayIter::new(data.clone());
+            let mut got = Vec::new();
+            let mut block = Vec::new();
+            while got.len() < reference.len() {
+                let n = block_size.min(reference.len() - got.len());
+                it.next_block(&mut block, n);
+                got.extend_from_slice(&block);
+            }
+            assert_eq!(got, reference, "block size {block_size}");
+        }
+    }
+
+    #[test]
+    fn replay_cursor_snapshots_and_resumes() {
+        let bytes = sample_bytes(120, 13);
+        let data = Arc::new(decode(&bytes).unwrap());
+        let mut reference = Vec::new();
+        ReplayIter::new(data.clone()).next_block(&mut reference, 400);
+
+        let mut it = ReplayIter::new(data.clone());
+        let mut head = Vec::new();
+        it.next_block(&mut head, 250);
+        let mut w = SnapWriter::new();
+        it.save_state(&mut w);
+        let snap = w.into_bytes();
+
+        let mut resumed = ReplayIter::new(data);
+        let mut r = SnapReader::new(&snap);
+        resumed.load_state(&mut r).unwrap();
+        let mut tail = Vec::new();
+        resumed.next_block(&mut tail, 150);
+        head.extend_from_slice(&tail);
+        assert_eq!(head, reference);
+    }
+}
